@@ -1,0 +1,83 @@
+/// \file ablation_optimizer_speed.cpp
+/// Google-benchmark timing ablation for the paper's problem statement
+/// (Sec. I): searching-based DSE "is time-consuming" while the principles
+/// give the optimum analytically in one shot.  Measures wall time of the
+/// principle optimizer vs exhaustive grid search vs the DAT-style GA, on
+/// intra-operator and fused-pair problems.
+
+#include <benchmark/benchmark.h>
+
+#include "principles/principle_optimizer.hpp"
+#include "search/dat_optimizer.hpp"
+
+namespace fusecu {
+namespace {
+
+constexpr BufferSize kBs = 512 * 1024 / 2;  // the evaluation buffer (512 KB bf16)
+
+TensorOp bench_op() { return TensorOp::matmul("bench", 16384, 768, 768); }
+
+void BM_PrincipleOptimizer(benchmark::State& state) {
+  TensorOp op = bench_op();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_intra(op, kBs).access.total);
+  }
+}
+BENCHMARK(BM_PrincipleOptimizer);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  TensorOp op = bench_op();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exhaustive_intra(op, kBs)->access.total);
+  }
+}
+BENCHMARK(BM_ExhaustiveSearch);
+
+void BM_GeneticSearch(benchmark::State& state) {
+  TensorOp op = bench_op();
+  GaParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ga_intra(op, kBs, params, 42)->access.total);
+  }
+}
+BENCHMARK(BM_GeneticSearch);
+
+void BM_FusedPrinciples(benchmark::State& state) {
+  FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_fused_pair(pair, kBs)->access.total);
+  }
+}
+BENCHMARK(BM_FusedPrinciples);
+
+void BM_FusedExhaustive(benchmark::State& state) {
+  FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exhaustive_fused(pair, kBs)->access.total);
+  }
+}
+BENCHMARK(BM_FusedExhaustive);
+
+void BM_FusedGenetic(benchmark::State& state) {
+  FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
+  GaParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ga_fused(pair, kBs, params, 42)->access.total);
+  }
+}
+BENCHMARK(BM_FusedGenetic);
+
+/// The access-model evaluation itself (the inner loop of any search).
+void BM_AccessModelEvaluation(benchmark::State& state) {
+  TensorOp op = bench_op();
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 512}, {"K", 768}, {"L", 1}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_access(op, df).total);
+  }
+}
+BENCHMARK(BM_AccessModelEvaluation);
+
+}  // namespace
+}  // namespace fusecu
+
+BENCHMARK_MAIN();

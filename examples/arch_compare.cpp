@@ -1,0 +1,67 @@
+/// \file arch_compare.cpp
+/// Bring-your-own-operator platform comparison: describe any matmul chain
+/// on the command line and see how the five platforms schedule it — the
+/// chosen dataflow rule, memory access, cycles, and whether FuseCU fuses.
+///
+/// Usage: arch_compare [M K L [N]]
+///   M K L      a single matmul A(M,K) x B(K,L)
+///   M K L N    a chain A(M,K) x B(K,L) = C, C x D(L,N) = E
+/// Default: the DeBERTa-v2 attention pair (1024, 64, 1024, 64).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/perf_model.hpp"
+
+using namespace fusecu;
+
+int main(int argc, char** argv) {
+  Index m = 1024, k = 64, l = 1024, n = 64;
+  bool chain = true;
+  if (argc == 4 || argc == 5) {
+    m = std::atoll(argv[1]);
+    k = std::atoll(argv[2]);
+    l = std::atoll(argv[3]);
+    chain = argc == 5;
+    if (chain) n = std::atoll(argv[4]);
+    if (m < 1 || k < 1 || l < 1 || (chain && n < 1)) {
+      std::fprintf(stderr, "usage: %s [M K L [N]]\n", argv[0]);
+      return 1;
+    }
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [M K L [N]]\n", argv[0]);
+    return 1;
+  }
+
+  OperatorGraph graph;
+  if (chain) {
+    graph = MatMulChainBuilder(m, {k, l, n}, "user").graph();
+    std::printf("chain: A(%lld,%lld) x B -> C(%lld,%lld) x D -> E(%lld,%lld)\n\n",
+                (long long)m, (long long)k, (long long)m, (long long)l, (long long)m,
+                (long long)n);
+  } else {
+    graph.add_op(TensorOp::matmul("user", m, k, l));
+    std::printf("operator: A(%lld,%lld) x B(%lld,%lld)\n\n", (long long)m, (long long)k,
+                (long long)k, (long long)l);
+  }
+
+  TextTable t({"platform", "memory access", "cycles", "utilization", "fused", "dataflow"});
+  for (const ArchSpec& arch : all_platforms()) {
+    ArchPlan plan = plan_chain_for_arch(graph, arch);
+    PlanPerf perf = evaluate_plan_perf(plan, arch);
+    std::string rules;
+    for (const ArchPlanStep& s : plan.steps) {
+      if (!rules.empty()) rules += " | ";
+      rules += s.rule;
+    }
+    char util[16];
+    std::snprintf(util, sizeof(util), "%.3f", perf.utilization(arch));
+    t.add_row({arch.name, format_count(perf.access), format_count(perf.cycles), util,
+               std::to_string(plan.fused_pair_count()), rules});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file fusecu_eval.cpp
+/// Config-driven evaluation tool: run any subset of models on any subset of
+/// platforms and emit a machine-readable report.
+///
+///   fusecu_eval --config eval.cfg [--format csv|json] [--decode CONTEXT]
+///
+/// With no --config, evaluates all of Table II on all five platforms at the
+/// default configuration.  --decode switches to the autoregressive decode
+/// workload with the given KV-cache length.
+///
+/// Example configuration:
+///   buffer    = 512KB
+///   platforms = TPUv4i, FuseCU
+///   models    = BERT, tiny
+///   [model tiny]
+///   heads = 8
+///   seq = 512
+///   hidden = 512
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "workloads/report.hpp"
+#include "workloads/run_config.hpp"
+
+using namespace fusecu;
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args({}, {"--config", "--format", "--decode"});
+    args.parse(argc, argv);
+
+    RunConfig config;
+    if (auto path = args.option("--config")) {
+      std::ifstream in(*path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open config file: %s\n", path->c_str());
+        return 1;
+      }
+      config = parse_run_config(in);
+    } else {
+      config.models = table2_models();
+    }
+    const std::string format = args.option("--format").value_or("csv");
+    const Index decode_context = args.option_int("--decode", 0);
+
+    std::vector<ModelEval> evals;
+    for (const ArchSpec& arch : resolve_platforms(config)) {
+      for (const ModelConfig& model : config.models) {
+        evals.push_back(decode_context > 0 ? evaluate_decode(model, decode_context, arch)
+                                           : evaluate_model(model, arch));
+      }
+    }
+
+    if (format == "csv") {
+      write_evaluation_csv(std::cout, evals);
+    } else if (format == "json") {
+      write_evaluation_json(std::cout, evals);
+    } else {
+      std::fprintf(stderr, "unknown --format %s (use csv or json)\n", format.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

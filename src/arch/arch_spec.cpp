@@ -1,0 +1,137 @@
+#include "arch/arch_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+BufferSize ArchSpec::buffer_elements() const {
+  FCU_CHECK(bytes_per_element > 0, "bytes_per_element must be positive");
+  return buffer_bytes / bytes_per_element;
+}
+
+Index ArchSpec::tile_granularity() const {
+  switch (tiling_flex) {
+    case TilingFlexibility::kLow:
+      return unit_rows;  // whole-array tiles only
+    case TilingFlexibility::kMiddle:
+      return unit_rows / 2;  // square / narrow / wide CU compositions
+    case TilingFlexibility::kHigh:
+      return unit_rows / 4;  // 32x32 pod fission
+  }
+  return unit_rows;
+}
+
+std::vector<ArrayShape> ArchSpec::unit_shapes() const {
+  const Index pes = unit_rows * unit_cols;
+  std::vector<ArrayShape> shapes;
+  switch (tiling_flex) {
+    case TilingFlexibility::kLow:
+      shapes.push_back({unit_rows, unit_cols});
+      break;
+    case TilingFlexibility::kMiddle:
+      // FuseCU/UnfCU compositions (Fig. 7(c-e)): square, narrow, wide.
+      shapes.push_back({unit_rows, unit_cols});
+      shapes.push_back({unit_rows / 2, unit_cols * 2});
+      shapes.push_back({unit_rows * 2, unit_cols / 2});
+      break;
+    case TilingFlexibility::kHigh: {
+      const Index pod = unit_rows / 4;
+      for (Index r = pod; r <= pes / pod; r *= 2) {
+        if (pes % r == 0 && pes / r >= pod) shapes.push_back({r, pes / r});
+      }
+      break;
+    }
+  }
+  return shapes;
+}
+
+namespace {
+
+ArchSpec base_spec(std::int64_t buffer_bytes) {
+  ArchSpec s;
+  s.unit_rows = 128;
+  s.unit_cols = 128;
+  s.num_units = 4;
+  s.buffer_bytes = buffer_bytes;
+  s.bytes_per_element = 2;
+  // 1 TB/s at 1 GHz -> 1000 bytes per cycle.
+  s.bandwidth_bytes_per_cycle = 1000.0;
+  s.frequency_ghz = 1.0;
+  return s;
+}
+
+}  // namespace
+
+ArchSpec make_tpu_v4i(std::int64_t buffer_bytes) {
+  ArchSpec s = base_spec(buffer_bytes);
+  s.name = "TPUv4i";
+  s.stationarities = {Stationarity::kWeight};
+  s.tiling_flex = TilingFlexibility::kLow;
+  s.supports_fusion = false;
+  return s;
+}
+
+ArchSpec make_gemmini(std::int64_t buffer_bytes) {
+  ArchSpec s = base_spec(buffer_bytes);
+  s.name = "Gemmini";
+  s.stationarities = {Stationarity::kWeight, Stationarity::kOutput};
+  s.tiling_flex = TilingFlexibility::kLow;
+  s.supports_fusion = false;
+  return s;
+}
+
+ArchSpec make_planaria(std::int64_t buffer_bytes) {
+  ArchSpec s = base_spec(buffer_bytes);
+  s.name = "Planaria";
+  s.stationarities = {Stationarity::kWeight};
+  s.tiling_flex = TilingFlexibility::kHigh;
+  s.supports_fusion = false;
+  return s;
+}
+
+ArchSpec make_unfcu(std::int64_t buffer_bytes) {
+  ArchSpec s = base_spec(buffer_bytes);
+  s.name = "UnfCU";
+  s.stationarities = {Stationarity::kWeight, Stationarity::kOutput, Stationarity::kInput};
+  s.tiling_flex = TilingFlexibility::kMiddle;
+  s.supports_fusion = false;
+  return s;
+}
+
+ArchSpec make_fusecu(std::int64_t buffer_bytes) {
+  ArchSpec s = make_unfcu(buffer_bytes);
+  s.name = "FuseCU";
+  s.supports_fusion = true;
+  return s;
+}
+
+std::vector<ArchSpec> all_platforms(std::int64_t buffer_bytes) {
+  return {make_tpu_v4i(buffer_bytes), make_gemmini(buffer_bytes), make_planaria(buffer_bytes),
+          make_unfcu(buffer_bytes), make_fusecu(buffer_bytes)};
+}
+
+const char* to_string(Stationarity s) {
+  switch (s) {
+    case Stationarity::kWeight:
+      return "WS";
+    case Stationarity::kOutput:
+      return "OS";
+    case Stationarity::kInput:
+      return "IS";
+  }
+  return "?";
+}
+
+const char* to_string(TilingFlexibility f) {
+  switch (f) {
+    case TilingFlexibility::kLow:
+      return "low";
+    case TilingFlexibility::kMiddle:
+      return "middle";
+    case TilingFlexibility::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+}  // namespace fusecu

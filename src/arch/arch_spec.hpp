@@ -1,0 +1,102 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file arch_spec.hpp
+/// Spatial-accelerator descriptions for the five evaluated platforms
+/// (Table III): TPUv4i, Gemmini, Planaria, UnfCU and FuseCU.
+///
+/// All platforms share the paper's compute/memory configuration (Fig. 8):
+/// 128x128x4 PEs, 1 TB/s on-chip bandwidth, and the same buffer — FuseCU
+/// adds flexibility "without increasing buffer size or bandwidth".  They
+/// differ in three attributes that carve out each platform's legal dataflow
+/// space:
+///  * stationary flexibility — which tensor may be the PE-resident one
+///    (TPUv4i/Planaria: weights only; Gemmini: weight or output; the XS PE
+///    of UnfCU/FuseCU: any);
+///  * tiling flexibility — the granularity at which tiles can match the PE
+///    array (low: whole 128-wide arrays; middle: FuseCU's square/narrow/
+///    wide CU compositions, 64-granular; high: Planaria's 32x32 pod
+///    fission);
+///  * tensor fusion — only FuseCU executes fused pairs on the compute units.
+
+namespace fusecu {
+
+/// Which tensor a PE keeps resident (Fig. 2(c) / Fig. 6).
+enum class Stationarity {
+  kWeight,  ///< WS: tensor B resident
+  kOutput,  ///< OS: tensor C resident
+  kInput,   ///< IS: tensor A resident
+};
+
+/// Table III's "Tiling Flex." column.
+enum class TilingFlexibility {
+  kLow,     ///< tiles quantized to the full array edge (128)
+  kMiddle,  ///< CU composition: square / narrow / wide (64-granular)
+  kHigh,    ///< pod fission (32-granular), Planaria-style
+};
+
+/// One composable PE-array shape the platform can configure.
+struct ArrayShape {
+  Index rows = 0;
+  Index cols = 0;
+};
+
+struct ArchSpec {
+  std::string name;
+
+  // Compute configuration (shared across platforms in the evaluation).
+  Index unit_rows = 128;       ///< PE rows per compute unit
+  Index unit_cols = 128;       ///< PE columns per compute unit
+  Index num_units = 4;         ///< compute units per chip
+
+  // Memory configuration.
+  std::int64_t buffer_bytes = 0;   ///< shared on-chip buffer
+  int bytes_per_element = 2;       ///< bf16 datapath
+  double bandwidth_bytes_per_cycle = 0;  ///< buffer <-> memory
+  double frequency_ghz = 1.0;
+
+  // Table III attributes.
+  std::set<Stationarity> stationarities;
+  TilingFlexibility tiling_flex = TilingFlexibility::kLow;
+  bool supports_fusion = false;
+
+  /// Buffer capacity in elements (the unit the dataflow models use).
+  BufferSize buffer_elements() const;
+
+  /// Total PEs (peak MACs per cycle).
+  MacCount total_pes() const { return unit_rows * unit_cols * num_units; }
+
+  /// Tile-size granularity implied by the tiling flexibility.
+  Index tile_granularity() const;
+
+  /// Array shapes one compute unit (or pod group of equal PE count) can
+  /// take, used by the utilization model: low flexibility offers only the
+  /// native square; middle adds the paper's narrow and wide compositions;
+  /// high enumerates all 32-granular rectangles of the same PE count.
+  std::vector<ArrayShape> unit_shapes() const;
+
+  bool supports(Stationarity s) const { return stationarities.count(s) > 0; }
+};
+
+/// The five evaluated platforms.  \p buffer_bytes defaults to 512 KB — the
+/// calibration point at which the model reproduces the paper's headline
+/// savings (see EXPERIMENTS.md); all presets share it so the comparison
+/// isolates compute flexibility, as in the paper.
+ArchSpec make_tpu_v4i(std::int64_t buffer_bytes = 512ll * 1024);
+ArchSpec make_gemmini(std::int64_t buffer_bytes = 512ll * 1024);
+ArchSpec make_planaria(std::int64_t buffer_bytes = 512ll * 1024);
+ArchSpec make_unfcu(std::int64_t buffer_bytes = 512ll * 1024);
+ArchSpec make_fusecu(std::int64_t buffer_bytes = 512ll * 1024);
+
+/// All five, in the paper's comparison order.
+std::vector<ArchSpec> all_platforms(std::int64_t buffer_bytes = 512ll * 1024);
+
+const char* to_string(Stationarity s);
+const char* to_string(TilingFlexibility f);
+
+}  // namespace fusecu

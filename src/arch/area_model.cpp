@@ -1,0 +1,82 @@
+#include "arch/area_model.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+double AreaBreakdown::total_um2() const {
+  double total = 0.0;
+  for (const AreaComponent& c : components) total += c.area_um2;
+  return total;
+}
+
+double AreaBreakdown::baseline_um2() const {
+  double total = 0.0;
+  for (const AreaComponent& c : components) {
+    if (!c.is_overhead) total += c.area_um2;
+  }
+  return total;
+}
+
+double AreaBreakdown::overhead_um2() const { return total_um2() - baseline_um2(); }
+
+double AreaBreakdown::overhead_fraction() const {
+  const double base = baseline_um2();
+  FCU_CHECK(base > 0.0, "empty breakdown");
+  return overhead_um2() / base;
+}
+
+double AreaBreakdown::component_fraction(const std::string& name) const {
+  const double total = total_um2();
+  FCU_CHECK(total > 0.0, "empty breakdown");
+  for (const AreaComponent& c : components) {
+    if (c.name == name) return c.area_um2 / total;
+  }
+  return 0.0;
+}
+
+AreaBreakdown area_breakdown(const ArchSpec& arch, const AreaConstants& k) {
+  const double pes = static_cast<double>(arch.total_pes());
+  AreaBreakdown out;
+  out.platform = arch.name;
+
+  // Standard systolic-array components, identical on every platform.
+  out.components.push_back({"multipliers", pes * k.multiplier_bf16, false});
+  out.components.push_back({"adders", pes * k.adder_fp32, false});
+  out.components.push_back({"accumulators", pes * k.accumulator_reg, false});
+  out.components.push_back({"base PE registers", pes * k.pe_io_regs, false});
+  out.components.push_back({"control logic", pes * k.pe_control, false});
+  out.components.push_back({"softmax unit", k.softmax_unit, false});
+
+  // Flexible-stationary datapath.
+  if (arch.supports(Stationarity::kInput)) {
+    // Full XS PE (IS/OS/WS muxes), UnfCU and FuseCU.
+    out.components.push_back({"XS PE logic", pes * k.xs_pe_muxes, true});
+  } else if (arch.supports(Stationarity::kOutput)) {
+    // Gemmini-style dual-mode PE.
+    out.components.push_back({"dual-mode PE logic", pes * k.dual_mode_pe_muxes, true});
+  }
+
+  // Array-reshaping interconnect.
+  if (arch.tiling_flex == TilingFlexibility::kMiddle) {
+    // FuseCU resize interconnect: muxes on the edge PEs of each CU only
+    // (Fig. 7(a)), 2 * (rows + cols) ports per CU.
+    const double edge_ports =
+        static_cast<double>(arch.num_units) * 2.0 *
+        static_cast<double>(arch.unit_rows + arch.unit_cols);
+    out.components.push_back({"FuseCU interconnect", edge_ports * k.edge_mux_per_port, true});
+  } else if (arch.tiling_flex == TilingFlexibility::kHigh) {
+    // Planaria's omni-directional links touch every PE.
+    out.components.push_back(
+        {"Planaria interconnect", pes * k.planaria_interconnect_per_pe, true});
+  }
+
+  // Fusion sequencing control.
+  if (arch.supports_fusion) {
+    out.components.push_back(
+        {"fusion control", static_cast<double>(arch.num_units) * k.fusion_control_per_cu, true});
+  }
+  return out;
+}
+
+}  // namespace fusecu

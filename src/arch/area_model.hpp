@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+
+/// \file area_model.hpp
+/// Analytical 28nm area accounting — the substitution for the paper's
+/// Chisel RTL + Synopsys Design Compiler flow (Fig. 12).
+///
+/// Per-component unit areas are calibrated to standard-cell figures for a
+/// 28nm bf16 MAC pipeline; absolute numbers are estimates, but the claim
+/// Fig. 12 makes is *relative*: FuseCU's additions (XS PE muxes, CU resize
+/// interconnect, fusion control) cost ~12% over the TPUv4i-style baseline,
+/// with the interconnect and control contributing < 0.1% — far below
+/// Planaria's 12.6% interconnect-only overhead.  Components shared with a
+/// standard systolic array (multiplier, adder, accumulator, base registers,
+/// control, softmax unit) are not overheads.
+
+namespace fusecu {
+
+struct AreaComponent {
+  std::string name;
+  double area_um2 = 0.0;   ///< total across the chip
+  bool is_overhead = false;  ///< added relative to the TPUv4i baseline
+};
+
+struct AreaBreakdown {
+  std::string platform;
+  std::vector<AreaComponent> components;
+
+  double total_um2() const;
+  double baseline_um2() const;  ///< non-overhead area
+  double overhead_um2() const;
+  /// Overhead relative to the non-overhead baseline (the paper's "area
+  /// increase over the TPUv4i design").
+  double overhead_fraction() const;
+  /// Fraction contributed by a named component (0 when absent).
+  double component_fraction(const std::string& name) const;
+};
+
+/// Unit areas (um^2 at 28nm) used by the model; exposed so tests can pin
+/// the calibration and benches can report it.
+struct AreaConstants {
+  double multiplier_bf16 = 600.0;
+  double adder_fp32 = 350.0;
+  double accumulator_reg = 180.0;
+  double pe_io_regs = 120.0;
+  double pe_control = 50.0;
+  double xs_pe_muxes = 157.0;          ///< FuseCU/UnfCU flexible-stationary datapath
+  double dual_mode_pe_muxes = 60.0;    ///< Gemmini WS/OS selection
+  double edge_mux_per_port = 20.0;     ///< FuseCU CU-resize interconnect, edge PEs only
+  double fusion_control_per_cu = 5000.0;
+  double planaria_interconnect_per_pe = 164.0;  ///< omni-directional fission links
+  double softmax_unit = 500000.0;      ///< per chip
+};
+
+/// Chip-level breakdown for one platform.
+AreaBreakdown area_breakdown(const ArchSpec& arch, const AreaConstants& constants = {});
+
+}  // namespace fusecu

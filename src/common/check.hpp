@@ -1,0 +1,50 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Precondition / invariant checking.
+///
+/// Library entry points validate their arguments with FCU_CHECK and throw
+/// std::invalid_argument on violation; internal invariants use
+/// FCU_ASSERT_INTERNAL which throws std::logic_error (a bug in this library,
+/// not in the caller).  Both carry a formatted message with the failing
+/// expression and location.
+
+namespace fusecu::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "FCU_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_internal_failure(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fusecu::detail
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define FCU_CHECK(expr, msg)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::fusecu::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define FCU_ASSERT_INTERNAL(expr, msg)                                           \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::fusecu::detail::throw_internal_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                            \
+  } while (false)

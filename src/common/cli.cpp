@@ -1,0 +1,82 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace fusecu {
+
+ArgParser::ArgParser(std::vector<std::string> flags, std::vector<std::string> options)
+    : known_flags_(std::move(flags)), known_options_(std::move(options)) {}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (std::find(known_flags_.begin(), known_flags_.end(), arg) != known_flags_.end()) {
+      set_flags_.push_back(arg);
+      continue;
+    }
+    if (std::find(known_options_.begin(), known_options_.end(), arg) != known_options_.end()) {
+      FCU_CHECK(i + 1 < argc, "option " + arg + " expects a value");
+      values_[arg] = argv[++i];
+      continue;
+    }
+    FCU_CHECK(false, "unknown option: " + arg);
+  }
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  return std::find(set_flags_.begin(), set_flags_.end(), name) != set_flags_.end();
+}
+
+std::optional<std::string> ArgParser::option(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+Index ArgParser::option_int(const std::string& name, Index default_value) const {
+  auto v = option(name);
+  if (!v) return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  FCU_CHECK(end && *end == '\0' && !v->empty(), "option " + name + " expects an integer");
+  return parsed;
+}
+
+std::int64_t ArgParser::option_bytes(const std::string& name, std::int64_t default_value) const {
+  auto v = option(name);
+  if (!v) return default_value;
+  return parse_bytes(*v);
+}
+
+std::int64_t parse_bytes(const std::string& text) {
+  FCU_CHECK(!text.empty(), "empty byte size");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  FCU_CHECK(end != text.c_str() && value >= 0, "malformed byte size: " + text);
+  std::string suffix(end);
+  std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  double scale = 1.0;
+  if (suffix == "" || suffix == "B") {
+    scale = 1.0;
+  } else if (suffix == "KB" || suffix == "KIB" || suffix == "K") {
+    scale = static_cast<double>(kKiB);
+  } else if (suffix == "MB" || suffix == "MIB" || suffix == "M") {
+    scale = static_cast<double>(kMiB);
+  } else if (suffix == "GB" || suffix == "GIB" || suffix == "G") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    FCU_CHECK(false, "unknown byte suffix: " + text);
+  }
+  return static_cast<std::int64_t>(value * scale);
+}
+
+}  // namespace fusecu

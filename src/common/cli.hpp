@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file cli.hpp
+/// Minimal command-line option parser for the example/tool binaries.
+/// Supports `--flag`, `--key value` and positional arguments; unknown
+/// options are errors so typos fail loudly.
+
+namespace fusecu {
+
+class ArgParser {
+ public:
+  /// \p flags: options without values; \p options: options expecting one
+  /// value.  Names include the leading dashes, e.g. "--validate".
+  ArgParser(std::vector<std::string> flags, std::vector<std::string> options);
+
+  /// Parse argv; throws std::invalid_argument on unknown or malformed
+  /// options.
+  void parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::optional<std::string> option(const std::string& name) const;
+
+  /// Option parsed as integer, with default.
+  Index option_int(const std::string& name, Index default_value) const;
+
+  /// Byte-size option accepting suffixes KB/MB/GB (decimal 1024 steps),
+  /// e.g. "512KB", "8MB", or a plain number of bytes.
+  std::int64_t option_bytes(const std::string& name, std::int64_t default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> known_flags_;
+  std::vector<std::string> known_options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> set_flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Parse "512KB"-style byte sizes (used by ArgParser::option_bytes).
+std::int64_t parse_bytes(const std::string& text);
+
+}  // namespace fusecu

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <random>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+/// \file rng.hpp
+/// Deterministic random source for the genetic-algorithm baseline and the
+/// property-based tests.  A thin wrapper so every consumer seeds explicitly —
+/// reproducibility of the search baseline matters for the Fig. 9 comparison.
+
+namespace fusecu {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  Index uniform(Index lo, Index hi) {
+    FCU_CHECK(lo <= hi, "uniform: empty range");
+    return std::uniform_int_distribution<Index>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Pick an index into a container of the given size.
+  std::size_t pick(std::size_t size) {
+    FCU_CHECK(size > 0, "pick from empty container");
+    return static_cast<std::size_t>(uniform(0, static_cast<Index>(size) - 1));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fusecu

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Minimal fixed-width ASCII table writer.  Every bench binary prints the
+/// rows of the paper table/figure it regenerates through this class, so the
+/// output format of the harness is uniform and diffable.
+
+namespace fusecu {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: convert each cell with to_string-like formatting.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fusecu

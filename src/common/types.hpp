@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Fundamental scalar types used throughout the FuseCU library.
+///
+/// All sizes (tensor dimensions, tile sizes, buffer capacities, access
+/// counts) are signed 64-bit integers.  Memory-access counts for large
+/// transformer layers overflow 32 bits easily (a single LLaMA2 FFN layer at
+/// sequence length 16K already performs ~5e11 MACs), and signed arithmetic
+/// keeps subtraction in cost comparisons well-defined.
+
+namespace fusecu {
+
+/// Tensor dimension extent, tile size, or loop trip count (elements).
+using Index = std::int64_t;
+
+/// Count of scalar memory accesses (elements, not bytes).
+using AccessCount = std::int64_t;
+
+/// Count of multiply-accumulate operations.
+using MacCount = std::int64_t;
+
+/// Simulated clock cycles.
+using CycleCount = std::int64_t;
+
+/// Buffer capacity in elements (the paper works in elements; byte
+/// conversions happen only at the architecture boundary, see arch/).
+using BufferSize = std::int64_t;
+
+}  // namespace fusecu

@@ -1,0 +1,35 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace fusecu {
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld GiB", static_cast<long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld MiB", static_cast<long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld KiB", static_cast<long long>(bytes / kKiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_count(std::int64_t count) {
+  char buf[64];
+  if (count < 100000) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(count));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", static_cast<double>(count));
+  }
+  return buf;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file units.hpp
+/// Byte-size units and human-readable formatting.
+
+namespace fusecu {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// "512 KiB", "2.0 MiB", "96 B" — used in bench/table output.
+std::string format_bytes(std::int64_t bytes);
+
+/// "1.23e+09" style compact count formatting for access counts.
+std::string format_count(std::int64_t count);
+
+}  // namespace fusecu

@@ -1,0 +1,94 @@
+#include "dataflow/access_model.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+int AccessBreakdown::non_redundant_tensors(const TensorOp& op) const {
+  FCU_CHECK(per_tensor.size() == static_cast<std::size_t>(op.num_tensors()),
+            "breakdown does not match op");
+  int count = 0;
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    if (per_tensor[static_cast<std::size_t>(t)] == op.tensor_size(t)) ++count;
+  }
+  return count;
+}
+
+AccessBreakdown evaluate_access(const TensorOp& op, const Dataflow& df) {
+  validate_dataflow(op, df);
+  const int n = op.num_dims();
+
+  AccessBreakdown out;
+  out.per_tensor.resize(static_cast<std::size_t>(op.num_tensors()));
+  out.buffer_footprint = df.buffer_footprint(op);
+
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    AccessCount accesses = op.tensor_size(t);
+    // Walk loops outermost -> innermost; an outer loop d (not indexing the
+    // tensor) multiplies accesses iff some effective loop of the tensor's
+    // dimension set sits inside it.
+    for (int pos = 0; pos < n; ++pos) {
+      int d = df.loop_order[static_cast<std::size_t>(pos)];
+      if (op.tensor_has_dim(t, d)) continue;
+      if (df.trips(op, d) <= 1) continue;
+      bool tensor_loop_inside = false;
+      for (int inner = pos + 1; inner < n; ++inner) {
+        int di = df.loop_order[static_cast<std::size_t>(inner)];
+        if (op.tensor_has_dim(t, di) && df.trips(op, di) > 1) {
+          tensor_loop_inside = true;
+          break;
+        }
+      }
+      if (tensor_loop_inside) accesses *= df.trips(op, d);
+    }
+    out.per_tensor[static_cast<std::size_t>(t)] = accesses;
+    out.total += accesses;
+  }
+  return out;
+}
+
+bool fits_buffer(const TensorOp& op, const Dataflow& df, BufferSize buffer_size) {
+  return df.buffer_footprint(op) <= buffer_size;
+}
+
+NraKind classify_nra(const TensorOp& op, const Dataflow& df) {
+  const int count = evaluate_access(op, df).non_redundant_tensors(op);
+  switch (count) {
+    case 1:
+      return NraKind::kSingle;
+    case 2:
+      return NraKind::kTwo;
+    case 3:
+      return NraKind::kThree;
+    default:
+      // A nest where *no* tensor achieves single access (possible under
+      // pathological orders, e.g. the stationary dims interleaved with
+      // redundant loops) is strictly dominated; report it as Single so
+      // callers can still rank it, but it never wins under optimization.
+      FCU_CHECK(count == 0, "MM has exactly three tensors");
+      return NraKind::kSingle;
+  }
+}
+
+int stationary_tensor(const TensorOp& op, const Dataflow& df) {
+  AccessBreakdown b = evaluate_access(op, df);
+  if (b.non_redundant_tensors(op) != 1) return -1;
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    if (b.per_tensor[static_cast<std::size_t>(t)] == op.tensor_size(t)) return t;
+  }
+  return -1;
+}
+
+const char* to_string(NraKind kind) {
+  switch (kind) {
+    case NraKind::kSingle:
+      return "Single-NRA";
+    case NraKind::kTwo:
+      return "Two-NRA";
+    case NraKind::kThree:
+      return "Three-NRA";
+  }
+  return "?";
+}
+
+}  // namespace fusecu

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/dataflow.hpp"
+
+/// \file access_model.hpp
+/// Reuse-based memory-access (MA) evaluator — the shared cost model.
+///
+/// For a loop nest ordered outermost-first with per-dimension tile sizes, a
+/// tensor indexed by dimension set S is re-fetched on every iteration of any
+/// loop d NOT in S that has at least one *effective* (trip count > 1) loop
+/// from S nested inside it — because that inner loop changes the tensor's
+/// tile within d's body, destroying reuse.  Hence
+///
+///   MA(tensor) = |tensor| * prod{ trips(d) : d not in S,
+///                                 exists d' in S inner to d, trips(d') > 1 }
+///
+/// Untiled dimensions (T = D) have trip count 1 and drop out of the nest,
+/// which is exactly the paper's "removing the loop over dimension K" in the
+/// Two-NRA derivation.  The output tensor is charged identically: when its
+/// reduction loop is outside its reuse scope, partial sums spill and each
+/// visit counts — matching the accounting of Eq. 1 and Eq. 3.
+///
+/// This one function scores every dataflow in the design space; the
+/// principle optimizer, the DAT-like search baseline, and the architecture
+/// evaluator all call it, so comparisons between them are apples-to-apples.
+
+namespace fusecu {
+
+/// Per-tensor and total access counts for one (op, dataflow) pair.
+struct AccessBreakdown {
+  std::vector<AccessCount> per_tensor;  ///< indexed like op.tensors()
+  AccessCount total = 0;
+  Index buffer_footprint = 0;  ///< elements the dataflow keeps live
+
+  /// How many tensors are accessed exactly once (|accesses| == |tensor|)?
+  /// This is the paper's NRA count: 1 -> Single-NRA, 2 -> Two-NRA,
+  /// 3 -> Three-NRA.
+  int non_redundant_tensors(const TensorOp& op) const;
+};
+
+/// Evaluate memory accesses for \p df on \p op.  Validates the dataflow.
+AccessBreakdown evaluate_access(const TensorOp& op, const Dataflow& df);
+
+/// True when the dataflow's live tiles fit into \p buffer_size elements.
+bool fits_buffer(const TensorOp& op, const Dataflow& df, BufferSize buffer_size);
+
+/// The paper's NRA regimes (Sec. III-A).
+enum class NraKind {
+  kSingle = 1,  ///< one tensor non-redundant (the stationary one)
+  kTwo = 2,     ///< two tensors non-redundant
+  kThree = 3,   ///< all tensors accessed exactly once: the lower bound
+};
+
+/// Classify a dataflow by its realized non-redundant-access count.
+NraKind classify_nra(const TensorOp& op, const Dataflow& df);
+
+/// Index of the stationary tensor: accessed exactly once while at least one
+/// other tensor is redundant; -1 when no tensor qualifies (e.g. Three-NRA
+/// where everything is accessed once, or degenerate nests).
+int stationary_tensor(const TensorOp& op, const Dataflow& df);
+
+const char* to_string(NraKind kind);
+
+}  // namespace fusecu

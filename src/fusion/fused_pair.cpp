@@ -1,0 +1,121 @@
+#include "fusion/fused_pair.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "principles/principle_optimizer.hpp"
+
+namespace fusecu {
+
+FusedPair::FusedPair(Index m, Index k, Index l, Index n)
+    : m_(m),
+      k_(k),
+      l_(l),
+      n_(n),
+      op1_(TensorOp::matmul("fused_op1", m, k, l, "A", "B", "C")),
+      op2_(TensorOp::matmul("fused_op2", m, l, n, "C", "D", "E")) {}
+
+FusedPair FusedPair::make(Index m, Index k, Index l, Index n) {
+  FCU_CHECK(m >= 1 && k >= 1 && l >= 1 && n >= 1, "fused pair extents must be positive");
+  return FusedPair(m, k, l, n);
+}
+
+FusedPair FusedPair::from_ops(const TensorOp& op1, const TensorOp& op2) {
+  require_matmul_shape(op1);
+  require_matmul_shape(op2);
+  const TensorDecl& out1 = op1.tensor(op1.output_index());
+  const int shared = op2.find_tensor(out1.name);
+  FCU_CHECK(shared >= 0, "ops do not share a tensor: " + op1.name() + " -> " + op2.name());
+  FCU_CHECK(shared != op2.output_index(), "shared tensor must be an input of the consumer");
+
+  const Index m = op1.extent(out1.dims[0]);
+  const Index l = op1.extent(out1.dims[1]);
+  Index k = 1;
+  for (int d = 0; d < op1.num_dims(); ++d) {
+    if (op1.is_reduction_dim(d)) k = op1.extent(d);
+  }
+  const TensorDecl& cin = op2.tensor(shared);
+  const Index c0 = op2.extent(cin.dims[0]);
+  const Index c1 = op2.extent(cin.dims[1]);
+  FCU_CHECK(c0 == m && c1 == l,
+            "shared tensor extents disagree between producer and consumer");
+
+  // The consumer's free dimension: the one indexing neither C's row nor
+  // C's column role.  Whether C feeds the consumer's "activation" or
+  // "weight" port, the access model is transpose-invariant, so we
+  // canonicalize both cases onto the same (m, k, l, n) pair.
+  const bool c_is_first_operand = !op2.is_reduction_dim(cin.dims[0]);
+  Index n = 1;
+  for (int d = 0; d < op2.num_dims(); ++d) {
+    if (d != cin.dims[0] && d != cin.dims[1]) n = op2.extent(d);
+  }
+  if (c_is_first_operand) {
+    // op2 = C(M, L) x D(L, N): canonical already.
+    return make(m, k, l, n);
+  }
+  // op2 = Y(N, M) x C(M, L): transpose the whole pair -> (l, k, m, n).
+  return make(l, k, m, n);
+}
+
+AccessCount FusedPair::ideal_min_access() const {
+  return m_ * k_ + k_ * l_ + l_ * n_ + m_ * n_;
+}
+
+std::string PhasedFusedDataflow::to_string() const {
+  std::ostringstream os;
+  os << "phased{T_M:" << t_m << ",T_K:" << t_k << ",T_L:" << t_l << ",T_N:" << t_n
+     << (l_outer ? ",L-outer" : ",M-outer") << "}";
+  return os.str();
+}
+
+FusedAccess evaluate_phased(const FusedPair& pair, const PhasedFusedDataflow& df) {
+  FCU_CHECK(df.t_m >= 1 && df.t_m <= pair.m(), "T_M out of range");
+  FCU_CHECK(df.t_k >= 1 && df.t_k <= pair.k(), "T_K out of range");
+  FCU_CHECK(df.t_l >= 1 && df.t_l <= pair.l(), "T_L out of range");
+  FCU_CHECK(df.t_n >= 1 && df.t_n <= pair.n(), "T_N out of range");
+
+  // op1 sub-nest (M, L, K) with the producer reduction innermost — required
+  // so each C tile is complete before the consumer phase runs.
+  Dataflow d1;
+  d1.loop_order = df.l_outer ? std::vector<int>{mm::kDimL, mm::kDimM, mm::kDimK}
+                             : std::vector<int>{mm::kDimM, mm::kDimL, mm::kDimK};
+  d1.tile = {df.t_m, df.t_k, df.t_l};
+  AccessBreakdown b1 = evaluate_access(pair.op1(), d1);
+
+  // op2 sub-nest (M, L, N): in op2's dimension space M=0, L=1 (reduction),
+  // N=2.  The shared (M, L) loops keep the producer's order.
+  Dataflow d2;
+  d2.loop_order = df.l_outer ? std::vector<int>{1, 0, 2} : std::vector<int>{0, 1, 2};
+  d2.tile = {df.t_m, df.t_l, df.t_n};
+  AccessBreakdown b2 = evaluate_access(pair.op2(), d2);
+
+  FusedAccess out;
+  out.op1_external = b1.per_tensor[mm::kTensorA] + b1.per_tensor[mm::kTensorB];
+  out.op2_external = b2.per_tensor[1] + b2.per_tensor[2];  // D, E
+  out.total = out.op1_external + out.op2_external;
+  out.buffer_footprint = df.t_m * df.t_k + df.t_k * df.t_l + df.t_m * df.t_l +
+                         df.t_l * df.t_n + df.t_m * df.t_n;
+  return out;
+}
+
+FusedAccess evaluate_resident(const FusedPair& pair, const ResidentFusedDataflow& df) {
+  AccessBreakdown b1 = evaluate_access(pair.op1(), df.df1);
+  AccessBreakdown b2 = evaluate_access(pair.op2(), df.df2);
+
+  const Index op1_tiles = df.df1.tensor_tile_size(pair.op1(), mm::kTensorA) +
+                          df.df1.tensor_tile_size(pair.op1(), mm::kTensorB);
+  const Index op2_tiles = df.df2.tensor_tile_size(pair.op2(), 1) +
+                          df.df2.tensor_tile_size(pair.op2(), 2);
+
+  FusedAccess out;
+  out.op1_external = b1.per_tensor[mm::kTensorA] + b1.per_tensor[mm::kTensorB];
+  out.op2_external = b2.per_tensor[1] + b2.per_tensor[2];
+  out.total = out.op1_external + out.op2_external;
+  // The ops run sequentially, so only the larger working set coexists with
+  // the fully-resident intermediate.
+  out.buffer_footprint = pair.intermediate_size() + std::max(op1_tiles, op2_tiles);
+  return out;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fusion/fusion_principles.hpp"
+#include "tensor/op_graph.hpp"
+
+/// \file fusion_planner.hpp
+/// Operator-chain fusion planning.
+///
+/// The paper fuses pairs of adjacent tensor operators (Fig. 4/5 are all
+/// pairwise; "for the fusion of more than two operators, we can apply
+/// Principle 4 to each pair of connected operators").  The planner
+/// partitions a linear operator chain into singletons and fused pairs by
+/// dynamic programming over the chain, minimizing total memory access.
+
+namespace fusecu {
+
+/// How the planner decides whether a pair is fused.
+enum class PlannerPolicy {
+  kPrinciple4,  ///< fuse exactly when both ops share an NRA regime (one-shot)
+  kCostOnly,    ///< fuse when the evaluated fused MA beats unfused (oracle)
+  kNoFusion,    ///< never fuse (intra-op optimization only)
+};
+
+/// One scheduled group: a single op or a fused adjacent pair.
+struct PlanStep {
+  std::vector<int> op_indices;  ///< size 1 (solo) or 2 (fused pair)
+  AccessCount access = 0;       ///< MA of this group at the planning buffer
+  std::string description;     ///< chosen dataflow rule, for reports
+};
+
+struct FusionPlan {
+  std::vector<PlanStep> steps;
+  AccessCount total_access = 0;
+
+  int fused_pair_count() const;
+};
+
+/// Plan a linear chain (validated via OperatorGraph::is_linear_chain).
+FusionPlan plan_chain(const OperatorGraph& graph, BufferSize bs, PlannerPolicy policy);
+
+/// Non-throwing FusedPair extraction for adjacent chain ops.
+std::optional<FusedPair> try_make_fused_pair(const TensorOp& producer, const TensorOp& consumer);
+
+const char* to_string(PlannerPolicy policy);
+
+}  // namespace fusecu

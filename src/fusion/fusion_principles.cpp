@@ -1,0 +1,149 @@
+#include "fusion/fusion_principles.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Clamp-and-emit helper: pushes the phased candidate (both loop orders)
+/// when its footprint fits the buffer.
+void add_phased(std::vector<FusedCandidate>& out, const FusedPair& pair, BufferSize bs,
+                const std::string& rule, Index t_m, Index t_k, Index t_l, Index t_n) {
+  PhasedFusedDataflow df;
+  df.t_m = clamp_index(t_m, 1, pair.m());
+  df.t_k = clamp_index(t_k, 1, pair.k());
+  df.t_l = clamp_index(t_l, 1, pair.l());
+  df.t_n = clamp_index(t_n, 1, pair.n());
+  const Index footprint = df.t_m * df.t_k + df.t_k * df.t_l + df.t_m * df.t_l +
+                          df.t_l * df.t_n + df.t_m * df.t_n;
+  if (footprint > bs) return;
+  for (bool l_outer : {false, true}) {
+    df.l_outer = l_outer;
+    out.push_back({df, std::nullopt, rule});
+  }
+}
+
+/// Best principled dataflow for one side of a resident fusion: minimize the
+/// op's MA excluding the intermediate tensor \p exclude_tensor, under a
+/// reduced budget.
+std::optional<Dataflow> best_side_dataflow(const TensorOp& op, BufferSize budget,
+                                           int exclude_tensor) {
+  std::optional<Dataflow> best;
+  AccessCount best_ma = 0;
+  for (const PrincipleCandidate& c : principle_candidates(op, budget)) {
+    AccessBreakdown b = evaluate_access(op, c.dataflow);
+    AccessCount ma = b.total - b.per_tensor[static_cast<std::size_t>(exclude_tensor)];
+    if (!best || ma < best_ma) {
+      best = c.dataflow;
+      best_ma = ma;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool same_nra_regime(const FusedPair& pair, BufferSize bs) {
+  return optimize_intra(pair.op1(), bs).nra == optimize_intra(pair.op2(), bs).nra;
+}
+
+std::vector<FusedCandidate> fused_principle_candidates(const FusedPair& pair, BufferSize bs) {
+  std::vector<FusedCandidate> out;
+  const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
+
+  // --- Single-NRA tile fusion (Fig. 4a): C stationary in both ops; with
+  // T_K = T_N = 1 the footprint is T_M T_L + 2 T_M + 2 T_L and the cost is
+  // (|B| + |D|) * n_M + (|A| + |E|) * n_L — the shared trip-count-aware
+  // two-tile closed form.
+  for (const auto& [t_m, t_l] :
+       two_tile_candidates(m, l, static_cast<double>(k * l + l * n),
+                           static_cast<double>(m * k + m * n), 2, 2, bs)) {
+    add_phased(out, pair, bs, "F1(tile-fusion)", t_m, 1, t_l, 1);
+  }
+
+  // --- Two-NRA fusion (Fig. 4b/c): untile one dimension of the pair and
+  // maximize one remaining tile in closed form.
+  if (bs > 3 * l + 1) {  // untile L: footprint T_M*(L+2) + 2L
+    add_phased(out, pair, bs, "F2(untile=L)", (bs - 2 * l) / (l + 2), 1, l, 1);
+  }
+  if (bs > 3 * m + 1) {  // untile M (mirror): footprint T_L*(M+2) + 2M
+    add_phased(out, pair, bs, "F2(untile=M)", m, 1, (bs - 2 * m) / (m + 2), 1);
+  }
+  if (bs > 2 * k + 2) {  // untile K (column fusion producer side)
+    add_phased(out, pair, bs, "F2(untile=K)", (bs - k - 1) / (k + 2), k, 1, 1);
+  }
+  if (bs > 2 * n + 2) {  // untile N (column fusion consumer side)
+    add_phased(out, pair, bs, "F2(untile=N)", (bs - n - 1) / (n + 2), 1, 1, n);
+  }
+  if (bs > 2 * (k + n) + 1) {  // untile K and N jointly
+    add_phased(out, pair, bs, "F2(untile=K,N)", (bs - k - n) / (k + n + 1), k, 1, n);
+  }
+
+  // --- Three-NRA fusion by untiling (Fig. 4d): one operand fully resident
+  // alongside an untiled intermediate dimension.
+  if (bs > k * l + l + k + 1) {  // B resident, L untiled
+    add_phased(out, pair, bs, "F3(untile=K,L)", (bs - k * l - l) / (k + l + 1), k, l, 1);
+  }
+  if (bs > m * k + m + k + 1) {  // A resident, M untiled
+    add_phased(out, pair, bs, "F3(untile=M,K)", m, k, (bs - m * k - m) / (k + m + 1), 1);
+  }
+  if (bs > l * n + l + n + 1) {  // D resident, L untiled
+    add_phased(out, pair, bs, "F3(untile=L,N)", (bs - l * n - l) / (l + n + 1), 1, l, n);
+  }
+
+  // --- Three-NRA resident intermediate (Fig. 4e): the whole of C on-chip,
+  // each op freely principle-optimized within the remaining budget.
+  const BufferSize residual = bs - pair.intermediate_size();
+  if (residual >= 3) {
+    std::optional<Dataflow> df1 = best_side_dataflow(pair.op1(), residual, mm::kTensorC);
+    std::optional<Dataflow> df2 = best_side_dataflow(pair.op2(), residual, 0);
+    if (df1 && df2) {
+      ResidentFusedDataflow rf{*df1, *df2};
+      out.push_back({std::nullopt, rf, "F3(resident-C)"});
+    }
+  }
+  return out;
+}
+
+std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferSize bs) {
+  std::optional<FusedOptResult> best;
+  for (const FusedCandidate& c : fused_principle_candidates(pair, bs)) {
+    FusedAccess a = c.phased ? evaluate_phased(pair, *c.phased) : evaluate_resident(pair, *c.resident);
+    if (a.buffer_footprint > bs) continue;
+    if (!best || a.total < best->access.total) {
+      FusedOptResult r;
+      r.access = a;
+      r.chosen = c;
+      best = std::move(r);
+    }
+  }
+  if (best) {
+    best->regime1 = optimize_intra(pair.op1(), bs).nra;
+    best->regime2 = optimize_intra(pair.op2(), bs).nra;
+  }
+  return best;
+}
+
+AccessCount unfused_pair_access(const FusedPair& pair, BufferSize bs) {
+  return optimize_intra(pair.op1(), bs).access.total +
+         optimize_intra(pair.op2(), bs).access.total;
+}
+
+FusionDecision decide_fusion(const FusedPair& pair, BufferSize bs) {
+  FusionDecision d;
+  d.unfused_ma = unfused_pair_access(pair, bs);
+  d.principle4_predicts = same_nra_regime(pair, bs);
+  d.fused = optimize_fused_pair(pair, bs);
+  d.fusable = d.fused.has_value();
+  if (d.fused) {
+    d.fused_ma = d.fused->access.total;
+    d.profitable = d.fused_ma < d.unfused_ma;
+  }
+  return d;
+}
+
+}  // namespace fusecu

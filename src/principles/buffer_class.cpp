@@ -1,0 +1,33 @@
+#include "principles/buffer_class.hpp"
+
+namespace fusecu {
+
+BufferClass classify_buffer(const TensorOp& op, BufferSize buffer_size) {
+  const Index dmin = op.min_extent();
+  const Index tensor_min = op.tensor_size(op.smallest_tensor());
+  if (buffer_size > tensor_min) return BufferClass::kLarge;
+  if (buffer_size * 2 > dmin * dmin) return BufferClass::kMedium;
+  if (buffer_size * 4 > dmin * dmin) return BufferClass::kSmall;
+  return BufferClass::kTiny;
+}
+
+ShiftRange single_two_shift_range(const TensorOp& op) {
+  const Index dmin = op.min_extent();
+  return {dmin * dmin / 4, dmin * dmin / 2};
+}
+
+const char* to_string(BufferClass cls) {
+  switch (cls) {
+    case BufferClass::kTiny:
+      return "tiny";
+    case BufferClass::kSmall:
+      return "small";
+    case BufferClass::kMedium:
+      return "medium";
+    case BufferClass::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+}  // namespace fusecu

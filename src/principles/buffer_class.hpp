@@ -1,0 +1,36 @@
+#pragma once
+
+#include "tensor/tensor_op.hpp"
+
+/// \file buffer_class.hpp
+/// The paper's buffer-size classification (Sec. III-A4).
+///
+/// With D_min the smallest loop extent and |Tensor_min| the element count of
+/// the smallest tensor:
+///
+///   Tiny   : BS <= D_min^2 / 4              -> Single-NRA optimal
+///   Small  : D_min^2/4 < BS <= D_min^2 / 2  -> Single- or Two-NRA (compare)
+///   Medium : D_min^2/2 < BS <= |Tensor_min| -> Two-NRA optimal
+///   Large  : BS > |Tensor_min|              -> Three-NRA optimal
+///
+/// The classification *predicts* which regime wins; the optimizer
+/// constructs regime candidates directly and the prediction is verified by
+/// property tests against exhaustive search.
+
+namespace fusecu {
+
+enum class BufferClass { kTiny, kSmall, kMedium, kLarge };
+
+/// Classify \p buffer_size (elements) for operator \p op.
+BufferClass classify_buffer(const TensorOp& op, BufferSize buffer_size);
+
+/// The shift-point range between Single- and Two-NRA: [D_min^2/4, D_min^2/2].
+struct ShiftRange {
+  BufferSize low = 0;   ///< D_min^2 / 4
+  BufferSize high = 0;  ///< D_min^2 / 2
+};
+ShiftRange single_two_shift_range(const TensorOp& op);
+
+const char* to_string(BufferClass cls);
+
+}  // namespace fusecu

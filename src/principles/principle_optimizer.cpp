@@ -1,0 +1,228 @@
+#include "principles/principle_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// The dimension of a matmul-shaped op not indexing tensor \p t.
+int other_dim(const TensorOp& op, int t) {
+  for (int d = 0; d < op.num_dims(); ++d) {
+    if (!op.tensor_has_dim(t, d)) return d;
+  }
+  FCU_ASSERT_INTERNAL(false, "matmul tensor must omit exactly one dim");
+}
+
+Dataflow blank_dataflow(const TensorOp& op) {
+  Dataflow df;
+  df.tile.assign(static_cast<std::size_t>(op.num_dims()), 1);
+  return df;
+}
+
+}  // namespace
+
+void require_matmul_shape(const TensorOp& op) {
+  FCU_CHECK(op.num_dims() == 3, "principle constructors expect three loop dimensions");
+  FCU_CHECK(op.num_tensors() == 3, "principle constructors expect three tensors");
+  std::set<std::set<int>> pairs;
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    FCU_CHECK(op.tensor(t).dims.size() == 2, "each tensor must index two dimensions");
+    pairs.insert({op.tensor(t).dims[0], op.tensor(t).dims[1]});
+  }
+  FCU_CHECK(pairs.size() == 3, "tensors must cover the three distinct dimension pairs");
+}
+
+std::vector<std::pair<Index, Index>> two_tile_candidates(Index e1, Index e2, double w1,
+                                                         double w2, Index c1, Index c2,
+                                                         BufferSize bs) {
+  FCU_CHECK(e1 >= 1 && e2 >= 1, "extents must be positive");
+  FCU_CHECK(c1 >= 0 && c2 >= 0, "footprint coefficients must be non-negative");
+  std::set<std::pair<Index, Index>> pairs;
+  if (1 + c1 + c2 > bs) return {};
+
+  // Continuous seeds: symmetric (t1 = t2 solving t^2 + (c1+c2) t = bs) and
+  // weight-balanced (t1* = sqrt(bs * w1 e1 / (w2 e2)) from the Lagrange
+  // condition of  w1 e1/t1 + w2 e2/t2  under t1 t2 = bs).
+  const Index t_sym =
+      std::max<Index>(1, (isqrt((c1 + c2) * (c1 + c2) + 4 * bs) - (c1 + c2)) / 2);
+  Index t_weighted = t_sym;
+  const double a = w1 * static_cast<double>(e1);
+  const double b = w2 * static_cast<double>(e2);
+  if (a > 0 && b > 0) {
+    t_weighted =
+        clamp_index(static_cast<Index>(std::sqrt(static_cast<double>(bs) * a / b)), 1, e1);
+  }
+
+  std::set<Index> n1_seeds = {1, 2};
+  for (Index t_seed : {t_sym, t_weighted}) {
+    const Index n = ceil_div(e1, clamp_index(t_seed, 1, e1));
+    for (Index delta = -2; delta <= 2; ++delta) n1_seeds.insert(clamp_index(n + delta, 1, e1));
+  }
+
+  auto add_pair = [&](Index t1, Index t2) {
+    // Shrink each tile to the smallest size with the same trip count: MA is
+    // unchanged and the freed buffer can only help feasibility.
+    t1 = ceil_div(e1, ceil_div(e1, clamp_index(t1, 1, e1)));
+    t2 = ceil_div(e2, ceil_div(e2, clamp_index(t2, 1, e2)));
+    if (t1 * t2 + c1 * t1 + c2 * t2 <= bs) pairs.insert({t1, t2});
+  };
+  // Probe each seeded trip count on d1, maximizing t2 in its complement
+  // (bs - c1 t1) / (t1 + c2); then mirror the roles.
+  for (Index n1 : n1_seeds) {
+    const Index t1 = ceil_div(e1, n1);
+    if (t1 * 1 + c1 * t1 + c2 > bs) continue;
+    add_pair(t1, (bs - c1 * t1) / (t1 + c2));
+  }
+  for (Index n2_seed : n1_seeds) {
+    const Index n2 = clamp_index(n2_seed, 1, e2);
+    const Index t2 = ceil_div(e2, n2);
+    if (1 * t2 + c1 + c2 * t2 > bs) continue;
+    add_pair((bs - c2 * t2) / (t2 + c1), t2);
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::vector<PrincipleCandidate> make_single_nra(const TensorOp& op, BufferSize bs,
+                                                int stationary_tensor) {
+  require_matmul_shape(op);
+  FCU_CHECK(stationary_tensor >= 0 && stationary_tensor < 3, "tensor index out of range");
+  std::vector<PrincipleCandidate> out;
+  if (bs < 3) return out;  // cannot even hold one element per tensor
+
+  const int d1 = op.tensor(stationary_tensor).dims[0];
+  const int d2 = op.tensor(stationary_tensor).dims[1];
+  const int d3 = other_dim(op, stationary_tensor);
+
+  // MA = |stationary| + |X2| * n1 + |X1| * n2, where n_i is the trip count
+  // of dimension d_i and X_i is the non-stationary tensor sharing d_i.
+  Index size_x1 = 0, size_x2 = 0;
+  for (int t = 0; t < 3; ++t) {
+    if (t == stationary_tensor) continue;
+    if (op.tensor_has_dim(t, d1)) size_x1 = op.tensor_size(t);
+    if (op.tensor_has_dim(t, d2)) size_x2 = op.tensor_size(t);
+  }
+
+  const std::string base_rule = "P1(stationary=" + op.tensor(stationary_tensor).name + ")";
+  for (const auto& [t1, t2] :
+       two_tile_candidates(op.extent(d1), op.extent(d2), static_cast<double>(size_x2),
+                           static_cast<double>(size_x1), 1, 1, bs)) {
+    Dataflow df = blank_dataflow(op);
+    df.loop_order = {d1, d2, d3};
+    df.tile[static_cast<std::size_t>(d1)] = t1;
+    df.tile[static_cast<std::size_t>(d2)] = t2;
+    out.push_back({df, NraKind::kSingle, base_rule});
+  }
+  return out;
+}
+
+std::optional<PrincipleCandidate> make_two_nra(const TensorOp& op, BufferSize bs, int untiled_dim,
+                                               int maximized_dim) {
+  require_matmul_shape(op);
+  FCU_CHECK(untiled_dim >= 0 && untiled_dim < 3, "dim index out of range");
+  FCU_CHECK(maximized_dim >= 0 && maximized_dim < 3, "dim index out of range");
+  FCU_CHECK(untiled_dim != maximized_dim, "untiled and maximized dims must differ");
+
+  const int u = untiled_dim;
+  const int o = maximized_dim;
+  const int i = 3 - u - o;  // dims are {0,1,2}
+  const Index eu = op.extent(u);
+
+  // Footprint with T_O and unit T_I: EU*T_O + EU + T_O (Eq. 4 with minimal
+  // non-maximized tiles).  Feasible at all only if T_O = 1 fits.
+  if (2 * eu + 1 > bs) return std::nullopt;
+  const Index t_o = clamp_index((bs - eu) / (eu + 1), 1, op.extent(o));
+
+  Dataflow df = blank_dataflow(op);
+  df.loop_order = {o, i, u};
+  df.tile[static_cast<std::size_t>(u)] = eu;
+  df.tile[static_cast<std::size_t>(o)] = t_o;
+  return PrincipleCandidate{
+      df, NraKind::kTwo,
+      "P2(untile=" + op.dim(u).name + ",max=" + op.dim(o).name + ")"};
+}
+
+std::optional<PrincipleCandidate> make_three_nra(const TensorOp& op, BufferSize bs,
+                                                 int resident_tensor) {
+  require_matmul_shape(op);
+  FCU_CHECK(resident_tensor >= 0 && resident_tensor < 3, "tensor index out of range");
+
+  const int d1 = op.tensor(resident_tensor).dims[0];
+  const int d2 = op.tensor(resident_tensor).dims[1];
+  const int d3 = other_dim(op, resident_tensor);
+  const Index e1 = op.extent(d1);
+  const Index e2 = op.extent(d2);
+
+  if (e1 * e2 + e1 + e2 > bs) return std::nullopt;
+  const Index t3 = clamp_index((bs - e1 * e2) / (e1 + e2), 1, op.extent(d3));
+
+  Dataflow df = blank_dataflow(op);
+  df.loop_order = {d3, d1, d2};
+  df.tile[static_cast<std::size_t>(d1)] = e1;
+  df.tile[static_cast<std::size_t>(d2)] = e2;
+  df.tile[static_cast<std::size_t>(d3)] = t3;
+  return PrincipleCandidate{df, NraKind::kThree,
+                            "P3(resident=" + op.tensor(resident_tensor).name + ")"};
+}
+
+std::vector<PrincipleCandidate> principle_candidates(const TensorOp& op, BufferSize bs) {
+  require_matmul_shape(op);
+  std::vector<PrincipleCandidate> out;
+  for (int t = 0; t < 3; ++t) {
+    auto singles = make_single_nra(op, bs, t);
+    out.insert(out.end(), singles.begin(), singles.end());
+  }
+  for (int u = 0; u < 3; ++u) {
+    for (int o = 0; o < 3; ++o) {
+      if (o == u) continue;
+      if (auto c = make_two_nra(op, bs, u, o)) out.push_back(std::move(*c));
+    }
+  }
+  for (int t = 0; t < 3; ++t) {
+    if (auto c = make_three_nra(op, bs, t)) out.push_back(std::move(*c));
+  }
+  return out;
+}
+
+IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
+  std::vector<PrincipleCandidate> candidates = principle_candidates(op, bs);
+  FCU_CHECK(!candidates.empty(),
+            "buffer too small to hold the minimal working set of " + op.name());
+
+  IntraOptResult best;
+  bool have = false;
+  for (const PrincipleCandidate& c : candidates) {
+    AccessBreakdown b = evaluate_access(op, c.dataflow);
+    FCU_ASSERT_INTERNAL(b.buffer_footprint <= bs,
+                        "principle constructor emitted an infeasible dataflow");
+    const bool better =
+        !have || b.total < best.access.total ||
+        (b.total == best.access.total && b.buffer_footprint < best.access.buffer_footprint);
+    if (better) {
+      best.dataflow = c.dataflow;
+      best.access = b;
+      best.rule = c.rule;
+      have = true;
+    }
+  }
+  best.buffer_class = classify_buffer(op, bs);
+  const int nra = best.access.non_redundant_tensors(op);
+  FCU_ASSERT_INTERNAL(nra >= 1 && nra <= 3, "optimal dataflow must be 1/2/3-NRA");
+  best.nra = static_cast<NraKind>(nra);
+  return best;
+}
+
+AccessCount eq1_output_stationary_access(Index m, Index k, Index l, Index t_m, Index t_l) {
+  return m * k * ceil_div(l, t_l) + k * l * ceil_div(m, t_m) + m * l;
+}
+
+AccessCount eq3_two_nra_access(Index m, Index k, Index l, Index t_m) {
+  return k * l * ceil_div(m, t_m) + m * k + m * l;
+}
+
+}  // namespace fusecu

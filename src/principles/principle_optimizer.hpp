@@ -1,0 +1,103 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/access_model.hpp"
+#include "principles/buffer_class.hpp"
+
+/// \file principle_optimizer.hpp
+/// One-shot analytical dataflow optimization — Principles 1-3 (Sec. III-A).
+///
+/// Unlike searching-based DSE (src/search), every candidate dataflow here is
+/// *constructed* in closed form:
+///
+///   Principle 1 (Single-NRA): pick a stationary tensor; maximize its two
+///     tile dimensions symmetrically under T^2 + 2T <= BS; unit-tile the
+///     third dimension; prefer the smallest tensor as stationary.
+///   Principle 2 (Two-NRA): pick an untiled dimension U and a maximized
+///     dimension O; T_O = (BS - D_U) / (D_U + 1); unit-tile the third;
+///     prefer the smallest dimension as U.
+///   Principle 3 (Three-NRA): keep the smallest tensor fully resident; the
+///     remaining tile size does not affect MA.
+///
+/// optimize_intra() constructs the constant-size candidate set across all
+/// regimes, keeps the feasible ones, and returns the minimum-MA dataflow —
+/// the communication lower bound for the operator under the buffer size.
+/// These constructors are public so tests can verify each principle against
+/// exhaustive search independently.
+///
+/// The constructors currently target matmul-shaped operators (three loop
+/// dimensions, three tensors indexed by the three dimension pairs); the cost
+/// model underneath is rank-agnostic.
+
+namespace fusecu {
+
+/// Result of principle-based intra-operator optimization.
+struct IntraOptResult {
+  Dataflow dataflow;
+  AccessBreakdown access;
+  NraKind nra = NraKind::kSingle;
+  BufferClass buffer_class = BufferClass::kTiny;
+  /// Which closed-form construction produced the winner (for diagnostics).
+  std::string rule;
+};
+
+/// A constructed candidate: a principled dataflow plus provenance.
+struct PrincipleCandidate {
+  Dataflow dataflow;
+  NraKind intended = NraKind::kSingle;
+  std::string rule;
+};
+
+/// Throws std::invalid_argument unless \p op is matmul-shaped.
+void require_matmul_shape(const TensorOp& op);
+
+/// Principle 1 construction for a chosen stationary tensor.  Returns every
+/// integer refinement the closed form admits (a handful of candidates);
+/// empty when no tiling fits the buffer.
+std::vector<PrincipleCandidate> make_single_nra(const TensorOp& op, BufferSize bs,
+                                                int stationary_tensor);
+
+/// Principle 2 construction for a chosen untiled dimension \p untiled_dim
+/// and maximized dimension \p maximized_dim (must differ).  nullopt when the
+/// untiled dimension alone exceeds the buffer.
+std::optional<PrincipleCandidate> make_two_nra(const TensorOp& op, BufferSize bs, int untiled_dim,
+                                               int maximized_dim);
+
+/// Principle 3 construction keeping tensor \p resident_tensor fully
+/// buffered.  nullopt when the tensor plus one row/column of the others
+/// exceeds the buffer.
+std::optional<PrincipleCandidate> make_three_nra(const TensorOp& op, BufferSize bs,
+                                                 int resident_tensor);
+
+/// All principled candidates for (op, bs), across the three regimes and all
+/// stationary/untiled choices — a constant-size set (<= ~20 entries).
+std::vector<PrincipleCandidate> principle_candidates(const TensorOp& op, BufferSize bs);
+
+/// One-shot optimal intra-operator dataflow.  Throws std::invalid_argument
+/// when the buffer cannot hold even the minimal working set (one element of
+/// each tensor, i.e. bs < 3 for matmul).
+IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs);
+
+/// Closed-form two-tile maximization shared by Principle 1 and the fused
+/// tile-fusion construction: choose tiles (t1, t2) for dimensions of extents
+/// (e1, e2) minimizing   w1 * ceil(e1/t1) + w2 * ceil(e2/t2)   subject to
+/// t1*t2 + c1*t1 + c2*t2 <= bs.  Memory access is a step function of the
+/// *trip counts*, so the optimum sits on trip-count breakpoints
+/// t_i = ceil(e_i / n_i); this probes the integer neighborhood of both the
+/// symmetric and the weight-balanced continuous optima — a constant-size
+/// candidate set, not a search.
+std::vector<std::pair<Index, Index>> two_tile_candidates(Index e1, Index e2, double w1,
+                                                         double w2, Index c1, Index c2,
+                                                         BufferSize bs);
+
+/// Closed-form MA expressions from the paper, used by tests to pin the cost
+/// model to Eq. 1 and Eq. 3.
+///   Eq. 1: MA = MKL * (1/T_L + 1/T_M) + ML        (output stationary)
+///   Eq. 3: MA = MKL * (1/T_M) + MK + ML           (K untiled, T_L = 1)
+AccessCount eq1_output_stationary_access(Index m, Index k, Index l, Index t_m, Index t_l);
+AccessCount eq3_two_nra_access(Index m, Index k, Index l, Index t_m);
+
+}  // namespace fusecu

@@ -1,0 +1,47 @@
+#include "principles/two_level.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+TensorOp outer_tile_op(const TensorOp& op, const Dataflow& outer) {
+  validate_dataflow(op, outer);
+  std::vector<Dim> dims;
+  dims.reserve(static_cast<std::size_t>(op.num_dims()));
+  for (int d = 0; d < op.num_dims(); ++d) {
+    dims.push_back({op.dim(d).name,
+                    std::min(outer.tile[static_cast<std::size_t>(d)], op.extent(d))});
+  }
+  std::vector<TensorDecl> tensors = op.tensors();
+  return TensorOp(op.name() + ".tile", std::move(dims), std::move(tensors));
+}
+
+double TwoLevelResult::weighted_traffic(double dram_weight) const {
+  return dram_weight * static_cast<double>(dram_traffic) +
+         static_cast<double>(buffer_traffic);
+}
+
+TwoLevelResult optimize_two_level(const TensorOp& op, BufferSize buffer_elements,
+                                  BufferSize register_elements) {
+  FCU_CHECK(register_elements >= 3, "register level cannot hold the minimal working set");
+  FCU_CHECK(buffer_elements >= register_elements,
+            "buffer level must be at least as large as the register level");
+
+  TwoLevelResult result;
+  result.outer = optimize_intra(op, buffer_elements);
+
+  TensorOp tile = outer_tile_op(op, result.outer.dataflow);
+  result.inner = optimize_intra(tile, register_elements);
+
+  result.outer_iterations = 1;
+  for (int d = 0; d < op.num_dims(); ++d) {
+    result.outer_iterations *= result.outer.dataflow.trips(op, d);
+  }
+  result.dram_traffic = result.outer.access.total;
+  result.buffer_traffic = result.inner.access.total * result.outer_iterations;
+  return result;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "principles/principle_optimizer.hpp"
+
+/// \file two_level.hpp
+/// Two-level hierarchy optimization: DRAM <-> buffer <-> PE registers.
+///
+/// The paper applies the same principles at two storage levels: Sec. III
+/// optimizes the memory <-> buffer traffic, and Sec. IV re-applies them one
+/// level down, where "BS corresponds to the register size now, which is the
+/// number of PEs".  This module composes the two:
+///
+///  * the *outer* dataflow tiles the operator into buffer-resident tiles
+///    and determines the DRAM traffic (evaluate_access at buffer capacity);
+///  * each outer iteration executes one tile operator, whose *inner*
+///    dataflow determines the buffer <-> register traffic (evaluate_access
+///    at register capacity); the inner traffic multiplies by the outer
+///    iteration count.
+///
+/// Both levels use the one-shot principle constructions, so the composed
+/// optimum is still search-free.  The hierarchy sweep in
+/// bench/ablation_fusion_profit shows the register-level regime driving the
+/// FuseCU design insight (untiled dimensions bounded by 2N).
+
+namespace fusecu {
+
+struct TwoLevelResult {
+  IntraOptResult outer;  ///< DRAM <-> buffer level (buffer capacity)
+  IntraOptResult inner;  ///< buffer <-> register level, for one outer tile
+  AccessCount dram_traffic = 0;    ///< == outer.access.total
+  AccessCount buffer_traffic = 0;  ///< inner total x outer iteration count
+  Index outer_iterations = 0;     ///< product of outer trip counts
+
+  /// Energy-weighted traffic: DRAM accesses cost \p dram_weight times a
+  /// buffer access (the classic ~25x SRAM/DRAM gap by default).
+  double weighted_traffic(double dram_weight = 25.0) const;
+};
+
+/// One-shot two-level optimization of a matmul-shaped operator.
+/// \p buffer_elements is the L2 capacity, \p register_elements the PE-array
+/// register capacity (N^2 for an N x N array).  Throws when either level
+/// cannot hold its minimal working set.
+TwoLevelResult optimize_two_level(const TensorOp& op, BufferSize buffer_elements,
+                                  BufferSize register_elements);
+
+/// The tile operator one outer iteration executes (exposed for tests).
+TensorOp outer_tile_op(const TensorOp& op, const Dataflow& outer);
+
+}  // namespace fusecu

@@ -1,0 +1,220 @@
+#include "rtl/testbench_gen.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/compute_unit.hpp"
+#include "sim/xs_pe.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Small non-negative operands: identical semantics in unsigned Verilog
+/// arithmetic and the double-based golden model.
+Index small_operand(Rng& rng) { return rng.uniform(0, 7); }
+
+void emit_header(std::ostringstream& v, const std::string& name) {
+  v << "`timescale 1ns/1ps\n"
+    << "// Self-checking testbench generated from the C++ golden model.\n"
+    << "module " << name << ";\n";
+}
+
+}  // namespace
+
+std::string generate_xs_pe_testbench(const RtlParams& params, int cycles_per_mode,
+                                     std::uint64_t seed) {
+  FCU_CHECK(cycles_per_mode >= 1, "need at least one cycle per mode");
+  Rng rng(seed);
+  std::ostringstream v;
+  emit_header(v, "tb_xs_pe");
+  v << "  reg clk = 1'b0;\n"
+       "  reg rst = 1'b1;\n"
+       "  reg [1:0] mode = 2'b00;\n"
+       "  reg load_stationary = 1'b0;\n"
+       "  reg promote = 1'b0;\n"
+    << "  reg  [" << params.acc_width - 1 << ":0] west_in = 0, north_in = 0;\n"
+    << "  wire [" << params.acc_width - 1 << ":0] east_out, south_out;\n"
+    << "  integer errors = 0;\n\n"
+    << "  xs_pe #(.DATA_W(" << params.data_width << "), .ACC_W(" << params.acc_width
+    << ")) dut (\n"
+       "    .clk(clk), .rst(rst), .mode(mode),\n"
+       "    .load_stationary(load_stationary), .promote(promote),\n"
+       "    .west_in(west_in), .north_in(north_in),\n"
+       "    .east_out(east_out), .south_out(south_out));\n\n"
+       "  always #5 clk = ~clk;\n\n"
+    << "  task check(input [" << params.acc_width - 1 << ":0] e_east, input ["
+    << params.acc_width - 1 << ":0] e_south);\n"
+       "    begin\n"
+       "      if (east_out !== e_east || south_out !== e_south) begin\n"
+       "        errors = errors + 1;\n"
+       "        $display(\"MISMATCH at %0t: east %0d (exp %0d) south %0d (exp %0d)\",\n"
+       "                 $time, east_out, e_east, south_out, e_south);\n"
+       "      end\n"
+       "    end\n"
+       "  endtask\n\n"
+       "  initial begin\n"
+       "    @(negedge clk); rst = 1'b0;\n";
+
+  // Golden model walk, mirroring each emitted cycle.
+  XsPe golden;
+  auto drive_and_check = [&](Index west, Index north) {
+    XsPe::Outputs out = golden.step({static_cast<double>(west), static_cast<double>(north)});
+    v << "    west_in = " << west << "; north_in = " << north << ";\n"
+      << "    @(posedge clk); #1; check(" << static_cast<long long>(out.east) << ", "
+      << static_cast<long long>(out.south) << ");\n";
+  };
+  auto load_value = [&](Index value) {
+    golden.load_stationary(static_cast<double>(value));
+    v << "    load_stationary = 1'b1; north_in = " << value << ";\n"
+         "    @(posedge clk); #1; load_stationary = 1'b0;\n";
+  };
+
+  struct ModePhase {
+    PeMode mode;
+    const char* bits;
+    bool preload;
+  };
+  const ModePhase phases[] = {{PeMode::kWeightStationary, "2'b00", true},
+                              {PeMode::kInputStationary, "2'b01", true},
+                              {PeMode::kOutputStationary, "2'b10", false}};
+  for (const ModePhase& phase : phases) {
+    golden.set_mode(phase.mode);
+    golden.clear_accumulator();
+    v << "    // ---- " << phase.bits << " phase\n"
+      << "    mode = " << phase.bits << ";\n";
+    if (phase.preload) load_value(small_operand(rng));
+    for (int c = 0; c < cycles_per_mode; ++c) drive_and_check(small_operand(rng), small_operand(rng));
+  }
+
+  // Fusion promote: OS accumulation result becomes the IS stationary.
+  XsPe::Outputs promoted_probe{};
+  {
+    golden.promote_accumulator_to_stationary();
+    golden.set_mode(PeMode::kInputStationary);
+    v << "    // ---- promote: accumulator -> stationary, then IS\n"
+         "    promote = 1'b1; @(posedge clk); #1; promote = 1'b0;\n"
+         "    mode = 2'b01;\n";
+    for (int c = 0; c < cycles_per_mode; ++c) {
+      const Index w = small_operand(rng), n = small_operand(rng);
+      promoted_probe = golden.step({static_cast<double>(w), static_cast<double>(n)});
+      v << "    west_in = " << w << "; north_in = " << n << ";\n"
+        << "    @(posedge clk); #1; check(" << static_cast<long long>(promoted_probe.east)
+        << ", " << static_cast<long long>(promoted_probe.south) << ");\n";
+    }
+  }
+
+  // Drain mode: refill the accumulator via one OS step, then shift out.
+  {
+    golden.set_mode(PeMode::kOutputStationary);
+    golden.clear_accumulator();
+    v << "    // ---- 2'b10 refill then 2'b11 drain\n"
+         "    mode = 2'b10;\n";
+    const Index w = small_operand(rng), n = small_operand(rng);
+    XsPe::Outputs refill = golden.step({static_cast<double>(w), static_cast<double>(n)});
+    v << "    west_in = " << w << "; north_in = " << n << ";\n"
+      << "    @(posedge clk); #1; check(" << static_cast<long long>(refill.east) << ", "
+      << static_cast<long long>(refill.south) << ");\n";
+    golden.set_mode(PeMode::kDrain);
+    v << "    mode = 2'b11;\n";
+    for (int c = 0; c < 3; ++c) {
+      const Index west = small_operand(rng);
+      XsPe::Outputs out = golden.step({static_cast<double>(west), 0.0});
+      v << "    west_in = " << west << "; north_in = 0;\n"
+        << "    @(posedge clk); #1; check(" << static_cast<long long>(out.east) << ", "
+        << static_cast<long long>(out.south) << ");\n";
+    }
+  }
+
+  v << "    if (errors == 0) $display(\"TB PASSED\");\n"
+       "    else begin $display(\"TB FAILED: %0d errors\", errors); $fatal; end\n"
+       "    $finish;\n"
+       "  end\n"
+       "endmodule\n";
+  return v.str();
+}
+
+std::string generate_ws_testbench(const RtlParams& params, Index m, Index k, Index l,
+                                  std::uint64_t seed) {
+  const Index n = params.unit_size;
+  FCU_CHECK(k <= n && l <= n, "WS testbench: K, L must be <= the unit size");
+  FCU_CHECK(m >= 1, "empty stimulus");
+
+  // Golden data: non-negative small integers; reference C = A x B.
+  Matrix a(m, k), b(k, l);
+  Rng rng(seed);
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c < k; ++c) a.at(r, c) = static_cast<double>(small_operand(rng));
+  }
+  for (Index r = 0; r < k; ++r) {
+    for (Index c = 0; c < l; ++c) b.at(r, c) = static_cast<double>(small_operand(rng));
+  }
+  Matrix expected = matmul_reference(a, b);
+
+  const int acc = params.acc_width;
+  std::ostringstream v;
+  emit_header(v, "tb_compute_unit_ws");
+  v << "  reg clk = 1'b0;\n"
+       "  reg rst = 1'b1;\n"
+       "  reg [1:0] mode = 2'b00;  // WS\n"
+       "  reg load_stationary = 1'b0;\n"
+       "  reg promote = 1'b0;\n"
+    << "  reg  [" << n * acc - 1 << ":0] west_feed = 0, north_feed = 0;\n"
+    << "  wire [" << n * acc - 1 << ":0] east_edge, south_edge;\n"
+    << "  integer errors = 0;\n\n"
+    << "  compute_unit #(.DATA_W(" << params.data_width << "), .ACC_W(" << acc << "), .N(" << n
+    << ")) dut (\n"
+       "    .clk(clk), .rst(rst), .mode(mode),\n"
+       "    .load_stationary(load_stationary), .promote(promote),\n"
+       "    .west_feed(west_feed), .north_feed(north_feed),\n"
+       "    .east_edge(east_edge), .south_edge(south_edge));\n\n"
+       "  always #5 clk = ~clk;\n\n"
+       "  initial begin\n"
+       "    @(negedge clk); rst = 1'b0;\n"
+       "    // ---- weight preload: B rows stream down the stationary chain,\n"
+       "    // bottom row first, for K cycles.\n"
+       "    load_stationary = 1'b1;\n";
+  for (Index t = 0; t < k; ++t) {
+    v << "    north_feed = 0;\n";
+    for (Index c = 0; c < l; ++c) {
+      v << "    north_feed[" << c << "*" << acc << " +: " << acc
+        << "] = " << static_cast<long long>(b.at(k - 1 - t, c)) << ";\n";
+    }
+    v << "    @(posedge clk); #1;\n";
+  }
+  v << "    load_stationary = 1'b0;\n"
+       "    north_feed = 0;\n"
+       "    // ---- stream A skewed from the west; C(mm, ll) appears on the\n"
+       "    // south edge of column ll at compute cycle mm + ll + N - 1.\n";
+  const Index total = m + k + l - 2 + (n - k);  // includes pass-through rows
+  const Index horizon = m - 1 + l - 1 + n - 1;
+  for (Index t = 0; t <= std::max(total, horizon); ++t) {
+    v << "    west_feed = 0;\n";
+    for (Index r = 0; r < k; ++r) {
+      const Index mm = t - r;
+      if (mm >= 0 && mm < m) {
+        v << "    west_feed[" << r << "*" << acc << " +: " << acc
+          << "] = " << static_cast<long long>(a.at(mm, r)) << ";\n";
+      }
+    }
+    v << "    @(posedge clk); #1;\n";
+    for (Index c = 0; c < l; ++c) {
+      const Index mm = t - c - (n - 1);
+      if (mm >= 0 && mm < m) {
+        v << "    if (south_edge[" << c << "*" << acc << " +: " << acc
+          << "] !== " << static_cast<long long>(expected.at(mm, c))
+          << ") begin errors = errors + 1; $display(\"MISMATCH C(" << mm << "," << c
+          << ") at %0t\", $time); end\n";
+      }
+    }
+  }
+  v << "    if (errors == 0) $display(\"TB PASSED\");\n"
+       "    else begin $display(\"TB FAILED: %0d errors\", errors); $fatal; end\n"
+       "    $finish;\n"
+       "  end\n"
+       "endmodule\n";
+  return v.str();
+}
+
+}  // namespace fusecu

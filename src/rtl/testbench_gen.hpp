@@ -1,0 +1,35 @@
+#pragma once
+
+#include "rtl/verilog_gen.hpp"
+#include "sim/matrix.hpp"
+
+/// \file testbench_gen.hpp
+/// Self-checking Verilog testbench generation with golden vectors from the
+/// C++ functional simulator.
+///
+/// The repo has no RTL simulator in the loop, so the contract is: the
+/// cycle-stepped C++ model (sim/compute_unit.hpp) is the golden reference,
+/// and these generators freeze its stimulus/response into plain-Verilog
+/// testbenches anyone with iverilog/Verilator can run against the emitted
+/// RTL.  Two benches are provided:
+///
+///  * XS PE: drives one PE through WS, IS, OS and the promote path with
+///    randomized operands, checking east/south outputs every cycle;
+///  * compute unit (WS): a full skewed matmul, checking the south edge
+///    against the golden C matrix at the exact drain offsets the simulator
+///    derives.
+
+namespace fusecu {
+
+/// Testbench for the xs_pe module: \p cycles randomized stimulus steps per
+/// mode, golden outputs from sim/xs_pe.hpp.
+std::string generate_xs_pe_testbench(const RtlParams& params = {}, int cycles_per_mode = 16,
+                                     std::uint64_t seed = 1);
+
+/// Testbench for an N x N compute unit running one WS matmul
+/// C = A(m x k) x B(k x l); golden results from sim/compute_unit.hpp.
+/// Requires k, l <= params.unit_size.
+std::string generate_ws_testbench(const RtlParams& params, Index m, Index k, Index l,
+                                  std::uint64_t seed = 2);
+
+}  // namespace fusecu

@@ -1,0 +1,290 @@
+#include "rtl/verilog_gen.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+namespace {
+
+void check_params(const RtlParams& p) {
+  FCU_CHECK(p.data_width >= 1 && p.acc_width >= p.data_width, "invalid RTL widths");
+  FCU_CHECK(p.unit_size >= 1, "unit size must be positive");
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+bool identifier_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Whole-word keyword count ("end" must not match "independent").
+std::size_t count_keyword(const std::string& text, const std::string& keyword) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(keyword); at != std::string::npos;
+       at = text.find(keyword, at + keyword.size())) {
+    const bool left_ok = at == 0 || !identifier_char(text[at - 1]);
+    const std::size_t after = at + keyword.size();
+    const bool right_ok = after >= text.size() || !identifier_char(text[after]);
+    if (left_ok && right_ok) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string generate_xs_pe(const RtlParams& p) {
+  check_params(p);
+  std::ostringstream v;
+  v << "// X-Stationary processing element (Fig. 6).\n"
+       "// mode: 00 = weight-stationary, 01 = input-stationary, 10 = output-stationary.\n"
+       "// promote routes the accumulator into the stationary register -- the\n"
+       "// tile-fusion path that keeps the intermediate inside the PE.\n"
+    << "module xs_pe #(\n"
+    << "  parameter DATA_W = " << p.data_width << ",\n"
+    << "  parameter ACC_W  = " << p.acc_width << "\n"
+    << ") (\n"
+       "  input  wire              clk,\n"
+       "  input  wire              rst,\n"
+       "  input  wire [1:0]        mode,\n"
+       "  input  wire              load_stationary,\n"
+       "  input  wire              promote,\n"
+       "  input  wire [ACC_W-1:0]  west_in,\n"
+       "  input  wire [ACC_W-1:0]  north_in,\n"
+       "  output reg  [ACC_W-1:0]  east_out,\n"
+       "  output reg  [ACC_W-1:0]  south_out\n"
+       ");\n"
+       "  localparam MODE_WS    = 2'b00;\n"
+       "  localparam MODE_IS    = 2'b01;\n"
+       "  localparam MODE_OS    = 2'b10;\n"
+       "  localparam MODE_DRAIN = 2'b11;\n"
+       "\n"
+       "  reg [ACC_W-1:0] stationary;\n"
+       "  reg [ACC_W-1:0] accumulator;\n"
+       "\n"
+       "  wire [ACC_W-1:0] mac_ws = north_in + stationary * west_in;\n"
+       "  wire [ACC_W-1:0] mac_is = west_in  + stationary * north_in;\n"
+       "  wire [ACC_W-1:0] mac_os = accumulator + west_in * north_in;\n"
+       "\n"
+       "  always @(posedge clk) begin\n"
+       "    if (rst) begin\n"
+       "      stationary  <= {ACC_W{1'b0}};\n"
+       "      accumulator <= {ACC_W{1'b0}};\n"
+       "      east_out    <= {ACC_W{1'b0}};\n"
+       "      south_out   <= {ACC_W{1'b0}};\n"
+       "    end else if (promote) begin\n"
+       "      // Fusion mux: consumed-in-place intermediate.\n"
+       "      stationary  <= accumulator;\n"
+       "      accumulator <= {ACC_W{1'b0}};\n"
+       "    end else if (load_stationary) begin\n"
+       "      // Stationary shift chain: weights stream down the column, one\n"
+       "      // row per cycle (the K-cycle preload the timing model counts).\n"
+       "      stationary  <= north_in;\n"
+       "      south_out   <= stationary;\n"
+       "    end else begin\n"
+       "      case (mode)\n"
+       "        MODE_WS: begin\n"
+       "          south_out <= mac_ws;\n"
+       "          east_out  <= west_in;\n"
+       "        end\n"
+       "        MODE_IS: begin\n"
+       "          east_out  <= mac_is;\n"
+       "          south_out <= north_in;\n"
+       "        end\n"
+       "        MODE_OS: begin\n"
+       "          accumulator <= mac_os;\n"
+       "          east_out    <= west_in;\n"
+       "          south_out   <= north_in;\n"
+       "        end\n"
+       "        MODE_DRAIN: begin\n"
+       "          // Accumulator read-out: shift the row eastward.\n"
+       "          east_out    <= accumulator;\n"
+       "          accumulator <= west_in;\n"
+       "          south_out   <= north_in;\n"
+       "        end\n"
+       "        default: begin\n"
+       "          east_out  <= {ACC_W{1'b0}};\n"
+       "          south_out <= {ACC_W{1'b0}};\n"
+       "        end\n"
+       "      endcase\n"
+       "    end\n"
+       "  end\n"
+       "endmodule\n";
+  return v.str();
+}
+
+std::string generate_compute_unit(const RtlParams& p) {
+  check_params(p);
+  std::ostringstream v;
+  v << "// N x N XS-PE mesh with nearest-neighbor pipelining.\n"
+    << "module compute_unit #(\n"
+    << "  parameter DATA_W = " << p.data_width << ",\n"
+    << "  parameter ACC_W  = " << p.acc_width << ",\n"
+    << "  parameter N      = " << p.unit_size << "\n"
+    << ") (\n"
+       "  input  wire                  clk,\n"
+       "  input  wire                  rst,\n"
+       "  input  wire [1:0]            mode,\n"
+       "  input  wire                  load_stationary,\n"
+       "  input  wire                  promote,\n"
+       "  input  wire [N*ACC_W-1:0]    west_feed,\n"
+       "  input  wire [N*ACC_W-1:0]    north_feed,\n"
+       "  output wire [N*ACC_W-1:0]    east_edge,\n"
+       "  output wire [N*ACC_W-1:0]    south_edge\n"
+       ");\n"
+       "  // Inter-PE wires: east_w[r][c] leaves PE(r, c) eastward,\n"
+       "  // south_w[r][c] leaves it southward.\n"
+       "  wire [ACC_W-1:0] east_w  [0:N-1][0:N-1];\n"
+       "  wire [ACC_W-1:0] south_w [0:N-1][0:N-1];\n"
+       "\n"
+       "  genvar r, c;\n"
+       "  generate\n"
+       "    for (r = 0; r < N; r = r + 1) begin : g_row\n"
+       "      for (c = 0; c < N; c = c + 1) begin : g_col\n"
+       "        wire [ACC_W-1:0] west_v  = (c == 0) ? west_feed[r*ACC_W +: ACC_W]\n"
+       "                                           : east_w[r][(c == 0) ? 0 : c-1];\n"
+       "        wire [ACC_W-1:0] north_v = (r == 0) ? north_feed[c*ACC_W +: ACC_W]\n"
+       "                                           : south_w[(r == 0) ? 0 : r-1][c];\n"
+       "        xs_pe #(.DATA_W(DATA_W), .ACC_W(ACC_W)) u_pe (\n"
+       "          .clk(clk), .rst(rst), .mode(mode),\n"
+       "          .load_stationary(load_stationary), .promote(promote),\n"
+       "          .west_in(west_v), .north_in(north_v),\n"
+       "          .east_out(east_w[r][c]), .south_out(south_w[r][c])\n"
+       "        );\n"
+       "      end\n"
+       "    end\n"
+       "    for (r = 0; r < N; r = r + 1) begin : g_east\n"
+       "      assign east_edge[r*ACC_W +: ACC_W] = east_w[r][N-1];\n"
+       "    end\n"
+       "    for (c = 0; c < N; c = c + 1) begin : g_south\n"
+       "      assign south_edge[c*ACC_W +: ACC_W] = south_w[N-1][c];\n"
+       "    end\n"
+       "  endgenerate\n"
+       "endmodule\n";
+  return v.str();
+}
+
+std::string generate_fusecu_top(const RtlParams& p) {
+  check_params(p);
+  std::ostringstream v;
+  v << "// FuseCU organization (Fig. 7(a)): four compute units whose edge\n"
+       "// inputs select between memory and an adjacent unit.\n"
+       "// fu_cfg: 00 independent; 01 narrow tile fusion (unit1 chained after\n"
+       "// unit0, unit3 after unit2); 10 wide column fusion (unit pairs\n"
+       "// producer->consumer through the east/west link).\n"
+    << "module fusecu_top #(\n"
+    << "  parameter DATA_W = " << p.data_width << ",\n"
+    << "  parameter ACC_W  = " << p.acc_width << ",\n"
+    << "  parameter N      = " << p.unit_size << "\n"
+    << ") (\n"
+       "  input  wire                  clk,\n"
+       "  input  wire                  rst,\n"
+       "  input  wire [1:0]            fu_cfg,\n"
+       "  input  wire [7:0]            mode_bus,        // 2 bits per unit\n"
+       "  input  wire [3:0]            load_stationary, // 1 bit per unit\n"
+       "  input  wire [3:0]            promote,\n"
+       "  input  wire [4*N*ACC_W-1:0]  west_mem,\n"
+       "  input  wire [4*N*ACC_W-1:0]  north_mem,\n"
+       "  output wire [4*N*ACC_W-1:0]  east_edges,\n"
+       "  output wire [4*N*ACC_W-1:0]  south_edges\n"
+       ");\n"
+       "  localparam CFG_INDEPENDENT = 2'b00;\n"
+       "  localparam CFG_NARROW      = 2'b01;\n"
+       "  localparam CFG_COLUMN      = 2'b10;\n"
+       "\n"
+       "  wire [N*ACC_W-1:0] west_sel [0:3];\n"
+       "  wire [N*ACC_W-1:0] east_u   [0:3];\n"
+       "  wire [N*ACC_W-1:0] south_u  [0:3];\n"
+       "\n"
+       "  // FU-configuration muxes: only units 1 and 3 can take a chained\n"
+       "  // west input; units 0 and 2 always face memory (Fig. 7(c-e)).\n"
+       "  assign west_sel[0] = west_mem[0*N*ACC_W +: N*ACC_W];\n"
+       "  assign west_sel[2] = west_mem[2*N*ACC_W +: N*ACC_W];\n"
+       "  assign west_sel[1] = (fu_cfg == CFG_INDEPENDENT)\n"
+       "                       ? west_mem[1*N*ACC_W +: N*ACC_W] : east_u[0];\n"
+       "  assign west_sel[3] = (fu_cfg == CFG_INDEPENDENT)\n"
+       "                       ? west_mem[3*N*ACC_W +: N*ACC_W] : east_u[2];\n"
+       "\n"
+       "  genvar u;\n"
+       "  generate\n"
+       "    for (u = 0; u < 4; u = u + 1) begin : g_unit\n"
+       "      compute_unit #(.DATA_W(DATA_W), .ACC_W(ACC_W), .N(N)) u_cu (\n"
+       "        .clk(clk), .rst(rst),\n"
+       "        .mode(mode_bus[2*u +: 2]),\n"
+       "        .load_stationary(load_stationary[u]),\n"
+       "        .promote(promote[u]),\n"
+       "        .west_feed(west_sel[u]),\n"
+       "        .north_feed(north_mem[u*N*ACC_W +: N*ACC_W]),\n"
+       "        .east_edge(east_u[u]),\n"
+       "        .south_edge(south_u[u])\n"
+       "      );\n"
+       "      assign east_edges[u*N*ACC_W +: N*ACC_W]  = east_u[u];\n"
+       "      assign south_edges[u*N*ACC_W +: N*ACC_W] = south_u[u];\n"
+       "    end\n"
+       "  endgenerate\n"
+       "endmodule\n";
+  return v.str();
+}
+
+std::string generate_all(const RtlParams& p) {
+  return generate_xs_pe(p) + "\n" + generate_compute_unit(p) + "\n" + generate_fusecu_top(p);
+}
+
+RtlLintResult lint_verilog(const std::string& source) {
+  RtlLintResult r;
+  const std::size_t modules = count_occurrences(source, "\nmodule ") +
+                              (source.rfind("module ", 0) == 0 ? 1 : 0);
+  const std::size_t endmodules = count_occurrences(source, "endmodule");
+  r.module_count = static_cast<int>(modules);
+  if (modules == 0) {
+    r.message = "no module declarations";
+    return r;
+  }
+  if (modules != endmodules) {
+    r.message = "unbalanced module/endmodule";
+    return r;
+  }
+  // begin/end balance: whole-word keywords only, so comments mentioning
+  // "independent" do not trip the counter.
+  if (count_keyword(source, "begin") != count_keyword(source, "end")) {
+    r.message = "unbalanced begin/end";
+    return r;
+  }
+  if (count_keyword(source, "case") != count_keyword(source, "endcase")) {
+    r.message = "unbalanced case/endcase";
+    return r;
+  }
+  if (count_keyword(source, "generate") != count_keyword(source, "endgenerate")) {
+    r.message = "unbalanced generate/endgenerate";
+    return r;
+  }
+  std::size_t parens = 0;
+  for (char ch : source) {
+    if (ch == '(') ++parens;
+    if (ch == ')') {
+      if (parens == 0) {
+        r.message = "unbalanced parentheses";
+        return r;
+      }
+      --parens;
+    }
+  }
+  if (parens != 0) {
+    r.message = "unbalanced parentheses";
+    return r;
+  }
+  r.instance_count = static_cast<int>(count_occurrences(source, "u_pe (") +
+                                      count_occurrences(source, "u_cu ("));
+  r.ok = true;
+  return r;
+}
+
+}  // namespace fusecu

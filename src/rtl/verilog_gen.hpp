@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file verilog_gen.hpp
+/// Synthesizable Verilog generation for the FuseCU hardware — the
+/// counterpart of the paper's open-sourced Chisel RTL (Sec. V-A:
+/// "we implement FuseCU in Chisel to generate Verilog RTL").
+///
+/// Three generators mirror the simulator's functional hierarchy exactly
+/// (the integration tests keep them aligned with sim/xs_pe.hpp semantics):
+///
+///  * `xs_pe`       — the X-Stationary PE (Fig. 6): one multiplier, one
+///    adder, a stationary register, an accumulator, and the mode muxes for
+///    WS / IS / OS plus the accumulator-promote path used by tile fusion;
+///  * `compute_unit`— the N x N mesh with nearest-neighbor east/south
+///    pipelining and edge ports;
+///  * `fusecu_top`  — four compute units with the FU-configuration muxes
+///    that select each unit's west/north edge inputs from memory or from an
+///    adjacent unit (Fig. 7(a)), enabling the square / narrow / wide
+///    compositions and column fusion.
+///
+/// Without a Verilog toolchain in the loop, validity is enforced by a
+/// structural linter (balanced module/endmodule, declared-before-used
+/// identifiers at module scope, instantiation counts); anyone with a
+/// synthesis flow can consume the emitted files directly.
+
+namespace fusecu {
+
+struct RtlParams {
+  int data_width = 16;  ///< bf16 operand width
+  int acc_width = 32;   ///< accumulator width
+  Index unit_size = 8;  ///< N (PEs per edge); keep small for readable RTL
+};
+
+/// Single XS PE module.
+std::string generate_xs_pe(const RtlParams& params = {});
+
+/// N x N compute unit instantiating xs_pe in a generate mesh.
+std::string generate_compute_unit(const RtlParams& params = {});
+
+/// Four compute units plus FU-configuration interconnect.
+std::string generate_fusecu_top(const RtlParams& params = {});
+
+/// All three modules in dependency order (one self-contained file).
+std::string generate_all(const RtlParams& params = {});
+
+/// Structural linter for generated RTL.
+struct RtlLintResult {
+  bool ok = false;
+  std::string message;       ///< first problem found, empty when ok
+  int module_count = 0;      ///< `module` declarations
+  int instance_count = 0;    ///< module instantiations recognized
+};
+RtlLintResult lint_verilog(const std::string& source);
+
+}  // namespace fusecu

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "search/exhaustive.hpp"
+
+/// \file annealing.hpp
+/// Simulated-annealing dataflow search — a second searching baseline next
+/// to the genetic algorithm, for the Fig. 9-style validation (several DSE
+/// frameworks in the paper's Table I use stochastic local search).  The
+/// neighborhood perturbs one decision at a time: swap two loop levels or
+/// step one tile size along its candidate ladder.
+
+namespace fusecu {
+
+struct SaParams {
+  int iterations = 4000;
+  double initial_temperature = 1.0;   ///< relative to the initial cost
+  double cooling = 0.999;             ///< geometric per-iteration factor
+};
+
+/// Anneal over the intra-operator space; nullopt when no feasible start is
+/// found after a bounded number of restarts.
+std::optional<IntraSearchResult> sa_intra(const TensorOp& op, BufferSize bs,
+                                          const SaParams& params, std::uint64_t seed);
+
+}  // namespace fusecu

@@ -1,0 +1,102 @@
+#include "search/dat_optimizer.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+namespace {
+
+std::int64_t intra_space_size(const TensorOp& op) {
+  std::int64_t size = 6;
+  for (int d = 0; d < op.num_dims(); ++d) {
+    size *= static_cast<std::int64_t>(tile_candidates(op.extent(d)).size());
+  }
+  return size;
+}
+
+std::int64_t fused_space_size(const FusedPair& pair) {
+  return 2 * static_cast<std::int64_t>(tile_candidates(pair.m()).size()) *
+         static_cast<std::int64_t>(tile_candidates(pair.k()).size()) *
+         static_cast<std::int64_t>(tile_candidates(pair.l()).size()) *
+         static_cast<std::int64_t>(tile_candidates(pair.n()).size());
+}
+
+}  // namespace
+
+DatOptimizer::DatOptimizer(DatParams params) : params_(params) {}
+
+std::optional<IntraSearchResult> DatOptimizer::optimize_intra(const TensorOp& op,
+                                                              BufferSize bs) const {
+  std::optional<IntraSearchResult> best = ga_intra(op, bs, params_.ga, params_.seed);
+  if (params_.exhaustive_refinement && intra_space_size(op) <= params_.exhaustive_space_limit) {
+    std::optional<IntraSearchResult> exact = exhaustive_intra(op, bs);
+    if (exact && (!best || exact->access.total < best->access.total)) best = exact;
+  }
+  return best;
+}
+
+std::optional<FusedSearchResult> DatOptimizer::optimize_pair(const FusedPair& pair,
+                                                             BufferSize bs) const {
+  std::optional<FusedSearchResult> best = ga_fused(pair, bs, params_.ga, params_.seed);
+  if (params_.exhaustive_refinement && fused_space_size(pair) <= params_.exhaustive_space_limit) {
+    std::optional<FusedSearchResult> exact = exhaustive_fused(pair, bs);
+    if (exact && (!best || exact->access.total < best->access.total)) best = exact;
+  }
+  return best;
+}
+
+FusionPlan DatOptimizer::plan_chain(const OperatorGraph& graph, BufferSize bs) const {
+  FCU_CHECK(graph.num_ops() >= 1, "empty chain");
+  FCU_CHECK(graph.is_linear_chain(), "DAT planner requires a linear operator chain");
+
+  const int n = graph.num_ops();
+  constexpr AccessCount kInf = std::numeric_limits<AccessCount>::max() / 4;
+
+  std::vector<AccessCount> solo(static_cast<std::size_t>(n), kInf);
+  std::vector<AccessCount> paired(static_cast<std::size_t>(n), kInf);
+  for (int i = 0; i < n; ++i) {
+    if (auto r = optimize_intra(graph.op(i), bs)) solo[static_cast<std::size_t>(i)] = r->access.total;
+    FCU_CHECK(solo[static_cast<std::size_t>(i)] < kInf,
+              "buffer too small for op " + graph.op(i).name());
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    std::optional<FusedPair> pair = try_make_fused_pair(graph.op(i), graph.op(i + 1));
+    if (!pair) continue;
+    if (auto r = optimize_pair(*pair, bs)) paired[static_cast<std::size_t>(i)] = r->access.total;
+  }
+
+  std::vector<AccessCount> dp(static_cast<std::size_t>(n) + 1, kInf);
+  std::vector<int> choice(static_cast<std::size_t>(n) + 1, 0);
+  dp[0] = 0;
+  for (int i = 1; i <= n; ++i) {
+    dp[static_cast<std::size_t>(i)] = dp[static_cast<std::size_t>(i - 1)] + solo[static_cast<std::size_t>(i - 1)];
+    choice[static_cast<std::size_t>(i)] = 1;
+    if (i >= 2 && paired[static_cast<std::size_t>(i - 2)] < kInf) {
+      AccessCount fused_total = dp[static_cast<std::size_t>(i - 2)] + paired[static_cast<std::size_t>(i - 2)];
+      if (fused_total < dp[static_cast<std::size_t>(i)]) {
+        dp[static_cast<std::size_t>(i)] = fused_total;
+        choice[static_cast<std::size_t>(i)] = 2;
+      }
+    }
+  }
+
+  FusionPlan plan;
+  plan.total_access = dp[static_cast<std::size_t>(n)];
+  std::vector<PlanStep> reversed;
+  for (int i = n; i > 0;) {
+    if (choice[static_cast<std::size_t>(i)] == 2) {
+      reversed.push_back({{i - 2, i - 1}, paired[static_cast<std::size_t>(i - 2)], "searched fused"});
+      i -= 2;
+    } else {
+      reversed.push_back({{i - 1}, solo[static_cast<std::size_t>(i - 1)], "searched solo"});
+      i -= 1;
+    }
+  }
+  plan.steps.assign(reversed.rbegin(), reversed.rend());
+  return plan;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "fusion/fusion_planner.hpp"
+#include "search/genetic.hpp"
+
+/// \file dat_optimizer.hpp
+/// Facade reconstructing the DAT [15] searching-based optimizer used as the
+/// paper's state-of-the-art comparison point (Fig. 9): genetic-algorithm
+/// search over the full intra- and inter-operator tiling & scheduling space,
+/// with fusion decisions taken by evaluated cost (never by principle).  An
+/// optional exhaustive refinement mimics DAT's MIP polishing on small
+/// operators.
+
+namespace fusecu {
+
+struct DatParams {
+  GaParams ga;
+  /// Also run exhaustive search and keep the better result when the
+  /// operator's tile space is small enough (candidate-product bound).
+  bool exhaustive_refinement = false;
+  std::int64_t exhaustive_space_limit = 2'000'000;
+  std::uint64_t seed = 0x5eed;
+};
+
+class DatOptimizer {
+ public:
+  explicit DatOptimizer(DatParams params = {});
+
+  /// Searched intra-operator dataflow.
+  std::optional<IntraSearchResult> optimize_intra(const TensorOp& op, BufferSize bs) const;
+
+  /// Searched fused dataflow for one pair.
+  std::optional<FusedSearchResult> optimize_pair(const FusedPair& pair, BufferSize bs) const;
+
+  /// Chain partitioning with searched group costs (fuse a pair whenever the
+  /// searched fused MA beats the searched unfused sum).
+  FusionPlan plan_chain(const OperatorGraph& graph, BufferSize bs) const;
+
+ private:
+  DatParams params_;
+};
+
+}  // namespace fusecu

@@ -1,0 +1,127 @@
+#include "search/exhaustive.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+namespace {
+
+const std::vector<std::vector<int>>& all_orders3() {
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  return orders;
+}
+
+/// Best dataflow on one side of a resident fusion: minimize MA excluding the
+/// intermediate, with the intermediate's full size already reserved.
+std::optional<Dataflow> exhaustive_side(const TensorOp& op, BufferSize budget,
+                                        int exclude_tensor, int other_a, int other_b) {
+  std::optional<Dataflow> best;
+  AccessCount best_ma = 0;
+  std::vector<std::vector<Index>> cands;
+  for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
+  Dataflow df;
+  df.tile.assign(3, 1);
+  for (const auto& order : all_orders3()) {
+    df.loop_order = order;
+    for (Index t0 : cands[0]) {
+      for (Index t1 : cands[1]) {
+        for (Index t2 : cands[2]) {
+          df.tile = {t0, t1, t2};
+          const Index fp = df.tensor_tile_size(op, other_a) + df.tensor_tile_size(op, other_b);
+          if (fp > budget) continue;
+          AccessBreakdown b = evaluate_access(op, df);
+          AccessCount ma = b.total - b.per_tensor[static_cast<std::size_t>(exclude_tensor)];
+          if (!best || ma < best_ma) {
+            best = df;
+            best_ma = ma;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs) {
+  FCU_CHECK(op.num_dims() == 3, "exhaustive_intra currently targets 3-dim operators");
+  std::vector<std::vector<Index>> cands;
+  for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
+
+  std::optional<IntraSearchResult> best;
+  Dataflow df;
+  df.tile.assign(3, 1);
+  for (const auto& order : all_orders3()) {
+    df.loop_order = order;
+    for (Index t0 : cands[0]) {
+      for (Index t1 : cands[1]) {
+        for (Index t2 : cands[2]) {
+          df.tile = {t0, t1, t2};
+          if (df.buffer_footprint(op) > bs) continue;
+          AccessBreakdown b = evaluate_access(op, df);
+          if (!best || b.total < best->access.total ||
+              (b.total == best->access.total &&
+               b.buffer_footprint < best->access.buffer_footprint)) {
+            best = IntraSearchResult{df, b};
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs) {
+  std::optional<FusedSearchResult> best;
+
+  const std::vector<Index> cm = tile_candidates(pair.m());
+  const std::vector<Index> ck = tile_candidates(pair.k());
+  const std::vector<Index> cl = tile_candidates(pair.l());
+  const std::vector<Index> cn = tile_candidates(pair.n());
+
+  PhasedFusedDataflow df;
+  for (bool l_outer : {false, true}) {
+    df.l_outer = l_outer;
+    for (Index t_m : cm) {
+      for (Index t_k : ck) {
+        for (Index t_l : cl) {
+          // Footprint is monotone in t_n; prune before the inner loop.
+          if (t_m * t_k + t_k * t_l + t_m * t_l + t_l + t_m > bs) continue;
+          for (Index t_n : cn) {
+            df.t_m = t_m;
+            df.t_k = t_k;
+            df.t_l = t_l;
+            df.t_n = t_n;
+            FusedAccess a = evaluate_phased(pair, df);
+            if (a.buffer_footprint > bs) break;  // t_n ascending
+            if (!best || a.total < best->access.total) {
+              best = FusedSearchResult{df, std::nullopt, a};
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const BufferSize residual = bs - pair.intermediate_size();
+  if (residual >= 2) {
+    std::optional<Dataflow> df1 =
+        exhaustive_side(pair.op1(), residual, mm::kTensorC, mm::kTensorA, mm::kTensorB);
+    std::optional<Dataflow> df2 = exhaustive_side(pair.op2(), residual, 0, 1, 2);
+    if (df1 && df2) {
+      ResidentFusedDataflow rf{*df1, *df2};
+      FusedAccess a = evaluate_resident(pair, rf);
+      if (a.buffer_footprint <= bs && (!best || a.total < best->access.total)) {
+        best = FusedSearchResult{std::nullopt, rf, a};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fusecu

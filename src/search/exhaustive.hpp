@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "fusion/fused_pair.hpp"
+
+/// \file exhaustive.hpp
+/// Brute-force searching-based DSE over the full tiling & scheduling space.
+///
+/// This is the ground-truth oracle the property tests hold the principles
+/// against: for an intra-op dataflow it enumerates all 6 loop orders and all
+/// tile-size combinations drawn from divisors plus the power-of-two ladder;
+/// for a fused pair it enumerates both shared loop orders, the 4-dimensional
+/// tile cross-product, and the decoupled resident-intermediate family.
+/// Exhaustive search is exponential in operator count — exactly the
+/// scalability problem (Sec. I) the principles remove.
+
+namespace fusecu {
+
+/// An intra-operator search outcome.
+struct IntraSearchResult {
+  Dataflow dataflow;
+  AccessBreakdown access;
+};
+
+/// Best dataflow for (op, bs) over the full space; nullopt when nothing fits
+/// the buffer.
+std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs);
+
+/// A fused-pair search outcome.
+struct FusedSearchResult {
+  std::optional<PhasedFusedDataflow> phased;
+  std::optional<ResidentFusedDataflow> resident;
+  FusedAccess access;
+};
+
+/// Best fused dataflow over phased x orders x tiles plus the resident
+/// family; nullopt when no fused configuration fits.
+std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs);
+
+}  // namespace fusecu

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "search/exhaustive.hpp"
+
+/// \file genetic.hpp
+/// Genetic-algorithm dataflow search — the reconstruction of DAT's
+/// optimizer core (DAC'24 [15] uses mixed-integer programming plus genetic
+/// algorithms).  Genomes encode (loop order, tile-size choices) for intra-op
+/// search and (loop order, four tiles, phased/resident variant) for fused
+/// pairs; fitness is the shared reuse cost model with an infeasibility
+/// penalty.  As the paper observes in Fig. 9, a GA "does not guarantee
+/// global optimization" — the validation bench shows exactly that gap.
+
+namespace fusecu {
+
+struct GaParams {
+  int population = 64;
+  int generations = 80;
+  int tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.25;
+  int elite = 2;
+};
+
+/// GA over the intra-operator space; nullopt when no sampled individual
+/// (including the repaired ones) fits the buffer.
+std::optional<IntraSearchResult> ga_intra(const TensorOp& op, BufferSize bs,
+                                          const GaParams& params, std::uint64_t seed);
+
+/// GA over the fused-pair space (phased family; the decoupled resident
+/// family is handled by two intra-style GAs and merged).
+std::optional<FusedSearchResult> ga_fused(const FusedPair& pair, BufferSize bs,
+                                          const GaParams& params, std::uint64_t seed);
+
+}  // namespace fusecu

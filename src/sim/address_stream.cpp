@@ -1,0 +1,94 @@
+#include "sim/address_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+AddressStream generate_address_stream(const TensorOp& op, const Dataflow& df,
+                                      const AddressStreamOptions& options) {
+  validate_dataflow(op, df);
+  FCU_CHECK(op.num_dims() == 3, "address streams target matmul-shaped ops");
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    FCU_CHECK(op.tensor(t).dims.size() == 2, "address streams expect 2-D tensors");
+  }
+
+  // Default layout: tensors packed back-to-back.
+  std::vector<std::uint64_t> bases = options.bases;
+  if (bases.empty()) {
+    std::uint64_t at = 0;
+    for (int t = 0; t < op.num_tensors(); ++t) {
+      bases.push_back(at);
+      at += static_cast<std::uint64_t>(op.tensor_size(t));
+    }
+  }
+  FCU_CHECK(bases.size() == static_cast<std::size_t>(op.num_tensors()),
+            "one base address per tensor required");
+
+  AddressStream stream;
+  stream.per_tensor_elements.assign(static_cast<std::size_t>(op.num_tensors()), 0);
+
+  // Per-tensor buffered tile coordinates (one slot each).
+  std::vector<std::vector<Index>> slot(static_cast<std::size_t>(op.num_tensors()));
+  std::vector<bool> slot_valid(static_cast<std::size_t>(op.num_tensors()), false);
+
+  std::vector<Index> iter(3, 0);
+  auto tile_index = [&](int dim) {
+    for (int pos = 0; pos < 3; ++pos) {
+      if (df.loop_order[static_cast<std::size_t>(pos)] == dim) {
+        return iter[static_cast<std::size_t>(pos)];
+      }
+    }
+    FCU_ASSERT_INTERNAL(false, "dim missing from loop order");
+    return Index{0};
+  };
+
+  auto emit_tile = [&](int t) {
+    const int d_row = op.tensor(t).dims[0];
+    const int d_col = op.tensor(t).dims[1];
+    const Index rows = op.extent(d_row), cols = op.extent(d_col);
+    const Index tr = df.tile[static_cast<std::size_t>(d_row)];
+    const Index tc = df.tile[static_cast<std::size_t>(d_col)];
+    const Index r0 = tile_index(d_row) * tr;
+    const Index c0 = tile_index(d_col) * tc;
+    const Index r_end = std::min(rows, r0 + tr);
+    const Index c_end = std::min(cols, c0 + tc);
+    const bool write = t == op.output_index();
+    for (Index r = r0; r < r_end; ++r) {
+      for (Index c = c0; c < c_end; ++c) {
+        ++stream.per_tensor_elements[static_cast<std::size_t>(t)];
+        if (options.max_records > 0 && stream.records.size() >= options.max_records) {
+          ++stream.dropped;
+          continue;
+        }
+        stream.records.push_back(
+            {t, bases[static_cast<std::size_t>(t)] + static_cast<std::uint64_t>(r * cols + c),
+             write});
+      }
+    }
+  };
+
+  while (true) {
+    for (int t = 0; t < op.num_tensors(); ++t) {
+      std::vector<Index> coords;
+      for (int d : op.tensor(t).dims) coords.push_back(tile_index(d));
+      if (!slot_valid[static_cast<std::size_t>(t)] || coords != slot[static_cast<std::size_t>(t)]) {
+        slot[static_cast<std::size_t>(t)] = std::move(coords);
+        slot_valid[static_cast<std::size_t>(t)] = true;
+        emit_tile(t);
+      }
+    }
+    int pos = 2;
+    while (pos >= 0) {
+      const int dim = df.loop_order[static_cast<std::size_t>(pos)];
+      if (++iter[static_cast<std::size_t>(pos)] < df.trips(op, dim)) break;
+      iter[static_cast<std::size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return stream;
+}
+
+}  // namespace fusecu

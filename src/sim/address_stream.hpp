@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "dataflow/access_model.hpp"
+
+/// \file address_stream.hpp
+/// DRAM address-stream generation for a tiled schedule.
+///
+/// The access model counts *how many* elements cross the memory boundary;
+/// this generator produces *which* addresses, in order — the input format
+/// for DRAM simulators and locality studies.  Tensors live in row-major
+/// layouts at configurable base addresses; each tile (re)load emits its
+/// element addresses in row-major walk order, following the schedule's
+/// reuse behaviour exactly (a tile in the buffer emits nothing).
+///
+/// Invariants the tests pin: the stream length equals the access model's
+/// per-tensor counts; every address stays inside its tensor's extent; the
+/// per-row segments of a tile load are contiguous (unit-stride bursts of
+/// the tile's width).
+
+namespace fusecu {
+
+struct AddressRecord {
+  int tensor = -1;       ///< index into op.tensors()
+  std::uint64_t address = 0;  ///< element address (multiply by element size for bytes)
+  bool is_write = false;      ///< true for output-tensor traffic
+};
+
+struct AddressStreamOptions {
+  /// Base address per tensor; defaults pack tensors back-to-back.
+  std::vector<std::uint64_t> bases;
+  /// Cap on emitted records (0 = unlimited); overflow is counted.
+  std::size_t max_records = 0;
+};
+
+struct AddressStream {
+  std::vector<AddressRecord> records;
+  std::vector<AccessCount> per_tensor_elements;  ///< includes dropped records
+  std::size_t dropped = 0;
+};
+
+/// Generate the element-granular DRAM stream of (op, df).  Matmul-shaped
+/// ops only (the executor family's scope).
+AddressStream generate_address_stream(const TensorOp& op, const Dataflow& df,
+                                      const AddressStreamOptions& options = {});
+
+}  // namespace fusecu

@@ -1,0 +1,40 @@
+#include "sim/bf16.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace fusecu {
+
+std::uint16_t float_to_bf16(float value) {
+  std::uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+
+  if (std::isnan(value)) return 0x7fc0;  // canonical quiet NaN
+
+  // Round to nearest even on the 16 discarded mantissa bits.
+  const std::uint32_t rounding_bias = 0x7fff + ((bits >> 16) & 1);
+  bits += rounding_bias;
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+float bf16_to_float(std::uint16_t bits) {
+  const std::uint32_t expanded = static_cast<std::uint32_t>(bits) << 16;
+  float value = 0.0f;
+  std::memcpy(&value, &expanded, sizeof(value));
+  return value;
+}
+
+double quantize_bf16(double value) {
+  return static_cast<double>(bf16_to_float(float_to_bf16(static_cast<float>(value))));
+}
+
+Matrix quantize_bf16(const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index c = 0; c < m.cols(); ++c) out.at(r, c) = quantize_bf16(m.at(r, c));
+  }
+  return out;
+}
+
+}  // namespace fusecu

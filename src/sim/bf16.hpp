@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/matrix.hpp"
+
+/// \file bf16.hpp
+/// bfloat16 arithmetic support for the datapath model.
+///
+/// The evaluated platforms carry a bf16 multiply / fp32 accumulate pipeline
+/// (2 B/element everywhere in the cost models).  The functional simulator
+/// computes in double for exactness; these helpers quantize operands to
+/// bf16 with round-to-nearest-even, so a test can drive the simulator with
+/// *representable* values and compare bit-exactly against a reference that
+/// quantizes identically — i.e. the fused datapaths introduce no error
+/// beyond the input quantization.
+
+namespace fusecu {
+
+/// Round-to-nearest-even conversion.  NaN is canonicalized; overflow
+/// saturates to infinity (matching typical bf16 hardware converters).
+std::uint16_t float_to_bf16(float value);
+
+float bf16_to_float(std::uint16_t bits);
+
+/// Quantize a double through bf16 (double -> float -> bf16 -> double).
+double quantize_bf16(double value);
+
+/// Elementwise quantization of a matrix.
+Matrix quantize_bf16(const Matrix& m);
+
+/// Largest relative error quantization can introduce for normal values:
+/// half a ulp of the 8-bit mantissa (1 implicit + 7 stored bits).
+inline constexpr double kBf16MaxRelativeError = 1.0 / 256.0;
+
+}  // namespace fusecu

@@ -1,0 +1,40 @@
+#include "sim/buffer_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+const BufferRegion& BufferPlan::region_for(int tensor) const {
+  for (const BufferRegion& r : regions) {
+    if (r.tensor == tensor) return r;
+  }
+  FCU_CHECK(false, "no region for tensor " + std::to_string(tensor));
+}
+
+bool tensor_is_streamed(const TensorOp& op, const Dataflow& df, int tensor) {
+  validate_dataflow(op, df);
+  for (int d : op.tensor(tensor).dims) {
+    if (df.trips(op, d) > 1) return true;
+  }
+  return false;
+}
+
+BufferPlan plan_buffer(const TensorOp& op, const Dataflow& df) {
+  validate_dataflow(op, df);
+  BufferPlan plan;
+  Index offset = 0;
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    BufferRegion region;
+    region.tensor = t;
+    region.name = op.tensor(t).name;
+    region.offset = offset;
+    region.tile_elements = df.tensor_tile_size(op, t);
+    region.double_buffered = tensor_is_streamed(op, df, t);
+    offset += region.extent();
+    plan.regions.push_back(std::move(region));
+  }
+  plan.total_elements = offset;
+  return plan;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/access_model.hpp"
+
+/// \file buffer_plan.hpp
+/// On-chip buffer layout planning for a dataflow.
+///
+/// The cost models charge one tile slot per tensor (Eq. 2/4).  A real
+/// controller additionally *double-buffers* every streamed tensor so the
+/// DMA can prefetch the next tile during compute (the 1-deep lookahead the
+/// timeline simulator models); tensors whose tile never changes during the
+/// nest (stationary or fully resident) need a single region.  This planner
+/// assigns non-overlapping regions and reports the true capacity the
+/// schedule needs with prefetching — always >= the analytical footprint,
+/// at most 2x.  The gap is the price of overlap, quantified by the tests.
+
+namespace fusecu {
+
+struct BufferRegion {
+  int tensor = -1;             ///< index into op.tensors()
+  std::string name;            ///< tensor name
+  Index offset = 0;            ///< start address, in elements
+  Index tile_elements = 0;     ///< one tile's size
+  bool double_buffered = false;
+
+  Index extent() const { return tile_elements * (double_buffered ? 2 : 1); }
+};
+
+struct BufferPlan {
+  std::vector<BufferRegion> regions;  ///< in address order
+  Index total_elements = 0;
+
+  bool fits(BufferSize capacity) const { return total_elements <= capacity; }
+  const BufferRegion& region_for(int tensor) const;
+};
+
+/// Lay out the buffer for (op, df): streamed tensors double-buffered,
+/// fixed-tile tensors single-buffered, regions packed contiguously.
+BufferPlan plan_buffer(const TensorOp& op, const Dataflow& df);
+
+/// Does a tensor's tile ever change while the nest runs (i.e. does any of
+/// its dimensions have an effective tile loop)?
+bool tensor_is_streamed(const TensorOp& op, const Dataflow& df, int tensor);
+
+}  // namespace fusecu

@@ -1,0 +1,271 @@
+#include "sim/compute_unit.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+ComputeUnit::ComputeUnit(Index n)
+    : n_(n),
+      pes_(static_cast<std::size_t>(n * n)),
+      east_wires_(static_cast<std::size_t>(n * n), 0.0),
+      south_wires_(static_cast<std::size_t>(n * n), 0.0) {
+  FCU_CHECK(n >= 1, "compute unit needs at least one PE");
+}
+
+XsPe& ComputeUnit::pe(Index row, Index col) {
+  FCU_CHECK(row >= 0 && row < n_ && col >= 0 && col < n_, "PE index out of range");
+  return pes_[static_cast<std::size_t>(row * n_ + col)];
+}
+
+const XsPe& ComputeUnit::pe(Index row, Index col) const {
+  FCU_CHECK(row >= 0 && row < n_ && col >= 0 && col < n_, "PE index out of range");
+  return pes_[static_cast<std::size_t>(row * n_ + col)];
+}
+
+double& ComputeUnit::east_ref(Index row, Index col) {
+  return east_wires_[static_cast<std::size_t>(row * n_ + col)];
+}
+double& ComputeUnit::south_ref(Index row, Index col) {
+  return south_wires_[static_cast<std::size_t>(row * n_ + col)];
+}
+
+double ComputeUnit::east_wire(Index row, Index col) const {
+  FCU_CHECK(row >= 0 && row < n_ && col >= 0 && col < n_, "wire index out of range");
+  return east_wires_[static_cast<std::size_t>(row * n_ + col)];
+}
+double ComputeUnit::south_wire(Index row, Index col) const {
+  FCU_CHECK(row >= 0 && row < n_ && col >= 0 && col < n_, "wire index out of range");
+  return south_wires_[static_cast<std::size_t>(row * n_ + col)];
+}
+
+void ComputeUnit::set_all_modes(PeMode mode) {
+  for (XsPe& p : pes_) p.set_mode(mode);
+}
+
+void ComputeUnit::reset() {
+  for (XsPe& p : pes_) {
+    p.load_stationary(0.0);
+    p.clear_accumulator();
+  }
+  std::fill(east_wires_.begin(), east_wires_.end(), 0.0);
+  std::fill(south_wires_.begin(), south_wires_.end(), 0.0);
+}
+
+void ComputeUnit::reset_traffic() {
+  input_traffic_ = 0;
+  output_traffic_ = 0;
+  preload_traffic_ = 0;
+}
+
+ComputeUnit::EdgeOutputs ComputeUnit::step(const std::vector<double>& west_feed,
+                                           const std::vector<double>& north_feed) {
+  FCU_CHECK(static_cast<Index>(west_feed.size()) == n_, "west feed arity");
+  FCU_CHECK(static_cast<Index>(north_feed.size()) == n_, "north feed arity");
+
+  std::vector<double> new_east(static_cast<std::size_t>(n_ * n_));
+  std::vector<double> new_south(static_cast<std::size_t>(n_ * n_));
+  for (Index r = 0; r < n_; ++r) {
+    for (Index c = 0; c < n_; ++c) {
+      XsPe::Inputs in;
+      in.west = (c == 0) ? west_feed[static_cast<std::size_t>(r)] : east_wires_[static_cast<std::size_t>(r * n_ + c - 1)];
+      in.north = (r == 0) ? north_feed[static_cast<std::size_t>(c)] : south_wires_[static_cast<std::size_t>((r - 1) * n_ + c)];
+      XsPe::Outputs o = pe(r, c).step(in);
+      new_east[static_cast<std::size_t>(r * n_ + c)] = o.east;
+      new_south[static_cast<std::size_t>(r * n_ + c)] = o.south;
+    }
+  }
+  east_wires_ = std::move(new_east);
+  south_wires_ = std::move(new_south);
+
+  EdgeOutputs out;
+  out.east.resize(static_cast<std::size_t>(n_));
+  out.south.resize(static_cast<std::size_t>(n_));
+  for (Index r = 0; r < n_; ++r) out.east[static_cast<std::size_t>(r)] = east_wire(r, n_ - 1);
+  for (Index c = 0; c < n_; ++c) out.south[static_cast<std::size_t>(c)] = south_wire(n_ - 1, c);
+  return out;
+}
+
+ComputeUnit::RunResult ComputeUnit::run_ws(const Matrix& a, const Matrix& b) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(k <= n_ && l <= n_, "WS tile exceeds array: K, L must be <= N");
+
+  reset();
+  set_all_modes(PeMode::kWeightStationary);
+  for (Index r = 0; r < k; ++r) {
+    for (Index c = 0; c < l; ++c) pe(r, c).load_stationary(b.at(r, c));
+  }
+  preload_traffic_ += k * l;
+
+  Matrix out(m, l);
+  std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
+  const std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
+  // A(mm, kk) enters west row kk at cycle mm + kk; C(mm, ll) is latched on
+  // the southbound wire of PE(K-1, ll) at the end of cycle mm + K-1 + ll.
+  const CycleCount total = m + k + l - 2;
+  for (CycleCount t = 0; t < total; ++t) {
+    for (Index r = 0; r < n_; ++r) {
+      const Index mm = t - r;
+      const bool active = r < k && mm >= 0 && mm < m;
+      west[static_cast<std::size_t>(r)] = active ? a.at(mm, r) : 0.0;
+      if (active) ++input_traffic_;
+    }
+    step(west, north);
+    for (Index c = 0; c < l; ++c) {
+      const Index mm = t - (k - 1) - c;
+      if (mm >= 0 && mm < m) {
+        out.at(mm, c) = south_wire(k - 1, c);
+        ++output_traffic_;
+      }
+    }
+  }
+  // Weight preload shifts row-by-row through the array.
+  return {out, total + k};
+}
+
+ComputeUnit::RunResult ComputeUnit::run_os(const Matrix& a, const Matrix& b) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(m <= n_ && l <= n_, "OS tile exceeds array: M, L must be <= N");
+
+  reset();
+  set_all_modes(PeMode::kOutputStationary);
+
+  std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
+  std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
+  // A(mm, kk) enters west row mm at cycle kk + mm; B(kk, ll) enters north
+  // column ll at cycle kk + ll.
+  const CycleCount total = k + m + l - 2;
+  for (CycleCount t = 0; t < total; ++t) {
+    for (Index r = 0; r < n_; ++r) {
+      const Index kk = t - r;
+      const bool active = r < m && kk >= 0 && kk < k;
+      west[static_cast<std::size_t>(r)] = active ? a.at(r, kk) : 0.0;
+      if (active) ++input_traffic_;
+    }
+    for (Index c = 0; c < n_; ++c) {
+      const Index kk = t - c;
+      const bool active = c < l && kk >= 0 && kk < k;
+      north[static_cast<std::size_t>(c)] = active ? b.at(kk, c) : 0.0;
+      if (active) ++input_traffic_;
+    }
+    step(west, north);
+  }
+
+  Matrix out(m, l);
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c < l; ++c) {
+      out.at(r, c) = pe(r, c).accumulator();
+      ++output_traffic_;
+    }
+  }
+  // Row-by-row accumulator drain.
+  return {out, total + m};
+}
+
+void ComputeUnit::clear_wires() {
+  std::fill(east_wires_.begin(), east_wires_.end(), 0.0);
+  std::fill(south_wires_.begin(), south_wires_.end(), 0.0);
+}
+
+ComputeUnit::RunResult ComputeUnit::drain_east(Index m, Index l) {
+  FCU_CHECK(m >= 1 && m <= n_ && l >= 1 && l <= n_, "drain window out of range");
+  set_all_modes(PeMode::kDrain);
+  clear_wires();
+
+  Matrix out(m, l);
+  const std::vector<double> zeros(static_cast<std::size_t>(n_), 0.0);
+  // Through registered links one original accumulator reaches the east
+  // edge every other cycle: column n-1-j arrives at cycle 2j + 1.
+  const CycleCount total = 2 * n_ - 1;
+  for (CycleCount t = 1; t <= total; ++t) {
+    EdgeOutputs edge = step(zeros, zeros);
+    if (t % 2 == 1) {
+      const Index col = n_ - 1 - (t - 1) / 2;
+      if (col < l) {
+        for (Index r = 0; r < m; ++r) {
+          out.at(r, col) = edge.east[static_cast<std::size_t>(r)];
+          ++output_traffic_;
+        }
+      }
+    }
+  }
+  return {out, total};
+}
+
+ComputeUnit::RunResult ComputeUnit::run_is_resident(Index m, Index k, const Matrix& b) {
+  const Index l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(m >= 1 && k >= 1 && m <= n_ && k <= n_, "IS tile exceeds array: M, K must be <= N");
+
+  set_all_modes(PeMode::kInputStationary);
+  clear_wires();
+
+  Matrix out(m, l);
+  const std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
+  std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
+  // B(kk, ll) enters north column kk at cycle ll + kk; C(mm, ll) is latched
+  // on the eastbound wire of PE(mm, K-1) at the end of cycle mm + ll + K-1.
+  const CycleCount total = m + k + l - 2;
+  for (CycleCount t = 0; t < total; ++t) {
+    for (Index c = 0; c < n_; ++c) {
+      const Index ll = t - c;
+      const bool active = c < k && ll >= 0 && ll < l;
+      north[static_cast<std::size_t>(c)] = active ? b.at(c, ll) : 0.0;
+      if (active) ++input_traffic_;
+    }
+    step(west, north);
+    for (Index r = 0; r < m; ++r) {
+      const Index ll = t - r - (k - 1);
+      if (ll >= 0 && ll < l) {
+        out.at(r, ll) = east_wire(r, k - 1);
+        ++output_traffic_;
+      }
+    }
+  }
+  return {out, total};
+}
+
+ComputeUnit::RunResult ComputeUnit::run_is(const Matrix& a, const Matrix& b) {
+  const Index m = a.rows(), k = a.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(m <= n_ && k <= n_, "IS tile exceeds array: M, K must be <= N");
+
+  reset();
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c < k; ++c) pe(r, c).load_stationary(a.at(r, c));
+  }
+  preload_traffic_ += m * k;
+
+  RunResult result = run_is_resident(m, k, b);
+  // Stationary preload shifts in row-by-row.
+  result.cycles += m;
+  return result;
+}
+
+ComputeUnit::RunResult ComputeUnit::run_tile_fusion(const Matrix& a, const Matrix& b,
+                                                    const Matrix& d) {
+  const Index m = a.rows(), l = b.cols();
+  FCU_CHECK(d.rows() == l, "fused shape mismatch: C columns must match D rows");
+  FCU_CHECK(m <= n_ && l <= n_, "intermediate tile exceeds array: M, L must be <= N");
+
+  // Producer phase: OS leaves C(m, l) in the accumulators.
+  RunResult os = run_os(a, b);
+  // The OS drain is *not* paid: the fusion mux promotes the accumulators to
+  // the stationary registers in a single configuration cycle.
+  const CycleCount producer_cycles = os.cycles - m;
+  output_traffic_ -= m * l;  // C never crossed the edge
+
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c < l; ++c) pe(r, c).promote_accumulator_to_stationary();
+  }
+
+  // Consumer phase: IS with C resident, streaming D — identical schedule to
+  // run_is with (M, K, L) = (m, l, n2).
+  RunResult consumer = run_is_resident(m, l, d);
+  return {std::move(consumer.output), producer_cycles + 1 + consumer.cycles};
+}
+
+}  // namespace fusecu

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/matrix.hpp"
+#include "sim/xs_pe.hpp"
+
+/// \file compute_unit.hpp
+/// Cycle-stepped N x N systolic Compute Unit built from XS PEs.
+///
+/// The grid is clocked explicitly: each cycle every PE consumes the values
+/// its west/north neighbors latched the previous cycle and latches new
+/// east/south values (one register per hop, standard systolic timing).  The
+/// high-level run_* drivers feed the canonical skewed schedules and collect
+/// results at the proper edge/cycle offsets, so a passing test certifies
+/// both the XS PE datapaths and the mapping equations of Sec. IV:
+///
+///   run_ws  : B(K x L) resident (K <= N rows, L <= N cols), A streamed
+///   run_os  : C(M x L) accumulated in place (M, L <= N), A and B streamed
+///   run_is  : A(M x K) resident (M <= N rows, K <= N cols), B streamed
+///   run_tile_fusion : OS phase computes the intermediate C(M x L) in the
+///       accumulators, the fusion mux promotes it to the stationary
+///       registers, and an IS phase consumes it against D — the
+///       intermediate never leaves the PEs (Fig. 5(a)).
+///
+/// The unit also counts operand/result elements crossing its edges, which
+/// the integration tests reconcile against the analytical access model.
+
+namespace fusecu {
+
+class ComputeUnit {
+ public:
+  explicit ComputeUnit(Index n);
+
+  Index size() const { return n_; }
+
+  XsPe& pe(Index row, Index col);
+  const XsPe& pe(Index row, Index col) const;
+
+  /// Put every PE in \p mode.
+  void set_all_modes(PeMode mode);
+
+  /// Zero all accumulators, stationary registers and inter-PE wires.
+  void reset();
+
+  /// One clock of the whole grid.  \p west_feed / \p north_feed are the
+  /// edge inputs for this cycle (size N each); the returned vectors are the
+  /// values leaving the east/south edges (latched this cycle).
+  struct EdgeOutputs {
+    std::vector<double> east;
+    std::vector<double> south;
+  };
+  EdgeOutputs step(const std::vector<double>& west_feed, const std::vector<double>& north_feed);
+
+  /// Read an internal eastbound wire (the value PE(row, col) latched last
+  /// cycle) — used to tap results at column K-1 when K < N.
+  double east_wire(Index row, Index col) const;
+  /// Read an internal southbound wire.
+  double south_wire(Index row, Index col) const;
+
+  struct RunResult {
+    Matrix output;
+    CycleCount cycles = 0;
+  };
+
+  /// C = A(MxK) x B(KxL) with B resident.  Requires K, L <= N.
+  RunResult run_ws(const Matrix& a, const Matrix& b);
+  /// C = A(MxK) x B(KxL) accumulated in place.  Requires M, L <= N.
+  RunResult run_os(const Matrix& a, const Matrix& b);
+  /// C = A(MxK) x B(KxL) with A resident.  Requires M, K <= N.
+  RunResult run_is(const Matrix& a, const Matrix& b);
+  /// IS-phase streaming against an operand *already resident* in the
+  /// stationary registers of pe(0..m-1, 0..k-1) — the second half of every
+  /// fusion pattern.  Clears the inter-PE wires, not the PE state.
+  RunResult run_is_resident(Index m, Index k, const Matrix& b);
+  /// Zero the inter-PE wires without touching PE registers (phase switch).
+  void clear_wires();
+  /// Shift the OS accumulators of rows [0, m) out through the east edge in
+  /// drain mode and return them as an (m x l) matrix whose columns were the
+  /// PE columns [0, l).  With registered inter-PE links one original value
+  /// reaches the edge every other cycle: 2N - 1 cycles total.
+  RunResult drain_east(Index m, Index l);
+  /// E = (A x B) x D with the intermediate kept in the PEs.
+  /// Requires M, L <= N; K and D's columns stream freely.
+  RunResult run_tile_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+
+  /// Elements streamed into the edges (operands).
+  AccessCount input_traffic() const { return input_traffic_; }
+  /// Elements collected from the edges / accumulators (results).
+  AccessCount output_traffic() const { return output_traffic_; }
+  /// Elements preloaded into stationary registers.
+  AccessCount preload_traffic() const { return preload_traffic_; }
+  void reset_traffic();
+
+ private:
+  Index n_;
+  std::vector<XsPe> pes_;
+  // Wires latched at the end of the previous cycle, indexed [row][col].
+  std::vector<double> east_wires_;
+  std::vector<double> south_wires_;
+
+  double& east_ref(Index row, Index col);
+  double& south_ref(Index row, Index col);
+
+  AccessCount input_traffic_ = 0;
+  AccessCount output_traffic_ = 0;
+  AccessCount preload_traffic_ = 0;
+};
+
+}  // namespace fusecu

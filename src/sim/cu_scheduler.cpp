@@ -1,0 +1,62 @@
+#include "sim/cu_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/perf_model.hpp"
+
+namespace fusecu {
+
+double CuScheduleResult::load_balance() const {
+  FCU_CHECK(!unit_busy.empty(), "empty schedule");
+  const CycleCount peak = *std::max_element(unit_busy.begin(), unit_busy.end());
+  if (peak == 0) return 1.0;
+  CycleCount total = 0;
+  for (CycleCount c : unit_busy) total += c;
+  return static_cast<double>(total) /
+         (static_cast<double>(peak) * static_cast<double>(unit_busy.size()));
+}
+
+CuScheduleResult schedule_jobs(std::vector<CuJob> jobs, int num_units) {
+  FCU_CHECK(num_units >= 1, "need at least one unit");
+  CuScheduleResult result;
+  result.unit_busy.assign(static_cast<std::size_t>(num_units), 0);
+
+  // Longest processing time first: classic 4/3-approximation for makespan.
+  std::sort(jobs.begin(), jobs.end(), [](const CuJob& a, const CuJob& b) {
+    return a.compute_cycles > b.compute_cycles;
+  });
+  for (const CuJob& job : jobs) {
+    auto least = std::min_element(result.unit_busy.begin(), result.unit_busy.end());
+    *least += job.compute_cycles;
+    result.memory_total += job.memory_cycles;
+  }
+  result.compute_peak = result.unit_busy.empty()
+                            ? 0
+                            : *std::max_element(result.unit_busy.begin(), result.unit_busy.end());
+  result.makespan = std::max(result.compute_peak, result.memory_total);
+  return result;
+}
+
+CuScheduleResult schedule_plan_per_unit(const ArchPlan& plan, const ArchSpec& arch,
+                                        Index copies) {
+  FCU_CHECK(copies >= 1, "copies must be positive");
+  std::vector<CuJob> jobs;
+  jobs.reserve(plan.steps.size() * static_cast<std::size_t>(copies));
+  const double unit_pes = static_cast<double>(arch.unit_rows * arch.unit_cols);
+  for (const ArchPlanStep& step : plan.steps) {
+    const double u = spatial_utilization(step.spatial_rows, step.spatial_cols, arch);
+    CuJob job;
+    job.compute_cycles = static_cast<CycleCount>(
+        std::ceil(static_cast<double>(step.macs) / (unit_pes * u)));
+    job.memory_cycles = static_cast<CycleCount>(
+        std::ceil(static_cast<double>(step.access) * arch.bytes_per_element /
+                  arch.bandwidth_bytes_per_cycle));
+    job.label = step.rule;
+    for (Index c = 0; c < copies; ++c) jobs.push_back(job);
+  }
+  return schedule_jobs(std::move(jobs), static_cast<int>(arch.num_units));
+}
+
+}  // namespace fusecu

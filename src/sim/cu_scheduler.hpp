@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/dataflow_space.hpp"
+
+/// \file cu_scheduler.hpp
+/// Multi-compute-unit job scheduling.
+///
+/// The roofline aggregation (perf_model) gangs all four units on each step.
+/// For the many small per-head operators of attention workloads the
+/// realistic alternative is *job-level* parallelism: each instance runs on
+/// one unit while the four units process different heads, sharing the
+/// single memory interface.  This module provides:
+///
+///  * longest-processing-time (LPT) list scheduling of jobs onto units;
+///  * a makespan model with the shared-bandwidth constraint: the DMA can
+///    serve one unit at a time, so the makespan is at least the total
+///    memory time and at least the busiest unit's compute time;
+///  * a comparison helper against the ganged model, used by the scheduling
+///    ablation bench.
+
+namespace fusecu {
+
+struct CuJob {
+  CycleCount compute_cycles = 0;  ///< on one unit
+  CycleCount memory_cycles = 0;   ///< on the shared memory interface
+  std::string label;
+};
+
+struct CuScheduleResult {
+  CycleCount makespan = 0;
+  std::vector<CycleCount> unit_busy;   ///< compute cycles per unit
+  CycleCount memory_total = 0;         ///< serialized DMA time
+  CycleCount compute_peak = 0;         ///< busiest unit
+
+  /// Busy-time balance across units: 1.0 = perfectly even.
+  double load_balance() const;
+};
+
+/// LPT-schedule \p jobs on \p num_units units.
+CuScheduleResult schedule_jobs(std::vector<CuJob> jobs, int num_units);
+
+/// Build per-instance jobs from a planned chain executed \p copies times,
+/// with each instance mapped to ONE unit (per-unit PE count), and schedule
+/// them across the platform's units.
+CuScheduleResult schedule_plan_per_unit(const ArchPlan& plan, const ArchSpec& arch, Index copies);
+
+}  // namespace fusecu

@@ -1,0 +1,129 @@
+#include "sim/dram_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Incremental row-buffer state shared by both replay paths.
+class BankModel {
+ public:
+  BankModel(const DramParams& params) : params_(params) {
+    FCU_CHECK(params.row_elements >= 1 && params.banks >= 1, "invalid DRAM geometry");
+    FCU_CHECK(params.t_cas >= 0 && params.t_activate >= 0, "invalid DRAM timings");
+    open_row_.assign(static_cast<std::size_t>(params.banks), -1);
+  }
+
+  void access(std::uint64_t address) {
+    const std::int64_t row =
+        static_cast<std::int64_t>(address / static_cast<std::uint64_t>(params_.row_elements));
+    const std::size_t bank = static_cast<std::size_t>(row % params_.banks);
+    ++stats_.accesses;
+    if (open_row_[bank] == row) {
+      ++stats_.row_hits;
+      stats_.cycles += params_.t_cas;
+    } else {
+      ++stats_.row_misses;
+      stats_.cycles += params_.t_cas + params_.t_activate;
+      open_row_[bank] = row;
+    }
+  }
+
+  const DramStats& stats() const { return stats_; }
+
+ private:
+  DramParams params_;
+  std::vector<std::int64_t> open_row_;
+  DramStats stats_;
+};
+
+}  // namespace
+
+double DramStats::hit_rate() const {
+  FCU_CHECK(accesses > 0, "no accesses replayed");
+  return static_cast<double>(row_hits) / static_cast<double>(accesses);
+}
+
+DramStats replay_dram(const AddressStream& stream, const DramParams& params) {
+  FCU_CHECK(stream.dropped == 0, "cannot replay a truncated stream");
+  BankModel banks(params);
+  for (const AddressRecord& r : stream.records) banks.access(r.address);
+  return banks.stats();
+}
+
+DramStats dram_stats(const TensorOp& op, const Dataflow& df, const DramParams& params) {
+  // Streaming replay: walk the schedule and feed addresses straight into
+  // the bank model — never materializing the (possibly enormous) stream.
+  validate_dataflow(op, df);
+  FCU_CHECK(op.num_dims() == 3, "DRAM replay targets matmul-shaped ops");
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    FCU_CHECK(op.tensor(t).dims.size() == 2, "DRAM replay expects 2-D tensors");
+  }
+
+  std::vector<std::uint64_t> bases;
+  {
+    std::uint64_t at = 0;
+    for (int t = 0; t < op.num_tensors(); ++t) {
+      bases.push_back(at);
+      at += static_cast<std::uint64_t>(op.tensor_size(t));
+    }
+  }
+
+  BankModel banks(params);
+  std::vector<std::vector<Index>> slot(static_cast<std::size_t>(op.num_tensors()));
+  std::vector<bool> slot_valid(static_cast<std::size_t>(op.num_tensors()), false);
+
+  std::vector<Index> iter(3, 0);
+  auto tile_index = [&](int dim) {
+    for (int pos = 0; pos < 3; ++pos) {
+      if (df.loop_order[static_cast<std::size_t>(pos)] == dim) {
+        return iter[static_cast<std::size_t>(pos)];
+      }
+    }
+    FCU_ASSERT_INTERNAL(false, "dim missing from loop order");
+    return Index{0};
+  };
+
+  while (true) {
+    for (int t = 0; t < op.num_tensors(); ++t) {
+      std::vector<Index> coords;
+      for (int d : op.tensor(t).dims) coords.push_back(tile_index(d));
+      if (slot_valid[static_cast<std::size_t>(t)] && coords == slot[static_cast<std::size_t>(t)]) {
+        continue;
+      }
+      slot[static_cast<std::size_t>(t)] = std::move(coords);
+      slot_valid[static_cast<std::size_t>(t)] = true;
+
+      const int d_row = op.tensor(t).dims[0];
+      const int d_col = op.tensor(t).dims[1];
+      const Index cols = op.extent(d_col);
+      const Index tr = df.tile[static_cast<std::size_t>(d_row)];
+      const Index tc = df.tile[static_cast<std::size_t>(d_col)];
+      const Index r0 = tile_index(d_row) * tr;
+      const Index c0 = tile_index(d_col) * tc;
+      const Index r_end = std::min(op.extent(d_row), r0 + tr);
+      const Index c_end = std::min(cols, c0 + tc);
+      for (Index r = r0; r < r_end; ++r) {
+        for (Index c = c0; c < c_end; ++c) {
+          banks.access(bases[static_cast<std::size_t>(t)] +
+                       static_cast<std::uint64_t>(r * cols + c));
+        }
+      }
+    }
+    int pos = 2;
+    while (pos >= 0) {
+      const int dim = df.loop_order[static_cast<std::size_t>(pos)];
+      if (++iter[static_cast<std::size_t>(pos)] < df.trips(op, dim)) break;
+      iter[static_cast<std::size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return banks.stats();
+}
+
+}  // namespace fusecu

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "sim/address_stream.hpp"
+
+/// \file dram_model.hpp
+/// First-order open-page DRAM model over the generated address stream.
+///
+/// Banks interleave on row address; each bank keeps one open row.  An
+/// access to the open row is a hit (t_CAS); anything else precharges and
+/// activates (t_RP + t_RCD + t_CAS).  The model turns the *order* of a
+/// schedule's accesses — which the element-count models deliberately
+/// ignore — into a locality figure: row-hit rate and total DRAM cycles.
+/// Dataflow choice changes the hit rate materially (burst-friendly tile
+/// walks vs column-strided ones), which is the refinement this adds on top
+/// of counting elements.
+
+namespace fusecu {
+
+struct DramParams {
+  Index row_elements = 1024;  ///< elements per DRAM row (2 KB at bf16)
+  int banks = 8;
+  CycleCount t_cas = 4;                ///< column access (hit cost)
+  CycleCount t_activate = 24;          ///< precharge + activate (miss extra)
+};
+
+struct DramStats {
+  std::int64_t accesses = 0;
+  std::int64_t row_hits = 0;
+  std::int64_t row_misses = 0;
+  CycleCount cycles = 0;
+
+  double hit_rate() const;
+};
+
+/// Replay \p stream through the row-buffer model.
+DramStats replay_dram(const AddressStream& stream, const DramParams& params = {});
+
+/// Convenience: generate the stream of (op, df) and replay it.
+DramStats dram_stats(const TensorOp& op, const Dataflow& df, const DramParams& params = {});
+
+}  // namespace fusecu

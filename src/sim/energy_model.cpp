@@ -1,0 +1,49 @@
+#include "sim/energy_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+double EnergyBreakdown::data_movement_fraction() const {
+  const double total = total_pj();
+  FCU_CHECK(total > 0.0, "empty energy breakdown");
+  return (dram_pj + buffer_pj) / total;
+}
+
+EnergyBreakdown step_energy(const ArchPlanStep& step, const ArchSpec& arch,
+                            const EnergyConstants& constants) {
+  FCU_CHECK(step.macs > 0, "step without work");
+  EnergyBreakdown e;
+  e.dram_pj = static_cast<double>(step.access) * constants.dram_pj_per_element;
+
+  // Buffer <-> array traffic amortized by spatial reuse: two operands enter
+  // through the array edges (reused across the opposite edge) and one
+  // partial result per reduction step leaves through the accumulation
+  // chain.  With an R x C array the per-MAC element traffic is
+  // 1/R + 1/C + 1/max(R, C).
+  const double r = static_cast<double>(arch.unit_rows);
+  const double c = static_cast<double>(arch.unit_cols);
+  const double per_mac = 1.0 / r + 1.0 / c + 1.0 / std::max(r, c);
+  e.buffer_pj =
+      static_cast<double>(step.macs) * per_mac * constants.buffer_pj_per_element;
+
+  e.compute_pj = static_cast<double>(step.macs) * constants.mac_pj;
+  return e;
+}
+
+EnergyBreakdown plan_energy(const ArchPlan& plan, const ArchSpec& arch, Index copies,
+                            const EnergyConstants& constants) {
+  FCU_CHECK(copies >= 1, "copies must be positive");
+  EnergyBreakdown total;
+  for (const ArchPlanStep& step : plan.steps) {
+    EnergyBreakdown e = step_energy(step, arch, constants);
+    total.dram_pj += e.dram_pj * static_cast<double>(copies);
+    total.buffer_pj += e.buffer_pj * static_cast<double>(copies);
+    total.compute_pj += e.compute_pj * static_cast<double>(copies);
+  }
+  return total;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "arch/dataflow_space.hpp"
+
+/// \file energy_model.hpp
+/// First-order energy accounting (Timeloop/MAESTRO-style per-access costs).
+///
+/// The paper motivates dataflow optimization by memory access being "a key
+/// factor in the energy consumption of tensor applications"; this model
+/// turns the planned memory accesses into energy so benches can report the
+/// energy counterpart of Fig. 10.  Costs per event at 28nm (picojoules,
+/// bf16 elements) follow the usual hierarchy spread of ~1 : 25 : 400:
+///
+///   * DRAM (memory <-> buffer):       160 pJ / element
+///   * SRAM buffer (buffer <-> array):   6 pJ / element
+///   * MAC incl. local registers:      0.4 pJ / MAC
+///
+/// Buffer <-> array traffic is amortized by spatial reuse on the systolic
+/// array: an operand element entering the fabric is reused across one array
+/// edge, so per-MAC operand traffic ~ (1/rows + 1/cols), plus one result
+/// update per reduction chain (1/depth).  This first-order model is enough
+/// for relative platform comparisons; absolute joules are estimates.
+
+namespace fusecu {
+
+struct EnergyConstants {
+  double dram_pj_per_element = 160.0;
+  double buffer_pj_per_element = 6.0;
+  double mac_pj = 0.4;
+};
+
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double buffer_pj = 0.0;
+  double compute_pj = 0.0;
+
+  double total_pj() const { return dram_pj + buffer_pj + compute_pj; }
+  /// Fraction of energy spent moving data (the paper's bottleneck claim).
+  double data_movement_fraction() const;
+};
+
+/// Energy of a planned step on a platform.
+EnergyBreakdown step_energy(const ArchPlanStep& step, const ArchSpec& arch,
+                            const EnergyConstants& constants = {});
+
+/// Aggregate energy of a plan executed \p copies times.
+EnergyBreakdown plan_energy(const ArchPlan& plan, const ArchSpec& arch, Index copies = 1,
+                            const EnergyConstants& constants = {});
+
+}  // namespace fusecu

@@ -1,0 +1,43 @@
+#include "sim/fidelity.hpp"
+
+#include "common/check.hpp"
+#include "fusion/fusion_planner.hpp"
+
+namespace fusecu {
+
+double FidelityPerf::overlap_gap() const {
+  FCU_CHECK(roofline_cycles > 0, "empty evaluation");
+  return static_cast<double>(timeline_cycles) / static_cast<double>(roofline_cycles);
+}
+
+FidelityPerf evaluate_plan_fidelity(const OperatorGraph& chain, const ArchPlan& plan,
+                                    const ArchSpec& arch, Index copies) {
+  FCU_CHECK(copies >= 1, "copies must be positive");
+  FidelityPerf result;
+  for (const ArchPlanStep& step : plan.steps) {
+    StepPerf roofline = evaluate_step_perf(step, arch);
+    result.roofline_cycles += roofline.cycles * copies;
+    result.access += step.access * copies;
+    result.macs += step.macs * copies;
+
+    const double u = spatial_utilization(step.spatial_rows, step.spatial_cols, arch);
+    CycleCount replayed = roofline.cycles;
+    if (!step.fused && step.dataflow) {
+      FCU_CHECK(step.op_indices.size() == 1, "solo step must cover one op");
+      replayed =
+          simulate_timeline(chain.op(step.op_indices[0]), *step.dataflow, arch, u).cycles;
+    } else if (step.fused && step.fused_phased) {
+      FCU_CHECK(step.op_indices.size() == 2, "fused step must cover two ops");
+      std::optional<FusedPair> pair =
+          try_make_fused_pair(chain.op(step.op_indices[0]), chain.op(step.op_indices[1]));
+      FCU_ASSERT_INTERNAL(pair.has_value(), "fused step over non-fusable ops");
+      replayed = simulate_fused_timeline(*pair, *step.fused_phased, arch, u).cycles;
+    } else {
+      ++result.roofline_fallbacks;
+    }
+    result.timeline_cycles += replayed * copies;
+  }
+  return result;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "sim/perf_model.hpp"
+#include "sim/timeline.hpp"
+
+/// \file fidelity.hpp
+/// Higher-fidelity plan evaluation: replay each planned step's *actual*
+/// schedule through the double-buffered timeline simulator instead of the
+/// roofline bound.
+///
+/// The roofline (perf_model.hpp) assumes perfect DMA/compute overlap;
+/// replaying the tile schedule exposes startup skew and per-iteration
+/// imbalance, which is where the Fig. 10 speedup overshoot documented in
+/// EXPERIMENTS.md comes from.  Solo steps replay their Dataflow; phased
+/// fused steps replay the fused nest; resident fused steps (schedules with
+/// two decoupled halves) fall back to the roofline, reported via
+/// `roofline_fallbacks`.
+
+namespace fusecu {
+
+struct FidelityPerf {
+  CycleCount roofline_cycles = 0;  ///< perf_model aggregation
+  CycleCount timeline_cycles = 0;  ///< tile-schedule replay
+  AccessCount access = 0;
+  MacCount macs = 0;
+  int roofline_fallbacks = 0;  ///< steps without a replayable schedule
+
+  /// Timeline / roofline — how much the ideal-overlap assumption hides.
+  double overlap_gap() const;
+};
+
+/// Replay \p plan (planned over \p chain on \p arch) \p copies times.
+FidelityPerf evaluate_plan_fidelity(const OperatorGraph& chain, const ArchPlan& plan,
+                                    const ArchSpec& arch, Index copies = 1);
+
+}  // namespace fusecu

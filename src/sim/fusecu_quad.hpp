@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+
+#include "sim/compute_unit.hpp"
+#include "sim/softmax_unit.hpp"
+
+/// \file fusecu_quad.hpp
+/// The FuseCU organization: four Compute Units whose edge PEs can select
+/// their operands from memory or from an adjacent CU (Fig. 7(a)).  The
+/// connection (FU) configuration yields the paper's execution patterns:
+///
+///  * **independent** — four CUs run four tiles in parallel (baseline);
+///  * **tile fusion** — each CU runs the OS -> promote -> IS sequence of
+///    ComputeUnit::run_tile_fusion (Fig. 7(b)); the quad also chains two
+///    CUs for *narrow* intermediates (Fig. 7(d)) by concatenating their
+///    column ranges;
+///  * **column fusion** — one CU in IS produces a column of the
+///    intermediate per cycle group, its east edge feeds the west edge of a
+///    second CU in OS that consumes the column against D and accumulates E
+///    (Fig. 5(b) / Fig. 7(c,e)).  The intermediate flows PE-to-PE and never
+///    touches the buffer.
+///
+/// All drivers return exact results (verified against matmul_reference in
+/// the tests) and cycle counts of the pipelined schedules.
+
+namespace fusecu {
+
+class FuseCuQuad {
+ public:
+  explicit FuseCuQuad(Index unit_size);
+
+  Index unit_size() const { return n_; }
+  ComputeUnit& unit(int i);
+
+  struct RunResult {
+    Matrix output;
+    CycleCount cycles = 0;
+  };
+
+  /// Four independent WS matmuls, one per CU, executed concurrently;
+  /// returns the slowest unit's cycle count.
+  struct QuadRunResult {
+    std::array<Matrix, 4> outputs;
+    CycleCount cycles = 0;
+  };
+  QuadRunResult run_independent_ws(const std::array<Matrix, 4>& as,
+                                   const std::array<Matrix, 4>& bs);
+
+  /// Unfused wide composition (Fig. 7(c)): two CUs side by side execute a
+  /// WS matmul with up to 2N weight columns — B's column blocks split
+  /// across the units, the same A stream feeds both.  Requires K <= N and
+  /// L <= 2N.
+  RunResult run_ws_wide(const Matrix& a, const Matrix& b);
+
+  /// E = (A x B) x D on a single CU via tile fusion (square intermediate,
+  /// M, L <= N).
+  RunResult run_tile_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+
+  /// Narrow tile fusion (Fig. 7(d)): two CUs side by side form an
+  /// M x 2N intermediate tile (M <= N, L <= 2N): columns [0, N) of C live
+  /// in the first CU, columns [N, 2N) in the second; D's rows are split
+  /// accordingly and the partial E results are summed.
+  RunResult run_narrow_tile_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+
+  /// Column fusion (Fig. 5(b)): producer CU in IS holds A (M x K resident,
+  /// M, K <= N); consumer CU in OS accumulates E (M x N2, N2 <= N).  Each
+  /// intermediate column C(:, l) streams straight from the producer's east
+  /// edge into the consumer's west edge.
+  RunResult run_column_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+
+  /// Full fused attention tile: O = softmax(Q K^T) V on one CU.  The OS
+  /// phase leaves the scores S in the accumulators; S streams through the
+  /// on-chip softmax unit and back into the stationary registers (the
+  /// activation-output mux of Fig. 6); the IS phase consumes it against V.
+  /// S never touches the buffer or memory.
+  RunResult run_attention_tile_fusion(const Matrix& q, const Matrix& k_t, const Matrix& v,
+                                      SoftmaxUnit& softmax);
+
+  /// Wide column fusion (Fig. 7(e)): the four CUs form two producer ->
+  /// consumer columns, splitting M across them, so the fused pair runs with
+  /// M up to 2N (producer tiles M/2 x K each).  Same dataflow semantics as
+  /// run_column_fusion; requires M <= 2N, K <= N, N2 <= N.
+  RunResult run_wide_column_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+
+  /// One attention head's operands.
+  struct AttentionHead {
+    Matrix q;
+    Matrix k_t;
+    Matrix v;
+  };
+
+  /// Many heads scheduled round-robin across the four CUs, each executed
+  /// as a fused attention tile; returns per-head outputs and the makespan
+  /// (the busiest unit's cycle total — heads on different units overlap).
+  struct MultiHeadResult {
+    std::vector<Matrix> outputs;
+    CycleCount cycles = 0;
+  };
+  MultiHeadResult run_attention_heads(const std::vector<AttentionHead>& heads,
+                                      SoftmaxUnit& softmax);
+
+  /// Total operand elements fed from the buffer across all CUs.
+  AccessCount input_traffic() const;
+  /// Total result elements returned to the buffer.
+  AccessCount output_traffic() const;
+  /// Total stationary preloads.
+  AccessCount preload_traffic() const;
+  void reset_traffic();
+
+ private:
+  RunResult attention_on_unit(int unit_index, const Matrix& q, const Matrix& k_t,
+                              const Matrix& v, SoftmaxUnit& softmax);
+
+  Index n_;
+  std::array<ComputeUnit, 4> units_;
+  // Traffic driven directly by the quad (joint column-fusion schedule),
+  // complementing the per-unit counters of the delegated drivers.
+  AccessCount extra_input_ = 0;
+  AccessCount extra_output_ = 0;
+  AccessCount extra_preload_ = 0;
+};
+
+}  // namespace fusecu

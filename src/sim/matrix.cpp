@@ -1,0 +1,34 @@
+#include "sim/matrix.hpp"
+
+namespace fusecu {
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  FCU_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < a.cols(); ++k) {
+      const double av = a.at(i, k);
+      if (av == 0.0) continue;
+      for (Index j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix make_test_matrix(Index rows, Index cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      m.at(r, c) = static_cast<double>(static_cast<std::int64_t>(state % 9) - 4);
+    }
+  }
+  return m;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+/// \file matrix.hpp
+/// Dense row-major matrix used by the functional simulator and its
+/// reference checks.  Element type is double: the simulator validates
+/// dataflow/mapping correctness, not numerics, and exact integer-valued
+/// doubles make equality checks trivial.
+
+namespace fusecu {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    FCU_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  double& at(Index r, Index c) {
+    FCU_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  double at(Index r, Index c) const {
+    FCU_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return same_shape(other) && data_ == other.data_;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Reference matmul: C = A * B.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+
+/// Deterministic small-integer test fill (values in [-4, 4]).
+Matrix make_test_matrix(Index rows, Index cols, std::uint64_t seed);
+
+}  // namespace fusecu

@@ -1,0 +1,68 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+double spatial_utilization(Index rows, Index cols, const ArchSpec& arch) {
+  FCU_CHECK(rows >= 1 && cols >= 1, "tile must be non-empty");
+  double best = 0.0;
+  for (const ArrayShape& s : arch.unit_shapes()) {
+    for (const auto& [r, c] : {std::pair<Index, Index>{rows, cols},
+                               std::pair<Index, Index>{cols, rows}}) {
+      const double padded = static_cast<double>(ceil_div(r, s.rows) * s.rows) *
+                            static_cast<double>(ceil_div(c, s.cols) * s.cols);
+      best = std::max(best, static_cast<double>(r) * static_cast<double>(c) / padded);
+    }
+  }
+  FCU_ASSERT_INTERNAL(best > 0.0 && best <= 1.0, "utilization out of range");
+  return best;
+}
+
+StepPerf evaluate_step_perf(const ArchPlanStep& step, const ArchSpec& arch) {
+  FCU_CHECK(step.macs > 0, "step without work");
+  StepPerf perf;
+  perf.spatial_utilization = spatial_utilization(step.spatial_rows, step.spatial_cols, arch);
+
+  const double effective_pes =
+      static_cast<double>(arch.total_pes()) * perf.spatial_utilization;
+  perf.compute_cycles =
+      static_cast<CycleCount>(std::ceil(static_cast<double>(step.macs) / effective_pes));
+  perf.memory_cycles = static_cast<CycleCount>(
+      std::ceil(static_cast<double>(step.access) * arch.bytes_per_element /
+                arch.bandwidth_bytes_per_cycle));
+  perf.cycles = std::max(perf.compute_cycles, perf.memory_cycles);
+  perf.memory_bound = perf.memory_cycles > perf.compute_cycles;
+  return perf;
+}
+
+double PlanPerf::utilization(const ArchSpec& arch) const {
+  FCU_CHECK(cycles > 0, "no cycles accumulated");
+  return static_cast<double>(macs) /
+         (static_cast<double>(cycles) * static_cast<double>(arch.total_pes()));
+}
+
+PlanPerf& PlanPerf::operator+=(const PlanPerf& other) {
+  cycles += other.cycles;
+  access += other.access;
+  macs += other.macs;
+  return *this;
+}
+
+PlanPerf evaluate_plan_perf(const ArchPlan& plan, const ArchSpec& arch, Index copies) {
+  FCU_CHECK(copies >= 1, "copies must be positive");
+  PlanPerf total;
+  for (const ArchPlanStep& step : plan.steps) {
+    StepPerf p = evaluate_step_perf(step, arch);
+    total.cycles += p.cycles * copies;
+    total.access += step.access * copies;
+    total.macs += step.macs * copies;
+  }
+  return total;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "arch/dataflow_space.hpp"
+
+/// \file perf_model.hpp
+/// Analytical performance model (the MAESTRO-substitute, Sec. V-A).
+///
+/// Each planned step (a solo operator or a fused pair) is mapped onto the
+/// platform:
+///
+///   spatial utilization u = best over the platform's composable array
+///       shapes of the padding efficiency of the PE-resident tile,
+///       (r*c) / (ceil(r/R)*R * ceil(c/C)*C) — rigid platforms waste PEs
+///       when a tile dimension (e.g. head_dim = 64) undershoots the array;
+///   compute cycles = MACs / (total PEs * u);
+///   memory cycles  = accesses * bytes / bandwidth-per-cycle;
+///   cycles = max(compute, memory)  — the roofline of Fig. 8's
+///       buffer-bandwidth-bound spatial architecture.
+///
+/// Fig. 10's "performance normalized to peak FLOPs" is
+/// total MACs / (total cycles * total PEs).
+
+namespace fusecu {
+
+struct StepPerf {
+  CycleCount compute_cycles = 0;
+  CycleCount memory_cycles = 0;
+  CycleCount cycles = 0;
+  double spatial_utilization = 0.0;
+  bool memory_bound = false;
+};
+
+/// Performance of one planned step on one platform.
+StepPerf evaluate_step_perf(const ArchPlanStep& step, const ArchSpec& arch);
+
+/// Aggregate over a plan executed \p copies times (e.g. batch x heads
+/// instances of a per-head attention chain).
+struct PlanPerf {
+  CycleCount cycles = 0;
+  AccessCount access = 0;
+  MacCount macs = 0;
+
+  /// Achieved fraction of peak FLOPs.
+  double utilization(const ArchSpec& arch) const;
+
+  PlanPerf& operator+=(const PlanPerf& other);
+};
+
+PlanPerf evaluate_plan_perf(const ArchPlan& plan, const ArchSpec& arch, Index copies = 1);
+
+/// Padding efficiency of an (r x c) tile on the platform's best array
+/// shape; exposed for tests.
+double spatial_utilization(Index rows, Index cols, const ArchSpec& arch);
+
+}  // namespace fusecu

@@ -1,0 +1,54 @@
+#include "sim/softmax_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+SoftmaxUnit::SoftmaxUnit(Index lanes, CycleCount row_latency)
+    : lanes_(lanes), row_latency_(row_latency) {
+  FCU_CHECK(lanes >= 1, "softmax unit needs at least one lane");
+  FCU_CHECK(row_latency >= 0, "negative latency");
+}
+
+Matrix SoftmaxUnit::apply(const Matrix& s) {
+  Matrix out(s.rows(), s.cols());
+  for (Index r = 0; r < s.rows(); ++r) {
+    double row_max = -std::numeric_limits<double>::infinity();
+    for (Index c = 0; c < s.cols(); ++c) row_max = std::max(row_max, s.at(r, c));
+    double sum = 0.0;
+    for (Index c = 0; c < s.cols(); ++c) {
+      const double e = std::exp(s.at(r, c) - row_max);
+      out.at(r, c) = e;
+      sum += e;
+    }
+    FCU_ASSERT_INTERNAL(sum > 0.0, "softmax row sum must be positive");
+    for (Index c = 0; c < s.cols(); ++c) out.at(r, c) /= sum;
+  }
+  // Three passes (max, exp+sum, normalize) at `lanes` elements per cycle.
+  last_cycles_ = s.rows() * (3 * ceil_div(s.cols(), lanes_) + row_latency_);
+  elements_ += s.rows() * s.cols();
+  return out;
+}
+
+Matrix attention_reference(const Matrix& q, const Matrix& k_t, const Matrix& v) {
+  SoftmaxUnit unit;
+  Matrix s = matmul_reference(q, k_t);
+  return matmul_reference(unit.apply(s), v);
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance) {
+  if (!a.same_shape(b)) return false;
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index c = 0; c < a.cols(); ++c) {
+      if (std::abs(a.at(r, c) - b.at(r, c)) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fusecu

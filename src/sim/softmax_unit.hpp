@@ -1,0 +1,46 @@
+#pragma once
+
+#include "sim/matrix.hpp"
+
+/// \file softmax_unit.hpp
+/// The dedicated softmax unit (Fig. 12 lists it among the baseline
+/// components).  In fused attention it sits between the producer phase
+/// (S = Q K^T) and the consumer phase (O = P V): rows of S stream through
+/// it on-chip, so the softmax never touches memory.  Unfused execution
+/// instead round-trips S through the buffer/memory (charged by the
+/// workload model as the unfused intermediate penalty).
+///
+/// Functional model: numerically stable row softmax (max-subtract, exp,
+/// normalize).  Cycle model: a three-pass pipeline over each row at
+/// `lanes` elements per cycle, plus a fixed pipeline latency per row.
+
+namespace fusecu {
+
+class SoftmaxUnit {
+ public:
+  explicit SoftmaxUnit(Index lanes = 128, CycleCount row_latency = 12);
+
+  /// Row-wise softmax of \p s.
+  Matrix apply(const Matrix& s);
+
+  /// Cycles consumed by the last apply().
+  CycleCount last_cycles() const { return last_cycles_; }
+
+  /// Elements processed since construction (for energy accounting).
+  AccessCount elements_processed() const { return elements_; }
+
+ private:
+  Index lanes_;
+  CycleCount row_latency_;
+  CycleCount last_cycles_ = 0;
+  AccessCount elements_ = 0;
+};
+
+/// Reference attention core with softmax: softmax(Q K^T) V, for verifying
+/// fused-with-softmax execution.
+Matrix attention_reference(const Matrix& q, const Matrix& k_t, const Matrix& v);
+
+/// Near-equality for floating-point matrices (softmax is not exact).
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance = 1e-9);
+
+}  // namespace fusecu

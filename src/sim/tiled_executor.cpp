@@ -1,0 +1,217 @@
+#include "sim/tiled_executor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Edge-clipped submatrix copy.
+Matrix slice(const Matrix& m, Index r0, Index rows, Index c0, Index cols) {
+  rows = std::min(rows, m.rows() - r0);
+  cols = std::min(cols, m.cols() - c0);
+  Matrix out(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) out.at(r, c) = m.at(r0 + r, c0 + c);
+  }
+  return out;
+}
+
+/// Add \p tile into \p target at (r0, c0).
+void accumulate_into(Matrix& target, const Matrix& tile, Index r0, Index c0) {
+  for (Index r = 0; r < tile.rows(); ++r) {
+    for (Index c = 0; c < tile.cols(); ++c) target.at(r0 + r, c0 + c) += tile.at(r, c);
+  }
+}
+
+/// Run one tile matmul on the array in whichever stationary mode fits.
+ComputeUnit::RunResult run_tile(ComputeUnit& cu, const Matrix& a_tile, const Matrix& b_tile) {
+  const Index n = cu.size();
+  const Index m = a_tile.rows(), k = a_tile.cols(), l = b_tile.cols();
+  ComputeUnit::RunResult result;
+  if (m <= n && l <= n) {
+    result = cu.run_os(a_tile, b_tile);
+  } else if (k <= n && l <= n) {
+    result = cu.run_ws(a_tile, b_tile);
+  } else if (m <= n && k <= n) {
+    result = cu.run_is(a_tile, b_tile);
+  } else {
+    FCU_CHECK(false, "tile does not fit the array in any stationary mode");
+  }
+  return result;
+}
+
+/// One buffer slot: reloads when the scheduled tile coordinates change.
+class TileSlot {
+ public:
+  /// Returns the clipped element count to charge, or 0 on a buffer hit.
+  AccessCount touch(const std::vector<Index>& coords, Index clipped_elements) {
+    if (valid_ && coords == coords_) return 0;
+    coords_ = coords;
+    valid_ = true;
+    return clipped_elements;
+  }
+
+ private:
+  std::vector<Index> coords_;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const Matrix& a,
+                                   const Matrix& b, ComputeUnit& cu) {
+  validate_dataflow(op, df);
+  FCU_CHECK(op.num_dims() == 3 && op.num_tensors() == 3, "executor targets matmul-shaped ops");
+  const Index m = op.extent(mm::kDimM), k = op.extent(mm::kDimK), l = op.extent(mm::kDimL);
+  FCU_CHECK(a.rows() == m && a.cols() == k, "A shape mismatch");
+  FCU_CHECK(b.rows() == k && b.cols() == l, "B shape mismatch");
+
+  const Index t_m = df.tile[mm::kDimM], t_k = df.tile[mm::kDimK], t_l = df.tile[mm::kDimL];
+
+  TiledExecutionResult out;
+  out.output = Matrix(m, l);
+  out.traffic_per_tensor.assign(3, 0);
+  std::vector<TileSlot> slots(3);
+
+  // Odometer over the tile loops, outermost first.
+  std::vector<Index> iter(3, 0);  // by loop position
+  auto tile_index_of_dim = [&](int dim) {
+    for (int pos = 0; pos < 3; ++pos) {
+      if (df.loop_order[static_cast<std::size_t>(pos)] == dim) {
+        return iter[static_cast<std::size_t>(pos)];
+      }
+    }
+    FCU_ASSERT_INTERNAL(false, "dim missing from loop order");
+    return Index{0};  // unreachable
+  };
+
+  while (true) {
+    const Index mi = tile_index_of_dim(mm::kDimM);
+    const Index ki = tile_index_of_dim(mm::kDimK);
+    const Index li = tile_index_of_dim(mm::kDimL);
+    const Index cm = std::min(t_m, m - mi * t_m);
+    const Index ck = std::min(t_k, k - ki * t_k);
+    const Index cl = std::min(t_l, l - li * t_l);
+
+    out.traffic_per_tensor[mm::kTensorA] +=
+        slots[mm::kTensorA].touch({mi, ki}, cm * ck);
+    out.traffic_per_tensor[mm::kTensorB] +=
+        slots[mm::kTensorB].touch({ki, li}, ck * cl);
+    out.traffic_per_tensor[mm::kTensorC] +=
+        slots[mm::kTensorC].touch({mi, li}, cm * cl);
+
+    Matrix a_tile = slice(a, mi * t_m, t_m, ki * t_k, t_k);
+    Matrix b_tile = slice(b, ki * t_k, t_k, li * t_l, t_l);
+    ComputeUnit::RunResult pass = run_tile(cu, a_tile, b_tile);
+    out.compute_cycles += pass.cycles;
+    accumulate_into(out.output, pass.output, mi * t_m, li * t_l);
+
+    int pos = 2;
+    while (pos >= 0) {
+      const int dim = df.loop_order[static_cast<std::size_t>(pos)];
+      if (++iter[static_cast<std::size_t>(pos)] < df.trips(op, dim)) break;
+      iter[static_cast<std::size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  for (AccessCount t : out.traffic_per_tensor) out.total_traffic += t;
+  return out;
+}
+
+FusedExecutionResult execute_fused_resident(const FusedPair& pair,
+                                            const ResidentFusedDataflow& df, const Matrix& a,
+                                            const Matrix& b, const Matrix& d, FuseCuQuad& quad) {
+  const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
+  FCU_CHECK(a.rows() == m && a.cols() == k, "A shape mismatch");
+  FCU_CHECK(b.rows() == k && b.cols() == l, "B shape mismatch");
+  FCU_CHECK(d.rows() == l && d.cols() == n, "D shape mismatch");
+
+  FusedExecutionResult out;
+
+  // Producer: its own schedule, C written to the on-chip region (the
+  // executor's output matrix stands in for it) — not charged.
+  TiledExecutionResult p = execute_tiled(pair.op1(), df.df1, a, b, quad.unit(0));
+  out.traffic_a = p.traffic_per_tensor[mm::kTensorA];
+  out.traffic_b = p.traffic_per_tensor[mm::kTensorB];
+  out.compute_cycles += p.compute_cycles;
+
+  // Consumer: reads the resident C for free, streams D, spills E per its
+  // own schedule.
+  TiledExecutionResult c = execute_tiled(pair.op2(), df.df2, p.output, d, quad.unit(1));
+  out.traffic_d = c.traffic_per_tensor[1];
+  out.traffic_e = c.traffic_per_tensor[2];
+  out.compute_cycles += c.compute_cycles;
+
+  out.traffic_c = 0;
+  out.output = std::move(c.output);
+  out.total_traffic = out.traffic_a + out.traffic_b + out.traffic_d + out.traffic_e;
+  return out;
+}
+
+FusedExecutionResult execute_fused_phased(const FusedPair& pair, const PhasedFusedDataflow& df,
+                                          const Matrix& a, const Matrix& b, const Matrix& d,
+                                          FuseCuQuad& quad) {
+  const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
+  FCU_CHECK(a.rows() == m && a.cols() == k, "A shape mismatch");
+  FCU_CHECK(b.rows() == k && b.cols() == l, "B shape mismatch");
+  FCU_CHECK(d.rows() == l && d.cols() == n, "D shape mismatch");
+  FCU_CHECK(df.t_m <= quad.unit_size() && df.t_l <= quad.unit_size(),
+            "intermediate tile must fit one compute unit");
+
+  const Index nm = ceil_div(m, df.t_m), nl = ceil_div(l, df.t_l);
+  const Index nk = ceil_div(k, df.t_k), nn = ceil_div(n, df.t_n);
+
+  FusedExecutionResult out;
+  out.output = Matrix(m, n);
+  TileSlot slot_a, slot_b, slot_d, slot_e;
+
+  auto body = [&](Index mi, Index li) {
+    const Index cm = std::min(df.t_m, m - mi * df.t_m);
+    const Index cl = std::min(df.t_l, l - li * df.t_l);
+
+    // Producer phase: the K loop completes C(mi, li) in place.
+    Matrix c_tile(cm, cl);
+    for (Index ki = 0; ki < nk; ++ki) {
+      const Index ck = std::min(df.t_k, k - ki * df.t_k);
+      out.traffic_a += slot_a.touch({mi, ki}, cm * ck);
+      out.traffic_b += slot_b.touch({ki, li}, ck * cl);
+      Matrix a_tile = slice(a, mi * df.t_m, df.t_m, ki * df.t_k, df.t_k);
+      Matrix b_tile = slice(b, ki * df.t_k, df.t_k, li * df.t_l, df.t_l);
+      ComputeUnit::RunResult pass = quad.unit(0).run_os(a_tile, b_tile);
+      out.compute_cycles += pass.cycles;
+      accumulate_into(c_tile, pass.output, 0, 0);
+    }
+
+    // Consumer phase: the N loop drains C(mi, li) against D.
+    for (Index ni = 0; ni < nn; ++ni) {
+      const Index cn = std::min(df.t_n, n - ni * df.t_n);
+      out.traffic_d += slot_d.touch({li, ni}, cl * cn);
+      out.traffic_e += slot_e.touch({mi, ni}, cm * cn);
+      Matrix d_tile = slice(d, li * df.t_l, df.t_l, ni * df.t_n, df.t_n);
+      ComputeUnit::RunResult pass = quad.unit(1).run_is(c_tile, d_tile);
+      out.compute_cycles += pass.cycles;
+      accumulate_into(out.output, pass.output, mi * df.t_m, ni * df.t_n);
+    }
+  };
+
+  if (df.l_outer) {
+    for (Index li = 0; li < nl; ++li) {
+      for (Index mi = 0; mi < nm; ++mi) body(mi, li);
+    }
+  } else {
+    for (Index mi = 0; mi < nm; ++mi) {
+      for (Index li = 0; li < nl; ++li) body(mi, li);
+    }
+  }
+
+  out.traffic_c = 0;  // structurally: no slot, no memory region, no spill
+  out.total_traffic = out.traffic_a + out.traffic_b + out.traffic_d + out.traffic_e;
+  return out;
+}
+
+}  // namespace fusecu

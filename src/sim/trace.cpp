@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include "common/json_writer.hpp"
+
+namespace fusecu {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
+  JsonWriter w(os);
+  w.begin_array();
+  for (const TraceEvent& e : recorder.events()) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.category);
+    w.field("ph", "X");
+    w.field("ts", e.start_cycle);
+    w.field("dur", e.duration_cycles);
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(e.track));
+    w.end_object();
+  }
+  w.end_array();
+  os << '\n';
+}
+
+}  // namespace fusecu

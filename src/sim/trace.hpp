@@ -1,0 +1,49 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file trace.hpp
+/// Execution trace recording and chrome-tracing export.
+///
+/// The timeline simulator (and any other cycle-producing component) can
+/// record per-engine events; `write_chrome_trace` emits the
+/// `chrome://tracing` / Perfetto JSON array format, so a schedule's DMA /
+/// compute interleaving can be inspected visually.  Recording is bounded:
+/// once `capacity` events are stored further events are counted but
+/// dropped, keeping traces of large schedules affordable.
+
+namespace fusecu {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  Index track = 0;          ///< tid in the chrome trace (0 = DMA, 1 = compute, ...)
+  double start_cycle = 0.0;
+  double duration_cycles = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 100000);
+
+  void record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// Emit the trace as a chrome-tracing JSON array ("ph":"X" complete
+/// events; cycle timestamps map to microseconds 1:1).
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
+
+}  // namespace fusecu

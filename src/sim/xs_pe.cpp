@@ -1,0 +1,32 @@
+#include "sim/xs_pe.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+XsPe::Outputs XsPe::step(const Inputs& in) {
+  Outputs out;
+  switch (mode_) {
+    case PeMode::kWeightStationary:
+      out.south = in.north + stationary_ * in.west;
+      out.east = in.west;
+      break;
+    case PeMode::kInputStationary:
+      out.east = in.west + stationary_ * in.north;
+      out.south = in.north;
+      break;
+    case PeMode::kOutputStationary:
+      accumulator_ += in.west * in.north;
+      out.east = in.west;
+      out.south = in.north;
+      break;
+    case PeMode::kDrain:
+      out.east = accumulator_;
+      accumulator_ = in.west;
+      out.south = in.north;
+      break;
+  }
+  return out;
+}
+
+}  // namespace fusecu

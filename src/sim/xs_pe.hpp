@@ -1,0 +1,80 @@
+#pragma once
+
+#include "common/types.hpp"
+
+/// \file xs_pe.hpp
+/// The X-Stationary processing element (Fig. 6).
+///
+/// A conventional systolic PE hard-wires one dataflow; the XS PE adds
+/// multiplexers so the same multiplier/adder/registers serve three:
+///
+///  * **WS / IS** (green datapath): the stationary register holds a weight
+///    (or input) element; the value arriving from the west is multiplied by
+///    it and added into the partial sum arriving from the north (WS) /
+///    west (IS — same MAC, transposed wiring, selected by mux);
+///  * **OS** (red datapath): operands stream from west and north, the
+///    product accumulates into the local accumulator, operands forward.
+///
+/// The mux on the activation output additionally lets the *accumulator*
+/// feed the stationary register — this is the tile-fusion path: after an OS
+/// phase computed a tile of the intermediate C in the accumulators, the PE
+/// switches to IS with C resident, "without adding any buffers or
+/// registers" (Sec. IV-B).
+
+namespace fusecu {
+
+enum class PeMode {
+  kWeightStationary,
+  kInputStationary,
+  kOutputStationary,
+  /// Accumulator drain: each cycle the PE emits its accumulator eastward
+  /// and adopts its west neighbor's, shifting a whole row of OS results to
+  /// the east edge in N cycles — the read-out path OS needs (tile fusion
+  /// instead *promotes* the accumulators and never drains).
+  kDrain,
+};
+
+class XsPe {
+ public:
+  /// Values read from the west/north neighbors this cycle.
+  struct Inputs {
+    double west = 0.0;
+    double north = 0.0;
+  };
+  /// Values latched for the east/south neighbors at the end of the cycle.
+  struct Outputs {
+    double east = 0.0;
+    double south = 0.0;
+  };
+
+  void set_mode(PeMode mode) { mode_ = mode; }
+  PeMode mode() const { return mode_; }
+
+  /// Preload the stationary register (weight for WS, input for IS).
+  void load_stationary(double v) { stationary_ = v; }
+  double stationary() const { return stationary_; }
+
+  /// Clear the OS accumulator.
+  void clear_accumulator() { accumulator_ = 0.0; }
+  double accumulator() const { return accumulator_; }
+
+  /// The fusion mux: route the accumulated intermediate into the stationary
+  /// register for the consumer phase.
+  void promote_accumulator_to_stationary() {
+    stationary_ = accumulator_;
+    accumulator_ = 0.0;
+  }
+
+  /// One clock: consume neighbor values, produce latched outputs.
+  ///  * WS: south = north + stationary * west;  east = west  (psum N->S)
+  ///  * IS: east  = west  + stationary * north; south = north (psum W->E)
+  ///  * OS: accumulator += west * north; both operands forward.
+  Outputs step(const Inputs& in);
+
+ private:
+  PeMode mode_ = PeMode::kWeightStationary;
+  double stationary_ = 0.0;
+  double accumulator_ = 0.0;
+};
+
+}  // namespace fusecu

@@ -1,0 +1,55 @@
+#include "tensor/conv.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+void Conv2dConfig::validate() const {
+  FCU_CHECK(batch >= 1 && in_channels >= 1 && out_channels >= 1, "invalid channel config");
+  FCU_CHECK(in_h >= 1 && in_w >= 1 && kernel_h >= 1 && kernel_w >= 1, "invalid extents");
+  FCU_CHECK(stride >= 1, "stride must be positive");
+  FCU_CHECK(kernel_h <= in_h && kernel_w <= in_w, "kernel larger than input");
+}
+
+Index Conv2dConfig::out_h() const {
+  validate();
+  return (in_h - kernel_h) / stride + 1;
+}
+
+Index Conv2dConfig::out_w() const {
+  validate();
+  return (in_w - kernel_w) / stride + 1;
+}
+
+MacCount Conv2dConfig::macs() const {
+  validate();
+  return batch * out_channels * in_channels * out_h() * out_w() * kernel_h * kernel_w;
+}
+
+TensorOp conv_as_matmul(const Conv2dConfig& config) {
+  config.validate();
+  const Index m = config.batch * config.out_h() * config.out_w();
+  const Index k = config.in_channels * config.kernel_h * config.kernel_w;
+  const Index l = config.out_channels;
+  return TensorOp::matmul(config.name + ".im2col", m, k, l, config.name + ".patches",
+                          config.name + ".weights", config.name + ".out");
+}
+
+TensorOp conv_as_loop_nest(const Conv2dConfig& config) {
+  config.validate();
+  std::vector<Dim> dims = {
+      {"N", config.batch},      {"K", config.out_channels}, {"C", config.in_channels},
+      {"P", config.out_h()},    {"Q", config.out_w()},      {"R", config.kernel_h},
+      {"S", config.kernel_w},
+  };
+  // Dim indices by position above.
+  constexpr int kN = 0, kK = 1, kC = 2, kP = 3, kQ = 4, kR = 5, kS = 6;
+  std::vector<TensorDecl> tensors = {
+      {config.name + ".input", {kN, kC, kP, kQ, kR, kS}, TensorRole::kInput},
+      {config.name + ".weights", {kK, kC, kR, kS}, TensorRole::kInput},
+      {config.name + ".output", {kN, kK, kP, kQ}, TensorRole::kOutput},
+  };
+  return TensorOp(config.name + ".direct", std::move(dims), std::move(tensors));
+}
+
+}  // namespace fusecu

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "tensor/tensor_op.hpp"
+
+/// \file conv.hpp
+/// Convolution support — the paper's "Principle 1-4 can be extended to
+/// other tensor operators, as all tensor operators can be represented as
+/// for-loops" (Sec. III-B2).
+///
+/// Two views are provided:
+///
+///  * **im2col matmul view** — Conv2D as A(M,K) x B(K,L) with
+///    M = N * P * Q (batch x output pixels), K = C * R * S (input patch),
+///    L = K_out.  This is how GEMM-based accelerators (TPU-class, exactly
+///    our platforms) execute convolution, and it feeds the whole principle
+///    machinery unchanged.  Input halo reuse between overlapping patches is
+///    not modeled (the standard im2col trade-off).
+///  * **direct loop-nest view** — the 7-loop nest over
+///    (N, K, C, P, Q, R, S) using the decoupled-index approximation for the
+///    input (indexed by {N, C, P, Q, R, S}), as in data-centric cost models
+///    that treat sliding windows conservatively.  The rank-agnostic access
+///    model (dataflow/access_model.hpp) prices dataflow on this nest
+///    directly, demonstrating that the cost machinery is not MM-specific.
+
+namespace fusecu {
+
+struct Conv2dConfig {
+  std::string name;
+  Index batch = 1;
+  Index in_channels = 1;
+  Index out_channels = 1;
+  Index in_h = 1;
+  Index in_w = 1;
+  Index kernel_h = 1;
+  Index kernel_w = 1;
+  Index stride = 1;
+
+  /// Valid-padding output extents: (in - kernel) / stride + 1.
+  Index out_h() const;
+  Index out_w() const;
+
+  /// MACs = N * K * C * P * Q * R * S.
+  MacCount macs() const;
+
+  /// Throws std::invalid_argument when extents are inconsistent.
+  void validate() const;
+};
+
+/// im2col lowering: matmul with M = N*P*Q, K = C*R*S, L = K_out.
+TensorOp conv_as_matmul(const Conv2dConfig& config);
+
+/// Direct 7-loop nest: dims [N, K, C, P, Q, R, S]; tensors
+/// input{N,C,P,Q,R,S}, weights{K,C,R,S}, output{N,K,P,Q}.
+TensorOp conv_as_loop_nest(const Conv2dConfig& config);
+
+}  // namespace fusecu

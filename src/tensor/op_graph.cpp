@@ -1,0 +1,151 @@
+#include "tensor/op_graph.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Extents of a tensor's dims in declaration order, for cross-op agreement.
+std::vector<Index> tensor_extents(const TensorOp& op, int t) {
+  std::vector<Index> ext;
+  ext.reserve(op.tensor(t).dims.size());
+  for (int d : op.tensor(t).dims) ext.push_back(op.extent(d));
+  return ext;
+}
+
+}  // namespace
+
+int OperatorGraph::add_op(TensorOp op) {
+  // Shared-tensor agreement and single-producer invariants.
+  for (int t = 0; t < op.num_tensors(); ++t) {
+    const std::string& name = op.tensor(t).name;
+    for (int i = 0; i < num_ops(); ++i) {
+      int other = ops_[static_cast<std::size_t>(i)].find_tensor(name);
+      if (other < 0) continue;
+      const TensorOp& prev = ops_[static_cast<std::size_t>(i)];
+      FCU_CHECK(tensor_extents(prev, other) == tensor_extents(op, t),
+                "tensor '" + name + "' shape disagrees between ops '" + prev.name() + "' and '" +
+                    op.name() + "'");
+      const bool prev_produces = prev.output_index() == other;
+      const bool this_produces = op.output_index() == t;
+      FCU_CHECK(!(prev_produces && this_produces),
+                "tensor '" + name + "' produced by two operators");
+      if (this_produces) {
+        FCU_CHECK(!prev_produces, "");
+        // An op consuming earlier and produced later would break topological
+        // order (a cycle or forward reference).
+        FCU_CHECK(false, "tensor '" + name + "' consumed before it is produced (ops must be "
+                         "added in topological order)");
+      }
+    }
+  }
+  ops_.push_back(std::move(op));
+  return num_ops() - 1;
+}
+
+std::vector<GraphEdge> OperatorGraph::edges() const {
+  std::vector<GraphEdge> result;
+  for (int p = 0; p < num_ops(); ++p) {
+    const TensorOp& prod = op(p);
+    const std::string& out = prod.tensor(prod.output_index()).name;
+    for (int c = 0; c < num_ops(); ++c) {
+      if (c == p) continue;
+      int t = op(c).find_tensor(out);
+      if (t >= 0 && t != op(c).output_index()) result.push_back({p, c, out});
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> OperatorGraph::intermediate_tensors() const {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  for (const GraphEdge& e : edges()) {
+    if (seen.insert(e.tensor_name).second) names.push_back(e.tensor_name);
+  }
+  return names;
+}
+
+std::optional<int> OperatorGraph::producer_of(const std::string& tensor_name) const {
+  for (int i = 0; i < num_ops(); ++i) {
+    const TensorOp& o = op(i);
+    if (o.tensor(o.output_index()).name == tensor_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> OperatorGraph::consumers_of(const std::string& tensor_name) const {
+  std::vector<int> result;
+  for (int i = 0; i < num_ops(); ++i) {
+    int t = op(i).find_tensor(tensor_name);
+    if (t >= 0 && t != op(i).output_index()) result.push_back(i);
+  }
+  return result;
+}
+
+bool OperatorGraph::is_linear_chain() const {
+  for (int i = 0; i < num_ops(); ++i) {
+    const TensorOp& o = op(i);
+    const std::string& out = o.tensor(o.output_index()).name;
+    std::vector<int> cons = consumers_of(out);
+    if (i + 1 < num_ops()) {
+      if (cons.size() != 1 || cons[0] != i + 1) return false;
+    } else {
+      if (!cons.empty()) return false;
+    }
+  }
+  return true;
+}
+
+MacCount OperatorGraph::macs() const {
+  MacCount total = 0;
+  for (const TensorOp& o : ops_) total += o.macs();
+  return total;
+}
+
+AccessCount OperatorGraph::ideal_min_access_unfused() const {
+  AccessCount total = 0;
+  for (const TensorOp& o : ops_) total += o.ideal_min_access();
+  return total;
+}
+
+AccessCount OperatorGraph::ideal_min_access_fused() const {
+  AccessCount total = ideal_min_access_unfused();
+  for (const std::string& name : intermediate_tensors()) {
+    std::optional<int> p = producer_of(name);
+    FCU_ASSERT_INTERNAL(p.has_value(), "intermediate without producer");
+    const TensorOp& prod = op(*p);
+    Index size = prod.tensor_size(prod.find_tensor(name));
+    // Fusion removes the producer's store and every consumer's load.
+    total -= size * (1 + static_cast<AccessCount>(consumers_of(name).size()));
+  }
+  return total;
+}
+
+MatMulChainBuilder::MatMulChainBuilder(Index m, std::vector<Index> n, std::string prefix)
+    : m_(m), n_(std::move(n)), prefix_(std::move(prefix)) {
+  FCU_CHECK(m_ >= 1, "chain row dimension must be positive");
+  FCU_CHECK(n_.size() >= 2, "chain needs at least two N sizes (one op)");
+  for (Index v : n_) FCU_CHECK(v >= 1, "chain dimension must be positive");
+}
+
+TensorOp MatMulChainBuilder::op(int i) const {
+  FCU_CHECK(i >= 0 && i < num_ops(), "chain op index out of range");
+  auto x = [&](int j) { return prefix_ + "_X" + std::to_string(j); };
+  auto w = [&](int j) { return prefix_ + "_W" + std::to_string(j); };
+  return TensorOp::matmul(prefix_ + "_op" + std::to_string(i), m_,
+                          n_[static_cast<std::size_t>(i)], n_[static_cast<std::size_t>(i) + 1],
+                          x(i), w(i + 1), x(i + 1));
+}
+
+OperatorGraph MatMulChainBuilder::graph() const {
+  OperatorGraph g;
+  for (int i = 0; i < num_ops(); ++i) g.add_op(op(i));
+  return g;
+}
+
+}  // namespace fusecu

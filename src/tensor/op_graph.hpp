@@ -1,0 +1,98 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor_op.hpp"
+
+/// \file op_graph.hpp
+/// Directed acyclic graphs of tensor operators, linked by tensor name.
+///
+/// A tensor produced by one operator and consumed by another is an
+/// *intermediate*; inter-operator dataflow (Sec. III-B) decides whether that
+/// intermediate round-trips through memory (unfused) or stays on-chip
+/// (fused).  Workload lowering (src/workloads) produces these graphs, and
+/// the fusion planner (src/fusion) partitions their chains.
+
+namespace fusecu {
+
+/// Producer -> consumer dependency through a named intermediate tensor.
+struct GraphEdge {
+  int producer = -1;         ///< op index producing the tensor
+  int consumer = -1;         ///< op index consuming it
+  std::string tensor_name;   ///< shared tensor
+};
+
+/// A DAG of operators.  Invariants (checked incrementally by add_op):
+///  * each tensor name is produced by at most one operator;
+///  * a consumed intermediate must be produced by an earlier op (ops are
+///    appended in topological order);
+///  * shared tensors must agree on their dimension extents across ops.
+class OperatorGraph {
+ public:
+  OperatorGraph() = default;
+
+  /// Append an operator; returns its index.
+  int add_op(TensorOp op);
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const TensorOp& op(int i) const { return ops_.at(static_cast<std::size_t>(i)); }
+  const std::vector<TensorOp>& ops() const { return ops_; }
+
+  /// All producer->consumer edges through intermediates.
+  std::vector<GraphEdge> edges() const;
+
+  /// Tensor names produced by one op and consumed by at least one other.
+  std::vector<std::string> intermediate_tensors() const;
+
+  /// Op index producing the named tensor, or nullopt for external inputs.
+  std::optional<int> producer_of(const std::string& tensor_name) const;
+
+  /// Op indices consuming the named tensor.
+  std::vector<int> consumers_of(const std::string& tensor_name) const;
+
+  /// True when the graph is a single linear chain: op i's output is consumed
+  /// only by op i+1, which takes it as an input.
+  bool is_linear_chain() const;
+
+  /// Total MAC count over all ops.
+  MacCount macs() const;
+
+  /// Ideal minimum memory access with no fusion: every tensor of every op
+  /// accessed once (intermediates counted twice: written then read).
+  AccessCount ideal_min_access_unfused() const;
+
+  /// Ideal minimum with perfect fusion everywhere: intermediates free.
+  AccessCount ideal_min_access_fused() const;
+
+ private:
+  std::vector<TensorOp> ops_;
+};
+
+/// Builder for the common fused-MM pattern of the paper:
+///   X1 = X0 * W1,  X2 = X1 * W2, ...
+/// where X_i has shape (M, N_i) and W_i has shape (N_{i-1}, N_i).  The
+/// attention score/context pair (Q K^T) -> (S V) and back-to-back FFN layers
+/// are instances of this shape family.
+class MatMulChainBuilder {
+ public:
+  /// \p m: shared row dimension; \p n: sizes N_0..N_k (k >= 1 ops).
+  MatMulChainBuilder(Index m, std::vector<Index> n, std::string prefix = "mm");
+
+  int num_ops() const { return static_cast<int>(n_.size()) - 1; }
+
+  /// The i-th matmul, with tensors named X<i>, W<i+1>, X<i+1> so adjacent
+  /// ops share their intermediate by name.
+  TensorOp op(int i) const;
+
+  /// Whole chain as a graph.
+  OperatorGraph graph() const;
+
+ private:
+  Index m_;
+  std::vector<Index> n_;
+  std::string prefix_;
+};
+
+}  // namespace fusecu

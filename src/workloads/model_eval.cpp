@@ -1,0 +1,59 @@
+#include "workloads/model_eval.hpp"
+
+#include "sim/energy_model.hpp"
+
+namespace fusecu {
+
+ModelEval evaluate_chains(const std::vector<WorkloadChain>& chains, const std::string& label,
+                          const ArchSpec& arch) {
+  ModelEval eval;
+  eval.model = label;
+  eval.platform = arch.name;
+
+  PlanPerf total;
+  EnergyBreakdown energy;
+  const EnergyConstants energy_constants;
+  for (const WorkloadChain& chain : chains) {
+    ArchPlan plan = plan_chain_for_arch(chain.graph, arch);
+    total += evaluate_plan_perf(plan, arch, chain.count);
+    eval.fused_pairs += plan.fused_pair_count() * static_cast<int>(chain.count);
+    EnergyBreakdown chain_energy = plan_energy(plan, arch, chain.count, energy_constants);
+    energy.dram_pj += chain_energy.dram_pj;
+    energy.buffer_pj += chain_energy.buffer_pj;
+    energy.compute_pj += chain_energy.compute_pj;
+    if (plan.fused_pair_count() == 0 && chain.unfused_intermediate_penalty > 0) {
+      // The softmax round trip of the unfused intermediate: pure memory
+      // traffic at the platform bandwidth.
+      const AccessCount extra = chain.unfused_intermediate_penalty * chain.count;
+      total.access += extra;
+      total.cycles += static_cast<CycleCount>(
+          static_cast<double>(extra) * arch.bytes_per_element / arch.bandwidth_bytes_per_cycle);
+      energy.dram_pj += static_cast<double>(extra) * energy_constants.dram_pj_per_element;
+    }
+  }
+  eval.energy_pj = energy.total_pj();
+  eval.energy_movement_fraction = energy.data_movement_fraction();
+  eval.access = total.access;
+  eval.cycles = total.cycles;
+  eval.macs = total.macs;
+  eval.utilization = total.utilization(arch);
+  return eval;
+}
+
+ModelEval evaluate_model(const ModelConfig& model, const ArchSpec& arch) {
+  return evaluate_chains(lower_layer(model), model.name, arch);
+}
+
+std::vector<ModelEval> evaluate_table2(const ArchSpec& arch) {
+  std::vector<ModelEval> out;
+  for (const ModelConfig& model : table2_models()) {
+    out.push_back(evaluate_model(model, arch));
+  }
+  return out;
+}
+
+ModelEval evaluate_decode(const ModelConfig& model, Index context, const ArchSpec& arch) {
+  return evaluate_chains(lower_decode_step(model, context), model.name + ".decode", arch);
+}
+
+}  // namespace fusecu

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "sim/perf_model.hpp"
+#include "workloads/transformer.hpp"
+
+/// \file model_eval.hpp
+/// End-to-end evaluation driver: lower a model layer to chains, plan every
+/// chain within a platform's dataflow space, and roll up memory access,
+/// cycles and utilization — the machinery behind Fig. 10 and Fig. 11.
+
+namespace fusecu {
+
+struct ModelEval {
+  std::string model;
+  std::string platform;
+  AccessCount access = 0;  ///< memory <-> buffer element transfers, one layer
+  CycleCount cycles = 0;
+  MacCount macs = 0;
+  int fused_pairs = 0;  ///< fused pair instances actually planned
+  double utilization = 0.0;
+  double energy_pj = 0.0;                ///< first-order energy (sim/energy_model)
+  double energy_movement_fraction = 0.0;  ///< data-movement share of energy
+};
+
+/// Evaluate one layer of \p model on \p arch.
+ModelEval evaluate_model(const ModelConfig& model, const ArchSpec& arch);
+
+/// Evaluate all of Table II on one platform.
+std::vector<ModelEval> evaluate_table2(const ArchSpec& arch);
+
+/// Evaluate an arbitrary set of chains (e.g. lower_decode_step output).
+ModelEval evaluate_chains(const std::vector<WorkloadChain>& chains, const std::string& label,
+                          const ArchSpec& arch);
+
+/// Evaluate one decode step of \p model with a KV cache of \p context.
+ModelEval evaluate_decode(const ModelConfig& model, Index context, const ArchSpec& arch);
+
+}  // namespace fusecu

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "workloads/model_eval.hpp"
+
+/// \file report.hpp
+/// Machine-readable evaluation reports: CSV (one row per model x platform)
+/// and JSON (nested, with derived metrics) — the output format of the
+/// `fusecu_eval` tool so results pipe straight into plotting scripts.
+
+namespace fusecu {
+
+/// CSV with header:
+/// model,platform,access,cycles,macs,fused_pairs,utilization,energy_pj,
+/// movement_fraction
+void write_evaluation_csv(std::ostream& os, const std::vector<ModelEval>& evals);
+
+/// JSON array of evaluation objects.
+void write_evaluation_json(std::ostream& os, const std::vector<ModelEval>& evals);
+
+}  // namespace fusecu

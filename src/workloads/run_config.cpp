@@ -1,0 +1,184 @@
+#include "workloads/run_config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace fusecu {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    std::size_t comma = s.find(',', at);
+    if (comma == std::string::npos) comma = s.size();
+    std::string item = trim(s.substr(at, comma - at));
+    if (!item.empty()) out.push_back(item);
+    at = comma + 1;
+  }
+  return out;
+}
+
+Index parse_positive(const std::string& value, int line, const std::string& key) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  FCU_CHECK(end && *end == '\0' && v >= 1,
+            "line " + std::to_string(line) + ": " + key + " expects a positive integer");
+  return v;
+}
+
+}  // namespace
+
+RunConfig parse_run_config(std::istream& in) {
+  RunConfig config;
+  std::vector<std::string> requested_models;
+  std::map<std::string, ModelConfig> customs;   // insertion handled below
+  std::vector<std::string> custom_order;
+
+  std::string current_section;  // empty = global, else custom model name
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    std::string text = line_text;
+    const std::size_t comment = text.find('#');
+    if (comment != std::string::npos) text = text.substr(0, comment);
+    text = trim(text);
+    if (text.empty()) continue;
+
+    if (text.front() == '[') {
+      FCU_CHECK(text.back() == ']', "line " + std::to_string(line) + ": unterminated section");
+      std::string header = trim(text.substr(1, text.size() - 2));
+      FCU_CHECK(header.rfind("model ", 0) == 0,
+                "line " + std::to_string(line) + ": only [model NAME] sections are supported");
+      current_section = trim(header.substr(6));
+      FCU_CHECK(!current_section.empty(), "line " + std::to_string(line) + ": empty model name");
+      FCU_CHECK(customs.find(current_section) == customs.end(),
+                "line " + std::to_string(line) + ": duplicate model section");
+      ModelConfig m;
+      m.name = current_section;
+      customs[current_section] = m;
+      custom_order.push_back(current_section);
+      continue;
+    }
+
+    const std::size_t eq = text.find('=');
+    FCU_CHECK(eq != std::string::npos, "line " + std::to_string(line) + ": expected key = value");
+    const std::string key = lower(trim(text.substr(0, eq)));
+    const std::string value = trim(text.substr(eq + 1));
+    FCU_CHECK(!value.empty(), "line " + std::to_string(line) + ": empty value for " + key);
+
+    if (current_section.empty()) {
+      if (key == "buffer") {
+        config.buffer_bytes = parse_bytes(value);
+      } else if (key == "bandwidth") {
+        config.bandwidth_bytes_per_cycle = std::strtod(value.c_str(), nullptr);
+        FCU_CHECK(config.bandwidth_bytes_per_cycle > 0,
+                  "line " + std::to_string(line) + ": bandwidth must be positive");
+      } else if (key == "platforms") {
+        config.platforms = split_list(value);
+      } else if (key == "models") {
+        requested_models = split_list(value);
+      } else {
+        FCU_CHECK(false, "line " + std::to_string(line) + ": unknown option " + key);
+      }
+    } else {
+      ModelConfig& m = customs[current_section];
+      if (key == "heads") {
+        m.heads = static_cast<int>(parse_positive(value, line, key));
+      } else if (key == "seq") {
+        m.seq = parse_positive(value, line, key);
+      } else if (key == "hidden") {
+        m.hidden = parse_positive(value, line, key);
+      } else if (key == "batch") {
+        m.batch = parse_positive(value, line, key);
+      } else if (key == "ffn_mult") {
+        m.ffn_mult = parse_positive(value, line, key);
+      } else if (key == "kv_heads") {
+        m.kv_heads = static_cast<int>(parse_positive(value, line, key));
+      } else {
+        FCU_CHECK(false, "line " + std::to_string(line) + ": unknown model key " + key);
+      }
+    }
+  }
+
+  // Resolve requested models: Table II names first, then custom sections.
+  const std::vector<ModelConfig> table = table2_models();
+  auto find_table = [&](const std::string& name) -> const ModelConfig* {
+    for (const ModelConfig& m : table) {
+      if (lower(m.name) == lower(name)) return &m;
+    }
+    return nullptr;
+  };
+  if (requested_models.empty()) {
+    // Default: all Table II models plus any custom sections.
+    config.models = table;
+  } else {
+    for (const std::string& name : requested_models) {
+      if (const ModelConfig* m = find_table(name)) {
+        config.models.push_back(*m);
+      } else if (auto it = customs.find(name); it != customs.end()) {
+        config.models.push_back(it->second);
+      } else {
+        FCU_CHECK(false, "unknown model: " + name);
+      }
+    }
+  }
+  for (const std::string& name : custom_order) {
+    const bool already_requested =
+        std::any_of(config.models.begin(), config.models.end(),
+                    [&](const ModelConfig& m) { return m.name == name; });
+    if (!already_requested && requested_models.empty()) {
+      config.models.push_back(customs[name]);
+    }
+  }
+  for (const ModelConfig& m : config.models) {
+    FCU_CHECK(m.heads >= 1 && m.seq >= 1 && m.hidden >= 1,
+              "model " + m.name + " is incompletely specified");
+    FCU_CHECK(m.hidden % m.heads == 0, "model " + m.name + ": hidden must divide across heads");
+  }
+  return config;
+}
+
+std::vector<ArchSpec> resolve_platforms(const RunConfig& config) {
+  std::vector<ArchSpec> all = all_platforms(config.buffer_bytes);
+  for (ArchSpec& a : all) a.bandwidth_bytes_per_cycle = config.bandwidth_bytes_per_cycle;
+  if (config.platforms.empty()) return all;
+
+  std::vector<ArchSpec> out;
+  for (const std::string& name : config.platforms) {
+    bool found = false;
+    for (const ArchSpec& a : all) {
+      std::string lhs = name, rhs = a.name;
+      std::transform(lhs.begin(), lhs.end(), lhs.begin(), ::tolower);
+      std::transform(rhs.begin(), rhs.end(), rhs.begin(), ::tolower);
+      if (lhs == rhs) {
+        out.push_back(a);
+        found = true;
+        break;
+      }
+    }
+    FCU_CHECK(found, "unknown platform: " + name);
+  }
+  return out;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "workloads/transformer.hpp"
+
+/// \file run_config.hpp
+/// INI-lite run configuration for the `fusecu_eval` tool.
+///
+/// ```
+/// # global options
+/// buffer    = 512KB
+/// bandwidth = 1000          # bytes per cycle
+/// platforms = TPUv4i, FuseCU
+/// models    = BERT, LLaMA2  # Table II names and/or custom sections
+///
+/// [model tiny]
+/// heads  = 8
+/// seq    = 512
+/// hidden = 512
+/// batch  = 4
+/// kv_heads = 2   # optional: grouped-query attention
+/// ```
+///
+/// Unknown keys fail loudly; custom model sections are appended to the
+/// requested Table II models.
+
+namespace fusecu {
+
+struct RunConfig {
+  std::int64_t buffer_bytes = 512 * 1024;
+  double bandwidth_bytes_per_cycle = 1000.0;
+  std::vector<std::string> platforms;  ///< empty = all five
+  std::vector<ModelConfig> models;     ///< resolved, in request order
+};
+
+/// Parse a configuration stream; throws std::invalid_argument with a line
+/// number on malformed input.
+RunConfig parse_run_config(std::istream& in);
+
+/// Platform specs for the configuration (name matching is
+/// case-insensitive; unknown names throw).
+std::vector<ArchSpec> resolve_platforms(const RunConfig& config);
+
+}  // namespace fusecu

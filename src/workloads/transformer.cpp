@@ -1,0 +1,165 @@
+#include "workloads/transformer.hpp"
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+Index ModelConfig::head_dim() const {
+  FCU_CHECK(heads > 0, "model needs at least one head");
+  FCU_CHECK(hidden % heads == 0, "hidden size must divide evenly across heads");
+  return hidden / heads;
+}
+
+std::vector<ModelConfig> table2_models() {
+  return {
+      {"BERT", 12, 1024, 768},
+      {"GPT-2", 12, 2048, 768},
+      {"Blenderbot", 16, 256, 1024},
+      {"XLM", 16, 1024, 2048},
+      {"DeBERTa-v2", 24, 1024, 1536},
+      {"LLaMA2", 32, 4096, 4096},
+      {"ALBERT", 64, 1024, 4096},
+  };
+}
+
+ModelConfig llama2_at_seq(Index seq) {
+  FCU_CHECK(seq >= 1, "sequence length must be positive");
+  ModelConfig m{"LLaMA2", 32, seq, 4096};
+  return m;
+}
+
+ModelConfig llama2_70b_gqa(Index seq) {
+  FCU_CHECK(seq >= 1, "sequence length must be positive");
+  ModelConfig m{"LLaMA2-70B", 64, seq, 8192};
+  m.kv_heads = 8;
+  return m;
+}
+
+std::vector<WorkloadChain> lower_layer(const ModelConfig& model) {
+  FCU_CHECK(model.seq >= 1 && model.hidden >= 1 && model.batch >= 1, "invalid model config");
+  const Index bs = model.batch * model.seq;
+  const Index d = model.hidden;
+  const Index dh = model.head_dim();
+  const Index f = model.ffn_mult;
+
+  std::vector<WorkloadChain> chains;
+
+  // Q/K/V projections.  With classic MHA the three are identical; under
+  // GQA the K/V projections shrink to kv_heads * head_dim columns.
+  if (model.effective_kv_heads() == model.heads) {
+    OperatorGraph g;
+    g.add_op(TensorOp::matmul(model.name + ".qkv_proj", bs, d, d, "X", "Wqkv", "Q"));
+    chains.push_back({"qkv_proj", std::move(g), 3});
+  } else {
+    OperatorGraph q;
+    q.add_op(TensorOp::matmul(model.name + ".q_proj", bs, d, d, "X", "Wq", "Q"));
+    chains.push_back({"q_proj", std::move(q), 1});
+    OperatorGraph kv;
+    kv.add_op(TensorOp::matmul(model.name + ".kv_proj", bs, d, model.kv_width(), "X", "Wkv",
+                               "KV"));
+    chains.push_back({"kv_proj", std::move(kv), 2});
+  }
+  // Attention core per head: S = Q K^T, O = S V — the fusable pair.
+  // Unfused execution routes S through memory for the softmax (read S,
+  // write P) on top of the producer store / consumer load already priced by
+  // the access model; fused execution runs softmax on-chip.
+  {
+    MatMulChainBuilder attn(model.seq, {dh, model.seq, dh}, model.name + ".attn");
+    WorkloadChain chain{"attention", attn.graph(),
+                        static_cast<Index>(model.heads) * model.batch,
+                        2 * model.seq * model.seq};
+    chains.push_back(std::move(chain));
+  }
+  // Output projection.
+  {
+    OperatorGraph g;
+    g.add_op(TensorOp::matmul(model.name + ".out_proj", bs, d, d, "O", "Wo", "Y"));
+    chains.push_back({"out_proj", std::move(g), 1});
+  }
+  // FFN up/down: the second fusable pair.
+  {
+    MatMulChainBuilder ffn(bs, {d, f * d, d}, model.name + ".ffn");
+    chains.push_back({"ffn", ffn.graph(), 1});
+  }
+  return chains;
+}
+
+MacCount layer_macs(const ModelConfig& model) {
+  MacCount total = 0;
+  for (const WorkloadChain& chain : lower_layer(model)) {
+    total += chain.graph.macs() * chain.count;
+  }
+  return total;
+}
+
+OperatorGraph transformer_block_graph(const ModelConfig& model) {
+  const Index s = model.seq;
+  const Index d = model.hidden;
+  const Index dh = model.head_dim();
+  const Index f = model.ffn_mult;
+
+  OperatorGraph g;
+  // Projections from the block input X (per-head slice for Q/K/V).
+  g.add_op(TensorOp::matmul("q_proj", s, d, dh, "X", "Wq", "Q"));
+  // The key projection emits K^T directly (dh x s), consuming the
+  // transposed block input — the layout transpose is elided like the head
+  // reshape.
+  g.add_op(TensorOp::matmul("k_proj", dh, d, s, "WkT", "Xt", "Kt"));
+  g.add_op(TensorOp::matmul("v_proj", s, d, dh, "X", "Wv", "V"));
+  // Scores consume two matmul outputs (Q through the first input, K^T as
+  // the weight-side operand) — a genuine fan-in point of the DAG.
+  g.add_op(TensorOp::matmul("score", s, dh, s, "Q", "Kt", "S"));
+  g.add_op(TensorOp::elementwise("softmax", s, s, "S", "P", /*rowwise=*/true));
+  g.add_op(TensorOp::matmul("context", s, s, dh, "P", "V", "O"));
+  g.add_op(TensorOp::matmul("out_proj", s, dh, d, "O", "Wo", "Y"));
+  g.add_op(TensorOp::binary_elementwise("residual1", s, d, "Y", "X", "R1"));
+  g.add_op(TensorOp::elementwise("layernorm1", s, d, "R1", "N1", /*rowwise=*/true));
+  g.add_op(TensorOp::matmul("ffn_up", s, d, f * d, "N1", "W1", "H"));
+  g.add_op(TensorOp::elementwise("gelu", s, f * d, "H", "G"));
+  g.add_op(TensorOp::matmul("ffn_down", s, f * d, d, "G", "W2", "Z"));
+  g.add_op(TensorOp::binary_elementwise("residual2", s, d, "Z", "N1", "R2"));
+  g.add_op(TensorOp::elementwise("layernorm2", s, d, "R2", "out", /*rowwise=*/true));
+  return g;
+}
+
+std::vector<WorkloadChain> lower_decode_step(const ModelConfig& model, Index context) {
+  FCU_CHECK(context >= 1, "decode step needs a non-empty KV cache");
+  const Index b = model.batch;
+  const Index d = model.hidden;
+  const Index dh = model.head_dim();
+  const Index f = model.ffn_mult;
+
+  std::vector<WorkloadChain> chains;
+  if (model.effective_kv_heads() == model.heads) {
+    OperatorGraph g;
+    g.add_op(TensorOp::matmul(model.name + ".dec_qkv", b, d, d, "x", "Wqkv", "q"));
+    chains.push_back({"dec_qkv_proj", std::move(g), 3});
+  } else {
+    OperatorGraph q;
+    q.add_op(TensorOp::matmul(model.name + ".dec_q", b, d, d, "x", "Wq", "q"));
+    chains.push_back({"dec_q_proj", std::move(q), 1});
+    OperatorGraph kv;
+    kv.add_op(
+        TensorOp::matmul(model.name + ".dec_kv", b, d, model.kv_width(), "x", "Wkv", "kv"));
+    chains.push_back({"dec_kv_proj", std::move(kv), 2});
+  }
+  {
+    // One query row against the cached keys/values, per head per sequence.
+    MatMulChainBuilder attn(1, {dh, context, dh}, model.name + ".dec_attn");
+    WorkloadChain chain{"dec_attention", attn.graph(),
+                        static_cast<Index>(model.heads) * b, 2 * context};
+    chains.push_back(std::move(chain));
+  }
+  {
+    OperatorGraph g;
+    g.add_op(TensorOp::matmul(model.name + ".dec_out", b, d, d, "o", "Wo", "y"));
+    chains.push_back({"dec_out_proj", std::move(g), 1});
+  }
+  {
+    MatMulChainBuilder ffn(b, {d, f * d, d}, model.name + ".dec_ffn");
+    chains.push_back({"dec_ffn", ffn.graph(), 1});
+  }
+  return chains;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "dataflow/access_model.hpp"
+#include "principles/principle_optimizer.hpp"
+
+namespace fusecu {
+namespace {
+
+/// Literal tile-loop interpreter: walks the tiled nest iteration by
+/// iteration, keeps one tile slot per tensor, and counts an access of the
+/// (edge-clipped) tile size whenever a tensor's tile coordinates change.
+/// This is the executable definition of the buffer<->memory traffic the
+/// analytical reuse formula claims to compute.
+AccessCount simulate_tile_traffic(const TensorOp& op, const Dataflow& df, int tensor) {
+  const int n = op.num_dims();
+  std::vector<Index> trip_counts(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) trip_counts[static_cast<std::size_t>(d)] = df.trips(op, d);
+
+  std::vector<Index> iter(static_cast<std::size_t>(n), 0);  // by loop position
+  std::vector<Index> last_tile;                             // by tensor-dim position
+  bool have_last = false;
+  AccessCount traffic = 0;
+
+  auto tile_of = [&](std::vector<Index>& out) {
+    out.clear();
+    for (int d : op.tensor(tensor).dims) {
+      // Find d's loop position to read its current tile index.
+      for (int pos = 0; pos < n; ++pos) {
+        if (df.loop_order[static_cast<std::size_t>(pos)] == d) {
+          out.push_back(iter[static_cast<std::size_t>(pos)]);
+          break;
+        }
+      }
+    }
+  };
+  auto clipped_size = [&]() {
+    Index size = 1;
+    std::size_t slot = 0;
+    for (int d : op.tensor(tensor).dims) {
+      Index tile_index = 0;
+      for (int pos = 0; pos < n; ++pos) {
+        if (df.loop_order[static_cast<std::size_t>(pos)] == d) {
+          tile_index = iter[static_cast<std::size_t>(pos)];
+          break;
+        }
+      }
+      const Index t = df.tile[static_cast<std::size_t>(d)];
+      size *= std::min(t, op.extent(d) - tile_index * t);
+      ++slot;
+    }
+    return size;
+  };
+
+  std::vector<Index> current;
+  // Odometer over the tile loops, outermost = position 0.
+  while (true) {
+    tile_of(current);
+    if (!have_last || current != last_tile) {
+      traffic += clipped_size();
+      last_tile = current;
+      have_last = true;
+    }
+    int pos = n - 1;
+    while (pos >= 0) {
+      int d = df.loop_order[static_cast<std::size_t>(pos)];
+      if (++iter[static_cast<std::size_t>(pos)] < trip_counts[static_cast<std::size_t>(d)]) break;
+      iter[static_cast<std::size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return traffic;
+}
+
+TensorOp bert_mm() { return TensorOp::matmul("bert", 1024, 768, 768); }
+
+// --- Eq. 1: output-stationary MA = MK*ceil(L/T_L) + KL*ceil(M/T_M) + ML,
+// independent of T_K (Fig. 2(b)).
+TEST(AccessModel, Eq1OutputStationary) {
+  TensorOp op = bert_mm();
+  // Eq. 1 holds for any *effective* (trip count > 1) reduction tile.
+  for (Index t_k : {Index{1}, Index{16}, Index{384}}) {
+    Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 64}, {"L", 32}, {"K", t_k}});
+    AccessBreakdown b = evaluate_access(op, df);
+    EXPECT_EQ(b.per_tensor[mm::kTensorA], 1024LL * 768 * ceil_div(768, 32));
+    EXPECT_EQ(b.per_tensor[mm::kTensorB], 768LL * 768 * ceil_div(1024, 64));
+    EXPECT_EQ(b.per_tensor[mm::kTensorC], 1024LL * 768);
+    EXPECT_EQ(b.total, eq1_output_stationary_access(1024, 768, 768, 64, 32));
+  }
+  // Untiling K removes the reduction loop entirely: the dataflow becomes
+  // Two-NRA (Fig. 3) and A gains non-redundant access — Eq. 1 no longer
+  // applies, by design.
+  Dataflow untiled = make_dataflow(op, {"M", "L", "K"}, {{"M", 64}, {"L", 32}, {"K", 768}});
+  AccessBreakdown b = evaluate_access(op, untiled);
+  EXPECT_EQ(b.per_tensor[mm::kTensorA], 1024LL * 768);
+  EXPECT_EQ(classify_nra(op, untiled), NraKind::kTwo);
+}
+
+// --- Eq. 3: untiled K (Two-NRA, Fig. 3 top): A and C once, B redundant.
+TEST(AccessModel, Eq3TwoNraUntiledK) {
+  TensorOp op = bert_mm();
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 512}, {"K", 768}, {"L", 1}});
+  AccessBreakdown b = evaluate_access(op, df);
+  EXPECT_EQ(b.per_tensor[mm::kTensorA], 1024LL * 768);        // MK, non-redundant
+  EXPECT_EQ(b.per_tensor[mm::kTensorB], 2 * 768LL * 768);     // 2KL (paper's example)
+  EXPECT_EQ(b.per_tensor[mm::kTensorC], 1024LL * 768);        // ML, non-redundant
+  EXPECT_EQ(b.total, eq3_two_nra_access(1024, 768, 768, 512));
+  EXPECT_EQ(classify_nra(op, df), NraKind::kTwo);
+}
+
+// --- Eq. 2 / Eq. 4: buffer footprint is the sum of tile sizes.
+TEST(AccessModel, BufferFootprintMatchesEq2AndEq4) {
+  TensorOp op = bert_mm();
+  Dataflow single = make_dataflow(op, {"M", "L", "K"}, {{"M", 64}, {"L", 32}, {"K", 8}});
+  EXPECT_EQ(single.buffer_footprint(op), 64 * 8 + 8 * 32 + 64 * 32);  // Eq. 2
+  Dataflow two = make_dataflow(op, {"M", "L", "K"}, {{"M", 512}, {"K", 768}, {"L", 1}});
+  EXPECT_EQ(two.buffer_footprint(op), 512 * 768 + 768 * 1 + 512 * 1);  // Eq. 4
+  EXPECT_TRUE(fits_buffer(op, two, 512 * 768 + 768 + 512));
+  EXPECT_FALSE(fits_buffer(op, two, 512 * 768 + 768 + 511));
+}
+
+// --- Stationary detection across the three classic dataflow styles.
+TEST(AccessModel, StationaryTensorDetection) {
+  TensorOp op = TensorOp::matmul("mm", 64, 64, 64);
+  // Output-stationary: C's dims outer, K innermost.
+  Dataflow os = make_dataflow(op, {"M", "L", "K"}, {{"M", 8}, {"L", 8}, {"K", 1}});
+  EXPECT_EQ(stationary_tensor(op, os), mm::kTensorC);
+  // A-stationary (input-stationary): M, K outer.
+  Dataflow as = make_dataflow(op, {"M", "K", "L"}, {{"M", 8}, {"K", 8}, {"L", 1}});
+  EXPECT_EQ(stationary_tensor(op, as), mm::kTensorA);
+  // B-stationary (weight-stationary): K, L outer.
+  Dataflow ws = make_dataflow(op, {"K", "L", "M"}, {{"K", 8}, {"L", 8}, {"M", 1}});
+  EXPECT_EQ(stationary_tensor(op, ws), mm::kTensorB);
+}
+
+TEST(AccessModel, ThreeNraReachesIdealMinimum) {
+  TensorOp op = TensorOp::matmul("mm", 256, 32, 32);
+  // Untile the smallest tensor B (K x L): every tensor accessed once.
+  Dataflow df = make_dataflow(op, {"M", "K", "L"}, {{"M", 4}, {"K", 32}, {"L", 32}});
+  AccessBreakdown b = evaluate_access(op, df);
+  EXPECT_EQ(b.total, op.ideal_min_access());
+  EXPECT_EQ(classify_nra(op, df), NraKind::kThree);
+  EXPECT_EQ(stationary_tensor(op, df), -1);  // no unique stationary in Three-NRA
+}
+
+TEST(AccessModel, PartialSumSpillsChargedWhenReductionOuter) {
+  TensorOp op = TensorOp::matmul("mm", 64, 64, 64);
+  // K outermost, C's loops inside: every k-tile revisits all C tiles.
+  Dataflow df = make_dataflow(op, {"K", "M", "L"}, {{"M", 8}, {"L", 8}, {"K", 8}});
+  AccessBreakdown b = evaluate_access(op, df);
+  EXPECT_EQ(b.per_tensor[mm::kTensorC], 64LL * 64 * (64 / 8));
+}
+
+TEST(AccessModel, PricesBatchedFourLoopNest) {
+  // The reuse rule is rank-agnostic: price a shared-weight batched matmul
+  // with the batch loop outermost and the weight untiled.
+  TensorOp op = TensorOp::batched_matmul("bmm", 8, 64, 32, 32, /*shared_weight=*/true);
+  Dataflow df = make_dataflow(op, {"B", "M", "L", "K"},
+                              {{"B", 1}, {"M", 16}, {"K", 32}, {"L", 32}});
+  AccessBreakdown bd = evaluate_access(op, df);
+  // W untiled in both of its dims: accessed once despite the batch loop.
+  EXPECT_EQ(bd.per_tensor[static_cast<std::size_t>(op.find_tensor("W"))], 32 * 32);
+  // A and C accessed once (K untiled removes the reduction loop).
+  EXPECT_EQ(bd.per_tensor[static_cast<std::size_t>(op.find_tensor("A"))], 8LL * 64 * 32);
+  EXPECT_EQ(bd.per_tensor[static_cast<std::size_t>(op.find_tensor("C"))], 8LL * 64 * 32);
+  EXPECT_EQ(bd.total, op.ideal_min_access());
+
+  // The folded 3-dim view reaches the same bound through the principles.
+  TensorOp folded = fold_batch(op);
+  EXPECT_EQ(optimize_intra(folded, 64 * 1024).access.total, folded.ideal_min_access());
+}
+
+TEST(AccessModel, RejectsMalformedDataflow) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  Dataflow df;
+  df.loop_order = {0, 1};  // missing a dim
+  df.tile = {1, 1, 1};
+  EXPECT_THROW(evaluate_access(op, df), std::invalid_argument);
+  df.loop_order = {0, 1, 1};  // repeated dim
+  EXPECT_THROW(evaluate_access(op, df), std::invalid_argument);
+  df.loop_order = {0, 1, 2};
+  df.tile = {0, 1, 1};  // tile < 1
+  EXPECT_THROW(evaluate_access(op, df), std::invalid_argument);
+  df.tile = {1, 1, 9};  // tile > extent
+  EXPECT_THROW(evaluate_access(op, df), std::invalid_argument);
+}
+
+// --- Property: the analytical reuse formula equals literal tile-loop
+// interpretation, for every tensor, across random shapes/tilings/orders.
+class AccessModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccessModelProperty, AnalyticalMatchesInterpreter) {
+  Rng rng(GetParam());
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (int trial = 0; trial < 40; ++trial) {
+    const Index m = rng.uniform(1, 12), k = rng.uniform(1, 12), l = rng.uniform(1, 12);
+    TensorOp op = TensorOp::matmul("rand", m, k, l);
+    Dataflow df;
+    df.loop_order = orders[rng.pick(orders.size())];
+    df.tile = {rng.uniform(1, m), rng.uniform(1, k), rng.uniform(1, l)};
+    AccessBreakdown b = evaluate_access(op, df);
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_EQ(b.per_tensor[static_cast<std::size_t>(t)], simulate_tile_traffic(op, df, t))
+          << op.to_string() << " " << df.to_string(op) << " tensor " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessModelProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull, 8ull));
+
+// NRA count never exceeds 3 and at least the ideal bound holds.
+class NraInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NraInvariant, TotalsNeverBeatIdealMinimum) {
+  Rng rng(GetParam());
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (int trial = 0; trial < 60; ++trial) {
+    const Index m = rng.uniform(1, 64), k = rng.uniform(1, 64), l = rng.uniform(1, 64);
+    TensorOp op = TensorOp::matmul("rand", m, k, l);
+    Dataflow df;
+    df.loop_order = orders[rng.pick(orders.size())];
+    df.tile = {rng.uniform(1, m), rng.uniform(1, k), rng.uniform(1, l)};
+    AccessBreakdown b = evaluate_access(op, df);
+    EXPECT_GE(b.total, op.ideal_min_access());
+    int nra = b.non_redundant_tensors(op);
+    EXPECT_GE(nra, 0);
+    EXPECT_LE(nra, 3);
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_GE(b.per_tensor[static_cast<std::size_t>(t)], op.tensor_size(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NraInvariant, ::testing::Values(11ull, 12ull, 13ull, 14ull));
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "sim/address_stream.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(AddressStream, LengthMatchesAccessModel) {
+  TensorOp op = TensorOp::matmul("mm", 16, 12, 16);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 8}, {"L", 4}, {"K", 6}});
+  AddressStream stream = generate_address_stream(op, df);
+  AccessBreakdown predicted = evaluate_access(op, df);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(stream.per_tensor_elements[static_cast<std::size_t>(t)],
+              predicted.per_tensor[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(static_cast<AccessCount>(stream.records.size()), predicted.total);
+  EXPECT_EQ(stream.dropped, 0u);
+}
+
+TEST(AddressStream, AddressesStayInsideTensorsAndWritesAreOutputs) {
+  TensorOp op = TensorOp::matmul("mm", 10, 6, 14);
+  Dataflow df = make_dataflow(op, {"L", "M", "K"}, {{"M", 3}, {"L", 5}, {"K", 6}});
+  AddressStream stream = generate_address_stream(op, df);
+  // Default packing: A at 0, B after A, C after B.
+  const std::uint64_t a_end = 10 * 6;
+  const std::uint64_t b_end = a_end + 6 * 14;
+  const std::uint64_t c_end = b_end + 10 * 14;
+  for (const AddressRecord& r : stream.records) {
+    switch (r.tensor) {
+      case mm::kTensorA:
+        EXPECT_LT(r.address, a_end);
+        EXPECT_FALSE(r.is_write);
+        break;
+      case mm::kTensorB:
+        EXPECT_GE(r.address, a_end);
+        EXPECT_LT(r.address, b_end);
+        EXPECT_FALSE(r.is_write);
+        break;
+      case mm::kTensorC:
+        EXPECT_GE(r.address, b_end);
+        EXPECT_LT(r.address, c_end);
+        EXPECT_TRUE(r.is_write);
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+TEST(AddressStream, TileLoadsAreUnitStrideBursts) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 4}, {"L", 4}, {"K", 8}});
+  AddressStream stream = generate_address_stream(op, df);
+  // Within one tensor, consecutive records in the same row segment differ
+  // by 1 (row-major burst of the tile width = 4 for A here).
+  int consecutive = 0, bursts = 0;
+  for (std::size_t i = 1; i < stream.records.size(); ++i) {
+    if (stream.records[i].tensor == stream.records[i - 1].tensor &&
+        stream.records[i].address == stream.records[i - 1].address + 1) {
+      ++consecutive;
+    } else {
+      ++bursts;
+    }
+  }
+  EXPECT_GT(consecutive, bursts);  // streams are burst-dominated
+}
+
+TEST(AddressStream, FullCoverageWhenEverythingIsTouchedOnce) {
+  // Three-NRA: each tensor accessed once -> the stream covers each tensor's
+  // address range exactly once.
+  TensorOp op = TensorOp::matmul("mm", 32, 8, 8);
+  Dataflow df = make_dataflow(op, {"M", "K", "L"}, {{"M", 4}, {"K", 8}, {"L", 8}});
+  AddressStream stream = generate_address_stream(op, df);
+  std::set<std::uint64_t> unique;
+  for (const AddressRecord& r : stream.records) unique.insert(r.address);
+  EXPECT_EQ(unique.size(), stream.records.size());  // no repeats
+  EXPECT_EQ(stream.records.size(),
+            static_cast<std::size_t>(op.ideal_min_access()));
+}
+
+TEST(AddressStream, CustomBasesAndRecordCap) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 8}, {"L", 8}, {"K", 8}});
+  AddressStreamOptions opts;
+  opts.bases = {1000, 2000, 3000};
+  opts.max_records = 10;
+  AddressStream stream = generate_address_stream(op, df, opts);
+  EXPECT_EQ(stream.records.size(), 10u);
+  EXPECT_GT(stream.dropped, 0u);
+  EXPECT_GE(stream.records.front().address, 1000u);
+  // Per-tensor counts still include the dropped tail.
+  AccessCount total = 0;
+  for (AccessCount c : stream.per_tensor_elements) total += c;
+  EXPECT_EQ(total, evaluate_access(op, df).total);
+
+  AddressStreamOptions bad;
+  bad.bases = {0, 1};  // wrong arity
+  EXPECT_THROW(generate_address_stream(op, df, bad), std::invalid_argument);
+}
+
+class AddressStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddressStreamFuzz, CountsAlwaysMatchTheModel) {
+  Rng rng(GetParam());
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index m = rng.uniform(1, 20), k = rng.uniform(1, 20), l = rng.uniform(1, 20);
+    TensorOp op = TensorOp::matmul("fuzz", m, k, l);
+    Dataflow df;
+    df.loop_order = orders[rng.pick(orders.size())];
+    df.tile = {rng.uniform(1, m), rng.uniform(1, k), rng.uniform(1, l)};
+    AddressStream stream = generate_address_stream(op, df);
+    EXPECT_EQ(static_cast<AccessCount>(stream.records.size()),
+              evaluate_access(op, df).total)
+        << df.to_string(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressStreamFuzz, ::testing::Values(801ull, 802ull, 803ull));
+
+}  // namespace
+}  // namespace fusecu

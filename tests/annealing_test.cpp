@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "principles/principle_optimizer.hpp"
+#include "search/annealing.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(SimulatedAnnealing, DeterministicPerSeed) {
+  TensorOp op = TensorOp::matmul("sa", 256, 128, 256);
+  SaParams params;
+  auto a = sa_intra(op, 4096, params, 7);
+  auto b = sa_intra(op, 4096, params, 7);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->access.total, b->access.total);
+  EXPECT_EQ(a->dataflow.tile, b->dataflow.tile);
+}
+
+TEST(SimulatedAnnealing, FeasibleAndNeverBeatsExhaustive) {
+  TensorOp op = TensorOp::matmul("sa", 256, 128, 256);
+  auto exact = exhaustive_intra(op, 4096);
+  ASSERT_TRUE(exact.has_value());
+  SaParams params;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto sa = sa_intra(op, 4096, params, seed);
+    ASSERT_TRUE(sa.has_value());
+    EXPECT_LE(sa->access.buffer_footprint, 4096);
+    EXPECT_GE(sa->access.total, exact->access.total);
+    // A competent annealer lands near the grid optimum.
+    EXPECT_LE(static_cast<double>(sa->access.total),
+              1.3 * static_cast<double>(exact->access.total));
+  }
+}
+
+TEST(SimulatedAnnealing, PrinciplesStillWin) {
+  // The one-shot construction matches or beats the annealer too (the
+  // Fig. 9 claim generalizes across searching baselines).
+  TensorOp op = TensorOp::matmul("sa", 1024, 768, 768);
+  for (BufferSize bs : {BufferSize{32 * 1024}, BufferSize{256 * 1024}}) {
+    auto sa = sa_intra(op, bs, SaParams{}, 11);
+    ASSERT_TRUE(sa.has_value());
+    EXPECT_LE(optimize_intra(op, bs).access.total, sa->access.total) << "bs=" << bs;
+  }
+}
+
+TEST(SimulatedAnnealing, HandlesInfeasibleBuffers) {
+  TensorOp op = TensorOp::matmul("sa", 64, 64, 64);
+  EXPECT_FALSE(sa_intra(op, 2, SaParams{}, 1).has_value());
+  SaParams bad;
+  bad.cooling = 1.5;
+  EXPECT_THROW(sa_intra(op, 1024, bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

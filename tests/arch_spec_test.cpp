@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "arch/arch_spec.hpp"
+#include "common/units.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(ArchSpec, TableIIIAttributes) {
+  ArchSpec tpu = make_tpu_v4i();
+  EXPECT_FALSE(tpu.supports(Stationarity::kOutput));
+  EXPECT_TRUE(tpu.supports(Stationarity::kWeight));
+  EXPECT_EQ(tpu.tiling_flex, TilingFlexibility::kLow);
+  EXPECT_FALSE(tpu.supports_fusion);
+
+  ArchSpec gemmini = make_gemmini();
+  EXPECT_TRUE(gemmini.supports(Stationarity::kWeight));
+  EXPECT_TRUE(gemmini.supports(Stationarity::kOutput));
+  EXPECT_FALSE(gemmini.supports(Stationarity::kInput));
+  EXPECT_EQ(gemmini.tiling_flex, TilingFlexibility::kLow);
+
+  ArchSpec planaria = make_planaria();
+  EXPECT_FALSE(planaria.supports(Stationarity::kOutput));
+  EXPECT_EQ(planaria.tiling_flex, TilingFlexibility::kHigh);
+  EXPECT_FALSE(planaria.supports_fusion);
+
+  ArchSpec unfcu = make_unfcu();
+  EXPECT_TRUE(unfcu.supports(Stationarity::kInput));
+  EXPECT_EQ(unfcu.tiling_flex, TilingFlexibility::kMiddle);
+  EXPECT_FALSE(unfcu.supports_fusion);
+
+  ArchSpec fcu = make_fusecu();
+  EXPECT_TRUE(fcu.supports(Stationarity::kInput));
+  EXPECT_EQ(fcu.tiling_flex, TilingFlexibility::kMiddle);
+  EXPECT_TRUE(fcu.supports_fusion);
+}
+
+TEST(ArchSpec, PaperComputeConfiguration) {
+  // 128 x 128 x 4 PEs and 1 TB/s on-chip bandwidth (Sec. V-A).
+  for (const ArchSpec& a : all_platforms()) {
+    EXPECT_EQ(a.total_pes(), 128 * 128 * 4) << a.name;
+    EXPECT_DOUBLE_EQ(a.bandwidth_bytes_per_cycle, 1000.0) << a.name;
+    EXPECT_EQ(a.bytes_per_element, 2) << a.name;
+  }
+}
+
+TEST(ArchSpec, BufferElementsConvertsBytes) {
+  ArchSpec a = make_tpu_v4i(512 * kKiB);
+  EXPECT_EQ(a.buffer_elements(), 512 * 1024 / 2);
+}
+
+TEST(ArchSpec, TileGranularityPerFlexibility) {
+  EXPECT_EQ(make_tpu_v4i().tile_granularity(), 128);
+  EXPECT_EQ(make_gemmini().tile_granularity(), 128);
+  EXPECT_EQ(make_unfcu().tile_granularity(), 64);
+  EXPECT_EQ(make_fusecu().tile_granularity(), 64);
+  EXPECT_EQ(make_planaria().tile_granularity(), 32);
+}
+
+TEST(ArchSpec, UnitShapesMatchFlexibility) {
+  // Low: only the native square.
+  auto low = make_tpu_v4i().unit_shapes();
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0].rows, 128);
+  EXPECT_EQ(low[0].cols, 128);
+
+  // Middle: square + narrow + wide compositions, same PE count.
+  auto mid = make_fusecu().unit_shapes();
+  ASSERT_EQ(mid.size(), 3u);
+  for (const ArrayShape& s : mid) EXPECT_EQ(s.rows * s.cols, 128 * 128);
+
+  // High: every power-of-two rectangle down to the 32-wide pod.
+  auto high = make_planaria().unit_shapes();
+  EXPECT_GE(high.size(), 5u);
+  for (const ArrayShape& s : high) {
+    EXPECT_EQ(s.rows * s.cols, 128 * 128);
+    EXPECT_GE(s.rows, 32);
+    EXPECT_GE(s.cols, 32);
+  }
+}
+
+TEST(ArchSpec, EnumNames) {
+  EXPECT_STREQ(to_string(Stationarity::kWeight), "WS");
+  EXPECT_STREQ(to_string(Stationarity::kOutput), "OS");
+  EXPECT_STREQ(to_string(Stationarity::kInput), "IS");
+  EXPECT_STREQ(to_string(TilingFlexibility::kLow), "low");
+  EXPECT_STREQ(to_string(TilingFlexibility::kMiddle), "middle");
+  EXPECT_STREQ(to_string(TilingFlexibility::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace fusecu

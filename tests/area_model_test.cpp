@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(AreaModel, TpuBaselineHasNoOverhead) {
+  AreaBreakdown tpu = area_breakdown(make_tpu_v4i());
+  EXPECT_DOUBLE_EQ(tpu.overhead_um2(), 0.0);
+  EXPECT_DOUBLE_EQ(tpu.overhead_fraction(), 0.0);
+  EXPECT_GT(tpu.total_um2(), 0.0);
+}
+
+TEST(AreaModel, BaselineComponentsIdenticalAcrossPlatforms) {
+  // Multiplier/adder/accumulator/register/control/softmax areas are shared
+  // systolic-array structure, identical everywhere (Fig. 12's premise).
+  const double tpu_base = area_breakdown(make_tpu_v4i()).baseline_um2();
+  for (const ArchSpec& a : all_platforms()) {
+    EXPECT_DOUBLE_EQ(area_breakdown(a).baseline_um2(), tpu_base) << a.name;
+  }
+}
+
+TEST(AreaModel, FuseCuOverheadNearTwelvePercent) {
+  AreaBreakdown fcu = area_breakdown(make_fusecu());
+  // Paper: 12.0% over TPUv4i.
+  EXPECT_NEAR(fcu.overhead_fraction(), 0.12, 0.01);
+}
+
+TEST(AreaModel, FuseCuInterconnectAndControlBelowTenthPercent) {
+  AreaBreakdown fcu = area_breakdown(make_fusecu());
+  const double frac =
+      fcu.component_fraction("FuseCU interconnect") + fcu.component_fraction("fusion control");
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.001);  // paper: < 0.1%
+}
+
+TEST(AreaModel, PlanariaInterconnectDominatesItsOverhead) {
+  AreaBreakdown planaria = area_breakdown(make_planaria());
+  // Paper: Planaria's flexible interconnect costs 12.6%.
+  EXPECT_NEAR(planaria.overhead_fraction(), 0.126, 0.01);
+  EXPECT_GT(planaria.component_fraction("Planaria interconnect"), 0.10);
+}
+
+TEST(AreaModel, GemminiDualModeCheaperThanFullXs) {
+  const double gemmini = area_breakdown(make_gemmini()).overhead_fraction();
+  const double unfcu = area_breakdown(make_unfcu()).overhead_fraction();
+  EXPECT_GT(gemmini, 0.0);
+  EXPECT_LT(gemmini, unfcu);
+}
+
+TEST(AreaModel, UnfCuIsFuseCuWithoutFusionControl) {
+  AreaBreakdown unfcu = area_breakdown(make_unfcu());
+  AreaBreakdown fcu = area_breakdown(make_fusecu());
+  EXPECT_DOUBLE_EQ(unfcu.component_fraction("fusion control"), 0.0);
+  EXPECT_GT(fcu.component_fraction("fusion control"), 0.0);
+  EXPECT_LT(unfcu.overhead_um2(), fcu.overhead_um2());
+}
+
+TEST(AreaModel, ComponentFractionsSumToOne) {
+  for (const ArchSpec& a : all_platforms()) {
+    AreaBreakdown b = area_breakdown(a);
+    double sum = 0.0;
+    for (const AreaComponent& c : b.components) sum += c.area_um2 / b.total_um2();
+    EXPECT_NEAR(sum, 1.0, 1e-9) << a.name;
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/bf16.hpp"
+#include "sim/compute_unit.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(Bf16, RepresentableValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, -0.375f, 256.0f, 1.5f, -2.5f}) {
+    EXPECT_EQ(bf16_to_float(float_to_bf16(v)), v) << v;
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 sits exactly between 1.0 and the next bf16 (1 + 2^-7):
+  // ties round to the even mantissa, i.e. 1.0.
+  EXPECT_EQ(quantize_bf16(1.0 + 1.0 / 256.0), 1.0);
+  // 1 + 3*2^-9 is above the midpoint of [1, 1+2^-7)? No: 3/512 > 1/256,
+  // so it rounds up to 1 + 2^-7.
+  EXPECT_EQ(quantize_bf16(1.0 + 3.0 / 512.0), 1.0 + 1.0 / 128.0);
+  // And just below the midpoint rounds down.
+  EXPECT_EQ(quantize_bf16(1.0 + 1.0 / 512.0), 1.0);
+}
+
+TEST(Bf16, RelativeErrorBound) {
+  for (double v = 0.001; v < 1e6; v *= 1.7) {
+    const double q = quantize_bf16(v);
+    EXPECT_LE(std::abs(q - v) / v, kBf16MaxRelativeError) << v;
+  }
+}
+
+TEST(Bf16, SpecialValues) {
+  EXPECT_TRUE(std::isnan(bf16_to_float(float_to_bf16(std::nanf("")))));
+  EXPECT_TRUE(std::isinf(bf16_to_float(float_to_bf16(std::numeric_limits<float>::infinity()))));
+  // Overflow saturates to infinity through the rounding carry.
+  EXPECT_TRUE(std::isinf(bf16_to_float(float_to_bf16(std::numeric_limits<float>::max()))));
+  EXPECT_EQ(quantize_bf16(0.0), 0.0);
+  EXPECT_EQ(quantize_bf16(-0.0), 0.0);
+}
+
+TEST(Bf16, QuantizationIsIdempotent) {
+  for (double v : {3.14159, -123.456, 1e-3, 7.0e5}) {
+    const double once = quantize_bf16(v);
+    EXPECT_EQ(quantize_bf16(once), once);
+  }
+}
+
+TEST(Bf16, SimulatorIsExactOnQuantizedOperands) {
+  // Quantize inputs to bf16; the systolic datapaths add no further error:
+  // WS / OS / IS and tile fusion all match the double reference on the
+  // quantized operands bit-exactly.
+  Matrix a = quantize_bf16(make_test_matrix(6, 5, 201));
+  Matrix b = quantize_bf16(make_test_matrix(5, 7, 202));
+  Matrix d = quantize_bf16(make_test_matrix(7, 4, 203));
+
+  ComputeUnit cu(8);
+  EXPECT_EQ(cu.run_ws(a, b).output, matmul_reference(a, b));
+  EXPECT_EQ(cu.run_os(a, b).output, matmul_reference(a, b));
+  EXPECT_EQ(cu.run_is(a, b).output, matmul_reference(a, b));
+  EXPECT_EQ(cu.run_tile_fusion(a, b, d).output,
+            matmul_reference(matmul_reference(a, b), d));
+}
+
+TEST(Bf16, MatrixQuantizationShape) {
+  Matrix m = make_test_matrix(3, 4, 204);
+  Matrix q = quantize_bf16(m);
+  EXPECT_EQ(q.rows(), 3);
+  EXPECT_EQ(q.cols(), 4);
+}
+
+}  // namespace
+}  // namespace fusecu

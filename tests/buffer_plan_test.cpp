@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "principles/principle_optimizer.hpp"
+#include "sim/buffer_plan.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(BufferPlan, StreamedVsStationaryTensors) {
+  // Output-stationary: C's tile loops both effective -> C streamed? No:
+  // with tiles covering a *portion* of C, C's tile changes across the
+  // (M, L) loops -> streamed.  An untiled-resident tensor is not.
+  TensorOp op = TensorOp::matmul("mm", 64, 32, 64);
+  Dataflow os = make_dataflow(op, {"M", "L", "K"}, {{"M", 16}, {"L", 16}, {"K", 1}});
+  EXPECT_TRUE(tensor_is_streamed(op, os, mm::kTensorA));
+  EXPECT_TRUE(tensor_is_streamed(op, os, mm::kTensorB));
+  EXPECT_TRUE(tensor_is_streamed(op, os, mm::kTensorC));
+
+  // Three-NRA with B fully resident: B single-buffered.
+  Dataflow resident = make_dataflow(op, {"M", "K", "L"}, {{"M", 8}, {"K", 32}, {"L", 64}});
+  EXPECT_FALSE(tensor_is_streamed(op, resident, mm::kTensorB));
+  EXPECT_TRUE(tensor_is_streamed(op, resident, mm::kTensorA));
+}
+
+TEST(BufferPlan, RegionsArePackedAndDisjoint) {
+  TensorOp op = TensorOp::matmul("mm", 64, 32, 64);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 16}, {"L", 16}, {"K", 4}});
+  BufferPlan plan = plan_buffer(op, df);
+  ASSERT_EQ(plan.regions.size(), 3u);
+  Index expected_offset = 0;
+  for (const BufferRegion& r : plan.regions) {
+    EXPECT_EQ(r.offset, expected_offset);
+    expected_offset += r.extent();
+    EXPECT_TRUE(r.double_buffered);  // every tensor streams in this nest
+    EXPECT_EQ(r.extent(), 2 * r.tile_elements);
+  }
+  EXPECT_EQ(plan.total_elements, expected_offset);
+  // Double buffering exactly doubles the analytical footprint here.
+  EXPECT_EQ(plan.total_elements, 2 * df.buffer_footprint(op));
+}
+
+TEST(BufferPlan, ResidentTensorSingleBuffered) {
+  TensorOp op = TensorOp::matmul("mm", 256, 32, 32);
+  // B resident (untiled both dims), A/C stream.
+  Dataflow df = make_dataflow(op, {"M", "K", "L"}, {{"M", 8}, {"K", 32}, {"L", 32}});
+  BufferPlan plan = plan_buffer(op, df);
+  EXPECT_FALSE(plan.region_for(mm::kTensorB).double_buffered);
+  EXPECT_EQ(plan.region_for(mm::kTensorB).extent(), 32 * 32);
+  EXPECT_TRUE(plan.region_for(mm::kTensorA).double_buffered);
+  // Capacity: footprint + the streamed tiles once more.
+  const Index footprint = df.buffer_footprint(op);
+  EXPECT_EQ(plan.total_elements, footprint + 8 * 32 + 8 * 32);
+}
+
+TEST(BufferPlan, FitsAndLookup) {
+  TensorOp op = TensorOp::matmul("mm", 16, 16, 16);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 4}, {"L", 4}, {"K", 4}});
+  BufferPlan plan = plan_buffer(op, df);
+  EXPECT_TRUE(plan.fits(plan.total_elements));
+  EXPECT_FALSE(plan.fits(plan.total_elements - 1));
+  EXPECT_EQ(plan.region_for(mm::kTensorC).name, "C");
+  EXPECT_THROW(plan.region_for(7), std::invalid_argument);
+}
+
+TEST(BufferPlan, PrincipleSchedulesNeedAtMostTwiceTheFootprint) {
+  for (BufferSize bs : {BufferSize{1024}, BufferSize{64 * 1024}, BufferSize{512 * 1024}}) {
+    TensorOp op = TensorOp::matmul("mm", 1024, 768, 768);
+    IntraOptResult r = optimize_intra(op, bs);
+    BufferPlan plan = plan_buffer(op, r.dataflow);
+    EXPECT_GE(plan.total_elements, r.access.buffer_footprint);
+    EXPECT_LE(plan.total_elements, 2 * r.access.buffer_footprint);
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

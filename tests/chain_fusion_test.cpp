@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "fusion/chain_fusion.hpp"
+
+namespace fusecu {
+namespace {
+
+OperatorGraph three_mm_chain() {
+  // X1 = X0(64, 32) W1(32, 48); X2 = X1 W2(48, 32); X3 = X2 W3(32, 16).
+  return MatMulChainBuilder(64, {32, 48, 32, 16}, "c").graph();
+}
+
+TEST(ResidentChain, ReachesFusedLowerBound) {
+  OperatorGraph g = three_mm_chain();
+  const BufferSize bs = 16 * 1024;
+  auto r = optimize_resident_chain(g, 0, 3, bs);
+  ASSERT_TRUE(r.has_value());
+  // Externals once each: X0 + W1 + W2 + W3 + X3.
+  const AccessCount expected = 64 * 32 + 32 * 48 + 48 * 32 + 32 * 16 + 64 * 16;
+  EXPECT_EQ(r->total_access, expected);
+  EXPECT_LE(r->buffer_footprint, bs);
+  ASSERT_EQ(r->dataflows.size(), 3u);
+  // Every per-op dataflow realizes single access for all three tensors.
+  for (int i = 0; i < 3; ++i) {
+    AccessBreakdown b = evaluate_access(g.op(i), r->dataflows[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(b.non_redundant_tensors(g.op(i)), 3) << "op " << i;
+  }
+}
+
+TEST(ResidentChain, FootprintAccountsIntermediatesAndPeakTiles) {
+  OperatorGraph g = three_mm_chain();
+  auto r = optimize_resident_chain(g, 0, 3, 1 << 20);
+  ASSERT_TRUE(r.has_value());
+  const Index intermediates = 64 * 48 + 64 * 32;  // X1 + X2
+  EXPECT_GE(r->buffer_footprint, intermediates);
+  EXPECT_LE(r->buffer_footprint, intermediates + 64 + 48 + 32 + 16 + 64);
+}
+
+TEST(ResidentChain, InfeasibleWhenIntermediatesOverflow) {
+  OperatorGraph g = three_mm_chain();
+  // X1 + X2 = 3072 + 2048 elements; anything below cannot hold them.
+  EXPECT_FALSE(optimize_resident_chain(g, 0, 3, 4096).has_value());
+}
+
+TEST(ResidentChain, SubsliceAndValidation) {
+  OperatorGraph g = three_mm_chain();
+  auto tail = optimize_resident_chain(g, 1, 2, 16 * 1024);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->total_access, 64 * 48 + 48 * 32 + 32 * 16 + 64 * 16);
+  EXPECT_THROW(optimize_resident_chain(g, 0, 1, 1024), std::invalid_argument);
+  EXPECT_THROW(optimize_resident_chain(g, 2, 2, 1024), std::invalid_argument);
+}
+
+TEST(PlanChainExtended, FusesWholeChainWithBigBuffer) {
+  OperatorGraph g = three_mm_chain();
+  FusionPlan plan = plan_chain_extended(g, 16 * 1024, PlannerPolicy::kCostOnly, 4);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].op_indices, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(plan.total_access, optimize_resident_chain(g, 0, 3, 16 * 1024)->total_access);
+}
+
+TEST(PlanChainExtended, DegradesToPairsWhenChainDoesNotFit) {
+  OperatorGraph g = three_mm_chain();
+  // Enough for a fused pair but not for both intermediates at once.
+  FusionPlan tight = plan_chain_extended(g, 4200, PlannerPolicy::kCostOnly, 4);
+  for (const PlanStep& s : tight.steps) EXPECT_LE(s.op_indices.size(), 2u);
+  // And never worse than the pairwise planner.
+  FusionPlan pairwise = plan_chain(g, 4200, PlannerPolicy::kCostOnly);
+  EXPECT_LE(tight.total_access, pairwise.total_access);
+}
+
+TEST(PlanChainExtended, MatchesPairwisePlannerAtMaxGroupTwo) {
+  OperatorGraph g = three_mm_chain();
+  for (BufferSize bs : {BufferSize{1024}, BufferSize{8 * 1024}, BufferSize{64 * 1024}}) {
+    FusionPlan extended = plan_chain_extended(g, bs, PlannerPolicy::kCostOnly, 2);
+    FusionPlan pairwise = plan_chain(g, bs, PlannerPolicy::kCostOnly);
+    EXPECT_EQ(extended.total_access, pairwise.total_access) << "bs=" << bs;
+  }
+}
+
+TEST(PlanChainExtended, NoFusionPolicyYieldsSingletons) {
+  OperatorGraph g = three_mm_chain();
+  FusionPlan plan = plan_chain_extended(g, 1 << 20, PlannerPolicy::kNoFusion, 4);
+  EXPECT_EQ(plan.steps.size(), 3u);
+  for (const PlanStep& s : plan.steps) EXPECT_EQ(s.op_indices.size(), 1u);
+}
+
+TEST(PlanChainExtended, DpIsOptimalAgainstBruteForcePartitions) {
+  // Exhaustively enumerate all partitions of a 4-op chain into contiguous
+  // groups of size <= 3 and verify the DP finds the cheapest.
+  OperatorGraph g = MatMulChainBuilder(32, {16, 24, 16, 24, 16}, "p").graph();
+  const BufferSize bs = 6 * 1024;
+
+  auto group_cost = [&](int first, int len) -> AccessCount {
+    constexpr AccessCount kInf = std::numeric_limits<AccessCount>::max() / 4;
+    if (len == 1) return optimize_intra(g.op(first), bs).access.total;
+    AccessCount best = kInf;
+    if (len == 2) {
+      auto pair = try_make_fused_pair(g.op(first), g.op(first + 1));
+      if (pair) {
+        if (auto fused = optimize_fused_pair(*pair, bs)) best = fused->access.total;
+      }
+    }
+    if (auto resident = optimize_resident_chain(g, first, len, bs)) {
+      best = std::min(best, resident->total_access);
+    }
+    return best;
+  };
+
+  // Brute force over composition of 4 into parts of size 1..3.
+  AccessCount brute = std::numeric_limits<AccessCount>::max();
+  std::vector<std::vector<int>> partitions = {
+      {1, 1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2}, {2, 2}, {3, 1}, {1, 3}};
+  for (const auto& parts : partitions) {
+    AccessCount total = 0;
+    int at = 0;
+    bool legal = true;
+    for (int p : parts) {
+      AccessCount c = group_cost(at, p);
+      if (c >= std::numeric_limits<AccessCount>::max() / 4) legal = false;
+      total += c;
+      at += p;
+    }
+    if (legal) brute = std::min(brute, total);
+  }
+
+  FusionPlan plan = plan_chain_extended(g, bs, PlannerPolicy::kCostOnly, 3);
+  EXPECT_EQ(plan.total_access, brute);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/units.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(ArgParser, FlagsOptionsAndPositionals) {
+  ArgParser p({"--validate"}, {"--op", "--buffer"});
+  const char* argv[] = {"prog", "--op", "1024", "768", "768", "--buffer", "512KB", "--validate"};
+  p.parse(8, argv);
+  EXPECT_TRUE(p.has_flag("--validate"));
+  EXPECT_EQ(p.option("--op").value(), "1024");
+  EXPECT_EQ(p.option_bytes("--buffer", 0), 512 * kKiB);
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"768", "768"}));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  ArgParser p({}, {"--buffer", "--count"});
+  const char* argv[] = {"prog"};
+  p.parse(1, argv);
+  EXPECT_FALSE(p.has_flag("--anything"));
+  EXPECT_EQ(p.option_bytes("--buffer", 42), 42);
+  EXPECT_EQ(p.option_int("--count", 7), 7);
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  ArgParser p({"--f"}, {"--o"});
+  const char* unknown[] = {"prog", "--nope"};
+  EXPECT_THROW(p.parse(2, unknown), std::invalid_argument);
+  ArgParser q({}, {"--o"});
+  const char* missing_value[] = {"prog", "--o"};
+  EXPECT_THROW(q.parse(2, missing_value), std::invalid_argument);
+  ArgParser r({}, {"--n"});
+  const char* bad_int[] = {"prog", "--n", "12x"};
+  r.parse(3, bad_int);
+  EXPECT_THROW(r.option_int("--n", 0), std::invalid_argument);
+}
+
+TEST(ParseBytes, SuffixesAndErrors) {
+  EXPECT_EQ(parse_bytes("1024"), 1024);
+  EXPECT_EQ(parse_bytes("512KB"), 512 * kKiB);
+  EXPECT_EQ(parse_bytes("512kb"), 512 * kKiB);
+  EXPECT_EQ(parse_bytes("8MB"), 8 * kMiB);
+  EXPECT_EQ(parse_bytes("2GiB"), 2 * kGiB);
+  EXPECT_EQ(parse_bytes("1.5K"), 1536);
+  EXPECT_THROW(parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("12XB"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("abc"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

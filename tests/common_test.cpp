@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+#include <sstream>
+
+namespace fusecu {
+namespace {
+
+TEST(MathUtil, CeilDivAndRounding) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+  EXPECT_EQ(round_down(10, 8), 8);
+  EXPECT_EQ(clamp_index(5, 1, 3), 3);
+  EXPECT_EQ(clamp_index(-5, 1, 3), 1);
+  EXPECT_EQ(clamp_index(2, 1, 3), 2);
+}
+
+TEST(MathUtil, IsqrtExactAndBetween) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(15), 3);
+  EXPECT_EQ(isqrt(16), 4);
+  EXPECT_EQ(isqrt(17), 4);
+  EXPECT_EQ(isqrt(1'000'000'000'000LL), 1'000'000);
+  EXPECT_THROW(isqrt(-1), std::invalid_argument);
+}
+
+class IsqrtProperty : public ::testing::TestWithParam<Index> {};
+
+TEST_P(IsqrtProperty, FloorSquareRootInvariant) {
+  const Index v = GetParam();
+  const Index r = isqrt(v);
+  EXPECT_LE(r * r, v);
+  EXPECT_GT((r + 1) * (r + 1), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IsqrtProperty,
+                         ::testing::Values<Index>(2, 3, 99, 100, 101, 524287, 524288, 524289,
+                                                  1 << 30, (1LL << 40) + 7));
+
+TEST(MathUtil, DivisorsSortedAndComplete) {
+  EXPECT_EQ(divisors(1), (std::vector<Index>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<Index>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(17), (std::vector<Index>{1, 17}));
+  auto d = divisors(768);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_LT(d[i - 1], d[i]);
+  for (Index v : d) EXPECT_EQ(768 % v, 0);
+}
+
+TEST(MathUtil, TileCandidatesContainPowersOfTwoAndExtent) {
+  auto c = tile_candidates(768);
+  EXPECT_EQ(c.front(), 1);
+  EXPECT_EQ(c.back(), 768);
+  for (Index t : {2, 4, 8, 512, 256, 96, 768}) {
+    EXPECT_NE(std::find(c.begin(), c.end(), t), c.end()) << t;
+  }
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+}
+
+TEST(MathUtil, Means) {
+  EXPECT_DOUBLE_EQ(geo_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(arith_mean({1.0, 3.0}), 2.0);
+  EXPECT_THROW(geo_mean({}), std::invalid_argument);
+  EXPECT_THROW(geo_mean({0.0}), std::invalid_argument);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1 GiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+}
+
+TEST(Rng, DeterministicWithSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Index v = rng.uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+  EXPECT_THROW(rng.uniform(5, 4), std::invalid_argument);
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row_numeric("beta", {2.5}, 1);
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sim/compute_unit.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(Matrix, ReferenceMatmul) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7;  b.at(0, 1) = 8;
+  b.at(1, 0) = 9;  b.at(1, 1) = 10;
+  b.at(2, 0) = 11; b.at(2, 1) = 12;
+  Matrix c = matmul_reference(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+  EXPECT_THROW(matmul_reference(a, a), std::invalid_argument);
+}
+
+TEST(XsPeTest, WeightStationaryMac) {
+  XsPe pe;
+  pe.set_mode(PeMode::kWeightStationary);
+  pe.load_stationary(3.0);
+  XsPe::Outputs o = pe.step({/*west=*/2.0, /*north=*/10.0});
+  EXPECT_DOUBLE_EQ(o.south, 16.0);  // 10 + 3*2
+  EXPECT_DOUBLE_EQ(o.east, 2.0);    // activation forwards
+}
+
+TEST(XsPeTest, InputStationaryMac) {
+  XsPe pe;
+  pe.set_mode(PeMode::kInputStationary);
+  pe.load_stationary(4.0);
+  XsPe::Outputs o = pe.step({/*west=*/5.0, /*north=*/2.0});
+  EXPECT_DOUBLE_EQ(o.east, 13.0);  // 5 + 4*2: psum flows eastward
+  EXPECT_DOUBLE_EQ(o.south, 2.0);  // operand forwards
+}
+
+TEST(XsPeTest, OutputStationaryAccumulates) {
+  XsPe pe;
+  pe.set_mode(PeMode::kOutputStationary);
+  pe.step({2.0, 3.0});
+  pe.step({4.0, 5.0});
+  EXPECT_DOUBLE_EQ(pe.accumulator(), 26.0);
+  XsPe::Outputs o = pe.step({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(o.east, 1.0);
+  EXPECT_DOUBLE_EQ(o.south, 1.0);
+}
+
+TEST(XsPeTest, FusionMuxPromotesAccumulator) {
+  XsPe pe;
+  pe.set_mode(PeMode::kOutputStationary);
+  pe.step({6.0, 7.0});
+  pe.promote_accumulator_to_stationary();
+  EXPECT_DOUBLE_EQ(pe.stationary(), 42.0);
+  EXPECT_DOUBLE_EQ(pe.accumulator(), 0.0);
+}
+
+struct MmShape {
+  Index m, k, l;
+};
+
+class SystolicCorrectness : public ::testing::TestWithParam<MmShape> {};
+
+TEST_P(SystolicCorrectness, WsMatchesReference) {
+  const auto& s = GetParam();
+  if (s.k > 8 || s.l > 8) GTEST_SKIP() << "WS needs K, L <= N";
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(s.m, s.k, 1);
+  Matrix b = make_test_matrix(s.k, s.l, 2);
+  auto r = cu.run_ws(a, b);
+  EXPECT_EQ(r.output, matmul_reference(a, b));
+  EXPECT_EQ(r.cycles, s.m + s.k + s.l - 2 + s.k);
+}
+
+TEST_P(SystolicCorrectness, OsMatchesReference) {
+  const auto& s = GetParam();
+  if (s.m > 8 || s.l > 8) GTEST_SKIP() << "OS needs M, L <= N";
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(s.m, s.k, 3);
+  Matrix b = make_test_matrix(s.k, s.l, 4);
+  auto r = cu.run_os(a, b);
+  EXPECT_EQ(r.output, matmul_reference(a, b));
+  EXPECT_EQ(r.cycles, s.k + s.m + s.l - 2 + s.m);
+}
+
+TEST_P(SystolicCorrectness, IsMatchesReference) {
+  const auto& s = GetParam();
+  if (s.m > 8 || s.k > 8) GTEST_SKIP() << "IS needs M, K <= N";
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(s.m, s.k, 5);
+  Matrix b = make_test_matrix(s.k, s.l, 6);
+  auto r = cu.run_is(a, b);
+  EXPECT_EQ(r.output, matmul_reference(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SystolicCorrectness,
+                         ::testing::Values(MmShape{1, 1, 1}, MmShape{8, 8, 8}, MmShape{3, 5, 7},
+                                           MmShape{8, 2, 6}, MmShape{20, 8, 8}, MmShape{5, 8, 3},
+                                           MmShape{7, 1, 8}, MmShape{2, 8, 1}));
+
+TEST(ComputeUnitTest, RejectsOversizedTiles) {
+  ComputeUnit cu(4);
+  Matrix a5(5, 4), b4(4, 4), b5(4, 5);
+  EXPECT_THROW(cu.run_os(a5, b4), std::invalid_argument);       // M > N
+  EXPECT_THROW(cu.run_ws(Matrix(4, 5), Matrix(5, 4)), std::invalid_argument);  // K > N
+  EXPECT_THROW(cu.run_is(a5, b4), std::invalid_argument);       // M > N
+  EXPECT_THROW(cu.run_ws(a5, b5), std::invalid_argument);       // L > N
+}
+
+// --- The architectural headline: fused execution on the PEs, intermediate
+// never leaving the array.
+class TileFusionCorrectness : public ::testing::TestWithParam<MmShape> {};
+
+TEST_P(TileFusionCorrectness, MatchesReferenceChain) {
+  const auto& s = GetParam();
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(s.m, s.k, 7);
+  Matrix b = make_test_matrix(s.k, 8, 8);   // C is m x 8 (fits the array)
+  Matrix d = make_test_matrix(8, s.l, 9);
+  auto r = cu.run_tile_fusion(a, b, d);
+  Matrix expected = matmul_reference(matmul_reference(a, b), d);
+  EXPECT_EQ(r.output, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TileFusionCorrectness,
+                         ::testing::Values(MmShape{8, 8, 8}, MmShape{8, 20, 8}, MmShape{3, 4, 5},
+                                           MmShape{8, 1, 16}, MmShape{1, 7, 1}));
+
+TEST(TileFusionTraffic, IntermediateNeverCrossesTheEdge) {
+  const Index m = 8, k = 16, l = 8, n2 = 12;
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(m, k, 11);
+  Matrix b = make_test_matrix(k, l, 12);
+  Matrix d = make_test_matrix(l, n2, 13);
+
+  // Unfused: OS for C, drain it, then IS consuming it.
+  cu.reset_traffic();
+  auto c_result = cu.run_os(a, b);
+  auto e_unfused = cu.run_is(c_result.output, d);
+  const AccessCount unfused_traffic =
+      cu.input_traffic() + cu.output_traffic() + cu.preload_traffic();
+
+  // Fused: same math, C promoted in place.
+  cu.reset_traffic();
+  auto e_fused = cu.run_tile_fusion(a, b, d);
+  const AccessCount fused_traffic =
+      cu.input_traffic() + cu.output_traffic() + cu.preload_traffic();
+
+  EXPECT_EQ(e_fused.output, e_unfused.output);
+  // Fusion saves exactly C's drain (m*l) plus its re-load (m*l preload).
+  EXPECT_EQ(unfused_traffic - fused_traffic, 2 * m * l);
+  // And saves cycles: the drain + reload phases disappear.
+  EXPECT_LT(e_fused.cycles, c_result.cycles + e_unfused.cycles);
+}
+
+TEST(XsPeTest, DrainShiftsAccumulatorEast) {
+  XsPe pe;
+  pe.set_mode(PeMode::kOutputStationary);
+  pe.step({3.0, 4.0});  // accumulator = 12
+  pe.set_mode(PeMode::kDrain);
+  XsPe::Outputs o = pe.step({/*west=*/7.0, /*north=*/0.0});
+  EXPECT_DOUBLE_EQ(o.east, 12.0);           // emits its own accumulator
+  EXPECT_DOUBLE_EQ(pe.accumulator(), 7.0);  // adopts the neighbor's
+}
+
+TEST(ComputeUnitTest, DrainEastMatchesDirectAccumulatorRead) {
+  const Index m = 5, k = 9, l = 7;
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(m, k, 31);
+  Matrix b = make_test_matrix(k, l, 32);
+  auto os = cu.run_os(a, b);
+  auto drained = cu.drain_east(m, l);
+  EXPECT_EQ(drained.output, os.output);
+  EXPECT_EQ(drained.cycles, 2 * 8 - 1);
+  EXPECT_THROW(cu.drain_east(9, 4), std::invalid_argument);
+  EXPECT_THROW(cu.drain_east(4, 0), std::invalid_argument);
+}
+
+TEST(ComputeUnitTest, TrafficCountsMatchOperandVolumes) {
+  const Index m = 6, k = 4, l = 5;
+  ComputeUnit cu(8);
+  Matrix a = make_test_matrix(m, k, 21);
+  Matrix b = make_test_matrix(k, l, 22);
+  cu.reset_traffic();
+  cu.run_ws(a, b);
+  EXPECT_EQ(cu.preload_traffic(), k * l);  // B resident
+  EXPECT_EQ(cu.input_traffic(), m * k);    // A streamed
+  EXPECT_EQ(cu.output_traffic(), m * l);   // C collected
+}
+
+}  // namespace
+}  // namespace fusecu

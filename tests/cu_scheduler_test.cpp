@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "sim/cu_scheduler.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(CuScheduler, BalancesEqualJobs) {
+  std::vector<CuJob> jobs(8, CuJob{100, 10, "j"});
+  CuScheduleResult r = schedule_jobs(jobs, 4);
+  EXPECT_EQ(r.compute_peak, 200);  // two jobs per unit
+  EXPECT_EQ(r.memory_total, 80);
+  EXPECT_EQ(r.makespan, 200);
+  EXPECT_DOUBLE_EQ(r.load_balance(), 1.0);
+}
+
+TEST(CuScheduler, LptHandlesSkewedJobs) {
+  // One big job plus small ones: LPT puts the big one alone.
+  std::vector<CuJob> jobs = {{300, 0, "big"}, {100, 0, "a"}, {100, 0, "b"}, {100, 0, "c"},
+                             {100, 0, "d"},   {100, 0, "e"}, {100, 0, "f"}};
+  CuScheduleResult r = schedule_jobs(jobs, 4);
+  EXPECT_EQ(r.compute_peak, 300);
+  EXPECT_EQ(r.makespan, 300);
+}
+
+TEST(CuScheduler, MemoryBoundWorkloadsSerialize) {
+  std::vector<CuJob> jobs(4, CuJob{10, 500, "mem"});
+  CuScheduleResult r = schedule_jobs(jobs, 4);
+  EXPECT_EQ(r.memory_total, 2000);
+  EXPECT_EQ(r.makespan, 2000);  // shared DMA dominates
+}
+
+TEST(CuScheduler, SingleUnitDegeneratesToSum) {
+  std::vector<CuJob> jobs = {{50, 5, "a"}, {70, 5, "b"}};
+  CuScheduleResult r = schedule_jobs(jobs, 1);
+  EXPECT_EQ(r.compute_peak, 120);
+  EXPECT_THROW(schedule_jobs(jobs, 0), std::invalid_argument);
+}
+
+TEST(CuScheduler, PerUnitPlanSchedulingMatchesJobArithmetic) {
+  // 192 attention-head instances on FuseCU: per-unit jobs across 4 units.
+  OperatorGraph attn = MatMulChainBuilder(1024, {64, 1024, 64}, "attn").graph();
+  ArchSpec arch = make_fusecu();
+  ArchPlan plan = plan_chain_for_arch(attn, arch);
+  CuScheduleResult r = schedule_plan_per_unit(plan, arch, 192);
+  ASSERT_EQ(r.unit_busy.size(), 4u);
+  // 192 identical jobs over 4 units: perfectly balanced.
+  EXPECT_DOUBLE_EQ(r.load_balance(), 1.0);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_THROW(schedule_plan_per_unit(plan, arch, 0), std::invalid_argument);
+}
+
+TEST(CuScheduler, LoadBalanceDetectsImbalance) {
+  CuScheduleResult r = schedule_jobs({{100, 0, "only"}}, 4);
+  EXPECT_DOUBLE_EQ(r.load_balance(), 0.25);
+  CuScheduleResult idle = schedule_jobs({}, 2);
+  EXPECT_DOUBLE_EQ(idle.load_balance(), 1.0);
+  EXPECT_EQ(idle.makespan, 0);
+}
+
+}  // namespace
+}  // namespace fusecu

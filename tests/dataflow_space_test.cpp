@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "arch/dataflow_space.hpp"
+#include "common/units.hpp"
+#include "principles/principle_optimizer.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(DataflowSpace, ResidentTensorPerStationarity) {
+  EXPECT_EQ(resident_tensor_for(Stationarity::kInput), mm::kTensorA);
+  EXPECT_EQ(resident_tensor_for(Stationarity::kWeight), mm::kTensorB);
+  EXPECT_EQ(resident_tensor_for(Stationarity::kOutput), mm::kTensorC);
+}
+
+TEST(DataflowSpace, LegalizeTile) {
+  EXPECT_EQ(legalize_tile(100, 512, 32), 96);   // round down to granularity
+  EXPECT_EQ(legalize_tile(100, 512, 128), 1);   // below granularity -> stream
+  EXPECT_EQ(legalize_tile(512, 512, 128), 512); // untiled stays untiled
+  EXPECT_EQ(legalize_tile(700, 512, 128), 512); // clamped to extent
+  EXPECT_EQ(legalize_tile(1, 512, 128), 1);     // unit tile always legal
+  EXPECT_THROW(legalize_tile(10, 512, 0), std::invalid_argument);
+}
+
+TEST(DataflowSpace, LowFlexLocksResidentTileToArrayShape) {
+  TensorOp op = TensorOp::matmul("proj", 16384, 768, 768);
+  ArchSpec tpu = make_tpu_v4i();
+  ArchIntraOpt r = optimize_intra_for_arch(op, tpu);
+  // The weight (B) tile is exactly 128 x 128 regardless of schedule.
+  EXPECT_EQ(r.spatial_rows, 128);
+  EXPECT_EQ(r.spatial_cols, 128);
+  // The staged schedule wins: A staged in the buffer (accessed once),
+  // C spilled per 128-wide K tile, B refetched per M stage of
+  // T_M = (BS - 128^2) / 256.
+  const Index t_m = (tpu.buffer_elements() - 128 * 128) / 256;
+  const AccessCount staged = 16384LL * 768 + 16384LL * 768 * (768 / 128) +
+                             768LL * 768 * ((16384 + t_m - 1) / t_m);
+  EXPECT_EQ(r.access.total, staged);
+  // And it beats the streaming schedule MA = |B| + MK*(L/128) + ML*(K/128).
+  const AccessCount streaming = 768LL * 768 + 16384LL * 768 * (768 / 128) * 2;
+  EXPECT_LT(r.access.total, streaming);
+}
+
+TEST(DataflowSpace, GemminiAddsOutputStationaryChoice) {
+  // For an op whose output is the cheapest resident, Gemmini (WS|OS) should
+  // never do worse than TPUv4i (WS only).
+  for (Index m : {Index{512}, Index{4096}}) {
+    TensorOp op = TensorOp::matmul("op", m, 4096, 128);
+    AccessCount tpu = optimize_intra_for_arch(op, make_tpu_v4i()).access.total;
+    AccessCount gemmini = optimize_intra_for_arch(op, make_gemmini()).access.total;
+    EXPECT_LE(gemmini, tpu);
+  }
+}
+
+TEST(DataflowSpace, FlexiblePlatformsNeverLoseToRigidOnes) {
+  const std::vector<TensorOp> ops = {
+      TensorOp::matmul("proj", 16384, 768, 768),
+      TensorOp::matmul("attn_score", 1024, 64, 1024),
+      TensorOp::matmul("attn_ctx", 1024, 1024, 64),
+      TensorOp::matmul("ffn", 4096, 1024, 4096),
+  };
+  for (const TensorOp& op : ops) {
+    const AccessCount tpu = optimize_intra_for_arch(op, make_tpu_v4i()).access.total;
+    const AccessCount planaria = optimize_intra_for_arch(op, make_planaria()).access.total;
+    const AccessCount unfcu = optimize_intra_for_arch(op, make_unfcu()).access.total;
+    EXPECT_LE(planaria, tpu) << op.to_string();
+    EXPECT_LE(unfcu, tpu) << op.to_string();
+    // And neither flexible platform beats the unconstrained lower bound.
+    const AccessCount bound = optimize_intra(op, make_unfcu().buffer_elements()).access.total;
+    EXPECT_GE(unfcu, bound) << op.to_string();
+    EXPECT_GE(planaria, bound) << op.to_string();
+  }
+}
+
+TEST(DataflowSpace, UnfCuTracksUnconstrainedOptimumClosely) {
+  // Middle flexibility legalizes tiles at 64-granularity; the loss vs the
+  // unconstrained optimum should be small (paper: UnfCU supports "the
+  // optimal intra-operator dataflow").
+  TensorOp op = TensorOp::matmul("proj", 16384, 768, 768);
+  const ArchSpec unfcu = make_unfcu();
+  const AccessCount constrained = optimize_intra_for_arch(op, unfcu).access.total;
+  const AccessCount bound = optimize_intra(op, unfcu.buffer_elements()).access.total;
+  EXPECT_LE(static_cast<double>(constrained), 1.10 * static_cast<double>(bound));
+}
+
+TEST(DataflowSpace, OnlyFuseCuFusesAttention) {
+  OperatorGraph attn = MatMulChainBuilder(1024, {64, 1024, 64}, "attn").graph();
+  for (const ArchSpec& arch : all_platforms()) {
+    ArchPlan plan = plan_chain_for_arch(attn, arch);
+    if (arch.supports_fusion) {
+      EXPECT_EQ(plan.fused_pair_count(), 1) << arch.name;
+    } else {
+      EXPECT_EQ(plan.fused_pair_count(), 0) << arch.name;
+    }
+  }
+}
+
+TEST(DataflowSpace, FusionReducesChainAccess) {
+  OperatorGraph attn = MatMulChainBuilder(1024, {64, 1024, 64}, "attn").graph();
+  AccessCount fused = plan_chain_for_arch(attn, make_fusecu()).total_access;
+  AccessCount unfused = plan_chain_for_arch(attn, make_unfcu()).total_access;
+  EXPECT_LT(fused, unfused);
+  // The saving is at least the intermediate round trip avoided.
+  EXPECT_LE(fused + 2 * 1024 * 1024, unfused + 1024 * 1024);
+}
+
+TEST(DataflowSpace, PlanCoversAllOpsExactlyOnce) {
+  OperatorGraph ffn = MatMulChainBuilder(16384, {768, 3072, 768}, "ffn").graph();
+  for (const ArchSpec& arch : all_platforms()) {
+    ArchPlan plan = plan_chain_for_arch(ffn, arch);
+    std::vector<bool> seen(2, false);
+    AccessCount sum = 0;
+    MacCount macs = 0;
+    for (const ArchPlanStep& s : plan.steps) {
+      sum += s.access;
+      macs += s.macs;
+      for (int i : s.op_indices) {
+        EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+        seen[static_cast<std::size_t>(i)] = true;
+      }
+      EXPECT_GE(s.spatial_rows, 1);
+      EXPECT_GE(s.spatial_cols, 1);
+    }
+    EXPECT_EQ(sum, plan.total_access) << arch.name;
+    EXPECT_EQ(macs, plan.total_macs) << arch.name;
+    for (bool b : seen) EXPECT_TRUE(b);
+  }
+}
+
+TEST(DataflowSpace, FallbackHandlesTinyBuffers) {
+  TensorOp op = TensorOp::matmul("op", 64, 64, 64);
+  ArchSpec tiny = make_tpu_v4i(64);  // 32 elements: even a 64x64 B tile fails
+  ArchIntraOpt r = optimize_intra_for_arch(op, tiny);
+  EXPECT_LE(r.access.buffer_footprint, tiny.buffer_elements());
+}
+
+}  // namespace
+}  // namespace fusecu

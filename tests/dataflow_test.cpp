@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/dataflow.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(Dataflow, TripsUntiledAndFootprint) {
+  TensorOp op = TensorOp::matmul("mm", 100, 50, 30);
+  Dataflow df = make_dataflow(op, {"M", "K", "L"}, {{"M", 32}, {"K", 50}, {"L", 7}});
+  EXPECT_EQ(df.trips(op, mm::kDimM), 4);  // ceil(100 / 32)
+  EXPECT_EQ(df.trips(op, mm::kDimK), 1);
+  EXPECT_EQ(df.trips(op, mm::kDimL), 5);  // ceil(30 / 7)
+  EXPECT_FALSE(df.untiled(op, mm::kDimM));
+  EXPECT_TRUE(df.untiled(op, mm::kDimK));
+  EXPECT_EQ(df.buffer_footprint(op), 32 * 50 + 50 * 7 + 32 * 7);
+  EXPECT_EQ(df.tensor_tile_size(op, mm::kTensorB), 50 * 7);
+}
+
+TEST(Dataflow, ToStringUsesDimNames) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  Dataflow df = make_dataflow(op, {"L", "M", "K"}, {{"M", 4}});
+  const std::string s = df.to_string(op);
+  EXPECT_NE(s.find("order=[L,M,K]"), std::string::npos);
+  EXPECT_NE(s.find("M:4"), std::string::npos);
+  EXPECT_NE(s.find("K:1"), std::string::npos);
+}
+
+TEST(Dataflow, MakeDataflowErrors) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  EXPECT_THROW(make_dataflow(op, {"M", "L", "Z"}, {}), std::invalid_argument);
+  EXPECT_THROW(make_dataflow(op, {"M", "L", "K"}, {{"Z", 2}}), std::invalid_argument);
+  EXPECT_THROW(make_dataflow(op, {"M", "L"}, {}), std::invalid_argument);
+  EXPECT_THROW(make_dataflow(op, {"M", "M", "K"}, {}), std::invalid_argument);
+  EXPECT_THROW(make_dataflow(op, {"M", "L", "K"}, {{"M", 0}}), std::invalid_argument);
+  EXPECT_THROW(make_dataflow(op, {"M", "L", "K"}, {{"M", 9}}), std::invalid_argument);
+}
+
+TEST(Dataflow, ValidateRejectsArityMismatch) {
+  TensorOp op = TensorOp::matmul("mm", 8, 8, 8);
+  Dataflow df;
+  df.loop_order = {0, 1, 2};
+  df.tile = {1, 1};  // short tile vector
+  EXPECT_THROW(validate_dataflow(op, df), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.hpp"
+#include "workloads/model_eval.hpp"
+
+namespace fusecu {
+namespace {
+
+ArchPlanStep make_step(AccessCount access, MacCount macs) {
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.access = access;
+  step.macs = macs;
+  step.spatial_rows = 128;
+  step.spatial_cols = 128;
+  return step;
+}
+
+TEST(EnergyModel, StepEnergyComponents) {
+  ArchSpec arch = make_tpu_v4i();
+  EnergyConstants k;
+  ArchPlanStep step = make_step(/*access=*/1000, /*macs=*/128 * 128);
+  EnergyBreakdown e = step_energy(step, arch, k);
+  EXPECT_DOUBLE_EQ(e.dram_pj, 1000.0 * k.dram_pj_per_element);
+  // per-MAC buffer traffic on a 128x128 array: 1/128 + 1/128 + 1/128.
+  EXPECT_DOUBLE_EQ(e.buffer_pj, 128.0 * 128.0 * (3.0 / 128.0) * k.buffer_pj_per_element);
+  EXPECT_DOUBLE_EQ(e.compute_pj, 128.0 * 128.0 * k.mac_pj);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.dram_pj + e.buffer_pj + e.compute_pj);
+  EXPECT_GT(e.data_movement_fraction(), 0.0);
+  EXPECT_LT(e.data_movement_fraction(), 1.0);
+}
+
+TEST(EnergyModel, DramDominatesForMemoryHeavySteps) {
+  ArchSpec arch = make_tpu_v4i();
+  // Few MACs, huge traffic: the paper's "memory access is the bottleneck".
+  EnergyBreakdown heavy = step_energy(make_step(10'000'000, 128 * 128), arch);
+  EXPECT_GT(heavy.data_movement_fraction(), 0.99);
+  // Huge compute, tiny traffic: compute-dominated.
+  EnergyBreakdown light = step_energy(make_step(10, 1'000'000'000), arch);
+  EXPECT_LT(light.data_movement_fraction(), 0.3);
+}
+
+TEST(EnergyModel, PlanEnergyScalesWithCopies) {
+  ArchSpec arch = make_fusecu();
+  ArchPlan plan;
+  plan.steps = {make_step(1000, 100000)};
+  EnergyBreakdown one = plan_energy(plan, arch, 1);
+  EnergyBreakdown four = plan_energy(plan, arch, 4);
+  EXPECT_DOUBLE_EQ(four.total_pj(), 4.0 * one.total_pj());
+}
+
+TEST(EnergyModel, RejectsDegenerateInputs) {
+  ArchSpec arch = make_tpu_v4i();
+  ArchPlanStep empty = make_step(0, 0);
+  EXPECT_THROW(step_energy(empty, arch), std::invalid_argument);
+  EnergyBreakdown zero;
+  EXPECT_THROW(zero.data_movement_fraction(), std::invalid_argument);
+}
+
+TEST(EnergyModel, FusionSavesEnergyOnEveryModel) {
+  // The energy counterpart of Fig. 10: FuseCU's DRAM savings translate to
+  // lower total energy than every rigid platform, on every model.
+  for (const ModelConfig& m : table2_models()) {
+    ModelEval tpu = evaluate_model(m, make_tpu_v4i());
+    ModelEval unf = evaluate_model(m, make_unfcu());
+    ModelEval fcu = evaluate_model(m, make_fusecu());
+    EXPECT_GT(tpu.energy_pj, 0.0) << m.name;
+    EXPECT_LT(fcu.energy_pj, unf.energy_pj) << m.name;
+    EXPECT_LT(unf.energy_pj, tpu.energy_pj) << m.name;
+    // Data movement dominates on the rigid platform (the paper's premise).
+    EXPECT_GT(tpu.energy_movement_fraction, 0.5) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/fidelity.hpp"
+#include "workloads/transformer.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(Fidelity, PlanStepsCarryTheirSchedules) {
+  OperatorGraph attn = MatMulChainBuilder(1024, {64, 1024, 64}, "attn").graph();
+  ArchPlan fused = plan_chain_for_arch(attn, make_fusecu());
+  ASSERT_EQ(fused.fused_pair_count(), 1);
+  EXPECT_TRUE(fused.steps[0].fused_phased.has_value());
+
+  ArchPlan unfused = plan_chain_for_arch(attn, make_unfcu());
+  for (const ArchPlanStep& s : unfused.steps) {
+    ASSERT_TRUE(s.dataflow.has_value());
+    // The carried schedule reproduces the step's MA when re-evaluated.
+    EXPECT_EQ(evaluate_access(attn.op(s.op_indices[0]), *s.dataflow).total, s.access);
+  }
+}
+
+TEST(Fidelity, TimelineBracketsTheRoofline) {
+  OperatorGraph attn = MatMulChainBuilder(1024, {64, 1024, 64}, "attn").graph();
+  for (const ArchSpec& arch : {make_tpu_v4i(), make_unfcu(), make_fusecu()}) {
+    ArchPlan plan = plan_chain_for_arch(attn, arch);
+    FidelityPerf f = evaluate_plan_fidelity(attn, plan, arch, /*copies=*/4);
+    EXPECT_GE(f.timeline_cycles, f.roofline_cycles) << arch.name;
+    // Double buffering keeps the replay within ~2x of the ideal overlap.
+    EXPECT_LE(f.overlap_gap(), 2.0) << arch.name;
+    EXPECT_EQ(f.roofline_fallbacks, 0) << arch.name;
+    EXPECT_GT(f.access, 0);
+  }
+}
+
+TEST(Fidelity, SpeedupsShrinkUnderReplay) {
+  // The roofline overshoots FuseCU's advantage (EXPERIMENTS.md deviation 3);
+  // the replayed speedup must not exceed the roofline speedup by more than
+  // noise.
+  OperatorGraph ffn = MatMulChainBuilder(16384, {768, 3072, 768}, "ffn").graph();
+  ArchPlan tpu_plan = plan_chain_for_arch(ffn, make_tpu_v4i());
+  ArchPlan fcu_plan = plan_chain_for_arch(ffn, make_fusecu());
+  FidelityPerf tpu = evaluate_plan_fidelity(ffn, tpu_plan, make_tpu_v4i());
+  FidelityPerf fcu = evaluate_plan_fidelity(ffn, fcu_plan, make_fusecu());
+  const double roofline_speedup = static_cast<double>(tpu.roofline_cycles) /
+                                  static_cast<double>(fcu.roofline_cycles);
+  const double replay_speedup = static_cast<double>(tpu.timeline_cycles) /
+                                static_cast<double>(fcu.timeline_cycles);
+  EXPECT_GT(replay_speedup, 1.0);
+  EXPECT_LE(replay_speedup, roofline_speedup * 1.10);
+}
+
+TEST(Fidelity, RejectsDegenerateCopies) {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm", 64, 64, 64));
+  ArchPlan plan = plan_chain_for_arch(g, make_fusecu());
+  EXPECT_THROW(evaluate_plan_fidelity(g, plan, make_fusecu(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

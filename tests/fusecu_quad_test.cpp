@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "sim/fusecu_quad.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(FuseCuQuad, IndependentWsRunsFourTiles) {
+  FuseCuQuad quad(4);
+  std::array<Matrix, 4> as, bs;
+  for (int i = 0; i < 4; ++i) {
+    as[static_cast<std::size_t>(i)] = make_test_matrix(6, 4, 100 + static_cast<std::uint64_t>(i));
+    bs[static_cast<std::size_t>(i)] = make_test_matrix(4, 4, 200 + static_cast<std::uint64_t>(i));
+  }
+  auto r = quad.run_independent_ws(as, bs);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.outputs[static_cast<std::size_t>(i)],
+              matmul_reference(as[static_cast<std::size_t>(i)], bs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(r.cycles, 6 + 4 + 4 - 2 + 4);
+}
+
+struct FusedShape {
+  Index m, k, l, n2;
+};
+
+class ColumnFusionCorrectness : public ::testing::TestWithParam<FusedShape> {};
+
+TEST_P(ColumnFusionCorrectness, MatchesReferenceChain) {
+  const auto& s = GetParam();
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(s.m, s.k, 31);
+  Matrix b = make_test_matrix(s.k, s.l, 32);
+  Matrix d = make_test_matrix(s.l, s.n2, 33);
+  auto r = quad.run_column_fusion(a, b, d);
+  Matrix expected = matmul_reference(matmul_reference(a, b), d);
+  EXPECT_EQ(r.output, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ColumnFusionCorrectness,
+                         ::testing::Values(FusedShape{8, 8, 8, 8},
+                                           // The untiled L dimension streams freely — this is
+                                           // the "adaptive tile size" claim (Sec. IV-B).
+                                           FusedShape{8, 8, 40, 8}, FusedShape{4, 6, 17, 3},
+                                           FusedShape{1, 1, 5, 1}, FusedShape{8, 2, 100, 5}));
+
+TEST(ColumnFusion, PipelinesProducerAndConsumer) {
+  // Producer and consumer overlap: the fused run is far cheaper than the
+  // producer and consumer phases run back-to-back.
+  const Index m = 8, k = 8, l = 64, n2 = 8;
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(m, k, 41);
+  Matrix b = make_test_matrix(k, l, 42);
+  Matrix d = make_test_matrix(l, n2, 43);
+  auto fused = quad.run_column_fusion(a, b, d);
+
+  ComputeUnit cu(8);
+  auto c = cu.run_is(a, b);
+  auto e = cu.run_os(c.output, d);
+  EXPECT_EQ(fused.output, e.output);
+  EXPECT_LT(fused.cycles, c.cycles + e.cycles);
+}
+
+TEST(ColumnFusion, RejectsOversizedTiles) {
+  FuseCuQuad quad(4);
+  EXPECT_THROW(quad.run_column_fusion(Matrix(5, 4), Matrix(4, 8), Matrix(8, 4)),
+               std::invalid_argument);  // M > N
+  EXPECT_THROW(quad.run_column_fusion(Matrix(4, 4), Matrix(4, 8), Matrix(8, 5)),
+               std::invalid_argument);  // N2 > N
+  EXPECT_THROW(quad.run_column_fusion(Matrix(4, 4), Matrix(5, 8), Matrix(8, 4)),
+               std::invalid_argument);  // inner mismatch
+}
+
+class WideColumnFusionCorrectness : public ::testing::TestWithParam<Index> {};
+
+TEST_P(WideColumnFusionCorrectness, SupportsMUpTo2N) {
+  const Index m = GetParam();
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(m, 6, 71);
+  Matrix b = make_test_matrix(6, 20, 72);  // L streams freely
+  Matrix d = make_test_matrix(20, 7, 73);
+  auto r = quad.run_wide_column_fusion(a, b, d);
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, WideColumnFusionCorrectness,
+                         ::testing::Values<Index>(4, 8, 9, 12, 16));
+
+TEST(WideColumnFusion, RejectsBeyond2N) {
+  FuseCuQuad quad(4);
+  EXPECT_THROW(quad.run_wide_column_fusion(make_test_matrix(9, 4, 1), make_test_matrix(4, 4, 2),
+                                           make_test_matrix(4, 4, 3)),
+               std::invalid_argument);
+}
+
+class NarrowTileFusionCorrectness : public ::testing::TestWithParam<Index> {};
+
+TEST_P(NarrowTileFusionCorrectness, SupportsIntermediatesUpTo2N) {
+  const Index l = GetParam();  // up to 2N = 16
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(8, 5, 51);
+  Matrix b = make_test_matrix(5, l, 52);
+  Matrix d = make_test_matrix(l, 7, 53);
+  auto r = quad.run_narrow_tile_fusion(a, b, d);
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NarrowTileFusionCorrectness,
+                         ::testing::Values<Index>(3, 8, 9, 12, 16));
+
+TEST(NarrowTileFusion, RejectsBeyond2N) {
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(8, 5, 61);
+  Matrix b = make_test_matrix(5, 17, 62);  // L = 17 > 2N = 16
+  Matrix d = make_test_matrix(17, 7, 63);
+  EXPECT_THROW(quad.run_narrow_tile_fusion(a, b, d), std::invalid_argument);
+}
+
+class WideWsCorrectness : public ::testing::TestWithParam<Index> {};
+
+TEST_P(WideWsCorrectness, SupportsWeightsUpTo2N) {
+  const Index l = GetParam();
+  FuseCuQuad quad(8);
+  Matrix a = make_test_matrix(10, 6, 81);
+  Matrix b = make_test_matrix(6, l, 82);
+  auto r = quad.run_ws_wide(a, b);
+  EXPECT_EQ(r.output, matmul_reference(a, b));
+  EXPECT_GT(r.cycles, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideWsCorrectness, ::testing::Values<Index>(1, 8, 9, 13, 16));
+
+TEST(WideWs, RejectsBeyond2NOrDeepK) {
+  FuseCuQuad quad(4);
+  EXPECT_THROW(quad.run_ws_wide(make_test_matrix(4, 4, 1), make_test_matrix(4, 9, 2)),
+               std::invalid_argument);  // L > 2N
+  EXPECT_THROW(quad.run_ws_wide(make_test_matrix(4, 5, 1), make_test_matrix(5, 4, 2)),
+               std::invalid_argument);  // K > N
+}
+
+TEST(FuseCuQuad, TrafficAggregatesAcrossUnits) {
+  FuseCuQuad quad(8);
+  quad.reset_traffic();
+  Matrix a = make_test_matrix(4, 4, 71);
+  Matrix b = make_test_matrix(4, 6, 72);
+  Matrix d = make_test_matrix(6, 4, 73);
+  quad.run_column_fusion(a, b, d);
+  EXPECT_EQ(quad.preload_traffic(), 4 * 4);       // A resident in producer
+  EXPECT_EQ(quad.input_traffic(), 4 * 6 + 6 * 4); // B and D streamed
+  EXPECT_EQ(quad.output_traffic(), 4 * 4);        // E drained
+}
+
+}  // namespace
+}  // namespace fusecu

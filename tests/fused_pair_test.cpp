@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fusion/fused_pair.hpp"
+#include "principles/principle_optimizer.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(FusedPair, MakeAndAccessors) {
+  FusedPair p = FusedPair::make(256, 64, 256, 64);
+  EXPECT_EQ(p.m(), 256);
+  EXPECT_EQ(p.k(), 64);
+  EXPECT_EQ(p.l(), 256);
+  EXPECT_EQ(p.n(), 64);
+  EXPECT_EQ(p.intermediate_size(), 256 * 256);
+  EXPECT_EQ(p.ideal_min_access(), 256LL * 64 + 64LL * 256 + 256LL * 64 + 256LL * 64);
+  EXPECT_THROW(FusedPair::make(0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(FusedPair, FromOpsCanonicalOrientation) {
+  TensorOp op1 = TensorOp::matmul("score", 256, 64, 256, "Q", "Kt", "S");
+  TensorOp op2 = TensorOp::matmul("context", 256, 256, 64, "S", "V", "O");
+  FusedPair p = FusedPair::from_ops(op1, op2);
+  EXPECT_EQ(p.m(), 256);
+  EXPECT_EQ(p.k(), 64);
+  EXPECT_EQ(p.l(), 256);
+  EXPECT_EQ(p.n(), 64);
+}
+
+TEST(FusedPair, FromOpsWeightSideOrientationTransposes) {
+  // C(M=128, L=32) consumed as op2's *second* operand: op2 = Y(16,128) x C.
+  TensorOp op1 = TensorOp::matmul("mm1", 128, 64, 32, "A", "B", "C");
+  TensorOp op2 = TensorOp::matmul("mm2", 16, 128, 32, "Y", "C", "E");
+  FusedPair p = FusedPair::from_ops(op1, op2);
+  // Transposed canonical form: (m, k, l, n) = (L, K, M, M2) = (32, 64, 128, 16).
+  EXPECT_EQ(p.m(), 32);
+  EXPECT_EQ(p.k(), 64);
+  EXPECT_EQ(p.l(), 128);
+  EXPECT_EQ(p.n(), 16);
+}
+
+TEST(FusedPair, FromOpsRejectsMismatch) {
+  TensorOp op1 = TensorOp::matmul("mm1", 128, 64, 32, "A", "B", "C");
+  TensorOp no_share = TensorOp::matmul("mm2", 128, 32, 8, "X", "D", "E");
+  EXPECT_THROW(FusedPair::from_ops(op1, no_share), std::invalid_argument);
+  // Shared name but as the consumer's *output*.
+  TensorOp as_output = TensorOp::matmul("mm3", 128, 8, 32, "X", "D", "C");
+  EXPECT_THROW(FusedPair::from_ops(op1, as_output), std::invalid_argument);
+}
+
+// Phased evaluation against hand-derived formulas for the canonical
+// tile-fusion configuration (Fig. 4a / Fig. 5a): C tile stationary, OS
+// producer then IS consumer.
+TEST(FusedPair, PhasedTileFusionAccessFormula) {
+  FusedPair p = FusedPair::make(512, 384, 512, 384);
+  PhasedFusedDataflow df{/*t_m=*/128, /*t_k=*/1, /*t_l=*/128, /*t_n=*/1, /*l_outer=*/false};
+  FusedAccess a = evaluate_phased(p, df);
+  // op1 (OS): A charged x L/T_L, B charged x M/T_M, C free.
+  EXPECT_EQ(a.op1_external, 512LL * 384 * (512 / 128) + 384LL * 512 * (512 / 128));
+  // op2 (IS, C stationary): D charged x M/T_M, E charged x L/T_L.
+  EXPECT_EQ(a.op2_external, 512LL * 384 * (512 / 128) + 512LL * 384 * (512 / 128));
+  EXPECT_EQ(a.total, a.op1_external + a.op2_external);
+  EXPECT_EQ(a.buffer_footprint, 128 * 1 + 1 * 128 + 128 * 128 + 128 * 1 + 128 * 1);
+}
+
+// Untiling L (Fig. 4c) makes A, C, E single-access on the producer side and
+// leaves only B and D redundant terms controlled by T_M.
+TEST(FusedPair, PhasedUntileLFormula) {
+  FusedPair p = FusedPair::make(1024, 256, 256, 256);
+  PhasedFusedDataflow df{/*t_m=*/64, /*t_k=*/1, /*t_l=*/256, /*t_n=*/1, /*l_outer=*/false};
+  FusedAccess a = evaluate_phased(p, df);
+  // op1: L untiled -> A x1? No: A={M,K} sees the K loop inside nothing
+  // outside it except L (trip 1): A accessed once only if K-loop reuse
+  // holds; with order (M, L, K): A charged once per (m): |A|.  B charged
+  // per m-tile: |B| * M/T_M.
+  EXPECT_EQ(a.op1_external, 1024LL * 256 + 256LL * 256 * (1024 / 64));
+  // op2: D={L,N} charged x M/T_M; E={M,N} accessed once (L untiled).
+  EXPECT_EQ(a.op2_external, 256LL * 256 * (1024 / 64) + 1024LL * 256);
+}
+
+TEST(FusedPair, ResidentEvaluationDropsIntermediateAndReservesIt) {
+  FusedPair p = FusedPair::make(64, 32, 64, 32);
+  ResidentFusedDataflow rf;
+  rf.df1 = make_dataflow(p.op1(), {"M", "L", "K"}, {{"M", 8}, {"L", 8}, {"K", 1}});
+  rf.df2 = make_dataflow(p.op2(), {"M", "L", "K"}, {{"M", 8}, {"K", 8}, {"L", 1}});
+  FusedAccess a = evaluate_resident(p, rf);
+  AccessBreakdown b1 = evaluate_access(p.op1(), rf.df1);
+  EXPECT_EQ(a.op1_external, b1.per_tensor[mm::kTensorA] + b1.per_tensor[mm::kTensorB]);
+  // Footprint: |C| plus the larger of the two phases' working sets.
+  const Index op1_ws = 8 * 1 + 1 * 8;
+  const Index op2_ws = 8 * 1 + 8 * 1;
+  EXPECT_EQ(a.buffer_footprint, 64 * 64 + std::max(op1_ws, op2_ws));
+}
+
+TEST(FusedPair, PhasedValidatesTileRanges) {
+  FusedPair p = FusedPair::make(16, 16, 16, 16);
+  PhasedFusedDataflow df{0, 1, 1, 1, false};
+  EXPECT_THROW(evaluate_phased(p, df), std::invalid_argument);
+  df = {1, 1, 17, 1, false};
+  EXPECT_THROW(evaluate_phased(p, df), std::invalid_argument);
+}
+
+// Fusion can never beat the ideal fused lower bound, and always saves the
+// intermediate relative to the same nest unfused.
+class FusedBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusedBoundProperty, TotalsRespectIdealBound) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    FusedPair p = FusedPair::make(rng.uniform(1, 64), rng.uniform(1, 64), rng.uniform(1, 64),
+                                  rng.uniform(1, 64));
+    PhasedFusedDataflow df;
+    df.t_m = rng.uniform(1, p.m());
+    df.t_k = rng.uniform(1, p.k());
+    df.t_l = rng.uniform(1, p.l());
+    df.t_n = rng.uniform(1, p.n());
+    df.l_outer = rng.chance(0.5);
+    FusedAccess a = evaluate_phased(p, df);
+    EXPECT_GE(a.total, p.ideal_min_access());
+    EXPECT_GE(a.op1_external, p.m() * p.k() + p.k() * p.l());
+    EXPECT_GE(a.op2_external, p.l() * p.n() + p.m() * p.n());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedBoundProperty,
+                         ::testing::Values(31ull, 32ull, 33ull, 34ull));
+
+}  // namespace
+}  // namespace fusecu

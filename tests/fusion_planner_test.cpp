@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "fusion/fusion_planner.hpp"
+
+namespace fusecu {
+namespace {
+
+// Attention core as a chain: S = Q K^T then O = S V.
+OperatorGraph attention_chain(Index seq, Index head_dim) {
+  return MatMulChainBuilder(seq, {head_dim, seq, head_dim}, "attn").graph();
+}
+
+TEST(FusionPlanner, SingleOpChainIsSolo) {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm", 128, 128, 128));
+  FusionPlan plan = plan_chain(g, 16 * 1024, PlannerPolicy::kPrinciple4);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].op_indices, std::vector<int>{0});
+  EXPECT_EQ(plan.fused_pair_count(), 0);
+  EXPECT_EQ(plan.total_access, optimize_intra(g.op(0), 16 * 1024).access.total);
+}
+
+TEST(FusionPlanner, FusesAttentionPair) {
+  OperatorGraph g = attention_chain(512, 64);
+  const BufferSize bs = 16 * 1024;
+  FusionPlan plan = plan_chain(g, bs, PlannerPolicy::kPrinciple4);
+  EXPECT_EQ(plan.fused_pair_count(), 1);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].op_indices, (std::vector<int>{0, 1}));
+
+  FusionPlan unfused = plan_chain(g, bs, PlannerPolicy::kNoFusion);
+  EXPECT_LT(plan.total_access, unfused.total_access);
+}
+
+TEST(FusionPlanner, NoFusionPolicyNeverFuses) {
+  OperatorGraph g = attention_chain(512, 64);
+  FusionPlan plan = plan_chain(g, 64 * 1024, PlannerPolicy::kNoFusion);
+  EXPECT_EQ(plan.fused_pair_count(), 0);
+  EXPECT_EQ(plan.steps.size(), 2u);
+}
+
+TEST(FusionPlanner, CostOnlyNeverWorseThanPrinciple4OrNoFusion) {
+  for (Index seq : {Index{128}, Index{1024}}) {
+    OperatorGraph g = attention_chain(seq, 64);
+    for (BufferSize bs : {BufferSize{2048}, BufferSize{32 * 1024}, BufferSize{512 * 1024}}) {
+      AccessCount cost_only = plan_chain(g, bs, PlannerPolicy::kCostOnly).total_access;
+      AccessCount principled = plan_chain(g, bs, PlannerPolicy::kPrinciple4).total_access;
+      AccessCount none = plan_chain(g, bs, PlannerPolicy::kNoFusion).total_access;
+      EXPECT_LE(cost_only, principled) << "seq=" << seq << " bs=" << bs;
+      EXPECT_LE(cost_only, none) << "seq=" << seq << " bs=" << bs;
+      EXPECT_LE(principled, none) << "seq=" << seq << " bs=" << bs;
+    }
+  }
+}
+
+TEST(FusionPlanner, LongChainPartitionsGreedilyOptimal) {
+  // Four back-to-back square MMs: the DP may fuse (0,1) and (2,3).
+  OperatorGraph g = MatMulChainBuilder(256, {64, 256, 64, 256, 64}, "chain").graph();
+  ASSERT_EQ(g.num_ops(), 4);
+  const BufferSize bs = 8 * 1024;
+  FusionPlan plan = plan_chain(g, bs, PlannerPolicy::kCostOnly);
+  AccessCount covered = 0;
+  std::vector<bool> seen(4, false);
+  for (const PlanStep& s : plan.steps) {
+    for (int i : s.op_indices) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]) << "op covered twice";
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+    covered += s.access;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(covered, plan.total_access);
+}
+
+TEST(FusionPlanner, RejectsNonChainGraphs) {
+  OperatorGraph forked;
+  forked.add_op(TensorOp::matmul("mm1", 16, 16, 16, "A", "B", "C"));
+  forked.add_op(TensorOp::matmul("mm2", 16, 16, 16, "C", "D", "E"));
+  forked.add_op(TensorOp::matmul("mm3", 16, 16, 16, "C", "F", "G"));
+  EXPECT_THROW(plan_chain(forked, 1024, PlannerPolicy::kPrinciple4), std::invalid_argument);
+  OperatorGraph empty;
+  EXPECT_THROW(plan_chain(empty, 1024, PlannerPolicy::kPrinciple4), std::invalid_argument);
+}
+
+TEST(FusionPlanner, TryMakeFusedPairIsNonThrowing) {
+  TensorOp op1 = TensorOp::matmul("mm1", 16, 16, 16, "A", "B", "C");
+  TensorOp op2 = TensorOp::matmul("mm2", 16, 16, 16, "C", "D", "E");
+  TensorOp unrelated = TensorOp::matmul("mm3", 16, 16, 16, "X", "Y", "Z");
+  EXPECT_TRUE(try_make_fused_pair(op1, op2).has_value());
+  EXPECT_FALSE(try_make_fused_pair(op1, unrelated).has_value());
+}
+
+TEST(FusionPlanner, PolicyNames) {
+  EXPECT_STREQ(to_string(PlannerPolicy::kPrinciple4), "principle4");
+  EXPECT_STREQ(to_string(PlannerPolicy::kCostOnly), "cost-only");
+  EXPECT_STREQ(to_string(PlannerPolicy::kNoFusion), "no-fusion");
+}
+
+}  // namespace
+}  // namespace fusecu

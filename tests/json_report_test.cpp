@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json_writer.hpp"
+#include "workloads/report.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndEscaping) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("name", std::string("a\"b\\c\nd"));
+    w.field("count", 42);
+    w.field("ratio", 0.5);
+    w.field("flag", true);
+    w.key("list");
+    w.begin_array();
+    w.value(1);
+    w.value(2);
+    w.end_array();
+    w.end_object();
+    EXPECT_TRUE(w.complete());
+  }
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"count\":42,\"ratio\":0.5,"
+            "\"flag\":true,\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, EnforcesStructure) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_THROW(w.key("k"), std::invalid_argument);  // key outside object
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::invalid_argument);  // value without key
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), std::invalid_argument);  // two keys in a row
+  w.value(1);
+  EXPECT_THROW(w.end_array(), std::invalid_argument);  // mismatched scope
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, RejectsNonFinite) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_THROW(w.value(std::numeric_limits<double>::infinity()), std::invalid_argument);
+}
+
+std::vector<ModelEval> sample_evals() {
+  ModelEval a;
+  a.model = "BERT";
+  a.platform = "FuseCU";
+  a.access = 1000;
+  a.cycles = 2000;
+  a.macs = 3000;
+  a.fused_pairs = 5;
+  a.utilization = 0.75;
+  a.energy_pj = 123.5;
+  a.energy_movement_fraction = 0.6;
+  return {a};
+}
+
+TEST(Report, CsvRoundTrip) {
+  std::ostringstream os;
+  write_evaluation_csv(os, sample_evals());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("model,platform,access"), std::string::npos);
+  EXPECT_NE(csv.find("BERT,FuseCU,1000,2000,3000,5,0.75,123.5,0.6"), std::string::npos);
+}
+
+TEST(Report, JsonContainsAllFields) {
+  std::ostringstream os;
+  write_evaluation_json(os, sample_evals());
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  for (const char* needle : {"\"model\":\"BERT\"", "\"platform\":\"FuseCU\"",
+                             "\"access\":1000", "\"fused_pairs\":5", "\"utilization\":0.75"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "tensor/op_graph.hpp"
+
+namespace fusecu {
+namespace {
+
+OperatorGraph two_op_chain() {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm1", 128, 64, 128, "A", "B", "C"));
+  g.add_op(TensorOp::matmul("mm2", 128, 128, 64, "C", "D", "E"));
+  return g;
+}
+
+TEST(OperatorGraph, EdgesThroughSharedTensor) {
+  OperatorGraph g = two_op_chain();
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].producer, 0);
+  EXPECT_EQ(edges[0].consumer, 1);
+  EXPECT_EQ(edges[0].tensor_name, "C");
+  EXPECT_EQ(g.intermediate_tensors(), std::vector<std::string>{"C"});
+}
+
+TEST(OperatorGraph, ProducerAndConsumers) {
+  OperatorGraph g = two_op_chain();
+  EXPECT_EQ(g.producer_of("C").value(), 0);
+  EXPECT_FALSE(g.producer_of("A").has_value());
+  EXPECT_EQ(g.consumers_of("C"), std::vector<int>{1});
+  EXPECT_TRUE(g.consumers_of("E").empty());
+}
+
+TEST(OperatorGraph, LinearChainDetection) {
+  EXPECT_TRUE(two_op_chain().is_linear_chain());
+
+  OperatorGraph forked;
+  forked.add_op(TensorOp::matmul("mm1", 16, 16, 16, "A", "B", "C"));
+  forked.add_op(TensorOp::matmul("mm2", 16, 16, 16, "C", "D", "E"));
+  forked.add_op(TensorOp::matmul("mm3", 16, 16, 16, "C", "F", "G"));  // C consumed twice
+  EXPECT_FALSE(forked.is_linear_chain());
+}
+
+TEST(OperatorGraph, IdealAccessAccountsForIntermediates) {
+  OperatorGraph g = two_op_chain();
+  const AccessCount c_size = 128 * 128;
+  // Unfused: C written by mm1 and read by mm2 (counted in both ops' ideals).
+  EXPECT_EQ(g.ideal_min_access_unfused(), g.op(0).ideal_min_access() + g.op(1).ideal_min_access());
+  // Fused: C disappears (one store + one load saved).
+  EXPECT_EQ(g.ideal_min_access_fused(), g.ideal_min_access_unfused() - 2 * c_size);
+}
+
+TEST(OperatorGraph, RejectsShapeDisagreement) {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm1", 128, 64, 128, "A", "B", "C"));
+  // C is 128x128; consuming it as 64x128 must fail.
+  EXPECT_THROW(g.add_op(TensorOp::matmul("mm2", 64, 128, 32, "C", "D", "E")),
+               std::invalid_argument);
+}
+
+TEST(OperatorGraph, RejectsDoubleProducerAndForwardReference) {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm1", 16, 16, 16, "A", "B", "C"));
+  EXPECT_THROW(g.add_op(TensorOp::matmul("mm2", 16, 16, 16, "X", "Y", "C")),
+               std::invalid_argument);
+  // Consuming "Z" then producing it later is a forward reference.
+  OperatorGraph h;
+  h.add_op(TensorOp::matmul("mm1", 16, 16, 16, "Z", "B", "C"));
+  EXPECT_THROW(h.add_op(TensorOp::matmul("mm2", 16, 16, 16, "C", "D", "Z")),
+               std::invalid_argument);
+}
+
+TEST(MatMulChainBuilder, BuildsSharedIntermediates) {
+  MatMulChainBuilder chain(256, {64, 256, 64}, "attn");
+  ASSERT_EQ(chain.num_ops(), 2);
+  TensorOp op0 = chain.op(0);
+  TensorOp op1 = chain.op(1);
+  EXPECT_EQ(op0.extent(mm::kDimM), 256);
+  EXPECT_EQ(op0.extent(mm::kDimK), 64);
+  EXPECT_EQ(op0.extent(mm::kDimL), 256);
+  EXPECT_EQ(op0.tensor(op0.output_index()).name, op1.tensor(mm::kTensorA).name);
+
+  OperatorGraph g = chain.graph();
+  EXPECT_TRUE(g.is_linear_chain());
+  EXPECT_EQ(g.num_ops(), 2);
+  EXPECT_EQ(g.intermediate_tensors().size(), 1u);
+}
+
+TEST(MatMulChainBuilder, RejectsDegenerateChains) {
+  EXPECT_THROW(MatMulChainBuilder(0, {4, 4}), std::invalid_argument);
+  EXPECT_THROW(MatMulChainBuilder(4, {4}), std::invalid_argument);
+  EXPECT_THROW(MatMulChainBuilder(4, {4, 0}), std::invalid_argument);
+  EXPECT_THROW(MatMulChainBuilder(4, {4, 8}).op(1), std::invalid_argument);
+}
+
+TEST(OperatorGraph, MacsSumOverOps) {
+  OperatorGraph g = two_op_chain();
+  EXPECT_EQ(g.macs(), 128LL * 64 * 128 + 128LL * 128 * 64);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hpp"
+#include "common/math_util.hpp"
+#include "search/dat_optimizer.hpp"
+#include "workloads/model_eval.hpp"
+
+namespace fusecu {
+namespace {
+
+/// End-to-end guards for the reproduction headlines recorded in
+/// EXPERIMENTS.md.  If a model/optimizer change silently shifts the
+/// Fig. 10/11/12 results away from the paper, these tests fail before a
+/// bench run would reveal it.
+
+struct Fig10Results {
+  std::map<std::string, std::map<std::string, ModelEval>> by_model;
+  double average_saving(const std::string& against, const std::string& target) const {
+    std::vector<double> savings;
+    for (const auto& [model, row] : by_model) {
+      savings.push_back(1.0 - static_cast<double>(row.at(target).access) /
+                                  static_cast<double>(row.at(against).access));
+    }
+    return arith_mean(savings);
+  }
+  double average_speedup(const std::string& against, const std::string& target) const {
+    std::vector<double> speedups;
+    for (const auto& [model, row] : by_model) {
+      speedups.push_back(static_cast<double>(row.at(against).cycles) /
+                         static_cast<double>(row.at(target).cycles));
+    }
+    return arith_mean(speedups);
+  }
+};
+
+const Fig10Results& fig10() {
+  static const Fig10Results results = [] {
+    Fig10Results r;
+    for (const ArchSpec& arch : all_platforms()) {
+      for (const ModelEval& e : evaluate_table2(arch)) r.by_model[e.model][arch.name] = e;
+    }
+    return r;
+  }();
+  return results;
+}
+
+TEST(PaperClaims, Fig10MemorySavings) {
+  // Paper: 63.6% / 62.4% / 38.7% vs TPUv4i / Gemmini / Planaria.
+  EXPECT_NEAR(fig10().average_saving("TPUv4i", "FuseCU"), 0.636, 0.03);
+  EXPECT_NEAR(fig10().average_saving("Gemmini", "FuseCU"), 0.624, 0.03);
+  EXPECT_NEAR(fig10().average_saving("Planaria", "FuseCU"), 0.387, 0.04);
+}
+
+TEST(PaperClaims, Fig10UnfCuSavings) {
+  // Paper: 42.6% / 41.0% / 4.5%.  Our UnfCU lands a bit lower; guard the
+  // reproduced band rather than the paper point.
+  EXPECT_NEAR(fig10().average_saving("TPUv4i", "UnfCU"), 0.40, 0.07);
+  EXPECT_GE(fig10().average_saving("Planaria", "UnfCU"), -0.01);  // never worse
+}
+
+TEST(PaperClaims, Fig10Speedups) {
+  // Paper: 1.33x / 1.25x / 1.14x; our roofline overshoots ~15% (see
+  // EXPERIMENTS.md) — guard the ordering and the band.
+  const double vs_tpu = fig10().average_speedup("TPUv4i", "FuseCU");
+  const double vs_gemmini = fig10().average_speedup("Gemmini", "FuseCU");
+  const double vs_planaria = fig10().average_speedup("Planaria", "FuseCU");
+  EXPECT_GT(vs_tpu, 1.2);
+  EXPECT_LT(vs_tpu, 1.8);
+  EXPECT_GE(vs_tpu, vs_gemmini - 0.02);
+  EXPECT_GT(vs_gemmini, vs_planaria);
+  EXPECT_GT(vs_planaria, 1.05);
+}
+
+TEST(PaperClaims, Fig10PlatformOrderingPerModel) {
+  for (const auto& [model, row] : fig10().by_model) {
+    EXPECT_LE(row.at("Gemmini").access, row.at("TPUv4i").access) << model;
+    EXPECT_LE(row.at("Planaria").access, row.at("Gemmini").access) << model;
+    EXPECT_LT(row.at("FuseCU").access, row.at("UnfCU").access) << model;
+    EXPECT_LE(row.at("FuseCU").utilization + 1e-9, 1.0 + 1e-9) << model;
+    EXPECT_GE(row.at("FuseCU").utilization, row.at("TPUv4i").utilization) << model;
+  }
+}
+
+TEST(PaperClaims, Fig11SavingGrowsWithSequenceLength) {
+  double previous = 0.0;
+  for (Index seq : {Index{256}, Index{1024}, Index{4096}, Index{16384}}) {
+    ModelConfig model = llama2_at_seq(seq);
+    const double tpu = static_cast<double>(evaluate_model(model, make_tpu_v4i()).access);
+    const double fcu = static_cast<double>(evaluate_model(model, make_fusecu()).access);
+    const double saving = 1.0 - fcu / tpu;
+    EXPECT_GT(saving, previous) << "seq=" << seq;
+    previous = saving;
+  }
+  EXPECT_GT(previous, 0.70);  // 16K lands above 70% (measured 75.1%)
+}
+
+TEST(PaperClaims, Fig12AreaHeadlines) {
+  AreaBreakdown fcu = area_breakdown(make_fusecu());
+  EXPECT_NEAR(fcu.overhead_fraction(), 0.120, 0.01);
+  EXPECT_LT(fcu.component_fraction("FuseCU interconnect") +
+                fcu.component_fraction("fusion control"),
+            0.001);
+  EXPECT_NEAR(area_breakdown(make_planaria()).overhead_fraction(), 0.126, 0.01);
+}
+
+TEST(PaperClaims, Fig9PrinciplesMatchSearchAtTheEvaluationPoint) {
+  // At the evaluation buffer every Table II projection/attention operator's
+  // principled dataflow is at least as good as grid search.
+  const BufferSize bs = make_fusecu().buffer_elements();
+  for (const ModelConfig& m : table2_models()) {
+    for (const WorkloadChain& chain : lower_layer(m)) {
+      for (const TensorOp& op : chain.graph.ops()) {
+        auto searched = exhaustive_intra(op, bs);
+        ASSERT_TRUE(searched.has_value()) << op.to_string();
+        EXPECT_LE(optimize_intra(op, bs).access.total, searched->access.total)
+            << m.name << " " << op.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

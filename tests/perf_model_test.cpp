@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(SpatialUtilization, FullTileOnRigidArray) {
+  EXPECT_DOUBLE_EQ(spatial_utilization(128, 128, make_tpu_v4i()), 1.0);
+  EXPECT_DOUBLE_EQ(spatial_utilization(256, 128, make_tpu_v4i()), 1.0);
+}
+
+TEST(SpatialUtilization, HeadDimUndershootsRigidArray) {
+  // A 64-wide tile wastes half of a 128x128 array...
+  EXPECT_DOUBLE_EQ(spatial_utilization(128, 64, make_tpu_v4i()), 0.5);
+  // ...but maps perfectly on FuseCU's narrow composition (64 x 256) and on
+  // Planaria's pods.
+  EXPECT_DOUBLE_EQ(spatial_utilization(256, 64, make_fusecu()), 1.0);
+  EXPECT_DOUBLE_EQ(spatial_utilization(256, 64, make_planaria()), 1.0);
+}
+
+TEST(SpatialUtilization, TransposedMappingConsidered) {
+  // (64, 256) and (256, 64) are the same tile to the mapper.
+  EXPECT_DOUBLE_EQ(spatial_utilization(64, 256, make_fusecu()),
+                   spatial_utilization(256, 64, make_fusecu()));
+}
+
+TEST(SpatialUtilization, TinyTileIsExpensiveEverywhere) {
+  EXPECT_LE(spatial_utilization(1, 1, make_tpu_v4i()), 1.0 / (128 * 128));
+  EXPECT_LE(spatial_utilization(1, 1, make_planaria()), 1.0 / (32 * 32) + 1e-12);
+}
+
+TEST(StepPerf, ComputeBoundStep) {
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.macs = 128LL * 128 * 4 * 100;  // 100 full-array cycles of work
+  step.access = 1000;                        // negligible traffic
+  step.spatial_rows = 128;
+  step.spatial_cols = 128;
+  StepPerf p = evaluate_step_perf(step, make_tpu_v4i());
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_EQ(p.cycles, p.compute_cycles);
+  EXPECT_EQ(p.compute_cycles, 100);
+}
+
+TEST(StepPerf, MemoryBoundStep) {
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.macs = 128LL * 128 * 4;  // one cycle of compute
+  step.access = 10'000'000;     // 20 MB of traffic at 2 B/elem
+  step.spatial_rows = 128;
+  step.spatial_cols = 128;
+  StepPerf p = evaluate_step_perf(step, make_tpu_v4i());
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_EQ(p.cycles, p.memory_cycles);
+  EXPECT_EQ(p.memory_cycles, 20000);  // 20e6 bytes / 1000 B-per-cycle
+}
+
+TEST(StepPerf, LowUtilizationInflatesComputeCycles) {
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.macs = 128LL * 128 * 128 * 4;
+  step.access = 1;
+  // A 256 x 64 tile (attention with head_dim 64): half of every rigid
+  // 128 x 128 unit idles, but FuseCU's narrow (256 x 64) composition fits.
+  step.spatial_rows = 256;
+  step.spatial_cols = 64;
+  StepPerf rigid = evaluate_step_perf(step, make_tpu_v4i());
+  StepPerf flexible = evaluate_step_perf(step, make_fusecu());
+  EXPECT_EQ(rigid.compute_cycles, 2 * flexible.compute_cycles);
+}
+
+TEST(PlanPerf, AggregationAndUtilization) {
+  ArchSpec arch = make_fusecu();
+  ArchPlan plan;
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.macs = arch.total_pes() * 10;
+  step.access = 100;
+  step.spatial_rows = 128;
+  step.spatial_cols = 128;
+  plan.steps = {step, step};
+  plan.total_access = 200;
+  plan.total_macs = step.macs * 2;
+
+  PlanPerf p = evaluate_plan_perf(plan, arch, /*copies=*/3);
+  EXPECT_EQ(p.access, 600);
+  EXPECT_EQ(p.macs, step.macs * 6);
+  EXPECT_EQ(p.cycles, 60);
+  EXPECT_NEAR(p.utilization(arch), 1.0, 1e-9);
+
+  PlanPerf sum;
+  sum += p;
+  sum += p;
+  EXPECT_EQ(sum.cycles, 120);
+  EXPECT_EQ(sum.access, 1200);
+}
+
+TEST(PlanPerf, RejectsDegenerateInputs) {
+  ArchPlanStep step;
+  step.op_indices = {0};
+  step.macs = 0;
+  EXPECT_THROW(evaluate_step_perf(step, make_tpu_v4i()), std::invalid_argument);
+  PlanPerf empty;
+  EXPECT_THROW(empty.utilization(make_tpu_v4i()), std::invalid_argument);
+  ArchPlan plan;
+  EXPECT_THROW(evaluate_plan_perf(plan, make_tpu_v4i(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "search/exhaustive.hpp"
+
+namespace fusecu {
+namespace {
+
+// --- The paper's worked example (Sec. III-A4): BERT MM 1024x768x768 with a
+// 512K-element buffer lies between D_min^2/2 = 294,912 and |Tensor_min| =
+// 589,824, so the optimal dataflow is Two-NRA with K untiled; tensor B's
+// memory access drops to 2KL while A and C are non-redundant.
+TEST(PrincipleOptimizer, PaperWorkedExampleBert) {
+  TensorOp op = TensorOp::matmul("bert", 1024, 768, 768);
+  const BufferSize bs = 512 * 1024;
+
+  EXPECT_EQ(classify_buffer(op, bs), BufferClass::kMedium);
+  IntraOptResult r = optimize_intra(op, bs);
+  EXPECT_EQ(r.nra, NraKind::kTwo);
+  EXPECT_TRUE(r.dataflow.untiled(op, mm::kDimK));
+  EXPECT_EQ(r.access.per_tensor[mm::kTensorA], 1024LL * 768);
+  EXPECT_EQ(r.access.per_tensor[mm::kTensorB], 2 * 768LL * 768);
+  EXPECT_EQ(r.access.per_tensor[mm::kTensorC], 1024LL * 768);
+  EXPECT_LE(r.access.buffer_footprint, bs);
+}
+
+TEST(BufferClass, ThresholdsMatchPaperTable) {
+  TensorOp op = TensorOp::matmul("bert", 1024, 768, 768);
+  const Index dmin2 = 768 * 768;
+  const Index tensor_min = 768 * 768;
+  EXPECT_EQ(classify_buffer(op, dmin2 / 4), BufferClass::kTiny);
+  EXPECT_EQ(classify_buffer(op, dmin2 / 4 + 1), BufferClass::kSmall);
+  EXPECT_EQ(classify_buffer(op, dmin2 / 2), BufferClass::kSmall);
+  EXPECT_EQ(classify_buffer(op, dmin2 / 2 + 1), BufferClass::kMedium);
+  EXPECT_EQ(classify_buffer(op, tensor_min), BufferClass::kMedium);
+  EXPECT_EQ(classify_buffer(op, tensor_min + 1), BufferClass::kLarge);
+
+  ShiftRange range = single_two_shift_range(op);
+  EXPECT_EQ(range.low, dmin2 / 4);
+  EXPECT_EQ(range.high, dmin2 / 2);
+}
+
+// --- Principle 1: stationary tiles maximized, third dim at 1; the
+// smallest tensor (here C, since K dominates) becomes stationary.
+TEST(Principle1, SingleNraConstruction) {
+  TensorOp op = TensorOp::matmul("mm", 512, 4096, 512);
+  const BufferSize bs = 16 * 1024;  // tiny vs D_min^2/4 = 64K
+  ASSERT_EQ(classify_buffer(op, bs), BufferClass::kTiny);
+
+  auto candidates = make_single_nra(op, bs, mm::kTensorC);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) {
+    AccessBreakdown b = evaluate_access(op, c.dataflow);
+    EXPECT_LE(b.buffer_footprint, bs);
+    EXPECT_EQ(c.dataflow.tile[mm::kDimK], 1);  // non-stationary dim minimized
+  }
+  IntraOptResult r = optimize_intra(op, bs);
+  EXPECT_EQ(r.nra, NraKind::kSingle);
+  EXPECT_EQ(stationary_tensor(op, r.dataflow), mm::kTensorC);
+  // Both stationary tiles are maximized near sqrt(BS) (trip-count rounding
+  // may trade a few elements between them, but neither collapses).
+  EXPECT_GE(r.dataflow.tile[mm::kDimM], 96);
+  EXPECT_GE(r.dataflow.tile[mm::kDimL], 96);
+  EXPECT_EQ(r.dataflow.tile[mm::kDimK], 1);
+}
+
+TEST(Principle1, ChoosesSmallestTensorAsStationary) {
+  // B (K x L = 64 x 64) is far smaller than A and C: keeping it stationary
+  // removes the smallest single-access term, as Principle 1 prescribes.
+  TensorOp op = TensorOp::matmul("mm", 4096, 64, 64);
+  const BufferSize bs = 512;  // tiny vs D_min^2/4 = 1024
+  IntraOptResult r = optimize_intra(op, bs);
+  EXPECT_EQ(r.nra, NraKind::kSingle);
+  EXPECT_EQ(stationary_tensor(op, r.dataflow), mm::kTensorB);
+}
+
+// --- Principle 2: feasibility boundary and closed-form tile.
+TEST(Principle2, TwoNraConstruction) {
+  TensorOp op = TensorOp::matmul("mm", 1024, 768, 768);
+  // Below 2*D_U + 1 the construction cannot fit.
+  EXPECT_FALSE(make_two_nra(op, 2 * 768, mm::kDimK, mm::kDimM).has_value());
+  auto c = make_two_nra(op, 512 * 1024, mm::kDimK, mm::kDimM);
+  ASSERT_TRUE(c.has_value());
+  const Index t_m = c->dataflow.tile[mm::kDimM];
+  EXPECT_EQ(t_m, (512 * 1024 - 768) / 769);
+  EXPECT_EQ(c->dataflow.tile[mm::kDimL], 1);
+  EXPECT_TRUE(c->dataflow.untiled(op, mm::kDimK));
+  EXPECT_EQ(classify_nra(op, c->dataflow), NraKind::kTwo);
+}
+
+// --- Principle 3: resident smallest tensor, everything accessed once.
+TEST(Principle3, ThreeNraConstruction) {
+  TensorOp op = TensorOp::matmul("mm", 2048, 256, 256);
+  const Index b_size = 256 * 256;
+  EXPECT_FALSE(make_three_nra(op, b_size + 511, mm::kTensorB).has_value());
+  auto c = make_three_nra(op, b_size + 512, mm::kTensorB);
+  ASSERT_TRUE(c.has_value());
+  AccessBreakdown b = evaluate_access(op, c->dataflow);
+  EXPECT_EQ(b.total, op.ideal_min_access());
+  EXPECT_EQ(classify_nra(op, c->dataflow), NraKind::kThree);
+}
+
+TEST(PrincipleOptimizer, LargeBufferReachesIdealLowerBound) {
+  TensorOp op = TensorOp::matmul("mm", 512, 384, 384);
+  const BufferSize bs = 4 * 1024 * 1024;
+  ASSERT_EQ(classify_buffer(op, bs), BufferClass::kLarge);
+  IntraOptResult r = optimize_intra(op, bs);
+  EXPECT_EQ(r.nra, NraKind::kThree);
+  EXPECT_EQ(r.access.total, op.ideal_min_access());
+}
+
+TEST(PrincipleOptimizer, ThrowsWhenBufferCannotHoldWorkingSet) {
+  TensorOp op = TensorOp::matmul("mm", 64, 64, 64);
+  EXPECT_THROW(optimize_intra(op, 2), std::invalid_argument);
+  EXPECT_NO_THROW(optimize_intra(op, 3));
+}
+
+TEST(PrincipleOptimizer, MonotoneInBufferSize) {
+  TensorOp op = TensorOp::matmul("mm", 1024, 768, 768);
+  AccessCount prev = optimize_intra(op, 1024).access.total;
+  for (BufferSize bs = 2048; bs <= 2 * 1024 * 1024; bs *= 2) {
+    AccessCount cur = optimize_intra(op, bs).access.total;
+    EXPECT_LE(cur, prev) << "more buffer must never cost more accesses, bs=" << bs;
+    prev = cur;
+  }
+}
+
+// --- The headline optimality claim: the one-shot principled dataflow is at
+// least as good as full exhaustive search over loop orders and the
+// divisor/power-of-two tile grid, across random shapes and buffer classes.
+struct OptimalityCase {
+  Index m, k, l;
+  BufferSize bs;
+};
+
+class PrincipleOptimality : public ::testing::TestWithParam<OptimalityCase> {};
+
+TEST_P(PrincipleOptimality, MatchesOrBeatsExhaustiveSearch) {
+  const auto& p = GetParam();
+  TensorOp op = TensorOp::matmul("mm", p.m, p.k, p.l);
+  IntraOptResult principled = optimize_intra(op, p.bs);
+  auto searched = exhaustive_intra(op, p.bs);
+  ASSERT_TRUE(searched.has_value());
+  EXPECT_LE(principled.access.total, searched->access.total)
+      << "shape " << op.to_string() << " bs=" << p.bs << " principled rule " << principled.rule
+      << " vs searched " << searched->dataflow.to_string(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBuffers, PrincipleOptimality,
+    ::testing::Values(
+        // Paper example across the four buffer classes.
+        OptimalityCase{1024, 768, 768, 64 * 1024},        // tiny
+        OptimalityCase{1024, 768, 768, 200 * 1024},       // small
+        OptimalityCase{1024, 768, 768, 512 * 1024},       // medium
+        OptimalityCase{1024, 768, 768, 1024 * 1024},      // large
+        // Attention-score shapes (square L) and skinny heads.
+        OptimalityCase{256, 64, 256, 16 * 1024},
+        OptimalityCase{4096, 128, 4096, 128 * 1024},
+        OptimalityCase{4096, 128, 4096, 1024 * 1024},
+        // Degenerate / extreme aspect ratios.
+        OptimalityCase{1, 512, 512, 4096},
+        OptimalityCase{512, 1, 512, 4096},
+        OptimalityCase{512, 512, 1, 4096},
+        OptimalityCase{7, 13, 17, 64},
+        OptimalityCase{127, 127, 127, 1000},
+        OptimalityCase{128, 4096, 128, 32 * 1024},
+        OptimalityCase{2048, 2048, 16, 8 * 1024},
+        OptimalityCase{16, 16, 16, 3},
+        OptimalityCase{16, 16, 16, 900}));
+
+class PrincipleOptimalityRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrincipleOptimalityRandom, MatchesOrBeatsExhaustiveSearch) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const Index m = rng.uniform(1, 300);
+    const Index k = rng.uniform(1, 300);
+    const Index l = rng.uniform(1, 300);
+    const BufferSize bs = rng.uniform(3, 64 * 1024);
+    TensorOp op = TensorOp::matmul("rand", m, k, l);
+    IntraOptResult principled = optimize_intra(op, bs);
+    auto searched = exhaustive_intra(op, bs);
+    ASSERT_TRUE(searched.has_value());
+    EXPECT_LE(principled.access.total, searched->access.total)
+        << "shape " << op.to_string() << " bs=" << bs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrincipleOptimalityRandom,
+                         ::testing::Values(101ull, 102ull, 103ull, 104ull, 105ull, 106ull,
+                                           107ull, 108ull, 109ull, 110ull));
+
+// --- Buffer classification predicts the winning regime (Sec. III-A4),
+// with the paper's own caveats: the Single/Two shift point floats inside
+// the "small" band, and Three-NRA needs slack above |Tensor_min| for the
+// moving tiles.
+class RegimePrediction : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegimePrediction, ClassMatchesRealizedRegime) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index m = rng.uniform(16, 400);
+    const Index k = rng.uniform(16, 400);
+    const Index l = rng.uniform(16, 400);
+    TensorOp op = TensorOp::matmul("rand", m, k, l);
+    const Index dmin = op.min_extent();
+    const Index tmin = op.tensor_size(op.smallest_tensor());
+
+    // Deep inside tiny: Single-NRA wins.
+    if (dmin * dmin / 8 >= 3) {
+      IntraOptResult r = optimize_intra(op, dmin * dmin / 8);
+      EXPECT_EQ(r.nra, NraKind::kSingle) << op.to_string();
+    }
+    // Deep inside medium: Two-NRA wins.
+    {
+      BufferSize bs = (dmin * dmin / 2 + tmin) / 2 + dmin;  // mid-band
+      if (bs > dmin * dmin / 2 && bs <= tmin) {
+        IntraOptResult r = optimize_intra(op, bs);
+        EXPECT_EQ(r.nra, NraKind::kTwo) << op.to_string() << " bs=" << bs;
+      }
+    }
+    // Comfortably large: Three-NRA, ideal minimum.
+    {
+      IntraOptResult r = optimize_intra(op, 2 * tmin + 2 * dmin);
+      EXPECT_EQ(r.nra, NraKind::kThree) << op.to_string();
+      EXPECT_EQ(r.access.total, op.ideal_min_access());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegimePrediction,
+                         ::testing::Values(21ull, 22ull, 23ull, 24ull, 25ull));
+
+// --- Sec. IV-B: with BS = N^2 PE registers, untiling is optimal only when
+// D_min < 2N — the insight that sizes FuseCU's adaptive arrays at 2N.
+class RegisterLevel2N : public ::testing::TestWithParam<Index> {};
+
+TEST_P(RegisterLevel2N, UntilingRespectsTheTwoNBound) {
+  const Index array_n = GetParam();
+  const BufferSize registers = array_n * array_n;
+  // Guaranteed untiling below sqrt(2) * N (medium band at BS = N^2).
+  {
+    const Index dmin = static_cast<Index>(1.2 * static_cast<double>(array_n));
+    TensorOp op = TensorOp::matmul("reg", 64 * array_n, dmin, 64 * array_n);
+    IntraOptResult r = optimize_intra(op, registers);
+    EXPECT_NE(r.nra, NraKind::kSingle) << "N=" << array_n;
+  }
+  // Never untiling above 2N (tiny band).
+  {
+    const Index dmin = 2 * array_n + array_n / 2;
+    TensorOp op = TensorOp::matmul("reg", 64 * array_n, dmin, 64 * array_n);
+    IntraOptResult r = optimize_intra(op, registers);
+    EXPECT_EQ(r.nra, NraKind::kSingle) << "N=" << array_n;
+    for (int d = 0; d < 3; ++d) EXPECT_FALSE(r.dataflow.untiled(op, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArraySizes, RegisterLevel2N,
+                         ::testing::Values<Index>(32, 64, 128, 256));
+
+TEST(PrincipleCandidates, ConstantSizedSet) {
+  TensorOp op = TensorOp::matmul("mm", 1024, 768, 768);
+  auto c = principle_candidates(op, 512 * 1024);
+  EXPECT_FALSE(c.empty());
+  EXPECT_LE(c.size(), 30u);  // one-shot: a constant handful, not a search
+  for (const auto& cand : c) {
+    EXPECT_LE(cand.dataflow.buffer_footprint(op), 512 * 1024);
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

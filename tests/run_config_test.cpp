@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/run_config.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(RunConfig, ParsesGlobalsAndCustomModels) {
+  std::istringstream in(
+      "# comment\n"
+      "buffer = 1MB\n"
+      "bandwidth = 2000\n"
+      "platforms = TPUv4i, FuseCU\n"
+      "models = BERT, tiny\n"
+      "\n"
+      "[model tiny]\n"
+      "heads = 8\n"
+      "seq = 512\n"
+      "hidden = 512\n"
+      "batch = 4\n");
+  RunConfig c = parse_run_config(in);
+  EXPECT_EQ(c.buffer_bytes, 1024 * 1024);
+  EXPECT_DOUBLE_EQ(c.bandwidth_bytes_per_cycle, 2000.0);
+  ASSERT_EQ(c.models.size(), 2u);
+  EXPECT_EQ(c.models[0].name, "BERT");
+  EXPECT_EQ(c.models[0].seq, 1024);  // Table II values resolved
+  EXPECT_EQ(c.models[1].name, "tiny");
+  EXPECT_EQ(c.models[1].batch, 4);
+
+  auto platforms = resolve_platforms(c);
+  ASSERT_EQ(platforms.size(), 2u);
+  EXPECT_EQ(platforms[0].name, "TPUv4i");
+  EXPECT_EQ(platforms[1].name, "FuseCU");
+  EXPECT_EQ(platforms[0].buffer_bytes, 1024 * 1024);
+  EXPECT_DOUBLE_EQ(platforms[1].bandwidth_bytes_per_cycle, 2000.0);
+}
+
+TEST(RunConfig, DefaultsToFullTableAndAllPlatforms) {
+  std::istringstream in("");
+  RunConfig c = parse_run_config(in);
+  EXPECT_EQ(c.models.size(), 7u);
+  EXPECT_EQ(resolve_platforms(c).size(), 5u);
+  EXPECT_EQ(c.buffer_bytes, 512 * 1024);
+}
+
+TEST(RunConfig, CustomSectionsIncludedByDefault) {
+  std::istringstream in(
+      "[model extra]\n"
+      "heads = 4\n"
+      "seq = 128\n"
+      "hidden = 256\n");
+  RunConfig c = parse_run_config(in);
+  EXPECT_EQ(c.models.size(), 8u);  // Table II + the custom section
+  EXPECT_EQ(c.models.back().name, "extra");
+}
+
+TEST(RunConfig, GroupedQueryAttentionKey) {
+  std::istringstream in(
+      "models = gqa\n"
+      "[model gqa]\n"
+      "heads = 16\n"
+      "kv_heads = 4\n"
+      "seq = 256\n"
+      "hidden = 1024\n");
+  RunConfig c = parse_run_config(in);
+  ASSERT_EQ(c.models.size(), 1u);
+  EXPECT_EQ(c.models[0].effective_kv_heads(), 4);
+  EXPECT_EQ(c.models[0].kv_width(), 4 * 64);
+}
+
+TEST(RunConfig, CaseInsensitiveNames) {
+  std::istringstream in("models = bert\nplatforms = fusecu\n");
+  RunConfig c = parse_run_config(in);
+  ASSERT_EQ(c.models.size(), 1u);
+  EXPECT_EQ(c.models[0].name, "BERT");
+  EXPECT_EQ(resolve_platforms(c)[0].name, "FuseCU");
+}
+
+TEST(RunConfig, RejectsMalformedInput) {
+  {
+    std::istringstream in("nonsense = 1\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("models = NotAModel\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[weird section]\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[model broken\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[model x]\nheads = -2\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    // Custom model whose hidden does not divide across heads.
+    std::istringstream in("models = x\n[model x]\nheads = 3\nseq = 8\nhidden = 8\n");
+    EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("platforms = AlienChip\n");
+    RunConfig c = parse_run_config(in);
+    EXPECT_THROW(resolve_platforms(c), std::invalid_argument);
+  }
+}
+
+TEST(RunConfig, DuplicateModelSectionRejected) {
+  std::istringstream in("[model a]\nheads=1\nseq=1\nhidden=1\n[model a]\nheads=2\n");
+  EXPECT_THROW(parse_run_config(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

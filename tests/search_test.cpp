@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "search/dat_optimizer.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(ExhaustiveIntra, FindsKnownOptimumOnSmallCube) {
+  TensorOp op = TensorOp::matmul("mm", 16, 16, 16);
+  // Buffer holds everything: the ideal bound must be reached.
+  auto r = exhaustive_intra(op, 1024);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->access.total, op.ideal_min_access());
+  // No feasible dataflow at bs = 2.
+  EXPECT_FALSE(exhaustive_intra(op, 2).has_value());
+}
+
+TEST(ExhaustiveFused, ReachesFusedIdealWithLargeBuffer) {
+  FusedPair p = FusedPair::make(32, 32, 32, 32);
+  auto r = exhaustive_fused(p, 8 * 1024);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->access.total, p.ideal_min_access());
+}
+
+TEST(GaIntra, DeterministicForFixedSeed) {
+  TensorOp op = TensorOp::matmul("mm", 256, 128, 64);
+  GaParams params;
+  params.generations = 20;
+  auto a = ga_intra(op, 4096, params, 77);
+  auto b = ga_intra(op, 4096, params, 77);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->access.total, b->access.total);
+  EXPECT_EQ(a->dataflow.loop_order, b->dataflow.loop_order);
+  EXPECT_EQ(a->dataflow.tile, b->dataflow.tile);
+}
+
+TEST(GaIntra, FeasibleAndNeverBeatsExhaustive) {
+  TensorOp op = TensorOp::matmul("mm", 256, 128, 64);
+  GaParams params;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto ga = ga_intra(op, 4096, params, seed);
+    ASSERT_TRUE(ga.has_value());
+    EXPECT_LE(ga->access.buffer_footprint, 4096);
+    auto exact = exhaustive_intra(op, 4096);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(ga->access.total, exact->access.total);
+    // The GA searches the same grid; it should land close to the optimum.
+    EXPECT_LE(static_cast<double>(ga->access.total),
+              1.25 * static_cast<double>(exact->access.total));
+  }
+}
+
+TEST(GaFused, FeasibleAndNeverBeatsExhaustive) {
+  FusedPair p = FusedPair::make(128, 64, 128, 64);
+  GaParams params;
+  auto ga = ga_fused(p, 8192, params, 5);
+  ASSERT_TRUE(ga.has_value());
+  EXPECT_LE(ga->access.buffer_footprint, 8192);
+  auto exact = exhaustive_fused(p, 8192);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_GE(ga->access.total, exact->access.total);
+}
+
+TEST(DatOptimizer, ExhaustiveRefinementTightensResult) {
+  TensorOp op = TensorOp::matmul("mm", 96, 96, 96);
+  DatParams weak;
+  weak.ga.generations = 2;
+  weak.ga.population = 8;
+  DatParams strong = weak;
+  strong.exhaustive_refinement = true;
+  DatOptimizer weak_opt(weak), strong_opt(strong);
+  auto w = weak_opt.optimize_intra(op, 2048);
+  auto s = strong_opt.optimize_intra(op, 2048);
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_LE(s->access.total, w->access.total);
+  auto exact = exhaustive_intra(op, 2048);
+  EXPECT_EQ(s->access.total, exact->access.total);
+}
+
+TEST(DatOptimizer, PlanChainMatchesPlannerStructure) {
+  OperatorGraph g = MatMulChainBuilder(256, {64, 256, 64}, "attn").graph();
+  DatParams params;
+  params.exhaustive_refinement = true;
+  DatOptimizer dat(params);
+  FusionPlan plan = dat.plan_chain(g, 16 * 1024);
+  AccessCount sum = 0;
+  for (const PlanStep& s : plan.steps) sum += s.access;
+  EXPECT_EQ(sum, plan.total_access);
+  // DAT should also discover that fusing the attention pair pays off.
+  EXPECT_EQ(plan.fused_pair_count(), 1);
+}
+
+TEST(DatOptimizer, ChainRequiresFeasibleBuffer) {
+  OperatorGraph g;
+  g.add_op(TensorOp::matmul("mm", 64, 64, 64));
+  DatOptimizer dat;
+  EXPECT_THROW(dat.plan_chain(g, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

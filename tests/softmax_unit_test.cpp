@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/fusecu_quad.hpp"
+#include "sim/softmax_unit.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(SoftmaxUnit, RowsSumToOne) {
+  SoftmaxUnit unit;
+  Matrix s = make_test_matrix(5, 9, 7);
+  Matrix p = unit.apply(s);
+  for (Index r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (Index c = 0; c < p.cols(); ++c) {
+      EXPECT_GT(p.at(r, c), 0.0);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxUnit, MatchesDirectFormula) {
+  SoftmaxUnit unit;
+  Matrix s(1, 3);
+  s.at(0, 0) = 1.0;
+  s.at(0, 1) = 2.0;
+  s.at(0, 2) = 3.0;
+  Matrix p = unit.apply(s);
+  const double z = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(p.at(0, 0), std::exp(1.0) / z, 1e-12);
+  EXPECT_NEAR(p.at(0, 2), std::exp(3.0) / z, 1e-12);
+}
+
+TEST(SoftmaxUnit, NumericallyStableForLargeScores) {
+  SoftmaxUnit unit;
+  Matrix s(1, 2);
+  s.at(0, 0) = 1000.0;
+  s.at(0, 1) = 1001.0;
+  Matrix p = unit.apply(s);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0, 1e-12);
+  EXPECT_GT(p.at(0, 1), p.at(0, 0));
+}
+
+TEST(SoftmaxUnit, CycleModel) {
+  SoftmaxUnit unit(/*lanes=*/4, /*row_latency=*/10);
+  Matrix s = make_test_matrix(3, 9, 8);
+  unit.apply(s);
+  // Per row: 3 passes of ceil(9/4) = 3 cycles, plus latency 10.
+  EXPECT_EQ(unit.last_cycles(), 3 * (3 * 3 + 10));
+  EXPECT_EQ(unit.elements_processed(), 27);
+  EXPECT_THROW(SoftmaxUnit(0), std::invalid_argument);
+}
+
+TEST(AttentionTileFusion, MatchesReferenceWithSoftmaxOnChip) {
+  FuseCuQuad quad(8);
+  SoftmaxUnit softmax;
+  Matrix q = make_test_matrix(8, 5, 11);
+  Matrix k_t = make_test_matrix(5, 8, 12);
+  Matrix v = make_test_matrix(8, 6, 13);
+
+  quad.reset_traffic();
+  auto r = quad.run_attention_tile_fusion(q, k_t, v, softmax);
+  EXPECT_TRUE(approx_equal(r.output, attention_reference(q, k_t, v), 1e-9));
+
+  // Traffic: Q and K^T streamed in, O drained; S never crosses an edge.
+  EXPECT_EQ(quad.input_traffic(), 8 * 5 + 5 * 8 + 8 * 6);
+  EXPECT_EQ(quad.output_traffic(), 8 * 6);
+  EXPECT_GT(r.cycles, softmax.last_cycles());
+}
+
+TEST(AttentionTileFusion, RejectsOversizedScoreTile) {
+  FuseCuQuad quad(4);
+  SoftmaxUnit softmax;
+  EXPECT_THROW(quad.run_attention_tile_fusion(make_test_matrix(5, 4, 1), make_test_matrix(4, 4, 2),
+                                              make_test_matrix(4, 4, 3), softmax),
+               std::invalid_argument);
+  EXPECT_THROW(quad.run_attention_tile_fusion(make_test_matrix(4, 4, 1), make_test_matrix(4, 4, 2),
+                                              make_test_matrix(5, 4, 3), softmax),
+               std::invalid_argument);
+}
+
+TEST(MultiHeadAttention, HeadsDistributeAcrossUnitsAndOverlap) {
+  FuseCuQuad quad(8);
+  SoftmaxUnit softmax;
+  std::vector<FuseCuQuad::AttentionHead> heads;
+  for (int h = 0; h < 8; ++h) {
+    heads.push_back({make_test_matrix(8, 4, 900 + static_cast<std::uint64_t>(h)),
+                     make_test_matrix(4, 8, 910 + static_cast<std::uint64_t>(h)),
+                     make_test_matrix(8, 4, 920 + static_cast<std::uint64_t>(h))});
+  }
+  auto multi = quad.run_attention_heads(heads, softmax);
+  ASSERT_EQ(multi.outputs.size(), 8u);
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    EXPECT_TRUE(approx_equal(multi.outputs[h],
+                             attention_reference(heads[h].q, heads[h].k_t, heads[h].v), 1e-9))
+        << "head " << h;
+  }
+  // 8 identical-shaped heads over 4 units overlap: the makespan is about a
+  // quarter of running them back-to-back on one unit.
+  CycleCount serial = 0;
+  {
+    FuseCuQuad one(8);
+    SoftmaxUnit sm;
+    for (const auto& head : heads) {
+      serial += one.run_attention_tile_fusion(head.q, head.k_t, head.v, sm).cycles;
+    }
+  }
+  EXPECT_LE(4 * multi.cycles, serial + 4);
+}
+
+TEST(ApproxEqual, ShapeAndTolerance) {
+  Matrix a(2, 2), b(2, 2), c(2, 3);
+  a.at(0, 0) = 1.0;
+  b.at(0, 0) = 1.0 + 1e-12;
+  EXPECT_TRUE(approx_equal(a, b));
+  EXPECT_FALSE(approx_equal(a, c));
+  b.at(0, 0) = 1.1;
+  EXPECT_FALSE(approx_equal(a, b));
+}
+
+}  // namespace
+}  // namespace fusecu

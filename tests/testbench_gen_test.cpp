@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "rtl/testbench_gen.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(TestbenchGen, XsPeTestbenchStructure) {
+  std::string tb = generate_xs_pe_testbench();
+  RtlLintResult lint = lint_verilog(tb);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  EXPECT_NE(tb.find("module tb_xs_pe"), std::string::npos);
+  EXPECT_NE(tb.find("xs_pe #("), std::string::npos);
+  // All three modes and the promote path exercised.
+  EXPECT_NE(tb.find("mode = 2'b00"), std::string::npos);
+  EXPECT_NE(tb.find("mode = 2'b01"), std::string::npos);
+  EXPECT_NE(tb.find("mode = 2'b10"), std::string::npos);
+  EXPECT_NE(tb.find("mode = 2'b11"), std::string::npos);  // drain read-out
+  EXPECT_NE(tb.find("promote = 1'b1"), std::string::npos);
+  // Self-checking.
+  EXPECT_NE(tb.find("TB PASSED"), std::string::npos);
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+}
+
+TEST(TestbenchGen, XsPeTestbenchDeterministicPerSeed) {
+  EXPECT_EQ(generate_xs_pe_testbench({}, 8, 42), generate_xs_pe_testbench({}, 8, 42));
+  EXPECT_NE(generate_xs_pe_testbench({}, 8, 42), generate_xs_pe_testbench({}, 8, 43));
+}
+
+TEST(TestbenchGen, WsTestbenchContainsEveryGoldenCheck) {
+  RtlParams p;
+  p.unit_size = 4;
+  std::string tb = generate_ws_testbench(p, /*m=*/5, /*k=*/3, /*l=*/4);
+  RtlLintResult lint = lint_verilog(tb);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  // One golden check per output element.
+  std::size_t checks = 0;
+  for (std::size_t at = tb.find("MISMATCH C("); at != std::string::npos;
+       at = tb.find("MISMATCH C(", at + 1)) {
+    ++checks;
+  }
+  EXPECT_EQ(checks, 5u * 4u);
+  EXPECT_NE(tb.find("compute_unit #("), std::string::npos);
+  EXPECT_NE(tb.find("load_stationary = 1'b1"), std::string::npos);
+}
+
+TEST(TestbenchGen, WsTestbenchRejectsOversizedTiles) {
+  RtlParams p;
+  p.unit_size = 4;
+  EXPECT_THROW(generate_ws_testbench(p, 4, 5, 4), std::invalid_argument);
+  EXPECT_THROW(generate_ws_testbench(p, 4, 4, 5), std::invalid_argument);
+  EXPECT_THROW(generate_ws_testbench(p, 0, 4, 4), std::invalid_argument);
+}
+
+TEST(TestbenchGen, CombinedRtlPlusTestbenchLints) {
+  RtlParams p;
+  p.unit_size = 4;
+  std::string all = generate_all(p) + "\n" + generate_xs_pe_testbench(p) + "\n" +
+                    generate_ws_testbench(p, 4, 4, 4);
+  RtlLintResult lint = lint_verilog(all);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  EXPECT_EQ(lint.module_count, 5);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fusion/fusion_principles.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "sim/tiled_executor.hpp"
+
+namespace fusecu {
+namespace {
+
+// --- The repository's strongest integration claim: executing a complete
+// dataflow schedule on the simulated hardware produces (a) bit-exact
+// results and (b) per-tensor memory traffic equal to the analytical reuse
+// model's prediction.
+
+struct ExecCase {
+  Index m, k, l;
+  std::vector<std::string> order;
+  Index t_m, t_k, t_l;
+};
+
+class TiledExecution : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(TiledExecution, TrafficMatchesAnalyticalModelAndResultIsExact) {
+  const auto& p = GetParam();
+  TensorOp op = TensorOp::matmul("exec", p.m, p.k, p.l);
+  Dataflow df = make_dataflow(op, p.order, {{"M", p.t_m}, {"K", p.t_k}, {"L", p.t_l}});
+
+  Matrix a = make_test_matrix(p.m, p.k, 91);
+  Matrix b = make_test_matrix(p.k, p.l, 92);
+  ComputeUnit cu(8);
+  TiledExecutionResult r = execute_tiled(op, df, a, b, cu);
+
+  EXPECT_EQ(r.output, matmul_reference(a, b));
+  AccessBreakdown predicted = evaluate_access(op, df);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(r.traffic_per_tensor[static_cast<std::size_t>(t)],
+              predicted.per_tensor[static_cast<std::size_t>(t)])
+        << "tensor " << t << " " << df.to_string(op);
+  }
+  EXPECT_EQ(r.total_traffic, predicted.total);
+  EXPECT_GT(r.compute_cycles, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, TiledExecution,
+    ::testing::Values(
+        // Output-stationary (Fig. 2(b)).
+        ExecCase{16, 12, 16, {"M", "L", "K"}, 8, 4, 8},
+        // Two-NRA: K untiled (Fig. 3 top).
+        ExecCase{16, 12, 16, {"M", "L", "K"}, 8, 12, 1},
+        // Three-NRA: B fully resident.
+        ExecCase{24, 8, 8, {"M", "K", "L"}, 4, 8, 8},
+        // Weight-stationary with the reduction outermost (partial spills).
+        ExecCase{16, 16, 16, {"K", "L", "M"}, 8, 8, 8},
+        // Non-dividing tiles (edge clipping).
+        ExecCase{17, 13, 19, {"L", "M", "K"}, 5, 6, 7},
+        // Degenerate single-tile schedule.
+        ExecCase{8, 8, 8, {"M", "K", "L"}, 8, 8, 8},
+        // Tall M tile: OS cannot host it, the executor falls back to WS.
+        ExecCase{32, 8, 8, {"M", "L", "K"}, 16, 4, 4},
+        // Wide L tile with small M, K: only IS hosts it.
+        ExecCase{8, 8, 32, {"M", "K", "L"}, 4, 4, 16}));
+
+TEST(TiledExecution, RejectsTilesNoModeCanHost) {
+  TensorOp op = TensorOp::matmul("huge", 32, 32, 32);
+  // All three tile dims exceed the 8x8 array: no stationary mode fits.
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 16}, {"K", 16}, {"L", 16}});
+  ComputeUnit cu(8);
+  EXPECT_THROW(execute_tiled(op, df, make_test_matrix(32, 32, 1), make_test_matrix(32, 32, 2), cu),
+               std::invalid_argument);
+}
+
+TEST(TiledExecution, PrincipleOptimizedScheduleExecutes) {
+  // End-to-end: optimize with the principles, execute the result.
+  TensorOp op = TensorOp::matmul("opt", 24, 16, 24);
+  IntraOptResult r = optimize_intra(op, 256);
+  Matrix a = make_test_matrix(24, 16, 93);
+  Matrix b = make_test_matrix(16, 24, 94);
+  ComputeUnit cu(16);
+  TiledExecutionResult exec = execute_tiled(op, r.dataflow, a, b, cu);
+  EXPECT_EQ(exec.output, matmul_reference(a, b));
+  EXPECT_EQ(exec.total_traffic, r.access.total);
+}
+
+TEST(TiledExecution, RejectsShapeMismatch) {
+  TensorOp op = TensorOp::matmul("exec", 8, 8, 8);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 4}, {"K", 4}, {"L", 4}});
+  ComputeUnit cu(8);
+  EXPECT_THROW(execute_tiled(op, df, Matrix(7, 8), Matrix(8, 8), cu), std::invalid_argument);
+  EXPECT_THROW(execute_tiled(op, df, Matrix(8, 8), Matrix(8, 7), cu), std::invalid_argument);
+}
+
+// --- Fused execution vs the fused analytical model.
+struct FusedExecCase {
+  Index m, k, l, n;
+  PhasedFusedDataflow df;
+};
+
+class FusedTiledExecution : public ::testing::TestWithParam<FusedExecCase> {};
+
+TEST_P(FusedTiledExecution, TrafficMatchesFusedModelAndIntermediateNeverSpills) {
+  const auto& p = GetParam();
+  FusedPair pair = FusedPair::make(p.m, p.k, p.l, p.n);
+  Matrix a = make_test_matrix(p.m, p.k, 95);
+  Matrix b = make_test_matrix(p.k, p.l, 96);
+  Matrix d = make_test_matrix(p.l, p.n, 97);
+
+  FuseCuQuad quad(8);
+  FusedExecutionResult r = execute_fused_phased(pair, p.df, a, b, d, quad);
+
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+  FusedAccess predicted = evaluate_phased(pair, p.df);
+  EXPECT_EQ(r.traffic_a + r.traffic_b, predicted.op1_external);
+  EXPECT_EQ(r.traffic_d + r.traffic_e, predicted.op2_external);
+  EXPECT_EQ(r.total_traffic, predicted.total);
+  EXPECT_EQ(r.traffic_c, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FusedTiledExecution,
+    ::testing::Values(
+        // Tile fusion: C tile stationary, unit K/N tiles.
+        FusedExecCase{16, 8, 16, 8, {8, 1, 8, 1, false}},
+        // Untiled-L pattern, L-outer order.
+        FusedExecCase{16, 8, 8, 8, {4, 1, 8, 1, true}},
+        // Untiled K and N (the column-fusion-style pattern).
+        FusedExecCase{16, 8, 16, 8, {8, 8, 1, 8, false}},
+        // Non-dividing everything.
+        FusedExecCase{13, 7, 11, 9, {5, 3, 4, 2, false}},
+        FusedExecCase{13, 7, 11, 9, {5, 3, 4, 2, true}}));
+
+TEST(FusedTiledExecution, ResidentPatternMatchesModel) {
+  FusedPair pair = FusedPair::make(12, 6, 10, 8);
+  ResidentFusedDataflow rf;
+  rf.df1 = make_dataflow(pair.op1(), {"M", "L", "K"}, {{"M", 4}, {"L", 5}, {"K", 3}});
+  rf.df2 = make_dataflow(pair.op2(), {"K", "M", "L"}, {{"M", 6}, {"K", 5}, {"L", 4}});
+
+  Matrix a = make_test_matrix(12, 6, 401);
+  Matrix b = make_test_matrix(6, 10, 402);
+  Matrix d = make_test_matrix(10, 8, 403);
+  FuseCuQuad quad(8);
+  FusedExecutionResult r = execute_fused_resident(pair, rf, a, b, d, quad);
+
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+  FusedAccess predicted = evaluate_resident(pair, rf);
+  EXPECT_EQ(r.traffic_a + r.traffic_b, predicted.op1_external);
+  EXPECT_EQ(r.traffic_d + r.traffic_e, predicted.op2_external);
+  EXPECT_EQ(r.total_traffic, predicted.total);
+  EXPECT_EQ(r.traffic_c, 0);
+}
+
+TEST(FusedTiledExecution, PrincipleConstructedResidentScheduleExecutes) {
+  // Pick the resident candidate from the principled set (tile fusion ties
+  // at this size and wins the tie-break) and execute it.
+  FusedPair pair = FusedPair::make(16, 8, 16, 8);
+  std::optional<ResidentFusedDataflow> resident;
+  for (const FusedCandidate& c : fused_principle_candidates(pair, 2048)) {
+    if (c.resident) resident = c.resident;
+  }
+  ASSERT_TRUE(resident.has_value());
+  Matrix a = make_test_matrix(16, 8, 404);
+  Matrix b = make_test_matrix(8, 16, 405);
+  Matrix d = make_test_matrix(16, 8, 406);
+  FuseCuQuad quad(16);
+  FusedExecutionResult r = execute_fused_resident(pair, *resident, a, b, d, quad);
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+  EXPECT_EQ(r.total_traffic, evaluate_resident(pair, *resident).total);
+  // At this buffer the resident construction reaches the fused ideal.
+  EXPECT_EQ(r.total_traffic, pair.ideal_min_access());
+}
+
+TEST(FusedTiledExecution, PrincipleOptimizedFusedScheduleExecutes) {
+  FusedPair pair = FusedPair::make(16, 8, 16, 8);
+  auto best = optimize_fused_pair(pair, 128);
+  ASSERT_TRUE(best.has_value());
+  ASSERT_TRUE(best->chosen.phased.has_value()) << "expected a phased pattern at this size";
+  Matrix a = make_test_matrix(16, 8, 98);
+  Matrix b = make_test_matrix(8, 16, 99);
+  Matrix d = make_test_matrix(16, 8, 100);
+  FuseCuQuad quad(8);
+  FusedExecutionResult r = execute_fused_phased(pair, *best->chosen.phased, a, b, d, quad);
+  EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d));
+  EXPECT_EQ(r.total_traffic, best->access.total);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/timeline.hpp"
+#include "sim/trace.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(TraceRecorder, RecordsAndBounds) {
+  TraceRecorder rec(3);
+  for (int i = 0; i < 5; ++i) {
+    rec.record({"e" + std::to_string(i), "cat", 0, static_cast<double>(i), 1.0});
+  }
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_EQ(rec.events()[0].name, "e0");
+}
+
+TEST(ChromeTrace, EmitsCompleteEvents) {
+  TraceRecorder rec;
+  rec.record({"load#0", "dma", 0, 0.0, 10.0});
+  rec.record({"pass#0", "compute", 1, 10.0, 5.5});
+  std::ostringstream os;
+  write_chrome_trace(os, rec);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"load#0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimelineEventsAreConsistent) {
+  TensorOp op = TensorOp::matmul("tl", 64, 32, 64);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 16}, {"L", 16}, {"K", 16}});
+  TraceRecorder rec;
+  TimelineResult r = simulate_timeline(op, df, make_fusecu(), 1.0, &rec);
+
+  // One compute event per iteration; loads only when tiles changed.
+  std::size_t compute_events = 0;
+  double last_end = 0.0;
+  for (const TraceEvent& e : rec.events()) {
+    EXPECT_GE(e.start_cycle, 0.0);
+    EXPECT_GE(e.duration_cycles, 0.0);
+    if (e.category == "compute") {
+      // Compute events are serialized on the array.
+      EXPECT_GE(e.start_cycle + 1e-9, last_end);
+      last_end = e.start_cycle + e.duration_cycles;
+      ++compute_events;
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(compute_events), r.iterations);
+  EXPECT_NEAR(last_end, static_cast<double>(r.cycles), 1.0);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace fusecu

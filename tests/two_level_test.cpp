@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "principles/two_level.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(TwoLevel, OuterTileOpShape) {
+  TensorOp op = TensorOp::matmul("mm", 1024, 768, 768);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 512}, {"K", 768}, {"L", 1}});
+  TensorOp tile = outer_tile_op(op, df);
+  EXPECT_EQ(tile.extent(mm::kDimM), 512);
+  EXPECT_EQ(tile.extent(mm::kDimK), 768);
+  EXPECT_EQ(tile.extent(mm::kDimL), 1);
+  // Tensor structure carries over.
+  EXPECT_EQ(tile.num_tensors(), 3);
+  EXPECT_EQ(tile.output_index(), mm::kTensorC);
+}
+
+TEST(TwoLevel, ComposedOptimizationIsConsistent) {
+  TensorOp op = TensorOp::matmul("mm", 2048, 512, 2048);
+  const BufferSize bs2 = 256 * 1024;   // 512 KB buffer in elements
+  const BufferSize bs1 = 128 * 128;    // one CU's registers
+  TwoLevelResult r = optimize_two_level(op, bs2, bs1);
+
+  EXPECT_EQ(r.dram_traffic, r.outer.access.total);
+  EXPECT_LE(r.outer.access.buffer_footprint, bs2);
+  EXPECT_LE(r.inner.access.buffer_footprint, bs1);
+  EXPECT_GE(r.outer_iterations, 1);
+  EXPECT_EQ(r.buffer_traffic, r.inner.access.total * r.outer_iterations);
+  // The buffer level sees at least as much traffic as DRAM — it is closer
+  // to the compute.
+  EXPECT_GE(r.buffer_traffic, r.dram_traffic);
+  // And at most one access per MAC operand (gross upper bound).
+  EXPECT_LE(r.buffer_traffic, 3 * op.macs());
+}
+
+TEST(TwoLevel, RegisterLevelRegimeFollowsSection4) {
+  // With the buffer generous and registers at N^2, the inner op's smallest
+  // dimension decides the inner regime per the 2N rule.
+  TensorOp op = TensorOp::matmul("mm", 4096, 64, 4096);  // D_min = 64 < 2N
+  TwoLevelResult r = optimize_two_level(op, 2 * 1024 * 1024, 128 * 128);
+  EXPECT_NE(r.inner.nra, NraKind::kSingle);
+}
+
+TEST(TwoLevel, WeightedTrafficOrdersHierarchies) {
+  TensorOp op = TensorOp::matmul("mm", 2048, 512, 2048);
+  TwoLevelResult small_buffer = optimize_two_level(op, 32 * 1024, 128 * 128);
+  TwoLevelResult big_buffer = optimize_two_level(op, 1024 * 1024, 128 * 128);
+  // A bigger buffer can only reduce DRAM traffic.
+  EXPECT_LE(big_buffer.dram_traffic, small_buffer.dram_traffic);
+  EXPECT_GT(small_buffer.weighted_traffic(), 0.0);
+}
+
+TEST(TwoLevel, RejectsDegenerateCapacities) {
+  TensorOp op = TensorOp::matmul("mm", 64, 64, 64);
+  EXPECT_THROW(optimize_two_level(op, 1024, 2), std::invalid_argument);
+  EXPECT_THROW(optimize_two_level(op, 16, 1024), std::invalid_argument);
+}
+
+TEST(TwoLevel, MonotoneInRegisterCapacity) {
+  TensorOp op = TensorOp::matmul("mm", 1024, 256, 1024);
+  AccessCount prev = optimize_two_level(op, 512 * 1024, 16 * 16).buffer_traffic;
+  for (Index n = 32; n <= 256; n *= 2) {
+    AccessCount cur = optimize_two_level(op, 512 * 1024, n * n).buffer_traffic;
+    EXPECT_LE(cur, prev) << "registers " << n * n;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "rtl/verilog_gen.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(VerilogGen, XsPeStructure) {
+  std::string v = generate_xs_pe();
+  RtlLintResult lint = lint_verilog(v);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  EXPECT_EQ(lint.module_count, 1);
+  // The three datapaths of Fig. 6 and the fusion promote path.
+  EXPECT_NE(v.find("MODE_WS"), std::string::npos);
+  EXPECT_NE(v.find("MODE_IS"), std::string::npos);
+  EXPECT_NE(v.find("MODE_OS"), std::string::npos);
+  EXPECT_NE(v.find("promote"), std::string::npos);
+  EXPECT_NE(v.find("stationary  <= accumulator"), std::string::npos);
+  // MAC structure matches the simulator semantics.
+  EXPECT_NE(v.find("north_in + stationary * west_in"), std::string::npos);
+  EXPECT_NE(v.find("west_in  + stationary * north_in"), std::string::npos);
+  EXPECT_NE(v.find("accumulator + west_in * north_in"), std::string::npos);
+}
+
+TEST(VerilogGen, ParametersPropagate) {
+  RtlParams p;
+  p.data_width = 8;
+  p.acc_width = 24;
+  p.unit_size = 16;
+  std::string pe = generate_xs_pe(p);
+  EXPECT_NE(pe.find("parameter DATA_W = 8"), std::string::npos);
+  EXPECT_NE(pe.find("parameter ACC_W  = 24"), std::string::npos);
+  std::string cu = generate_compute_unit(p);
+  EXPECT_NE(cu.find("parameter N      = 16"), std::string::npos);
+}
+
+TEST(VerilogGen, ComputeUnitStructure) {
+  std::string v = generate_compute_unit();
+  RtlLintResult lint = lint_verilog(v);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  EXPECT_EQ(lint.instance_count, 1);  // one xs_pe inside the generate mesh
+  EXPECT_NE(v.find("generate"), std::string::npos);
+  EXPECT_NE(v.find("east_edge"), std::string::npos);
+  EXPECT_NE(v.find("south_edge"), std::string::npos);
+}
+
+TEST(VerilogGen, FuseCuTopStructure) {
+  std::string v = generate_fusecu_top();
+  RtlLintResult lint = lint_verilog(v);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  // FU-configuration muxes and the three compositions of Fig. 7.
+  EXPECT_NE(v.find("CFG_INDEPENDENT"), std::string::npos);
+  EXPECT_NE(v.find("CFG_NARROW"), std::string::npos);
+  EXPECT_NE(v.find("CFG_COLUMN"), std::string::npos);
+  // Chained units take their west input from the neighbor's east edge.
+  EXPECT_NE(v.find(": east_u[0]"), std::string::npos);
+  EXPECT_NE(v.find(": east_u[2]"), std::string::npos);
+}
+
+TEST(VerilogGen, CombinedFileLints) {
+  std::string v = generate_all();
+  RtlLintResult lint = lint_verilog(v);
+  EXPECT_TRUE(lint.ok) << lint.message;
+  EXPECT_EQ(lint.module_count, 3);
+  EXPECT_GE(lint.instance_count, 2);  // xs_pe in the CU, compute_unit in the top
+}
+
+TEST(VerilogGen, RejectsInvalidParams) {
+  RtlParams bad;
+  bad.acc_width = 8;
+  bad.data_width = 16;  // accumulator narrower than data
+  EXPECT_THROW(generate_xs_pe(bad), std::invalid_argument);
+  bad = RtlParams{};
+  bad.unit_size = 0;
+  EXPECT_THROW(generate_compute_unit(bad), std::invalid_argument);
+}
+
+TEST(VerilogLint, CatchesStructuralDamage) {
+  std::string good = generate_xs_pe();
+  EXPECT_TRUE(lint_verilog(good).ok);
+  EXPECT_FALSE(lint_verilog("").ok);
+  EXPECT_FALSE(lint_verilog("module m;\n").ok);  // no endmodule
+
+  std::string unbalanced = good;
+  unbalanced.replace(unbalanced.find("endcase"), 7, "       ");
+  EXPECT_FALSE(lint_verilog(unbalanced).ok);
+
+  std::string paren = good;
+  paren.erase(paren.find('('), 1);
+  EXPECT_FALSE(lint_verilog(paren).ok);
+}
+
+}  // namespace
+}  // namespace fusecu

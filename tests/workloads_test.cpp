@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "workloads/model_eval.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(Workloads, TableIIParameters) {
+  auto models = table2_models();
+  ASSERT_EQ(models.size(), 7u);
+  EXPECT_EQ(models[0].name, "BERT");
+  EXPECT_EQ(models[0].heads, 12);
+  EXPECT_EQ(models[0].seq, 1024);
+  EXPECT_EQ(models[0].hidden, 768);
+  EXPECT_EQ(models[5].name, "LLaMA2");
+  EXPECT_EQ(models[5].heads, 32);
+  EXPECT_EQ(models[5].seq, 4096);
+  EXPECT_EQ(models[5].hidden, 4096);
+  EXPECT_EQ(models[6].name, "ALBERT");
+  EXPECT_EQ(models[6].heads, 64);
+  for (const ModelConfig& m : models) {
+    EXPECT_EQ(m.batch, 16) << m.name;  // the paper's batch size
+    EXPECT_EQ(m.hidden % m.heads, 0) << m.name;
+  }
+}
+
+TEST(Workloads, HeadDim) {
+  EXPECT_EQ(table2_models()[0].head_dim(), 64);   // BERT: 768 / 12
+  EXPECT_EQ(table2_models()[6].head_dim(), 64);   // ALBERT: 4096 / 64
+  EXPECT_EQ(llama2_at_seq(256).head_dim(), 128);  // LLaMA2: 4096 / 32
+}
+
+TEST(Workloads, Llama2SeqSweep) {
+  ModelConfig m = llama2_at_seq(16384);
+  EXPECT_EQ(m.seq, 16384);
+  EXPECT_EQ(m.hidden, 4096);
+  EXPECT_THROW(llama2_at_seq(0), std::invalid_argument);
+}
+
+TEST(Workloads, LayerLoweringShapes) {
+  ModelConfig bert = table2_models()[0];
+  auto chains = lower_layer(bert);
+  ASSERT_EQ(chains.size(), 4u);
+
+  EXPECT_EQ(chains[0].label, "qkv_proj");
+  EXPECT_EQ(chains[0].count, 3);
+  EXPECT_EQ(chains[0].graph.num_ops(), 1);
+  EXPECT_EQ(chains[0].graph.op(0).extent(mm::kDimM), 16 * 1024);
+  EXPECT_EQ(chains[0].graph.op(0).extent(mm::kDimK), 768);
+
+  EXPECT_EQ(chains[1].label, "attention");
+  EXPECT_EQ(chains[1].count, 16 * 12);
+  EXPECT_EQ(chains[1].graph.num_ops(), 2);
+  EXPECT_TRUE(chains[1].graph.is_linear_chain());
+  // S = Q K^T: (seq, head_dim, seq).
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimM), 1024);
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimK), 64);
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimL), 1024);
+
+  EXPECT_EQ(chains[3].label, "ffn");
+  EXPECT_EQ(chains[3].graph.num_ops(), 2);
+  EXPECT_EQ(chains[3].graph.op(0).extent(mm::kDimL), 4 * 768);
+}
+
+TEST(Workloads, LayerMacsMatchClosedForm) {
+  ModelConfig m = table2_models()[0];
+  const Index bs = m.batch * m.seq, d = m.hidden, dh = m.head_dim();
+  const MacCount projections = 4 * bs * d * d;
+  const MacCount attention = static_cast<MacCount>(m.batch) * m.heads *
+                             (m.seq * dh * m.seq + m.seq * m.seq * dh);
+  const MacCount ffn = 2 * bs * d * (4 * d);
+  EXPECT_EQ(layer_macs(m), projections + attention + ffn);
+}
+
+TEST(ModelEvalTest, FuseCuFusesAttentionAndFfn) {
+  ModelEval e = evaluate_model(table2_models()[0], make_fusecu());
+  // batch*heads attention pairs plus one FFN pair.
+  EXPECT_EQ(e.fused_pairs, 16 * 12 + 1);
+  ModelEval unf = evaluate_model(table2_models()[0], make_unfcu());
+  EXPECT_EQ(unf.fused_pairs, 0);
+}
+
+TEST(ModelEvalTest, AccessOrderingMatchesPaperStructure) {
+  // FuseCU <= UnfCU <= Planaria-ish <= Gemmini <= TPUv4i on every model.
+  for (const ModelConfig& m : table2_models()) {
+    ModelEval tpu = evaluate_model(m, make_tpu_v4i());
+    ModelEval gemmini = evaluate_model(m, make_gemmini());
+    ModelEval planaria = evaluate_model(m, make_planaria());
+    ModelEval unfcu = evaluate_model(m, make_unfcu());
+    ModelEval fcu = evaluate_model(m, make_fusecu());
+    EXPECT_LE(gemmini.access, tpu.access) << m.name;
+    EXPECT_LE(planaria.access, gemmini.access) << m.name;
+    EXPECT_LE(fcu.access, unfcu.access) << m.name;
+    EXPECT_LT(fcu.access, tpu.access) << m.name;
+    // Identical arithmetic everywhere.
+    EXPECT_EQ(tpu.macs, fcu.macs) << m.name;
+    EXPECT_EQ(tpu.macs, layer_macs(m)) << m.name;
+  }
+}
+
+TEST(ModelEvalTest, UtilizationWithinBounds) {
+  for (const ArchSpec& arch : all_platforms()) {
+    ModelEval e = evaluate_model(table2_models()[0], arch);
+    EXPECT_GT(e.utilization, 0.0) << arch.name;
+    EXPECT_LE(e.utilization, 1.0) << arch.name;
+  }
+}
+
+TEST(Workloads, DecodeLoweringShapes) {
+  ModelConfig m = llama2_at_seq(4096);
+  auto chains = lower_decode_step(m, 2048);
+  ASSERT_EQ(chains.size(), 4u);
+  EXPECT_EQ(chains[0].label, "dec_qkv_proj");
+  EXPECT_EQ(chains[0].graph.op(0).extent(mm::kDimM), 16);  // M = batch
+  EXPECT_EQ(chains[1].label, "dec_attention");
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimM), 1);     // one query row
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimL), 2048);  // KV cache
+  EXPECT_EQ(chains[1].count, 32 * 16);
+  EXPECT_TRUE(chains[1].graph.is_linear_chain());
+  EXPECT_THROW(lower_decode_step(m, 0), std::invalid_argument);
+}
+
+TEST(ModelEvalTest, DecodeEvaluatesOnAllPlatforms) {
+  ModelConfig m = llama2_at_seq(4096);
+  ModelEval tpu = evaluate_decode(m, 1024, make_tpu_v4i());
+  ModelEval fcu = evaluate_decode(m, 1024, make_fusecu());
+  EXPECT_GT(tpu.access, 0);
+  EXPECT_LE(fcu.access, tpu.access);
+  EXPECT_EQ(tpu.macs, fcu.macs);
+  // Decode is heavily bandwidth-bound: utilization far below prefill's.
+  EXPECT_LT(tpu.utilization, 0.2);
+}
+
+TEST(Workloads, GroupedQueryAttentionShrinksKvProjections) {
+  ModelConfig gqa = llama2_70b_gqa(2048);
+  EXPECT_EQ(gqa.heads, 64);
+  EXPECT_EQ(gqa.effective_kv_heads(), 8);
+  EXPECT_EQ(gqa.head_dim(), 128);
+  EXPECT_EQ(gqa.kv_width(), 8 * 128);
+
+  auto chains = lower_layer(gqa);
+  // q_proj + kv_proj + attention + out_proj + ffn.
+  ASSERT_EQ(chains.size(), 5u);
+  EXPECT_EQ(chains[0].label, "q_proj");
+  EXPECT_EQ(chains[1].label, "kv_proj");
+  EXPECT_EQ(chains[1].graph.op(0).extent(mm::kDimL), 1024);  // kv width << hidden
+  EXPECT_EQ(chains[1].count, 2);
+
+  // Classic MHA path unchanged (guards the Fig. 10 calibration).
+  ModelConfig mha = llama2_at_seq(2048);
+  EXPECT_EQ(mha.effective_kv_heads(), mha.heads);
+  EXPECT_EQ(lower_layer(mha)[0].label, "qkv_proj");
+
+  // GQA strictly reduces projection traffic per layer vs an MHA model of
+  // the same width.
+  ModelConfig wide_mha = gqa;
+  wide_mha.kv_heads = 0;
+  ModelEval g = evaluate_model(gqa, make_fusecu());
+  ModelEval m = evaluate_model(wide_mha, make_fusecu());
+  EXPECT_LT(g.access, m.access);
+  EXPECT_LT(g.macs, m.macs);
+}
+
+TEST(ModelEvalTest, SoftmaxPenaltyChargedExactlyWhenUnfused) {
+  // The attention chain carries the softmax round trip (2 s^2 per head)
+  // that only unfused execution pays — the calibration mechanism of
+  // DESIGN.md §5.6.
+  ModelConfig bert = table2_models()[0];
+  std::vector<WorkloadChain> chains;
+  for (WorkloadChain& c : lower_layer(bert)) {
+    if (c.label == "attention") chains.push_back(std::move(c));
+  }
+  ASSERT_EQ(chains.size(), 1u);
+  ASSERT_EQ(chains[0].unfused_intermediate_penalty, 2 * 1024 * 1024);
+
+  std::vector<WorkloadChain> no_penalty = chains;
+  no_penalty[0].unfused_intermediate_penalty = 0;
+
+  // Unfused platform: the penalty shows up, scaled by the instance count.
+  ModelEval with = evaluate_chains(chains, "p", make_unfcu());
+  ModelEval without = evaluate_chains(no_penalty, "np", make_unfcu());
+  EXPECT_EQ(with.access - without.access,
+            chains[0].unfused_intermediate_penalty * chains[0].count);
+
+  // Fused platform: softmax runs on-chip, no penalty at all.
+  ModelEval fused_with = evaluate_chains(chains, "p", make_fusecu());
+  ModelEval fused_without = evaluate_chains(no_penalty, "np", make_fusecu());
+  EXPECT_EQ(fused_with.access, fused_without.access);
+}
+
+TEST(ModelEvalTest, EnergyPopulated) {
+  ModelEval e = evaluate_model(table2_models()[0], make_fusecu());
+  EXPECT_GT(e.energy_pj, 0.0);
+  EXPECT_GT(e.energy_movement_fraction, 0.0);
+  EXPECT_LT(e.energy_movement_fraction, 1.0);
+}
+
+TEST(ModelEvalTest, Table2EvaluatesAllModels) {
+  auto evals = evaluate_table2(make_fusecu());
+  ASSERT_EQ(evals.size(), 7u);
+  for (const ModelEval& e : evals) {
+    EXPECT_GT(e.access, 0);
+    EXPECT_GT(e.cycles, 0);
+    EXPECT_EQ(e.platform, "FuseCU");
+  }
+}
+
+}  // namespace
+}  // namespace fusecu
