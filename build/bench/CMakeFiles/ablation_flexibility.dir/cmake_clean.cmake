@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flexibility.dir/ablation_flexibility.cpp.o"
+  "CMakeFiles/ablation_flexibility.dir/ablation_flexibility.cpp.o.d"
+  "ablation_flexibility"
+  "ablation_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fusion_profit.dir/ablation_fusion_profit.cpp.o"
+  "CMakeFiles/ablation_fusion_profit.dir/ablation_fusion_profit.cpp.o.d"
+  "ablation_fusion_profit"
+  "ablation_fusion_profit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion_profit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimizer_speed.dir/ablation_optimizer_speed.cpp.o"
+  "CMakeFiles/ablation_optimizer_speed.dir/ablation_optimizer_speed.cpp.o.d"
+  "ablation_optimizer_speed"
+  "ablation_optimizer_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizer_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_workloads.dir/conv_workloads.cpp.o"
+  "CMakeFiles/conv_workloads.dir/conv_workloads.cpp.o.d"
+  "conv_workloads"
+  "conv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

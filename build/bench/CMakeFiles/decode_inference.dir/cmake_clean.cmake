@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_inference.dir/decode_inference.cpp.o"
+  "CMakeFiles/decode_inference.dir/decode_inference.cpp.o.d"
+  "decode_inference"
+  "decode_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mem_util.dir/fig10_mem_util.cpp.o"
+  "CMakeFiles/fig10_mem_util.dir/fig10_mem_util.cpp.o.d"
+  "fig10_mem_util"
+  "fig10_mem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_llama_seqlen.dir/fig11_llama_seqlen.cpp.o"
+  "CMakeFiles/fig11_llama_seqlen.dir/fig11_llama_seqlen.cpp.o.d"
+  "fig11_llama_seqlen"
+  "fig11_llama_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_llama_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_area.dir/fig12_area.cpp.o"
+  "CMakeFiles/fig12_area.dir/fig12_area.cpp.o.d"
+  "fig12_area"
+  "fig12_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_analysis.dir/locality_analysis.cpp.o"
+  "CMakeFiles/locality_analysis.dir/locality_analysis.cpp.o.d"
+  "locality_analysis"
+  "locality_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_planner.dir/block_planner.cpp.o"
+  "CMakeFiles/block_planner.dir/block_planner.cpp.o.d"
+  "block_planner"
+  "block_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_eval.dir/fusecu_eval.cpp.o"
+  "CMakeFiles/fusecu_eval.dir/fusecu_eval.cpp.o.d"
+  "fusecu_eval"
+  "fusecu_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llama_sweep.dir/llama_sweep.cpp.o"
+  "CMakeFiles/llama_sweep.dir/llama_sweep.cpp.o.d"
+  "llama_sweep"
+  "llama_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llama_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_arch.dir/arch_spec.cpp.o"
+  "CMakeFiles/fusecu_arch.dir/arch_spec.cpp.o.d"
+  "CMakeFiles/fusecu_arch.dir/area_model.cpp.o"
+  "CMakeFiles/fusecu_arch.dir/area_model.cpp.o.d"
+  "CMakeFiles/fusecu_arch.dir/dataflow_space.cpp.o"
+  "CMakeFiles/fusecu_arch.dir/dataflow_space.cpp.o.d"
+  "libfusecu_arch.a"
+  "libfusecu_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_common.dir/cli.cpp.o"
+  "CMakeFiles/fusecu_common.dir/cli.cpp.o.d"
+  "CMakeFiles/fusecu_common.dir/json_writer.cpp.o"
+  "CMakeFiles/fusecu_common.dir/json_writer.cpp.o.d"
+  "CMakeFiles/fusecu_common.dir/math_util.cpp.o"
+  "CMakeFiles/fusecu_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/fusecu_common.dir/table.cpp.o"
+  "CMakeFiles/fusecu_common.dir/table.cpp.o.d"
+  "CMakeFiles/fusecu_common.dir/units.cpp.o"
+  "CMakeFiles/fusecu_common.dir/units.cpp.o.d"
+  "libfusecu_common.a"
+  "libfusecu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

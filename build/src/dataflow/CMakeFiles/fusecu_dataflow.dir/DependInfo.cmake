@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/access_model.cpp" "src/dataflow/CMakeFiles/fusecu_dataflow.dir/access_model.cpp.o" "gcc" "src/dataflow/CMakeFiles/fusecu_dataflow.dir/access_model.cpp.o.d"
+  "/root/repo/src/dataflow/dataflow.cpp" "src/dataflow/CMakeFiles/fusecu_dataflow.dir/dataflow.cpp.o" "gcc" "src/dataflow/CMakeFiles/fusecu_dataflow.dir/dataflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fusecu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusecu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

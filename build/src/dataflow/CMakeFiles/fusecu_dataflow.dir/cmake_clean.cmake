@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_dataflow.dir/access_model.cpp.o"
+  "CMakeFiles/fusecu_dataflow.dir/access_model.cpp.o.d"
+  "CMakeFiles/fusecu_dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/fusecu_dataflow.dir/dataflow.cpp.o.d"
+  "libfusecu_dataflow.a"
+  "libfusecu_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

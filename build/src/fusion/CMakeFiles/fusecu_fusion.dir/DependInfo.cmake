@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/chain_fusion.cpp" "src/fusion/CMakeFiles/fusecu_fusion.dir/chain_fusion.cpp.o" "gcc" "src/fusion/CMakeFiles/fusecu_fusion.dir/chain_fusion.cpp.o.d"
+  "/root/repo/src/fusion/fused_pair.cpp" "src/fusion/CMakeFiles/fusecu_fusion.dir/fused_pair.cpp.o" "gcc" "src/fusion/CMakeFiles/fusecu_fusion.dir/fused_pair.cpp.o.d"
+  "/root/repo/src/fusion/fusion_planner.cpp" "src/fusion/CMakeFiles/fusecu_fusion.dir/fusion_planner.cpp.o" "gcc" "src/fusion/CMakeFiles/fusecu_fusion.dir/fusion_planner.cpp.o.d"
+  "/root/repo/src/fusion/fusion_principles.cpp" "src/fusion/CMakeFiles/fusecu_fusion.dir/fusion_principles.cpp.o" "gcc" "src/fusion/CMakeFiles/fusecu_fusion.dir/fusion_principles.cpp.o.d"
+  "/root/repo/src/fusion/graph_planner.cpp" "src/fusion/CMakeFiles/fusecu_fusion.dir/graph_planner.cpp.o" "gcc" "src/fusion/CMakeFiles/fusecu_fusion.dir/graph_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/principles/CMakeFiles/fusecu_principles.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/fusecu_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fusecu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusecu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

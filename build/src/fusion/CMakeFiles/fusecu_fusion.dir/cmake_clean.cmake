@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_fusion.dir/chain_fusion.cpp.o"
+  "CMakeFiles/fusecu_fusion.dir/chain_fusion.cpp.o.d"
+  "CMakeFiles/fusecu_fusion.dir/fused_pair.cpp.o"
+  "CMakeFiles/fusecu_fusion.dir/fused_pair.cpp.o.d"
+  "CMakeFiles/fusecu_fusion.dir/fusion_planner.cpp.o"
+  "CMakeFiles/fusecu_fusion.dir/fusion_planner.cpp.o.d"
+  "CMakeFiles/fusecu_fusion.dir/fusion_principles.cpp.o"
+  "CMakeFiles/fusecu_fusion.dir/fusion_principles.cpp.o.d"
+  "CMakeFiles/fusecu_fusion.dir/graph_planner.cpp.o"
+  "CMakeFiles/fusecu_fusion.dir/graph_planner.cpp.o.d"
+  "libfusecu_fusion.a"
+  "libfusecu_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

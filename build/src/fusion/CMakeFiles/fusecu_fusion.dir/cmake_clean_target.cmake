@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfusecu_fusion.a"
+)

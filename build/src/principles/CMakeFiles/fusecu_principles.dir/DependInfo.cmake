@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/principles/buffer_class.cpp" "src/principles/CMakeFiles/fusecu_principles.dir/buffer_class.cpp.o" "gcc" "src/principles/CMakeFiles/fusecu_principles.dir/buffer_class.cpp.o.d"
+  "/root/repo/src/principles/principle_optimizer.cpp" "src/principles/CMakeFiles/fusecu_principles.dir/principle_optimizer.cpp.o" "gcc" "src/principles/CMakeFiles/fusecu_principles.dir/principle_optimizer.cpp.o.d"
+  "/root/repo/src/principles/two_level.cpp" "src/principles/CMakeFiles/fusecu_principles.dir/two_level.cpp.o" "gcc" "src/principles/CMakeFiles/fusecu_principles.dir/two_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/fusecu_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fusecu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusecu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

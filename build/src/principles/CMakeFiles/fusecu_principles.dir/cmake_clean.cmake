@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_principles.dir/buffer_class.cpp.o"
+  "CMakeFiles/fusecu_principles.dir/buffer_class.cpp.o.d"
+  "CMakeFiles/fusecu_principles.dir/principle_optimizer.cpp.o"
+  "CMakeFiles/fusecu_principles.dir/principle_optimizer.cpp.o.d"
+  "CMakeFiles/fusecu_principles.dir/two_level.cpp.o"
+  "CMakeFiles/fusecu_principles.dir/two_level.cpp.o.d"
+  "libfusecu_principles.a"
+  "libfusecu_principles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_principles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fusecu_principles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_rtl.dir/testbench_gen.cpp.o"
+  "CMakeFiles/fusecu_rtl.dir/testbench_gen.cpp.o.d"
+  "CMakeFiles/fusecu_rtl.dir/verilog_gen.cpp.o"
+  "CMakeFiles/fusecu_rtl.dir/verilog_gen.cpp.o.d"
+  "libfusecu_rtl.a"
+  "libfusecu_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_search.dir/annealing.cpp.o"
+  "CMakeFiles/fusecu_search.dir/annealing.cpp.o.d"
+  "CMakeFiles/fusecu_search.dir/dat_optimizer.cpp.o"
+  "CMakeFiles/fusecu_search.dir/dat_optimizer.cpp.o.d"
+  "CMakeFiles/fusecu_search.dir/exhaustive.cpp.o"
+  "CMakeFiles/fusecu_search.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/fusecu_search.dir/genetic.cpp.o"
+  "CMakeFiles/fusecu_search.dir/genetic.cpp.o.d"
+  "libfusecu_search.a"
+  "libfusecu_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_stream.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/address_stream.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/address_stream.cpp.o.d"
+  "/root/repo/src/sim/bf16.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/bf16.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/bf16.cpp.o.d"
+  "/root/repo/src/sim/buffer_plan.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/buffer_plan.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/buffer_plan.cpp.o.d"
+  "/root/repo/src/sim/compute_unit.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/compute_unit.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/compute_unit.cpp.o.d"
+  "/root/repo/src/sim/cu_scheduler.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/cu_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/cu_scheduler.cpp.o.d"
+  "/root/repo/src/sim/dram_model.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/dram_model.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/dram_model.cpp.o.d"
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/fidelity.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/fidelity.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/fidelity.cpp.o.d"
+  "/root/repo/src/sim/fusecu_quad.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/fusecu_quad.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/fusecu_quad.cpp.o.d"
+  "/root/repo/src/sim/matrix.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/matrix.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/matrix.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/softmax_unit.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/softmax_unit.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/softmax_unit.cpp.o.d"
+  "/root/repo/src/sim/tiled_executor.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/tiled_executor.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/tiled_executor.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/xs_pe.cpp" "src/sim/CMakeFiles/fusecu_sim.dir/xs_pe.cpp.o" "gcc" "src/sim/CMakeFiles/fusecu_sim.dir/xs_pe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/fusecu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fusecu_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/principles/CMakeFiles/fusecu_principles.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/fusecu_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fusecu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusecu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_tensor.dir/conv.cpp.o"
+  "CMakeFiles/fusecu_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/fusecu_tensor.dir/op_graph.cpp.o"
+  "CMakeFiles/fusecu_tensor.dir/op_graph.cpp.o.d"
+  "CMakeFiles/fusecu_tensor.dir/tensor_op.cpp.o"
+  "CMakeFiles/fusecu_tensor.dir/tensor_op.cpp.o.d"
+  "libfusecu_tensor.a"
+  "libfusecu_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

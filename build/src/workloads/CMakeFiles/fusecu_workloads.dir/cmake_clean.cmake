@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_workloads.dir/model_eval.cpp.o"
+  "CMakeFiles/fusecu_workloads.dir/model_eval.cpp.o.d"
+  "CMakeFiles/fusecu_workloads.dir/report.cpp.o"
+  "CMakeFiles/fusecu_workloads.dir/report.cpp.o.d"
+  "CMakeFiles/fusecu_workloads.dir/run_config.cpp.o"
+  "CMakeFiles/fusecu_workloads.dir/run_config.cpp.o.d"
+  "CMakeFiles/fusecu_workloads.dir/transformer.cpp.o"
+  "CMakeFiles/fusecu_workloads.dir/transformer.cpp.o.d"
+  "libfusecu_workloads.a"
+  "libfusecu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/address_stream_test.cpp" "tests/CMakeFiles/address_stream_test.dir/address_stream_test.cpp.o" "gcc" "tests/CMakeFiles/address_stream_test.dir/address_stream_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fusecu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fusecu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fusecu_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/principles/CMakeFiles/fusecu_principles.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/fusecu_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fusecu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusecu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_stream_test.dir/address_stream_test.cpp.o"
+  "CMakeFiles/address_stream_test.dir/address_stream_test.cpp.o.d"
+  "address_stream_test"
+  "address_stream_test.pdb"
+  "address_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

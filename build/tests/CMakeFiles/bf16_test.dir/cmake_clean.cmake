@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf16_test.dir/bf16_test.cpp.o"
+  "CMakeFiles/bf16_test.dir/bf16_test.cpp.o.d"
+  "bf16_test"
+  "bf16_test.pdb"
+  "bf16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

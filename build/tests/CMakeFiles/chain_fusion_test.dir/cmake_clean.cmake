@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_fusion_test.dir/chain_fusion_test.cpp.o"
+  "CMakeFiles/chain_fusion_test.dir/chain_fusion_test.cpp.o.d"
+  "chain_fusion_test"
+  "chain_fusion_test.pdb"
+  "chain_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_unit_test.dir/compute_unit_test.cpp.o"
+  "CMakeFiles/compute_unit_test.dir/compute_unit_test.cpp.o.d"
+  "compute_unit_test"
+  "compute_unit_test.pdb"
+  "compute_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cu_scheduler_test.dir/cu_scheduler_test.cpp.o"
+  "CMakeFiles/cu_scheduler_test.dir/cu_scheduler_test.cpp.o.d"
+  "cu_scheduler_test"
+  "cu_scheduler_test.pdb"
+  "cu_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cu_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_space_test.dir/dataflow_space_test.cpp.o"
+  "CMakeFiles/dataflow_space_test.dir/dataflow_space_test.cpp.o.d"
+  "dataflow_space_test"
+  "dataflow_space_test.pdb"
+  "dataflow_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_model_test.dir/dram_model_test.cpp.o"
+  "CMakeFiles/dram_model_test.dir/dram_model_test.cpp.o.d"
+  "dram_model_test"
+  "dram_model_test.pdb"
+  "dram_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

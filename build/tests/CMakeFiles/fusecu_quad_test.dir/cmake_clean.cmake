@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusecu_quad_test.dir/fusecu_quad_test.cpp.o"
+  "CMakeFiles/fusecu_quad_test.dir/fusecu_quad_test.cpp.o.d"
+  "fusecu_quad_test"
+  "fusecu_quad_test.pdb"
+  "fusecu_quad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusecu_quad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_pair_test.dir/fused_pair_test.cpp.o"
+  "CMakeFiles/fused_pair_test.dir/fused_pair_test.cpp.o.d"
+  "fused_pair_test"
+  "fused_pair_test.pdb"
+  "fused_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_planner_test.dir/fusion_planner_test.cpp.o"
+  "CMakeFiles/fusion_planner_test.dir/fusion_planner_test.cpp.o.d"
+  "fusion_planner_test"
+  "fusion_planner_test.pdb"
+  "fusion_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

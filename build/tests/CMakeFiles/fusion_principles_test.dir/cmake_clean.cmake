@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_principles_test.dir/fusion_principles_test.cpp.o"
+  "CMakeFiles/fusion_principles_test.dir/fusion_principles_test.cpp.o.d"
+  "fusion_principles_test"
+  "fusion_principles_test.pdb"
+  "fusion_principles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_principles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_integration_test.dir/fuzz_integration_test.cpp.o"
+  "CMakeFiles/fuzz_integration_test.dir/fuzz_integration_test.cpp.o.d"
+  "fuzz_integration_test"
+  "fuzz_integration_test.pdb"
+  "fuzz_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_graph_test.dir/op_graph_test.cpp.o"
+  "CMakeFiles/op_graph_test.dir/op_graph_test.cpp.o.d"
+  "op_graph_test"
+  "op_graph_test.pdb"
+  "op_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

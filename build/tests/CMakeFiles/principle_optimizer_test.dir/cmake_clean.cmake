@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/principle_optimizer_test.dir/principle_optimizer_test.cpp.o"
+  "CMakeFiles/principle_optimizer_test.dir/principle_optimizer_test.cpp.o.d"
+  "principle_optimizer_test"
+  "principle_optimizer_test.pdb"
+  "principle_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/principle_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_config_test.dir/run_config_test.cpp.o"
+  "CMakeFiles/run_config_test.dir/run_config_test.cpp.o.d"
+  "run_config_test"
+  "run_config_test.pdb"
+  "run_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

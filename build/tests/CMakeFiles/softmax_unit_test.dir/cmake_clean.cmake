@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_unit_test.dir/softmax_unit_test.cpp.o"
+  "CMakeFiles/softmax_unit_test.dir/softmax_unit_test.cpp.o.d"
+  "softmax_unit_test"
+  "softmax_unit_test.pdb"
+  "softmax_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_op_test.dir/tensor_op_test.cpp.o"
+  "CMakeFiles/tensor_op_test.dir/tensor_op_test.cpp.o.d"
+  "tensor_op_test"
+  "tensor_op_test.pdb"
+  "tensor_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

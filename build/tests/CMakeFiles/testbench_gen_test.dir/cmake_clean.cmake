@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbench_gen_test.dir/testbench_gen_test.cpp.o"
+  "CMakeFiles/testbench_gen_test.dir/testbench_gen_test.cpp.o.d"
+  "testbench_gen_test"
+  "testbench_gen_test.pdb"
+  "testbench_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbench_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_executor_test.dir/tiled_executor_test.cpp.o"
+  "CMakeFiles/tiled_executor_test.dir/tiled_executor_test.cpp.o.d"
+  "tiled_executor_test"
+  "tiled_executor_test.pdb"
+  "tiled_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
