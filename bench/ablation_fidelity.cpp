@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "sim/fidelity.hpp"
 #include "workloads/transformer.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -72,7 +73,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

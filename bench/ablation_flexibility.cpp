@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "workloads/model_eval.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -61,7 +62,8 @@ void buffer_sensitivity() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   std::printf("=== Ablation: where FuseCU's gains come from ===\n\n");
   fusecu::waterfall();
   fusecu::buffer_sensitivity();

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fusion/fusion_principles.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -120,7 +121,8 @@ void register_level_2n() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   std::printf("=== Ablations: principles and fusion profitability ===\n\n");
   fusecu::shift_point_sweep();
   fusecu::principle4_accuracy();

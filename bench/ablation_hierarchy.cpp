@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "principles/two_level.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -55,7 +56,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

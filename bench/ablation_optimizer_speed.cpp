@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/obs_session.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "search/dat_optimizer.hpp"
 
@@ -80,4 +81,13 @@ BENCHMARK(BM_AccessModelEvaluation);
 }  // namespace
 }  // namespace fusecu
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the shared --metrics-out/--trace-out flags are
+// stripped before google-benchmark's strict argument check sees them.
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

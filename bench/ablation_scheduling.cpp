@@ -13,6 +13,7 @@
 #include "sim/cu_scheduler.hpp"
 #include "sim/perf_model.hpp"
 #include "workloads/transformer.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -47,7 +48,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

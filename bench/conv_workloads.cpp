@@ -14,6 +14,7 @@
 #include "common/units.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "tensor/conv.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -95,7 +96,8 @@ void direct_vs_im2col() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   std::printf("=== Convolution workloads (extension) ===\n\n");
   fusecu::platform_comparison();
   fusecu::direct_vs_im2col();

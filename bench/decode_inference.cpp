@@ -12,6 +12,7 @@
 
 #include "common/table.hpp"
 #include "workloads/model_eval.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -61,7 +62,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

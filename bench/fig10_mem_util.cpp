@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "workloads/model_eval.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -137,7 +138,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "arch/area_model.hpp"
 #include "common/table.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -46,7 +47,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

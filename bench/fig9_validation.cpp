@@ -22,6 +22,7 @@
 #include "search/annealing.hpp"
 #include "search/dat_optimizer.hpp"
 #include "workloads/transformer.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -120,7 +121,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "common/units.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "sim/dram_model.hpp"
+#include "obs/obs_session.hpp"
 
 namespace fusecu {
 namespace {
@@ -64,7 +65,8 @@ void run() {
 }  // namespace
 }  // namespace fusecu
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   fusecu::run();
   return 0;
 }

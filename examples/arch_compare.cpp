@@ -15,10 +15,12 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "sim/perf_model.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
 int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   Index m = 1024, k = 64, l = 1024, n = 64;
   bool chain = true;
   if (argc == 4 || argc == 5) {

@@ -13,10 +13,12 @@
 #include "common/units.hpp"
 #include "sim/fusecu_quad.hpp"
 #include "workloads/transformer.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   // --- Plan: one BERT layer's attention chain on FuseCU vs UnfCU.
   ModelConfig bert = table2_models()[0];
   std::printf("model: %s (heads=%d, seq=%lld, hidden=%lld)\n\n", bert.name.c_str(), bert.heads,

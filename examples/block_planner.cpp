@@ -11,10 +11,12 @@
 #include "common/units.hpp"
 #include "fusion/graph_planner.hpp"
 #include "workloads/transformer.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
 int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   ModelConfig model{"block", 12, 1024, 768};
   if (argc > 1) model.seq = std::atoll(argv[1]);
   if (argc > 2) model.hidden = std::atoll(argv[2]);

@@ -31,6 +31,7 @@
 #include "principles/two_level.hpp"
 #include "search/exhaustive.hpp"
 #include "sim/timeline.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
@@ -148,6 +149,7 @@ int run(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    fusecu::ObsSession obs(argc, argv);
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,11 +9,13 @@
 
 #include "common/cli.hpp"
 #include "rtl/verilog_gen.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
 int main(int argc, char** argv) {
   try {
+    fusecu::ObsSession obs(argc, argv);
     ArgParser args({}, {"--n", "--data-width", "--acc-width"});
     args.parse(argc, argv);
     RtlParams params;

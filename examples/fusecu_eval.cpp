@@ -3,10 +3,19 @@
 /// platforms and emit a machine-readable report.
 ///
 ///   fusecu_eval --config eval.cfg [--format csv|json] [--decode CONTEXT]
+///               [--metrics-out m.json] [--trace-out t.json]
 ///
 /// With no --config, evaluates all of Table II on all five platforms at the
 /// default configuration.  --decode switches to the autoregressive decode
 /// workload with the given KV-cache length.
+///
+/// --metrics-out dumps the global metrics registry (optimizer-phase
+/// wall-time histograms, planner/search counters) as JSON (CSV when the
+/// path ends in .csv).  --trace-out additionally replays the first
+/// evaluated (platform, model) pair's representative matmul through the
+/// timeline simulator and writes a Perfetto-loadable trace with DMA/compute
+/// duration events and counter tracks (busy cycles, traffic vs. the
+/// analytical optimum, buffer occupancy).
 ///
 /// Example configuration:
 ///   buffer    = 512KB
@@ -22,13 +31,45 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "fusion/graph_planner.hpp"
+#include "obs/obs_session.hpp"
+#include "obs/timer.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "sim/timeline.hpp"
 #include "workloads/report.hpp"
 #include "workloads/run_config.hpp"
 
 using namespace fusecu;
 
+namespace {
+
+/// Replay a representative matmul of (model, arch) — the first matmul of
+/// the first lowered chain, under its principle-optimal dataflow — through
+/// the timeline simulator so the trace shows real DMA/compute interleaving
+/// and counter tracks.
+void record_representative_trace(const ModelConfig& model, const ArchSpec& arch,
+                                 TraceRecorder& trace) {
+  for (const WorkloadChain& chain : lower_layer(model)) {
+    for (int i = 0; i < chain.graph.num_ops(); ++i) {
+      const TensorOp& op = chain.graph.op(i);
+      if (!is_matmul_shaped(op)) continue;
+      const BufferSize bs = arch.buffer_bytes / arch.bytes_per_element;
+      IntraOptResult opt = optimize_intra(op, bs);
+      TimelineResult r = simulate_timeline(op, opt.dataflow, arch, 1.0, &trace);
+      // Anchor track: the analytical communication lower bound the
+      // traffic_elements counter should approach.
+      trace.record_counter("analytical_lower_bound_elements", static_cast<double>(r.cycles),
+                           static_cast<double>(opt.access.total));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
+    ObsSession obs(argc, argv);
     ArgParser args({}, {"--config", "--format", "--decode"});
     args.parse(argc, argv);
 
@@ -49,10 +90,16 @@ int main(int argc, char** argv) {
     std::vector<ModelEval> evals;
     for (const ArchSpec& arch : resolve_platforms(config)) {
       for (const ModelConfig& model : config.models) {
+        ScopedTimer timer("evaluate/" + arch.name);
         evals.push_back(decode_context > 0 ? evaluate_decode(model, decode_context, arch)
                                            : evaluate_model(model, arch));
+        if (obs.trace_enabled() && obs.recorder().empty()) {
+          record_representative_trace(model, arch, obs.recorder());
+        }
       }
     }
+    MetricsRegistry::global().counter("eval/evaluations").add(
+        static_cast<std::int64_t>(evals.size()));
 
     if (format == "csv") {
       write_evaluation_csv(std::cout, evals);
@@ -62,6 +109,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown --format %s (use csv or json)\n", format.c_str());
       return 1;
     }
+    obs.flush();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

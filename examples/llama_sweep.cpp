@@ -11,12 +11,14 @@
 
 #include "common/table.hpp"
 #include "workloads/model_eval.hpp"
+#include "obs/obs_session.hpp"
 
 #include <iostream>
 
 using namespace fusecu;
 
 int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   Index max_seq = 16384;
   if (argc > 1) {
     max_seq = std::atoll(argv[1]);

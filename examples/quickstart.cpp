@@ -12,10 +12,12 @@
 #include "common/units.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "principles/principle_optimizer.hpp"
+#include "obs/obs_session.hpp"
 
 using namespace fusecu;
 
-int main() {
+int main(int argc, char** argv) {
+  fusecu::ObsSession obs(argc, argv);
   // --- 1. The paper's running example: a BERT projection MM.
   TensorOp op = TensorOp::matmul("bert_mm", /*m=*/1024, /*k=*/768, /*l=*/768);
   std::printf("operator: %s\n", op.to_string().c_str());

@@ -1,0 +1,261 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+bool JsonValue::as_bool() const {
+  FCU_CHECK(is_bool(), "JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  FCU_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  FCU_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValuePtr>& JsonValue::as_array() const {
+  FCU_CHECK(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValuePtr>& JsonValue::as_object() const {
+  FCU_CHECK(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+JsonValuePtr JsonValue::get(const std::string& key) const {
+  const auto& members = as_object();
+  auto it = members.find(key);
+  return it == members.end() ? nullptr : it->second;
+}
+
+JsonValuePtr JsonValue::make_null() { return std::make_shared<JsonValue>(); }
+
+JsonValuePtr JsonValue::make_bool(bool b) {
+  auto v = std::make_shared<JsonValue>();
+  v->kind_ = Kind::kBool;
+  v->bool_ = b;
+  return v;
+}
+
+JsonValuePtr JsonValue::make_number(double n) {
+  auto v = std::make_shared<JsonValue>();
+  v->kind_ = Kind::kNumber;
+  v->number_ = n;
+  return v;
+}
+
+JsonValuePtr JsonValue::make_string(std::string s) {
+  auto v = std::make_shared<JsonValue>();
+  v->kind_ = Kind::kString;
+  v->string_ = std::move(s);
+  return v;
+}
+
+JsonValuePtr JsonValue::make_array(std::vector<JsonValuePtr> items) {
+  auto v = std::make_shared<JsonValue>();
+  v->kind_ = Kind::kArray;
+  v->array_ = std::move(items);
+  return v;
+}
+
+JsonValuePtr JsonValue::make_object(std::map<std::string, JsonValuePtr> members) {
+  auto v = std::make_shared<JsonValue>();
+  v->kind_ = Kind::kObject;
+  v->object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValuePtr parse_document() {
+    JsonValuePtr v = parse_value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  void check(bool ok, const std::string& what) const {
+    FCU_CHECK(ok, "JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c,
+          std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValuePtr parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        check(consume_literal("true"), "invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        check(consume_literal("false"), "invalid literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        check(consume_literal("null"), "invalid literal");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValuePtr parse_object() {
+    expect('{');
+    std::map<std::string, JsonValuePtr> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValuePtr parse_array() {
+    expect('[');
+    std::vector<JsonValuePtr> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      check(pos_ < text_.size(), "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        check(static_cast<unsigned char>(c) >= 0x20, "unescaped control character");
+        out.push_back(c);
+        continue;
+      }
+      check(pos_ < text_.size(), "unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            check(std::isxdigit(static_cast<unsigned char>(h)), "invalid \\u escape");
+            code = code * 16 + static_cast<unsigned>(
+                h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separate 3-byte sequences; good enough for the
+          // ASCII-heavy output this project emits).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: check(false, "invalid escape character");
+      }
+    }
+  }
+
+  JsonValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    check(pos_ > start, "expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    check(end != nullptr && *end == '\0' && end != token.c_str(), "malformed number");
+    return JsonValue::make_number(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValuePtr parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace fusecu

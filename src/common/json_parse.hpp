@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file json_parse.hpp
+/// Minimal recursive-descent JSON parser.
+///
+/// Exists so tests (and tools) can *validate and inspect* the JSON this
+/// project emits — metrics registries, chrome traces, evaluation reports —
+/// without an external dependency.  It parses the full JSON grammar
+/// (objects, arrays, strings with escapes, numbers, booleans, null) into a
+/// small value tree; it is not tuned for large inputs.
+
+namespace fusecu {
+
+class JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; FCU_CHECK-throw on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValuePtr>& as_array() const;
+  const std::map<std::string, JsonValuePtr>& as_object() const;
+
+  /// Object member lookup: nullptr when absent (throws if not an object).
+  JsonValuePtr get(const std::string& key) const;
+  bool has(const std::string& key) const { return get(key) != nullptr; }
+
+  static JsonValuePtr make_null();
+  static JsonValuePtr make_bool(bool b);
+  static JsonValuePtr make_number(double n);
+  static JsonValuePtr make_string(std::string s);
+  static JsonValuePtr make_array(std::vector<JsonValuePtr> items);
+  static JsonValuePtr make_object(std::map<std::string, JsonValuePtr> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValuePtr> array_;
+  std::map<std::string, JsonValuePtr> object_;
+};
+
+/// Parse \p text as one JSON document.  Throws std::invalid_argument with a
+/// character offset on malformed input (including trailing garbage).
+JsonValuePtr parse_json(const std::string& text);
+
+}  // namespace fusecu

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/timer.hpp"
 
 namespace fusecu {
 
@@ -110,6 +111,8 @@ std::vector<FusedCandidate> fused_principle_candidates(const FusedPair& pair, Bu
 }
 
 std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferSize bs) {
+  ScopedTimer timer("optimize_fused_pair");
+  MetricsRegistry::global().counter("principles/optimize_fused_pair/calls").add();
   std::optional<FusedOptResult> best;
   for (const FusedCandidate& c : fused_principle_candidates(pair, bs)) {
     FusedAccess a = c.phased ? evaluate_phased(pair, *c.phased) : evaluate_resident(pair, *c.resident);

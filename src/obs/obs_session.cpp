@@ -1,0 +1,88 @@
+#include "obs/obs_session.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fusecu {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+ObsOptions extract_obs_options(int& argc, char** argv) {
+  ObsOptions opts;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  if (argc > 0) kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::optional<std::string>* target = nullptr;
+    std::string flag;
+    for (const char* name : {"--metrics-out", "--trace-out"}) {
+      if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0) {
+        flag = name;
+        target = (flag == "--metrics-out") ? &opts.metrics_out : &opts.trace_out;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      kept.push_back(argv[i]);
+      continue;
+    }
+    if (arg.size() > flag.size()) {  // --flag=value
+      *target = arg.substr(flag.size() + 1);
+    } else {
+      FCU_CHECK(i + 1 < argc, "option " + flag + " expects a value");
+      *target = argv[++i];
+    }
+    FCU_CHECK(!(*target)->empty(), "option " + flag + " expects a non-empty path");
+  }
+  for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
+  argc = static_cast<int>(kept.size());
+  argv[argc] = nullptr;
+  return opts;
+}
+
+ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity)
+    : ObsSession(extract_obs_options(argc, argv), trace_capacity) {}
+
+ObsSession::ObsSession(ObsOptions options, std::size_t trace_capacity)
+    : options_(std::move(options)), recorder_(trace_capacity) {}
+
+void ObsSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (options_.metrics_out) {
+    std::ofstream out(*options_.metrics_out);
+    FCU_CHECK(out.good(), "cannot open metrics output file: " + *options_.metrics_out);
+    if (ends_with(*options_.metrics_out, ".csv")) {
+      MetricsRegistry::global().write_csv(out);
+    } else {
+      MetricsRegistry::global().write_json(out);
+    }
+    FCU_CHECK(out.good(), "failed writing metrics to " + *options_.metrics_out);
+  }
+  if (options_.trace_out) {
+    std::ofstream out(*options_.trace_out);
+    FCU_CHECK(out.good(), "cannot open trace output file: " + *options_.trace_out);
+    write_chrome_trace(out, recorder_);
+    FCU_CHECK(out.good(), "failed writing trace to " + *options_.trace_out);
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: %s\n", e.what());
+  }
+}
+
+}  // namespace fusecu

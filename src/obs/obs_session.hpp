@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+/// \file obs_session.hpp
+/// Shared observability CLI surface for every tool binary.
+///
+/// Each example and bench binary accepts two extra flags:
+///
+///   --metrics-out FILE   write the global metrics registry on exit
+///                        (JSON by default, CSV when FILE ends in .csv)
+///   --trace-out FILE     write the session's chrome-tracing / Perfetto
+///                        trace on exit
+///
+/// ObsSession strips these flags from argv *before* the tool's own parser
+/// runs (so binaries with strict unknown-option handling keep working),
+/// owns the session TraceRecorder, and flushes both outputs on destruction:
+///
+///   int main(int argc, char** argv) {
+///     ObsSession obs(argc, argv);
+///     ...
+///     simulate_timeline(op, df, arch, 1.0, obs.trace());  // null if unused
+///   }
+
+namespace fusecu {
+
+struct ObsOptions {
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> trace_out;
+};
+
+/// Remove `--metrics-out X` / `--trace-out X` (also the `--flag=X` form)
+/// from argv in place, updating argc.  Throws std::invalid_argument when a
+/// flag is present without a value.
+ObsOptions extract_obs_options(int& argc, char** argv);
+
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv, std::size_t trace_capacity = 1 << 20);
+  explicit ObsSession(ObsOptions options, std::size_t trace_capacity = 1 << 20);
+  /// Flushes pending outputs; failures are reported on stderr, not thrown.
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool metrics_enabled() const { return options_.metrics_out.has_value(); }
+  bool trace_enabled() const { return options_.trace_out.has_value(); }
+
+  /// The session recorder when tracing was requested, nullptr otherwise —
+  /// shaped to pass straight into the simulators' trace parameter.
+  TraceRecorder* trace() { return trace_enabled() ? &recorder_ : nullptr; }
+  /// Always-valid recorder (records are simply never written when tracing
+  /// is off).
+  TraceRecorder& recorder() { return recorder_; }
+
+  /// Write the requested outputs now (idempotent; the destructor calls it).
+  /// Throws on I/O failure when called explicitly.
+  void flush();
+
+ private:
+  ObsOptions options_;
+  TraceRecorder recorder_;
+  bool flushed_ = false;
+};
+
+}  // namespace fusecu

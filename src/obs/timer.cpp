@@ -1,0 +1,36 @@
+#include "obs/timer.hpp"
+
+#include <vector>
+
+namespace fusecu {
+
+namespace {
+
+/// Stack of live timer paths for this thread; back() is the innermost.
+thread_local std::vector<std::string> t_timer_stack;
+
+}  // namespace
+
+std::string ScopedTimer::current_path() {
+  return t_timer_stack.empty() ? std::string() : t_timer_stack.back();
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry& registry, std::string name)
+    : registry_(registry),
+      path_(t_timer_stack.empty() ? std::move(name) : t_timer_stack.back() + "/" + name),
+      start_(std::chrono::steady_clock::now()) {
+  t_timer_stack.push_back(path_);
+}
+
+ScopedTimer::ScopedTimer(std::string name) : ScopedTimer(MetricsRegistry::global(), std::move(name)) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  registry_.histogram("time/" + path_).observe(elapsed_seconds());
+  t_timer_stack.pop_back();
+}
+
+}  // namespace fusecu

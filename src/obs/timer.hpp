@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+/// \file timer.hpp
+/// Scoped RAII wall-clock timers feeding the metrics registry.
+///
+/// A ScopedTimer observes its lifetime (seconds) into the histogram
+/// `time/<path>` on destruction, where `<path>` is the "/"-joined stack of
+/// timers currently live on this thread.  Nesting therefore yields
+/// hierarchical phase names for free:
+///
+///   ScopedTimer outer("plan_chain");        // -> time/plan_chain
+///   ScopedTimer inner("optimize_intra");    // -> time/plan_chain/optimize_intra
+///
+/// which is exactly the breakdown the optimizer-speed ablation needs: the
+/// same `optimize_intra` call shows up separately when reached standalone
+/// vs. through the chain planner.
+
+namespace fusecu {
+
+class ScopedTimer {
+ public:
+  /// Starts timing into \p registry under \p name (pushed on the
+  /// thread-local nesting stack).
+  ScopedTimer(MetricsRegistry& registry, std::string name);
+  /// Same, into the global registry.
+  explicit ScopedTimer(std::string name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (the value the destructor will record).
+  double elapsed_seconds() const;
+
+  /// Full nested metric path of this timer, e.g. "plan_chain/optimize_intra".
+  const std::string& path() const { return path_; }
+
+  /// The "/"-joined path of timers currently live on this thread ("" when
+  /// none) — exposed so instrumentation can attach sibling metrics.
+  static std::string current_path();
+
+ private:
+  MetricsRegistry& registry_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fusecu

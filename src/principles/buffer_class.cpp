@@ -1,14 +1,24 @@
 #include "principles/buffer_class.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace fusecu {
 
 BufferClass classify_buffer(const TensorOp& op, BufferSize buffer_size) {
   const Index dmin = op.min_extent();
   const Index tensor_min = op.tensor_size(op.smallest_tensor());
-  if (buffer_size > tensor_min) return BufferClass::kLarge;
-  if (buffer_size * 2 > dmin * dmin) return BufferClass::kMedium;
-  if (buffer_size * 4 > dmin * dmin) return BufferClass::kSmall;
-  return BufferClass::kTiny;
+  BufferClass cls = BufferClass::kTiny;
+  if (buffer_size > tensor_min) {
+    cls = BufferClass::kLarge;
+  } else if (buffer_size * 2 > dmin * dmin) {
+    cls = BufferClass::kMedium;
+  } else if (buffer_size * 4 > dmin * dmin) {
+    cls = BufferClass::kSmall;
+  }
+  MetricsRegistry::global()
+      .counter(std::string("principles/buffer_class/") + to_string(cls))
+      .add();
+  return cls;
 }
 
 ShiftRange single_two_shift_range(const TensorOp& op) {

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/timer.hpp"
 
 namespace fusecu {
 
@@ -190,7 +191,12 @@ std::vector<PrincipleCandidate> principle_candidates(const TensorOp& op, BufferS
 }
 
 IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
+  ScopedTimer timer("optimize_intra");
   std::vector<PrincipleCandidate> candidates = principle_candidates(op, bs);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("principles/optimize_intra/calls").add();
+  reg.counter("principles/optimize_intra/candidates").add(
+      static_cast<std::int64_t>(candidates.size()));
   FCU_CHECK(!candidates.empty(),
             "buffer too small to hold the minimal working set of " + op.name());
 
@@ -214,6 +220,7 @@ IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
   const int nra = best.access.non_redundant_tensors(op);
   FCU_ASSERT_INTERNAL(nra >= 1 && nra <= 3, "optimal dataflow must be 1/2/3-NRA");
   best.nra = static_cast<NraKind>(nra);
+  reg.counter("principles/optimize_intra/winner_nra_" + std::to_string(nra)).add();
   return best;
 }
 

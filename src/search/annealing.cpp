@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
+#include "obs/timer.hpp"
 
 namespace fusecu {
 
@@ -13,6 +14,9 @@ std::optional<IntraSearchResult> sa_intra(const TensorOp& op, BufferSize bs,
   FCU_CHECK(op.num_dims() == 3, "sa_intra currently targets 3-dim operators");
   FCU_CHECK(params.iterations >= 1 && params.cooling > 0.0 && params.cooling < 1.0,
             "invalid annealing parameters");
+  ScopedTimer timer("sa_intra");
+  std::int64_t evaluations = 0;
+  std::int64_t accepted = 0;
   Rng rng(seed);
 
   std::vector<std::vector<Index>> ladder;
@@ -33,6 +37,7 @@ std::optional<IntraSearchResult> sa_intra(const TensorOp& op, BufferSize bs,
   auto cost = [&](const State& s) -> std::optional<AccessCount> {
     Dataflow df = decode(s);
     if (df.buffer_footprint(op) > bs) return std::nullopt;
+    ++evaluations;
     return evaluate_access(op, df).total;
   };
 
@@ -63,6 +68,7 @@ std::optional<IntraSearchResult> sa_intra(const TensorOp& op, BufferSize bs,
 
     const double delta = static_cast<double>(*next_cost - *current_cost);
     if (delta <= 0.0 || rng.uniform01() < std::exp(-delta / std::max(temperature, 1.0))) {
+      ++accepted;
       current = std::move(next);
       current_cost = next_cost;
       if (*current_cost < best_cost) {
@@ -73,6 +79,16 @@ std::optional<IntraSearchResult> sa_intra(const TensorOp& op, BufferSize bs,
     temperature *= params.cooling;
   }
 
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("search/sa_intra/calls").add();
+  reg.counter("search/sa_intra/iterations").add(params.iterations);
+  reg.counter("search/sa_intra/accepted_moves").add(accepted);
+  reg.counter("search/sa_intra/evaluations").add(evaluations);
+  const double elapsed = timer.elapsed_seconds();
+  if (elapsed > 0.0) {
+    reg.gauge("search/sa_intra/evaluations_per_sec")
+        .set(static_cast<double>(evaluations) / elapsed);
+  }
   Dataflow df = decode(best);
   return IntraSearchResult{df, evaluate_access(op, df)};
 }

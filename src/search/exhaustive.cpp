@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/timer.hpp"
 
 namespace fusecu {
 
@@ -50,6 +51,8 @@ std::optional<Dataflow> exhaustive_side(const TensorOp& op, BufferSize budget,
 
 std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs) {
   FCU_CHECK(op.num_dims() == 3, "exhaustive_intra currently targets 3-dim operators");
+  ScopedTimer timer("exhaustive_intra");
+  std::int64_t evaluations = 0;
   std::vector<std::vector<Index>> cands;
   for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
 
@@ -63,6 +66,7 @@ std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize
         for (Index t2 : cands[2]) {
           df.tile = {t0, t1, t2};
           if (df.buffer_footprint(op) > bs) continue;
+          ++evaluations;
           AccessBreakdown b = evaluate_access(op, df);
           if (!best || b.total < best->access.total ||
               (b.total == best->access.total &&
@@ -73,10 +77,20 @@ std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize
       }
     }
   }
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("search/exhaustive_intra/calls").add();
+  reg.counter("search/exhaustive_intra/evaluations").add(evaluations);
+  const double elapsed = timer.elapsed_seconds();
+  if (elapsed > 0.0) {
+    reg.gauge("search/exhaustive_intra/evaluations_per_sec")
+        .set(static_cast<double>(evaluations) / elapsed);
+  }
   return best;
 }
 
 std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs) {
+  ScopedTimer timer("exhaustive_fused");
+  std::int64_t evaluations = 0;
   std::optional<FusedSearchResult> best;
 
   const std::vector<Index> cm = tile_candidates(pair.m());
@@ -97,6 +111,7 @@ std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferS
             df.t_k = t_k;
             df.t_l = t_l;
             df.t_n = t_n;
+            ++evaluations;
             FusedAccess a = evaluate_phased(pair, df);
             if (a.buffer_footprint > bs) break;  // t_n ascending
             if (!best || a.total < best->access.total) {
@@ -121,6 +136,9 @@ std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferS
       }
     }
   }
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("search/exhaustive_fused/calls").add();
+  reg.counter("search/exhaustive_fused/evaluations").add(evaluations);
   return best;
 }
 

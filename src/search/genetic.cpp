@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/timer.hpp"
 
 namespace fusecu {
 
@@ -106,6 +107,8 @@ Genome run_ga(const std::vector<int>& cardinality, FitnessFn fitness, const GaPa
 std::optional<IntraSearchResult> ga_intra(const TensorOp& op, BufferSize bs,
                                           const GaParams& params, std::uint64_t seed) {
   FCU_CHECK(op.num_dims() == 3, "ga_intra currently targets 3-dim operators");
+  ScopedTimer timer("ga_intra");
+  std::int64_t evaluations = 0;
   Rng rng(seed);
   std::vector<std::vector<Index>> cands;
   for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
@@ -122,12 +125,22 @@ std::optional<IntraSearchResult> ga_intra(const TensorOp& op, BufferSize bs,
     return df;
   };
   auto fitness = [&](const Genome& g) -> AccessCount {
+    ++evaluations;
     Dataflow df = decode(g);
     if (df.buffer_footprint(op) > bs) return kInfeasible;
     return evaluate_access(op, df).total;
   };
 
   Genome best = run_ga(cardinality, fitness, params, rng);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("search/ga_intra/calls").add();
+  reg.counter("search/ga_intra/generations").add(params.generations);
+  reg.counter("search/ga_intra/evaluations").add(evaluations);
+  const double elapsed = timer.elapsed_seconds();
+  if (elapsed > 0.0) {
+    reg.gauge("search/ga_intra/evaluations_per_sec")
+        .set(static_cast<double>(evaluations) / elapsed);
+  }
   if (fitness(best) >= kInfeasible) return std::nullopt;
   Dataflow df = decode(best);
   return IntraSearchResult{df, evaluate_access(op, df)};
@@ -135,6 +148,7 @@ std::optional<IntraSearchResult> ga_intra(const TensorOp& op, BufferSize bs,
 
 std::optional<FusedSearchResult> ga_fused(const FusedPair& pair, BufferSize bs,
                                           const GaParams& params, std::uint64_t seed) {
+  ScopedTimer timer("ga_fused");
   Rng rng(seed);
   const std::vector<Index> cm = tile_candidates(pair.m());
   const std::vector<Index> ck = tile_candidates(pair.k());
@@ -207,6 +221,8 @@ std::optional<FusedSearchResult> ga_fused(const FusedPair& pair, BufferSize bs,
       }
     }
   }
+  MetricsRegistry::global().counter("search/ga_fused/calls").add();
+  MetricsRegistry::global().counter("search/ga_fused/generations").add(params.generations);
   return best;
 }
 

@@ -63,7 +63,7 @@ class TileSlot {
 }  // namespace
 
 TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const Matrix& a,
-                                   const Matrix& b, ComputeUnit& cu) {
+                                   const Matrix& b, ComputeUnit& cu, TraceRecorder* trace) {
   validate_dataflow(op, df);
   FCU_CHECK(op.num_dims() == 3 && op.num_tensors() == 3, "executor targets matmul-shaped ops");
   const Index m = op.extent(mm::kDimM), k = op.extent(mm::kDimK), l = op.extent(mm::kDimL);
@@ -89,6 +89,8 @@ TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const
     return Index{0};  // unreachable
   };
 
+  if (trace != nullptr) trace->set_track_name(1, "PE array");
+  Index pass_index = 0;
   while (true) {
     const Index mi = tile_index_of_dim(mm::kDimM);
     const Index ki = tile_index_of_dim(mm::kDimK);
@@ -107,6 +109,16 @@ TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const
     Matrix a_tile = slice(a, mi * t_m, t_m, ki * t_k, t_k);
     Matrix b_tile = slice(b, ki * t_k, t_k, li * t_l, t_l);
     ComputeUnit::RunResult pass = run_tile(cu, a_tile, b_tile);
+    if (trace != nullptr) {
+      const double start = static_cast<double>(out.compute_cycles);
+      trace->record({"pass#" + std::to_string(pass_index), "compute", 1, start,
+                     static_cast<double>(pass.cycles)});
+      AccessCount so_far = 0;
+      for (AccessCount t : out.traffic_per_tensor) so_far += t;
+      trace->record_counter("executor_traffic_elements", start + static_cast<double>(pass.cycles),
+                            static_cast<double>(so_far));
+    }
+    ++pass_index;
     out.compute_cycles += pass.cycles;
     accumulate_into(out.output, pass.output, mi * t_m, li * t_l);
 

@@ -4,6 +4,7 @@
 #include "fusion/fused_pair.hpp"
 #include "sim/compute_unit.hpp"
 #include "sim/fusecu_quad.hpp"
+#include "sim/trace.hpp"
 
 /// \file tiled_executor.hpp
 /// Schedule interpreters: execute a *complete* dataflow — every tile loop,
@@ -35,9 +36,14 @@ struct TiledExecutionResult {
 };
 
 /// Execute matmul \p op under \p df on \p cu.  The tile shapes must fit the
-/// array in at least one stationary mode (throws otherwise).
+/// array in at least one stationary mode (throws otherwise).  When \p trace
+/// is non-null, per-pass compute events (track 1) and a cumulative
+/// "executor_traffic_elements" counter track are recorded; the time axis is
+/// the running sum of array-pass cycles (the executor is functional, so
+/// loads carry no timing).
 TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const Matrix& a,
-                                   const Matrix& b, ComputeUnit& cu);
+                                   const Matrix& b, ComputeUnit& cu,
+                                   TraceRecorder* trace = nullptr);
 
 struct FusedExecutionResult {
   Matrix output;  ///< E = (A x B) x D

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace fusecu {
 
@@ -20,13 +21,19 @@ class Pipeline {
         trace_(trace) {
     FCU_CHECK(spatial_utilization > 0.0 && spatial_utilization <= 1.0,
               "utilization out of range");
+    if (trace_ != nullptr) {
+      trace_->set_track_name(0, "DMA");
+      trace_->set_track_name(1, "PE array");
+    }
   }
 
   /// One schedule iteration: \p loaded_elements new tile data, then a pass
   /// of \p macs on the array.  One-deep double buffering: the DMA for
   /// iteration i may start once iteration i-2's compute has freed the spare
   /// tile buffer; iteration i's compute needs its own data and the array.
-  void iterate(AccessCount loaded_elements, MacCount macs) {
+  /// \p occupancy_elements is the live working set (the iteration's tile
+  /// footprint), sampled into the buffer-occupancy counter track.
+  void iterate(AccessCount loaded_elements, MacCount macs, AccessCount occupancy_elements = 0) {
     const double load_cycles = static_cast<double>(loaded_elements) * bytes_per_element_ /
                                bytes_per_cycle_;
     const double compute_cycles = static_cast<double>(macs) / macs_per_cycle_;
@@ -44,6 +51,13 @@ class Pipeline {
         trace_->record({"load#" + iter, "dma", 0, dma_start, load_cycles});
       }
       trace_->record({"pass#" + iter, "compute", 1, compute_start, compute_cycles});
+      // Cumulative counter tracks, sampled when the iteration retires.
+      const double at = compute_finish_prev1_;
+      trace_->record_counter("dma_busy_cycles", at, dma_busy_);
+      trace_->record_counter("compute_busy_cycles", at, compute_busy_);
+      trace_->record_counter("traffic_elements", at, static_cast<double>(traffic_));
+      trace_->record_counter("buffer_occupancy_elements", at,
+                             static_cast<double>(occupancy_elements));
     }
     ++iterations_;
   }
@@ -116,6 +130,7 @@ TimelineResult simulate_timeline(const TensorOp& op, const Dataflow& df, const A
           std::min(df.tile[static_cast<std::size_t>(d)], op.extent(d) - ti * df.tile[static_cast<std::size_t>(d)]);
       pass_macs *= clip[static_cast<std::size_t>(d)];
     }
+    AccessCount footprint = 0;
     for (int t = 0; t < op.num_tensors(); ++t) {
       std::vector<Index> coords;
       AccessCount clipped = 1;
@@ -123,9 +138,10 @@ TimelineResult simulate_timeline(const TensorOp& op, const Dataflow& df, const A
         coords.push_back(index_of(d));
         clipped *= clip[static_cast<std::size_t>(d)];
       }
+      footprint += clipped;
       loaded += slots[static_cast<std::size_t>(t)].touch(std::move(coords), clipped);
     }
-    pipe.iterate(loaded, pass_macs);
+    pipe.iterate(loaded, pass_macs, footprint);
 
     int pos = 2;
     while (pos >= 0) {
@@ -136,7 +152,10 @@ TimelineResult simulate_timeline(const TensorOp& op, const Dataflow& df, const A
     }
     if (pos < 0) break;
   }
-  return pipe.finish();
+  TimelineResult result = pipe.finish();
+  MetricsRegistry::global().counter("sim/timeline/runs").add();
+  MetricsRegistry::global().counter("sim/timeline/iterations").add(result.iterations);
+  return result;
 }
 
 TimelineResult simulate_fused_timeline(const FusedPair& pair, const PhasedFusedDataflow& df,
@@ -154,12 +173,14 @@ TimelineResult simulate_fused_timeline(const FusedPair& pair, const PhasedFusedD
     for (Index ki = 0; ki < nk; ++ki) {
       const Index ck = std::min(df.t_k, pair.k() - ki * df.t_k);
       AccessCount loaded = slot_a.touch({mi, ki}, cm * ck) + slot_b.touch({ki, li}, ck * cl);
-      pipe.iterate(loaded, cm * ck * cl);
+      // K-phase working set: A and B tiles plus the intermediate C tile.
+      pipe.iterate(loaded, cm * ck * cl, cm * ck + ck * cl + cm * cl);
     }
     for (Index ni = 0; ni < nn; ++ni) {
       const Index cn = std::min(df.t_n, pair.n() - ni * df.t_n);
       AccessCount loaded = slot_d.touch({li, ni}, cl * cn) + slot_e.touch({mi, ni}, cm * cn);
-      pipe.iterate(loaded, cm * cl * cn);
+      // N-phase working set: the resident C tile plus D and E tiles.
+      pipe.iterate(loaded, cm * cl * cn, cm * cl + cl * cn + cm * cn);
     }
   };
   if (df.l_outer) {
@@ -171,7 +192,10 @@ TimelineResult simulate_fused_timeline(const FusedPair& pair, const PhasedFusedD
       for (Index li = 0; li < nl; ++li) body(mi, li);
     }
   }
-  return pipe.finish();
+  TimelineResult result = pipe.finish();
+  MetricsRegistry::global().counter("sim/fused_timeline/runs").add();
+  MetricsRegistry::global().counter("sim/fused_timeline/iterations").add(result.iterations);
+  return result;
 }
 
 }  // namespace fusecu

@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+
 #include "common/json_writer.hpp"
 
 namespace fusecu {
@@ -16,9 +18,33 @@ void TraceRecorder::record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void TraceRecorder::record_counter(CounterSample sample) {
+  if (counter_samples_.size() >= capacity_) {
+    ++dropped_counters_;
+    return;
+  }
+  counter_samples_.push_back(std::move(sample));
+}
+
+void TraceRecorder::set_track_name(Index track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
   JsonWriter w(os);
   w.begin_array();
+  for (const auto& [track, name] : recorder.track_names()) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(track));
+    w.key("args");
+    w.begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+  }
   for (const TraceEvent& e : recorder.events()) {
     w.begin_object();
     w.field("name", e.name);
@@ -28,6 +54,32 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
     w.field("dur", e.duration_cycles);
     w.field("pid", 0);
     w.field("tid", static_cast<std::int64_t>(e.track));
+    w.end_object();
+  }
+  for (const CounterSample& s : recorder.counter_samples()) {
+    w.begin_object();
+    w.field("name", s.track);
+    w.field("ph", "C");
+    w.field("ts", s.cycle);
+    w.field("pid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field("value", s.value);
+    w.end_object();
+    w.end_object();
+  }
+  if (recorder.dropped() > 0 || recorder.dropped_counters() > 0) {
+    // Capacity overflow: surface the truncation inside the trace itself.
+    w.begin_object();
+    w.field("name", "trace_truncated");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.field("dropped_events", static_cast<std::int64_t>(recorder.dropped()));
+    w.field("dropped_counter_samples", static_cast<std::int64_t>(recorder.dropped_counters()));
+    w.end_object();
     w.end_object();
   }
   w.end_array();

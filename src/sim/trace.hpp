@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -12,9 +13,13 @@
 /// The timeline simulator (and any other cycle-producing component) can
 /// record per-engine events; `write_chrome_trace` emits the
 /// `chrome://tracing` / Perfetto JSON array format, so a schedule's DMA /
-/// compute interleaving can be inspected visually.  Recording is bounded:
-/// once `capacity` events are stored further events are counted but
-/// dropped, keeping traces of large schedules affordable.
+/// compute interleaving can be inspected visually.  Beyond duration events,
+/// recorders carry *counter samples* ("ph":"C") — cumulative DMA/compute
+/// busy cycles, traffic-so-far, buffer occupancy — which Perfetto renders
+/// as counter tracks above the timeline.  Recording is bounded: once
+/// `capacity` events (or counter samples) are stored further ones are
+/// counted but dropped; the drop counts are emitted as trace metadata so a
+/// truncated trace is visibly truncated instead of silently short.
 
 namespace fusecu {
 
@@ -26,24 +31,47 @@ struct TraceEvent {
   double duration_cycles = 0.0;
 };
 
+/// One sample of a named counter track at a point in simulated time.
+struct CounterSample {
+  std::string track;   ///< counter-track name, e.g. "dma_busy_cycles"
+  double cycle = 0.0;
+  double value = 0.0;
+};
+
 class TraceRecorder {
  public:
   explicit TraceRecorder(std::size_t capacity = 100000);
 
   void record(TraceEvent event);
+  void record_counter(CounterSample sample);
+  void record_counter(std::string track, double cycle, double value) {
+    record_counter(CounterSample{std::move(track), cycle, value});
+  }
+
+  /// Human-readable name for a tid ("DMA", "PE array", ...), emitted as
+  /// chrome-tracing thread_name metadata.
+  void set_track_name(Index track, std::string name);
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<CounterSample>& counter_samples() const { return counter_samples_; }
+  const std::map<Index, std::string>& track_names() const { return track_names_; }
   std::size_t dropped() const { return dropped_; }
-  bool empty() const { return events_.empty(); }
+  std::size_t dropped_counters() const { return dropped_counters_; }
+  bool empty() const { return events_.empty() && counter_samples_.empty(); }
 
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
+  std::vector<CounterSample> counter_samples_;
+  std::map<Index, std::string> track_names_;
   std::size_t dropped_ = 0;
+  std::size_t dropped_counters_ = 0;
 };
 
-/// Emit the trace as a chrome-tracing JSON array ("ph":"X" complete
-/// events; cycle timestamps map to microseconds 1:1).
+/// Emit the trace as a chrome-tracing JSON array: thread_name metadata for
+/// named tracks, "ph":"X" complete events, "ph":"C" counter samples, and —
+/// when the recorder overflowed — a "trace_truncated" metadata record with
+/// the drop counts.  Cycle timestamps map to microseconds 1:1.
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
 
 }  // namespace fusecu

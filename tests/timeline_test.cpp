@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+
 #include "common/rng.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "sim/timeline.hpp"
+#include "sim/trace.hpp"
 
 namespace fusecu {
 namespace {
@@ -80,6 +84,59 @@ TEST(FusedTimeline, FusionBeatsUnfusedBackToBack) {
   TimelineResult u1 = simulate_timeline(pair.op1(), op1.dataflow, make_fusecu());
   TimelineResult u2 = simulate_timeline(pair.op2(), op2.dataflow, make_fusecu());
   EXPECT_LT(fused_tl.cycles, u1.cycles + u2.cycles);
+}
+
+/// Final value of each counter track (samples are cumulative except
+/// occupancy, which is instantaneous).
+std::map<std::string, double> final_counter_values(const TraceRecorder& rec) {
+  std::map<std::string, double> last;
+  for (const CounterSample& s : rec.counter_samples()) last[s.track] = s.value;
+  return last;
+}
+
+TEST(Timeline, CounterTracksMatchTimelineResult) {
+  TensorOp op = TensorOp::matmul("tl", 256, 128, 256);
+  Dataflow df = make_dataflow(op, {"M", "L", "K"}, {{"M", 64}, {"L", 64}, {"K", 32}});
+  TraceRecorder rec;
+  TimelineResult r = simulate_timeline(op, df, make_fusecu(), 1.0, &rec);
+
+  // One sample per track per iteration.
+  EXPECT_EQ(static_cast<Index>(rec.counter_samples().size()), 4 * r.iterations);
+  std::map<std::string, double> last = final_counter_values(rec);
+  ASSERT_GE(last.size(), 3u);  // >= 3 counter tracks for Perfetto
+  // The cumulative tracks retire at exactly the TimelineResult totals
+  // (which are the ceil of the running doubles).
+  EXPECT_EQ(static_cast<CycleCount>(std::ceil(last.at("dma_busy_cycles"))), r.dma_busy);
+  EXPECT_EQ(static_cast<CycleCount>(std::ceil(last.at("compute_busy_cycles"))), r.compute_busy);
+  EXPECT_DOUBLE_EQ(last.at("traffic_elements"), static_cast<double>(r.traffic));
+  // Occupancy stays within the schedule's tile footprint.
+  const double footprint = static_cast<double>(df.buffer_footprint(op));
+  for (const CounterSample& s : rec.counter_samples()) {
+    if (s.track != "buffer_occupancy_elements") continue;
+    EXPECT_GT(s.value, 0.0);
+    EXPECT_LE(s.value, footprint);
+  }
+  // Cumulative tracks never decrease.
+  std::map<std::string, double> prev;
+  for (const CounterSample& s : rec.counter_samples()) {
+    if (s.track == "buffer_occupancy_elements") continue;
+    auto [it, inserted] = prev.try_emplace(s.track, s.value);
+    if (!inserted) {
+      EXPECT_GE(s.value, it->second) << s.track;
+      it->second = s.value;
+    }
+  }
+}
+
+TEST(FusedTimeline, CounterTracksMatchTimelineResult) {
+  FusedPair pair = FusedPair::make(256, 64, 256, 64);
+  PhasedFusedDataflow df{64, 16, 64, 16, false};
+  TraceRecorder rec;
+  TimelineResult r = simulate_fused_timeline(pair, df, make_fusecu(), 1.0, &rec);
+  std::map<std::string, double> last = final_counter_values(rec);
+  EXPECT_EQ(static_cast<CycleCount>(std::ceil(last.at("dma_busy_cycles"))), r.dma_busy);
+  EXPECT_EQ(static_cast<CycleCount>(std::ceil(last.at("compute_busy_cycles"))), r.compute_busy);
+  EXPECT_DOUBLE_EQ(last.at("traffic_elements"), static_cast<double>(r.traffic));
 }
 
 class TimelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
