@@ -3,18 +3,27 @@
 /// (Sec. I): searching-based DSE "is time-consuming" while the principles
 /// give the optimum analytically in one shot.  Measures wall time of the
 /// principle optimizer vs exhaustive grid search vs the DAT-style GA, on
-/// intra-operator and fused-pair problems.
+/// intra-operator and fused-pair problems — plus the plan-service cache,
+/// which beats even the one-shot construction on repeated shapes.
+///
+/// --seed N sets the GA seed (default 42) for run-to-run reproducibility.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "obs/obs_session.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "search/dat_optimizer.hpp"
+#include "serve/plan_service.hpp"
 
 namespace fusecu {
 namespace {
 
 constexpr BufferSize kBs = 512 * 1024 / 2;  // the evaluation buffer (512 KB bf16)
+
+std::uint64_t g_seed = 42;
 
 TensorOp bench_op() { return TensorOp::matmul("bench", 16384, 768, 768); }
 
@@ -38,10 +47,24 @@ void BM_GeneticSearch(benchmark::State& state) {
   TensorOp op = bench_op();
   GaParams params;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ga_intra(op, kBs, params, 42)->access.total);
+    benchmark::DoNotOptimize(ga_intra(op, kBs, params, g_seed)->access.total);
   }
 }
 BENCHMARK(BM_GeneticSearch);
+
+/// The serving path on a repeated shape: canonical key + sharded LRU hit.
+/// This is what a second identical request costs once the service is warm.
+void BM_PlanServiceCachedLookup(benchmark::State& state) {
+  ServeOptions options;
+  options.threads = 1;
+  PlanService service(options);
+  TensorOp op = bench_op();
+  service.plan_intra(op, kBs);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.plan_intra(op, kBs).result.access.total);
+  }
+}
+BENCHMARK(BM_PlanServiceCachedLookup);
 
 void BM_FusedPrinciples(benchmark::State& state) {
   FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
@@ -63,7 +86,7 @@ void BM_FusedGenetic(benchmark::State& state) {
   FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
   GaParams params;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ga_fused(pair, kBs, params, 42)->access.total);
+    benchmark::DoNotOptimize(ga_fused(pair, kBs, params, g_seed)->access.total);
   }
 }
 BENCHMARK(BM_FusedGenetic);
@@ -82,9 +105,19 @@ BENCHMARK(BM_AccessModelEvaluation);
 }  // namespace fusecu
 
 // Expanded BENCHMARK_MAIN so the shared --metrics-out/--trace-out flags are
-// stripped before google-benchmark's strict argument check sees them.
+// stripped before google-benchmark's strict argument check sees them; --seed
+// is likewise extracted by hand because the remaining argv belongs to
+// google-benchmark.
 int main(int argc, char** argv) {
   fusecu::ObsSession obs(argc, argv);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--seed") {
+      fusecu::g_seed = std::strtoull(argv[i + 1], nullptr, 0);
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

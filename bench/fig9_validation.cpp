@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "principles/principle_optimizer.hpp"
@@ -32,7 +33,7 @@ struct Layer {
   Index m, k, l;
 };
 
-void run() {
+void run(std::uint64_t seed) {
   // Representative MM layers: projection and attention ops from BERT and
   // LLaMA2, plus the paper's worked example.
   const Layer layers[] = {
@@ -48,6 +49,7 @@ void run() {
 
   DatParams dat_params;
   dat_params.ga.generations = 60;
+  dat_params.seed = seed;
   DatOptimizer dat(dat_params);
 
   for (const Layer& layer : layers) {
@@ -59,7 +61,7 @@ void run() {
       const BufferSize bs = kb * 1024 / 2;  // bytes -> bf16 elements
       IntraOptResult ours = optimize_intra(op, bs);
       auto ga = dat.optimize_intra(op, bs);
-      auto sa = sa_intra(op, bs, SaParams{}, 0x5eed);
+      auto sa = sa_intra(op, bs, SaParams{}, seed);
       auto exact = exhaustive_intra(op, bs);
       char ours_s[32], ga_s[32], sa_s[32], exact_s[32];
       std::snprintf(ours_s, sizeof(ours_s), "%.4f", static_cast<double>(ours.access.total) / ideal);
@@ -123,6 +125,13 @@ void run() {
 
 int main(int argc, char** argv) {
   fusecu::ObsSession obs(argc, argv);
-  fusecu::run();
+  try {
+    fusecu::ArgParser args({}, {"--seed"});
+    args.parse(argc, argv);
+    fusecu::run(args.option_uint64("--seed", 0x5eed));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -11,7 +11,10 @@
 ///                     optimize the fused pair
 ///   --two-level N     also optimize the buffer <-> register level for an
 ///                     N x N PE array
-///   --validate        cross-check the principles against exhaustive search
+///   --validate        cross-check the principles against exhaustive, GA and
+///                     SA search
+///   --seed N          RNG seed for the stochastic searches (default 0x5eed),
+///                     decimal or 0x-hex; fixed seed = reproducible runs
 ///   --trace FILE      write a chrome-tracing JSON of the double-buffered
 ///                     execution timeline of the optimized schedule
 ///
@@ -29,7 +32,9 @@
 #include "common/units.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "principles/two_level.hpp"
+#include "search/annealing.hpp"
 #include "search/exhaustive.hpp"
+#include "search/genetic.hpp"
 #include "sim/timeline.hpp"
 #include "obs/obs_session.hpp"
 
@@ -38,8 +43,8 @@ using namespace fusecu;
 namespace {
 
 int run(int argc, char** argv) {
-  ArgParser args({"--validate"},
-                 {"--op", "--buffer", "--elem", "--arch", "--fuse", "--two-level", "--trace"});
+  ArgParser args({"--validate"}, {"--op", "--buffer", "--elem", "--arch", "--fuse", "--two-level",
+                                  "--trace", "--seed"});
   args.parse(argc, argv);
 
   // --op consumes one value via the parser plus two positionals.
@@ -95,11 +100,24 @@ int run(int argc, char** argv) {
                   static_cast<double>(op.ideal_min_access()));
 
   if (args.has_flag("--validate")) {
+    const std::uint64_t seed = args.option_uint64("--seed", 0x5eed);
     auto exact = exhaustive_intra(op, bs);
     if (exact) {
       std::printf("[exhaustive] %s -> %s\n", format_count(exact->access.total).c_str(),
                   exact->access.total >= r.access.total ? "principles match or beat the search"
                                                         : "SEARCH WON — please report this");
+    }
+    if (auto ga = ga_intra(op, bs, GaParams{}, seed)) {
+      std::printf("[GA, seed 0x%llx] %s -> %s\n", static_cast<unsigned long long>(seed),
+                  format_count(ga->access.total).c_str(),
+                  ga->access.total >= r.access.total ? "principles match or beat the search"
+                                                     : "SEARCH WON — please report this");
+    }
+    if (auto sa = sa_intra(op, bs, SaParams{}, seed)) {
+      std::printf("[SA, seed 0x%llx] %s -> %s\n", static_cast<unsigned long long>(seed),
+                  format_count(sa->access.total).c_str(),
+                  sa->access.total >= r.access.total ? "principles match or beat the search"
+                                                     : "SEARCH WON — please report this");
     }
   }
 

@@ -1,0 +1,68 @@
+/// \file fusecu_serve.cpp
+/// JSONL planning server front-end for the concurrent plan service.
+///
+///   fusecu_serve [--input FILE] [--threads N] [--cache-mb MB] [--shards N]
+///                [--stats] [--metrics-out m.json] [--trace-out t.json]
+///
+/// Reads one JSON planning request per line (stdin by default), answers one
+/// JSON response per request line on stdout, in request order.  Requests are
+/// planned concurrently on a worker pool; canonicalized repeats are served
+/// from the sharded plan cache and identical in-flight requests are
+/// deduplicated.  See src/serve/plan_request.hpp for the wire format.
+///
+/// A malformed line never kills the stream: it produces an ok=false response
+/// whose error message names the input, line and expected token.
+///
+///   $ echo '{"id":"q","op":"matmul","m":512,"k":512,"l":512,"buffer":"512KB"}' |
+///       fusecu_serve
+///   {"id":"q","ok":true,"kind":"matmul","rule":"P2(untile=K)",...}
+///
+/// --stats prints cache hit/miss/eviction totals to stderr on exit.
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "obs/obs_session.hpp"
+#include "serve/plan_service.hpp"
+
+using namespace fusecu;
+
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
+  try {
+    ArgParser args({"--stats"}, {"--input", "--threads", "--cache-mb", "--shards"});
+    args.parse(argc, argv);
+
+    ServeOptions options;
+    options.threads = static_cast<int>(args.option_int("--threads", 4));
+    options.cache_bytes =
+        static_cast<std::size_t>(args.option_int("--cache-mb", 64)) * 1024 * 1024;
+    options.shards = static_cast<int>(args.option_int("--shards", 8));
+    PlanService service(options);
+
+    int served = 0;
+    if (auto path = args.option("--input")) {
+      std::ifstream in(*path);
+      if (!in) {
+        std::cerr << "error: cannot open " << *path << "\n";
+        return 1;
+      }
+      served = service.serve_stream(in, std::cout, *path);
+    } else {
+      served = service.serve_stream(std::cin, std::cout, "<stdin>");
+    }
+
+    if (args.has_flag("--stats")) {
+      const PlanService::Stats stats = service.stats();
+      const CacheStats all = stats.combined();
+      std::cerr << "served " << served << " requests; cache hits " << all.hits << ", misses "
+                << all.misses << ", evictions " << all.evictions << ", entries " << all.entries
+                << "; single-flight shared " << stats.single_flight_shared << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

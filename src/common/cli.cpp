@@ -50,6 +50,17 @@ Index ArgParser::option_int(const std::string& name, Index default_value) const 
   return parsed;
 }
 
+std::uint64_t ArgParser::option_uint64(const std::string& name,
+                                       std::uint64_t default_value) const {
+  auto v = option(name);
+  if (!v) return default_value;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  FCU_CHECK(end && *end == '\0' && !v->empty() && (*v)[0] != '-',
+            "option " + name + " expects a non-negative integer (decimal or 0x hex)");
+  return parsed;
+}
+
 std::int64_t ArgParser::option_bytes(const std::string& name, std::int64_t default_value) const {
   auto v = option(name);
   if (!v) return default_value;

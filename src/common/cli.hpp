@@ -30,6 +30,12 @@ class ArgParser {
   /// Option parsed as integer, with default.
   Index option_int(const std::string& name, Index default_value) const;
 
+  /// Option parsed as an unsigned 64-bit integer (decimal or 0x-prefixed
+  /// hex), with default.  Shared by every tool's `--seed` flag so the
+  /// stochastic search strategies (annealing, genetic) are reproducible
+  /// run-to-run.
+  std::uint64_t option_uint64(const std::string& name, std::uint64_t default_value) const;
+
   /// Byte-size option accepting suffixes KB/MB/GB (decimal 1024 steps),
   /// e.g. "512KB", "8MB", or a plain number of bytes.
   std::int64_t option_bytes(const std::string& name, std::int64_t default_value) const;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/parse_error.hpp"
 
 namespace fusecu {
 
@@ -79,18 +80,21 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const std::string& source) : text_(text), source_(source) {}
 
   JsonValuePtr parse_document() {
     JsonValuePtr v = parse_value();
     skip_ws();
-    check(pos_ == text_.size(), "trailing characters after JSON document");
+    check(pos_ == text_.size(), "end of document");
     return v;
   }
 
  private:
   void check(bool ok, const std::string& what) const {
-    FCU_CHECK(ok, "JSON parse error at offset " + std::to_string(pos_) + ": " + what);
+    if (ok) return;
+    const auto [line, column] = line_column_at(text_, pos_);
+    throw ParseError(source_, line, column, what,
+                     "at offset " + std::to_string(pos_));
   }
 
   void skip_ws() {
@@ -98,13 +102,13 @@ class Parser {
   }
 
   char peek() {
-    check(pos_ < text_.size(), "unexpected end of input");
+    check(pos_ < text_.size(), "a value before end of input");
     return text_[pos_];
   }
 
   void expect(char c) {
     check(pos_ < text_.size() && text_[pos_] == c,
-          std::string("expected '") + c + "'");
+          std::string("'") + c + "'");
     ++pos_;
   }
 
@@ -121,13 +125,13 @@ class Parser {
       case '[': return parse_array();
       case '"': return JsonValue::make_string(parse_string());
       case 't':
-        check(consume_literal("true"), "invalid literal");
+        check(consume_literal("true"), "a JSON literal (true/false/null)");
         return JsonValue::make_bool(true);
       case 'f':
-        check(consume_literal("false"), "invalid literal");
+        check(consume_literal("false"), "a JSON literal (true/false/null)");
         return JsonValue::make_bool(false);
       case 'n':
-        check(consume_literal("null"), "invalid literal");
+        check(consume_literal("null"), "a JSON literal (true/false/null)");
         return JsonValue::make_null();
       default: return parse_number();
     }
@@ -181,15 +185,15 @@ class Parser {
     expect('"');
     std::string out;
     while (true) {
-      check(pos_ < text_.size(), "unterminated string");
+      check(pos_ < text_.size(), "a closing '\"'");
       char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
-        check(static_cast<unsigned char>(c) >= 0x20, "unescaped control character");
+        check(static_cast<unsigned char>(c) >= 0x20, "an escaped control character");
         out.push_back(c);
         continue;
       }
-      check(pos_ < text_.size(), "unterminated escape");
+      check(pos_ < text_.size(), "an escape character");
       char esc = text_[pos_++];
       switch (esc) {
         case '"': out.push_back('"'); break;
@@ -201,11 +205,11 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          check(pos_ + 4 <= text_.size(), "four hex digits after \\u");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             char h = text_[pos_++];
-            check(std::isxdigit(static_cast<unsigned char>(h)), "invalid \\u escape");
+            check(std::isxdigit(static_cast<unsigned char>(h)), "four hex digits after \\u");
             code = code * 16 + static_cast<unsigned>(
                 h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
           }
@@ -224,7 +228,7 @@ class Parser {
           }
           break;
         }
-        default: check(false, "invalid escape character");
+        default: check(false, "a valid escape character");
       }
     }
   }
@@ -242,20 +246,23 @@ class Parser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
       while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
     }
-    check(pos_ > start, "expected a value");
+    check(pos_ > start, "a value");
     const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
-    check(end != nullptr && *end == '\0' && end != token.c_str(), "malformed number");
+    check(end != nullptr && *end == '\0' && end != token.c_str(), "a number");
     return JsonValue::make_number(value);
   }
 
   const std::string& text_;
+  const std::string& source_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-JsonValuePtr parse_json(const std::string& text) { return Parser(text).parse_document(); }
+JsonValuePtr parse_json(const std::string& text, const std::string& source) {
+  return Parser(text, source).parse_document();
+}
 
 }  // namespace fusecu

@@ -58,8 +58,9 @@ class JsonValue {
   std::map<std::string, JsonValuePtr> object_;
 };
 
-/// Parse \p text as one JSON document.  Throws std::invalid_argument with a
-/// character offset on malformed input (including trailing garbage).
-JsonValuePtr parse_json(const std::string& text);
+/// Parse \p text as one JSON document.  Throws ParseError (a
+/// std::invalid_argument, see common/parse_error.hpp) carrying \p source,
+/// line and column on malformed input (including trailing garbage).
+JsonValuePtr parse_json(const std::string& text, const std::string& source = "<json>");
 
 }  // namespace fusecu

@@ -1,6 +1,7 @@
 #include "fusion/fusion_principles.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
@@ -110,8 +111,23 @@ std::vector<FusedCandidate> fused_principle_candidates(const FusedPair& pair, Bu
   return out;
 }
 
+namespace {
+std::atomic<FusedPlanInterceptor*> g_fused_interceptor{nullptr};
+}  // namespace
+
+FusedPlanInterceptor* set_fused_plan_interceptor(FusedPlanInterceptor* interceptor) {
+  return g_fused_interceptor.exchange(interceptor, std::memory_order_acq_rel);
+}
+
 std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferSize bs) {
   ScopedTimer timer("optimize_fused_pair");
+  FusedPlanInterceptor* hook = g_fused_interceptor.load(std::memory_order_acquire);
+  if (hook) {
+    if (auto cached = hook->lookup(pair, bs)) {
+      MetricsRegistry::global().counter("principles/optimize_fused_pair/intercepted").add();
+      return *std::move(cached);
+    }
+  }
   MetricsRegistry::global().counter("principles/optimize_fused_pair/calls").add();
   std::optional<FusedOptResult> best;
   for (const FusedCandidate& c : fused_principle_candidates(pair, bs)) {
@@ -128,6 +144,7 @@ std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferS
     best->regime1 = optimize_intra(pair.op1(), bs).nra;
     best->regime2 = optimize_intra(pair.op2(), bs).nra;
   }
+  if (hook) hook->store(pair, bs, best);
   return best;
 }
 

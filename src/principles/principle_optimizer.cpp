@@ -1,6 +1,7 @@
 #include "principles/principle_optimizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -190,8 +191,23 @@ std::vector<PrincipleCandidate> principle_candidates(const TensorOp& op, BufferS
   return out;
 }
 
+namespace {
+std::atomic<IntraPlanInterceptor*> g_intra_interceptor{nullptr};
+}  // namespace
+
+IntraPlanInterceptor* set_intra_plan_interceptor(IntraPlanInterceptor* interceptor) {
+  return g_intra_interceptor.exchange(interceptor, std::memory_order_acq_rel);
+}
+
 IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
   ScopedTimer timer("optimize_intra");
+  IntraPlanInterceptor* hook = g_intra_interceptor.load(std::memory_order_acquire);
+  if (hook) {
+    if (std::optional<IntraOptResult> cached = hook->lookup(op, bs)) {
+      MetricsRegistry::global().counter("principles/optimize_intra/intercepted").add();
+      return *std::move(cached);
+    }
+  }
   std::vector<PrincipleCandidate> candidates = principle_candidates(op, bs);
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.counter("principles/optimize_intra/calls").add();
@@ -221,6 +237,7 @@ IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
   FCU_ASSERT_INTERNAL(nra >= 1 && nra <= 3, "optimal dataflow must be 1/2/3-NRA");
   best.nra = static_cast<NraKind>(nra);
   reg.counter("principles/optimize_intra/winner_nra_" + std::to_string(nra)).add();
+  if (hook) hook->store(op, bs, best);
   return best;
 }
 

@@ -81,6 +81,25 @@ std::vector<PrincipleCandidate> principle_candidates(const TensorOp& op, BufferS
 /// each tensor, i.e. bs < 3 for matmul).
 IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs);
 
+/// Interceptor consulted by optimize_intra(): lookup() runs before the
+/// closed-form construction and may short-circuit it; store() observes every
+/// freshly computed result.  This is how the serving layer (src/serve) reuses
+/// plans transparently for call sites that never heard of a cache — the
+/// fusion planner, the arch evaluator, the examples.  Implementations must be
+/// thread-safe and must never throw from lookup() for shapes they do not
+/// understand (return nullopt instead).
+class IntraPlanInterceptor {
+ public:
+  virtual ~IntraPlanInterceptor() = default;
+  virtual std::optional<IntraOptResult> lookup(const TensorOp& op, BufferSize bs) = 0;
+  virtual void store(const TensorOp& op, BufferSize bs, const IntraOptResult& result) = 0;
+};
+
+/// Install the process-wide interceptor (nullptr clears); returns the
+/// previous one.  The object must outlive every optimize_intra() call made
+/// while it is installed.
+IntraPlanInterceptor* set_intra_plan_interceptor(IntraPlanInterceptor* interceptor);
+
 /// Closed-form two-tile maximization shared by Principle 1 and the fused
 /// tile-fusion construction: choose tiles (t1, t2) for dimensions of extents
 /// (e1, e2) minimizing   w1 * ceil(e1/t1) + w2 * ceil(e2/t2)   subject to

@@ -1,0 +1,94 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "tensor/tensor_op.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// Append a name with a length prefix so concatenated names can never
+/// collide ("AB"+"C" vs "A"+"BC").
+void put_name(std::ostringstream& os, const std::string& name) {
+  os << name.size() << ':' << name << '|';
+}
+
+}  // namespace
+
+BufferSize clamp_buffer_for_intra(const TensorOp& op, BufferSize bs) {
+  const Index m = op.extent(mm::kDimM);
+  const Index k = op.extent(mm::kDimK);
+  const Index l = op.extent(mm::kDimL);
+  const BufferSize full_fit = m * k + k * l + m * l;
+  return std::min(bs, full_fit);
+}
+
+CanonicalIntraKey canonical_intra_key(const TensorOp& op, BufferSize bs) {
+  FCU_CHECK(is_matmul_shaped(op), "canonical_intra_key expects a matmul-shaped operator");
+  const Index m = op.extent(mm::kDimM);
+  const Index k = op.extent(mm::kDimK);
+  const Index l = op.extent(mm::kDimL);
+
+  CanonicalIntraKey key;
+  key.swapped = m > l;
+
+  // The transpose class: matmul(m, k, l) and matmul(l, k, m) with the same
+  // dimension/tensor labels have isomorphic access structures, so both spell
+  // the sorted free extents (min, k, max).  Names stay in their fixed
+  // positional order — they identify the *labeling*, which both orientations
+  // share; the orientation itself is resolved by the entry's plan slots, not
+  // by the key.
+  const Index e_lo = key.swapped ? l : m;
+  const Index e_hi = key.swapped ? m : l;
+
+  std::ostringstream os;
+  os << "i1|" << clamp_buffer_for_intra(op, bs) << '|' << e_lo << ',' << k << ',' << e_hi << '|';
+  for (const Dim& d : op.dims()) put_name(os, d.name);
+  for (const TensorDecl& t : op.tensors()) put_name(os, t.name);
+  key.text = os.str();
+  return key;
+}
+
+std::optional<CanonicalIntraKey> try_canonical_intra_key(const TensorOp& op, BufferSize bs) {
+  if (!is_matmul_shaped(op)) return std::nullopt;
+  if (bs < 3) return std::nullopt;  // below the minimal working set; let the optimizer throw
+  return canonical_intra_key(op, bs);
+}
+
+std::string canonical_fused_key(const FusedPair& pair, BufferSize bs) {
+  std::ostringstream os;
+  os << "f2|" << bs << '|' << pair.m() << ',' << pair.k() << ',' << pair.l() << ',' << pair.n()
+     << '|';
+  for (const TensorOp* op : {&pair.op1(), &pair.op2()}) {
+    for (const Dim& d : op->dims()) put_name(os, d.name);
+    for (const TensorDecl& t : op->tensors()) put_name(os, t.name);
+  }
+  return os.str();
+}
+
+std::optional<std::string> try_canonical_arch_key(const TensorOp& op, const ArchSpec& arch) {
+  if (!is_matmul_shaped(op)) return std::nullopt;
+  if (arch.buffer_elements() < 3) return std::nullopt;
+
+  // Arch candidate construction is orientation-sensitive (the PE array has
+  // distinct row/column roles), so the key is exact: no transpose class, no
+  // buffer clamp.
+  std::ostringstream os;
+  os << "a1|" << op.extent(mm::kDimM) << ',' << op.extent(mm::kDimK) << ','
+     << op.extent(mm::kDimL) << '|';
+  for (const Dim& d : op.dims()) put_name(os, d.name);
+  for (const TensorDecl& t : op.tensors()) put_name(os, t.name);
+  put_name(os, arch.name);
+  os << arch.unit_rows << 'x' << arch.unit_cols << 'x' << arch.num_units << '|'
+     << arch.buffer_elements() << '|' << arch.tile_granularity() << '|'
+     << static_cast<int>(arch.tiling_flex) << '|' << (arch.supports_fusion ? 'F' : '-') << '|';
+  for (Stationarity s : {Stationarity::kWeight, Stationarity::kOutput, Stationarity::kInput}) {
+    os << (arch.supports(s) ? '1' : '0');
+  }
+  return os.str();
+}
+
+}  // namespace fusecu

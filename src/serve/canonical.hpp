@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arch/arch_spec.hpp"
+#include "dataflow/access_model.hpp"
+#include "fusion/fused_pair.hpp"
+#include "fusion/graph_planner.hpp"  // is_matmul_shaped
+
+/// \file canonical.hpp
+/// Workload canonicalization for the plan cache (src/serve).
+///
+/// Plans produced by the principle optimizer are pure functions of the
+/// operator's *access structure* and the buffer size — not of the operator
+/// name, and not of the whole (shape, buffer) product space.  The
+/// canonicalizer exploits exactly the equivalences that are provably sound
+/// for byte-identical plan reuse (see DESIGN.md "Canonicalization
+/// soundness"):
+///
+///  1. **Operator name**: optimize_intra never reads it.  Dimension and
+///     tensor names DO appear in the winning rule string ("P1(stationary=A)")
+///     and therefore stay in the key.
+///  2. **Transpose class**: matmul(m,k,l) and matmul(l,k,m) under the same
+///     labels describe isomorphic access structures, so both map to one key
+///     built from the sorted free extents (min(m,l), k, max(m,l)) plus the
+///     shared labels.  The optimizer is *not* guaranteed
+///     transpose-equivariant (candidate enumeration and tie-breaks are
+///     orientation-sensitive), so the cache entry keeps one plan slot per
+///     orientation instead of transforming plans across orientations —
+///     byte-identical reuse without an equivariance assumption.
+///  3. **Buffer saturation**: for bs >= m*k + k*l + m*l every tensor fits
+///     simultaneously and the plan is constant in bs, so the key clamps the
+///     buffer to that full-fit point.  Below it, distinct buffer sizes keep
+///     distinct keys.
+///
+/// Distinct workloads never share a key: every extent, every dimension and
+/// tensor name, and the (clamped) buffer size are all spelled into the key
+/// text with unambiguous separators.
+
+namespace fusecu {
+
+/// Canonical cache key for one intra-operator planning request.
+struct CanonicalIntraKey {
+  std::string text;      ///< the cache key (shared by the transpose class)
+  bool swapped = false;  ///< orientation slot: false = m <= l, true = m > l
+};
+
+/// Buffer size with the saturation clamp applied: min(bs, m*k + k*l + m*l).
+BufferSize clamp_buffer_for_intra(const TensorOp& op, BufferSize bs);
+
+/// Canonical key for optimize_intra(op, bs).  Throws std::invalid_argument
+/// when \p op is not matmul-shaped; use try_canonical_intra_key from
+/// never-throw contexts (the interceptor).
+CanonicalIntraKey canonical_intra_key(const TensorOp& op, BufferSize bs);
+
+/// Non-throwing variant: nullopt when \p op is out of scope for the cache.
+std::optional<CanonicalIntraKey> try_canonical_intra_key(const TensorOp& op, BufferSize bs);
+
+/// Canonical key for optimize_fused_pair(pair, bs).  Fused construction is
+/// asymmetric in all four extents, so the key is exact (no transpose class,
+/// no buffer clamp) — it still folds the request-level equivalences (operator
+/// names) away by spelling only extents and operand names.
+std::string canonical_fused_key(const FusedPair& pair, BufferSize bs);
+
+/// Canonical key for optimize_intra_for_arch(op, arch): the intra key
+/// ingredients plus every ArchSpec field that influences plan construction
+/// (array shape, buffer, granularity, flexibility, stationarities, fusion
+/// support).  Bandwidth, frequency and energy parameters are deliberately
+/// excluded — they price plans but never change them.  nullopt when \p op is
+/// not matmul-shaped.
+std::optional<std::string> try_canonical_arch_key(const TensorOp& op, const ArchSpec& arch);
+
+}  // namespace fusecu

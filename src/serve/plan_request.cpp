@@ -1,0 +1,186 @@
+#include "serve/plan_request.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/json_parse.hpp"
+#include "common/json_writer.hpp"
+#include "common/parse_error.hpp"
+
+namespace fusecu {
+
+namespace {
+
+Index require_index(const JsonValue& doc, const std::string& field) {
+  JsonValuePtr v = doc.get(field);
+  FCU_CHECK(v != nullptr, "request is missing required field \"" + field + "\"");
+  FCU_CHECK(v->is_number(), "request field \"" + field + "\" must be a number");
+  const double d = v->as_number();
+  const Index i = static_cast<Index>(d);
+  FCU_CHECK(static_cast<double>(i) == d && i >= 1,
+            "request field \"" + field + "\" must be a positive integer");
+  return i;
+}
+
+Index optional_index(const JsonValue& doc, const std::string& field, Index fallback) {
+  if (!doc.has(field)) return fallback;
+  return require_index(doc, field);
+}
+
+}  // namespace
+
+TensorOp PlanRequest::to_op() const {
+  FCU_CHECK(kind == Kind::kMatmul, "to_op() called on a non-matmul request");
+  const std::string op_name = id.empty() ? "request" : id;
+  if (batch > 1) {
+    return fold_batch(TensorOp::batched_matmul(op_name, batch, m, k, l, /*shared_weight=*/true));
+  }
+  return TensorOp::matmul(op_name, m, k, l);
+}
+
+FusedPair PlanRequest::to_pair() const {
+  FCU_CHECK(kind == Kind::kFusedPair, "to_pair() called on a non-fused request");
+  return FusedPair::make(m, k, l, n);
+}
+
+PlanRequest plan_request_from_json(const JsonValue& doc) {
+  FCU_CHECK(doc.is_object(), "request must be a JSON object");
+  PlanRequest req;
+  if (JsonValuePtr id = doc.get("id")) {
+    FCU_CHECK(id->is_string(), "request field \"id\" must be a string");
+    req.id = id->as_string();
+  }
+
+  std::string op = "matmul";
+  if (JsonValuePtr v = doc.get("op")) {
+    FCU_CHECK(v->is_string(), "request field \"op\" must be a string");
+    op = v->as_string();
+  }
+  if (op == "matmul") {
+    req.kind = PlanRequest::Kind::kMatmul;
+  } else if (op == "fused_pair") {
+    req.kind = PlanRequest::Kind::kFusedPair;
+  } else {
+    FCU_CHECK(false, "request field \"op\" must be \"matmul\" or \"fused_pair\", got \"" + op +
+                         "\"");
+  }
+
+  req.m = require_index(doc, "m");
+  req.k = require_index(doc, "k");
+  req.l = require_index(doc, "l");
+  if (req.kind == PlanRequest::Kind::kFusedPair) {
+    req.n = require_index(doc, "n");
+    FCU_CHECK(!doc.has("batch"), "fused_pair requests do not take \"batch\"");
+  } else {
+    req.batch = optional_index(doc, "batch", 1);
+    if (JsonValuePtr sw = doc.get("shared_weight")) {
+      FCU_CHECK(sw->is_bool(), "request field \"shared_weight\" must be a boolean");
+      FCU_CHECK(sw->as_bool() || req.batch == 1,
+                "per-slice-weight batched matmuls cannot be folded; "
+                "plan the slices as individual requests");
+    }
+  }
+
+  if (JsonValuePtr be = doc.get("buffer_elems")) {
+    FCU_CHECK(be->is_number() && be->as_number() >= 1,
+              "request field \"buffer_elems\" must be a positive number");
+    req.buffer_elems = static_cast<BufferSize>(be->as_number());
+  } else if (JsonValuePtr b = doc.get("buffer")) {
+    std::int64_t bytes = 0;
+    if (b->is_string()) {
+      bytes = parse_bytes(b->as_string());
+    } else if (b->is_number()) {
+      bytes = static_cast<std::int64_t>(b->as_number());
+    } else {
+      FCU_CHECK(false, "request field \"buffer\" must be a byte size string or number");
+    }
+    const Index elem_bytes = optional_index(doc, "elem_bytes", 2);
+    FCU_CHECK(bytes >= 1, "request field \"buffer\" must be positive");
+    req.buffer_elems = bytes / elem_bytes;
+  } else {
+    FCU_CHECK(false, "request needs \"buffer\" (bytes) or \"buffer_elems\" (elements)");
+  }
+  FCU_CHECK(req.buffer_elems >= 1, "request buffer resolves to zero elements");
+  return req;
+}
+
+PlanRequest parse_plan_request(const std::string& line, const std::string& source, int lineno) {
+  JsonValuePtr doc;
+  try {
+    doc = parse_json(line, source);
+  } catch (const ParseError& e) {
+    // parse_json saw a single line; re-anchor at the stream's line number.
+    throw ParseError(source, lineno, e.column(), e.expected());
+  }
+  return plan_request_from_json(*doc);
+}
+
+namespace {
+
+void write_intra(JsonWriter& w, const IntraOptResult& r) {
+  w.field("rule", r.rule);
+  w.field("nra", static_cast<int>(r.nra));
+  w.field("buffer_class", to_string(r.buffer_class));
+  w.field("total_access", static_cast<std::int64_t>(r.access.total));
+  w.key("per_tensor");
+  w.begin_array();
+  for (AccessCount a : r.access.per_tensor) w.value(static_cast<std::int64_t>(a));
+  w.end_array();
+  w.field("buffer_footprint", static_cast<std::int64_t>(r.access.buffer_footprint));
+  w.key("loop_order");
+  w.begin_array();
+  for (int d : r.dataflow.loop_order) w.value(d);
+  w.end_array();
+  w.key("tile");
+  w.begin_array();
+  for (Index t : r.dataflow.tile) w.value(static_cast<std::int64_t>(t));
+  w.end_array();
+}
+
+void write_fused(JsonWriter& w, bool fusable, const std::optional<FusedOptResult>& r) {
+  w.field("fusable", fusable);
+  if (!fusable || !r) return;
+  w.field("rule", r->chosen.rule);
+  w.field("total_access", static_cast<std::int64_t>(r->access.total));
+  w.field("op1_external", static_cast<std::int64_t>(r->access.op1_external));
+  w.field("op2_external", static_cast<std::int64_t>(r->access.op2_external));
+  w.field("buffer_footprint", static_cast<std::int64_t>(r->access.buffer_footprint));
+  w.field("regime1", static_cast<int>(r->regime1));
+  w.field("regime2", static_cast<int>(r->regime2));
+}
+
+}  // namespace
+
+std::string PlanResponse::to_json() const {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("id", id);
+    w.field("ok", ok);
+    if (!ok) {
+      w.field("error", error);
+    } else {
+      w.field("kind", kind == PlanRequest::Kind::kMatmul ? "matmul" : "fused_pair");
+      if (kind == PlanRequest::Kind::kMatmul && intra) {
+        write_intra(w, *intra);
+      } else if (kind == PlanRequest::Kind::kFusedPair) {
+        write_fused(w, fusable, fused);
+      }
+      w.field("cached", cached);
+    }
+    w.end_object();
+  }
+  return os.str();
+}
+
+PlanResponse error_response(const std::string& id, const std::string& message) {
+  PlanResponse r;
+  r.id = id;
+  r.ok = false;
+  r.error = message;
+  return r;
+}
+
+}  // namespace fusecu

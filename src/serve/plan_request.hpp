@@ -1,0 +1,94 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fusion/fusion_principles.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "tensor/tensor_op.hpp"
+
+/// \file plan_request.hpp
+/// Wire format of the planning service: one JSON object per line (JSONL).
+///
+/// Request line:
+///
+///   {"id":"r1","op":"matmul","m":1024,"k":768,"l":768,
+///    "buffer":"512KB","elem_bytes":2}
+///   {"id":"r2","op":"matmul","m":128,"k":64,"l":256,"batch":8,
+///    "shared_weight":true,"buffer_elems":65536}
+///   {"id":"r3","op":"fused_pair","m":512,"k":512,"l":512,"n":512,
+///    "buffer_elems":262144}
+///
+/// `buffer` takes a byte size with KB/MB suffixes and is divided by
+/// `elem_bytes` (default 2, the bf16 datapath); `buffer_elems` gives the
+/// element count directly and wins when both are present.  Batched matmuls
+/// must be shared-weight (the projection case) — they fold exactly into the
+/// 3-dim view the principles optimize; per-slice weights are rejected.
+///
+/// Response line (see write_json on PlanResponse):
+///
+///   {"id":"r1","ok":true,"kind":"matmul","rule":"P2(untile=K)","nra":2,
+///    "buffer_class":"Medium","total_access":2359296,
+///    "per_tensor":[786432,589824,786432],"buffer_footprint":65536,
+///    "loop_order":[0,1,2],"tile":[64,768,64],"cached":false}
+///
+/// Errors keep the request id and come back as {"id":...,"ok":false,
+/// "error":"..."} — a malformed line still produces a response line, so the
+/// stream stays 1:1 with the input.
+
+namespace fusecu {
+
+class JsonValue;
+
+/// A parsed planning request.
+struct PlanRequest {
+  enum class Kind { kMatmul, kFusedPair };
+
+  std::string id;
+  Kind kind = Kind::kMatmul;
+  Index m = 0, k = 0, l = 0;
+  Index n = 0;      ///< fused_pair only
+  Index batch = 1;  ///< matmul only; folds into M
+  BufferSize buffer_elems = 0;
+
+  /// The operator this request describes (batch already folded).  Only
+  /// valid for kMatmul.
+  TensorOp to_op() const;
+  /// The fused pair this request describes.  Only valid for kFusedPair.
+  FusedPair to_pair() const;
+};
+
+/// Parse one JSONL request line.  Throws ParseError carrying \p source and
+/// \p lineno for malformed JSON, and std::invalid_argument for well-formed
+/// JSON with bad fields.
+PlanRequest parse_plan_request(const std::string& line, const std::string& source = "<request>",
+                               int lineno = 1);
+
+/// Same, from an already parsed JSON object.
+PlanRequest plan_request_from_json(const JsonValue& doc);
+
+/// A planning answer, ready to serialize.
+struct PlanResponse {
+  std::string id;
+  bool ok = false;
+  std::string error;  ///< set when !ok
+
+  PlanRequest::Kind kind = PlanRequest::Kind::kMatmul;
+  bool cached = false;  ///< answered from the plan cache
+
+  /// kMatmul payload.
+  std::optional<IntraOptResult> intra;
+  /// kFusedPair payload; nullopt inside ok=true means "pair not fusable at
+  /// this buffer size" (a legitimate planning answer, not an error).
+  std::optional<FusedOptResult> fused;
+  bool fusable = false;
+
+  /// One JSON object, no trailing newline (the caller owns framing).
+  std::string to_json() const;
+};
+
+/// Error response preserving the request id (empty when unknown).
+PlanResponse error_response(const std::string& id, const std::string& message);
+
+}  // namespace fusecu

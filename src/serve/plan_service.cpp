@@ -1,0 +1,311 @@
+#include "serve/plan_service.hpp"
+
+#include <exception>
+#include <future>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "fusion/fusion_principles.hpp"
+#include "principles/principle_optimizer.hpp"
+
+namespace fusecu {
+
+namespace {
+
+std::size_t approx_bytes(const IntraOptResult& r) {
+  return sizeof(IntraOptResult) + r.rule.size() +
+         r.dataflow.loop_order.size() * sizeof(int) + r.dataflow.tile.size() * sizeof(Index) +
+         r.access.per_tensor.size() * sizeof(AccessCount);
+}
+
+std::size_t approx_bytes(const std::optional<FusedOptResult>& r) {
+  if (!r) return sizeof(FusedOptResult);
+  std::size_t n = sizeof(FusedOptResult) + r->chosen.rule.size();
+  if (r->chosen.resident) {
+    n += (r->chosen.resident->df1.tile.size() + r->chosen.resident->df2.tile.size()) *
+         (sizeof(Index) + sizeof(int));
+  }
+  return n;
+}
+
+std::size_t approx_bytes(const ArchIntraOpt& r) {
+  return sizeof(ArchIntraOpt) + r.rule.size() + r.dataflow.loop_order.size() * sizeof(int) +
+         r.dataflow.tile.size() * sizeof(Index) + r.access.per_tensor.size() * sizeof(AccessCount);
+}
+
+}  // namespace
+
+/// Serves optimize_intra() from the sharded cache.  One transpose class maps
+/// to one key; each orientation owns a slot, so cached plans are the exact
+/// bytes the optimizer produced for that orientation (never transformed).
+class PlanService::IntraInterceptor : public IntraPlanInterceptor {
+ public:
+  explicit IntraInterceptor(ShardedLruCache<IntraEntry>& cache) : cache_(cache) {}
+
+  std::optional<IntraOptResult> lookup(const TensorOp& op, BufferSize bs) override {
+    std::optional<CanonicalIntraKey> key = try_canonical_intra_key(op, bs);
+    if (!key) return std::nullopt;
+    std::optional<IntraEntry> entry = cache_.get(key->text);
+    if (!entry) return std::nullopt;
+    return entry->slots[key->swapped ? 1 : 0];
+  }
+
+  void store(const TensorOp& op, BufferSize bs, const IntraOptResult& result) override {
+    std::optional<CanonicalIntraKey> key = try_canonical_intra_key(op, bs);
+    if (!key) return;
+    const int slot = key->swapped ? 1 : 0;
+    cache_.upsert(
+        key->text,
+        [&](IntraEntry& entry, bool) { entry.slots[static_cast<std::size_t>(slot)] = result; },
+        2 * approx_bytes(result));
+  }
+
+ private:
+  ShardedLruCache<IntraEntry>& cache_;
+};
+
+class PlanService::FusedInterceptor : public FusedPlanInterceptor {
+ public:
+  explicit FusedInterceptor(ShardedLruCache<FusedEntry>& cache) : cache_(cache) {}
+
+  std::optional<std::optional<FusedOptResult>> lookup(const FusedPair& pair,
+                                                      BufferSize bs) override {
+    std::optional<FusedEntry> entry = cache_.get(canonical_fused_key(pair, bs));
+    if (!entry) return std::nullopt;
+    return entry->result;
+  }
+
+  void store(const FusedPair& pair, BufferSize bs,
+             const std::optional<FusedOptResult>& result) override {
+    cache_.put(canonical_fused_key(pair, bs), FusedEntry{result}, approx_bytes(result));
+  }
+
+ private:
+  ShardedLruCache<FusedEntry>& cache_;
+};
+
+class PlanService::ArchInterceptor : public ArchPlanInterceptor {
+ public:
+  explicit ArchInterceptor(ShardedLruCache<ArchEntry>& cache) : cache_(cache) {}
+
+  std::optional<ArchIntraOpt> lookup(const TensorOp& op, const ArchSpec& arch) override {
+    std::optional<std::string> key = try_canonical_arch_key(op, arch);
+    if (!key) return std::nullopt;
+    std::optional<ArchEntry> entry = cache_.get(*key);
+    if (!entry) return std::nullopt;
+    return entry->result;
+  }
+
+  void store(const TensorOp& op, const ArchSpec& arch, const ArchIntraOpt& result) override {
+    std::optional<std::string> key = try_canonical_arch_key(op, arch);
+    if (!key) return;
+    cache_.put(*key, ArchEntry{result}, approx_bytes(result));
+  }
+
+ private:
+  ShardedLruCache<ArchEntry>& cache_;
+};
+
+namespace {
+
+template <typename Entry>
+typename ShardedLruCache<Entry>::Options cache_options(const ServeOptions& o,
+                                                       std::size_t capacity,
+                                                       const std::string& prefix) {
+  typename ShardedLruCache<Entry>::Options opts;
+  opts.shards = o.shards;
+  opts.capacity_bytes = capacity;
+  opts.metric_prefix = prefix;
+  return opts;
+}
+
+}  // namespace
+
+PlanService::PlanService(ServeOptions options)
+    : options_(options),
+      intra_cache_(cache_options<IntraEntry>(options_, options_.cache_bytes / 2,
+                                             "serve/cache/intra")),
+      fused_cache_(cache_options<FusedEntry>(options_, options_.cache_bytes / 4,
+                                             "serve/cache/fused")),
+      arch_cache_(cache_options<ArchEntry>(options_, options_.cache_bytes / 4,
+                                           "serve/cache/arch")),
+      pool_(options_.threads),
+      shared_flights_(MetricsRegistry::global().counter("serve/single_flight/shared")) {
+  if (options_.install_interceptors) {
+    intra_hook_ = std::make_unique<IntraInterceptor>(intra_cache_);
+    fused_hook_ = std::make_unique<FusedInterceptor>(fused_cache_);
+    arch_hook_ = std::make_unique<ArchInterceptor>(arch_cache_);
+    prev_intra_hook_ = set_intra_plan_interceptor(intra_hook_.get());
+    prev_fused_hook_ = set_fused_plan_interceptor(fused_hook_.get());
+    prev_arch_hook_ = set_arch_plan_interceptor(arch_hook_.get());
+  }
+}
+
+PlanService::~PlanService() {
+  if (options_.install_interceptors) {
+    set_intra_plan_interceptor(prev_intra_hook_);
+    set_fused_plan_interceptor(prev_fused_hook_);
+    set_arch_plan_interceptor(prev_arch_hook_);
+  }
+  // ThreadPool's destructor joins the workers, so no planning call can
+  // outlive the interceptor targets above.
+}
+
+bool PlanService::begin_flight(const std::string& key) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flights_.emplace(key, std::make_shared<Flight>());
+      return true;
+    }
+    flight = it->second;
+  }
+  shared_flights_.add();
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&]() { return flight->done; });
+  return false;
+}
+
+void PlanService::end_flight(const std::string& key) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;
+    flight = it->second;
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+IntraPlanned PlanService::plan_intra(const TensorOp& op, BufferSize bs) {
+  std::optional<CanonicalIntraKey> key = try_canonical_intra_key(op, bs);
+  if (key && intra_hook_) {
+    if (std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs)) {
+      return IntraPlanned{*std::move(hit), true};
+    }
+    const std::string flight_key = key->text + (key->swapped ? "#1" : "#0");
+    if (!begin_flight(flight_key)) {
+      // A leader finished this exact computation while we waited; its plan
+      // is in the cache unless it was evicted or the leader threw — fall
+      // through to compute (idempotent) in those rare cases.
+      if (std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs)) {
+        return IntraPlanned{*std::move(hit), true};
+      }
+      return IntraPlanned{optimize_intra(op, bs), false};
+    }
+    try {
+      // The interceptor inside optimize_intra stores the fresh plan.
+      IntraOptResult result = optimize_intra(op, bs);
+      end_flight(flight_key);
+      return IntraPlanned{std::move(result), false};
+    } catch (...) {
+      end_flight(flight_key);
+      throw;
+    }
+  }
+  return IntraPlanned{optimize_intra(op, bs), false};
+}
+
+FusedPlanned PlanService::plan_fused(const FusedPair& pair, BufferSize bs) {
+  if (fused_hook_) {
+    if (auto hit = fused_hook_->lookup(pair, bs)) {
+      return FusedPlanned{*std::move(hit), true};
+    }
+    const std::string flight_key = canonical_fused_key(pair, bs);
+    if (!begin_flight(flight_key)) {
+      if (auto hit = fused_hook_->lookup(pair, bs)) {
+        return FusedPlanned{*std::move(hit), true};
+      }
+      return FusedPlanned{optimize_fused_pair(pair, bs), false};
+    }
+    try {
+      FusedPlanned planned{optimize_fused_pair(pair, bs), false};
+      end_flight(flight_key);
+      return planned;
+    } catch (...) {
+      end_flight(flight_key);
+      throw;
+    }
+  }
+  return FusedPlanned{optimize_fused_pair(pair, bs), false};
+}
+
+PlanResponse PlanService::plan(const PlanRequest& request) {
+  PlanResponse response;
+  response.id = request.id;
+  response.kind = request.kind;
+  try {
+    if (request.kind == PlanRequest::Kind::kMatmul) {
+      IntraPlanned planned = plan_intra(request.to_op(), request.buffer_elems);
+      response.intra = std::move(planned.result);
+      response.cached = planned.cached;
+    } else {
+      FusedPlanned planned = plan_fused(request.to_pair(), request.buffer_elems);
+      response.fusable = planned.result.has_value();
+      response.fused = std::move(planned.result);
+      response.cached = planned.cached;
+    }
+    response.ok = true;
+  } catch (const std::exception& e) {
+    response = error_response(request.id, e.what());
+  }
+  return response;
+}
+
+std::vector<PlanResponse> PlanService::plan_batch(const std::vector<PlanRequest>& requests) {
+  std::vector<std::future<PlanResponse>> futures;
+  futures.reserve(requests.size());
+  for (const PlanRequest& request : requests) {
+    futures.push_back(pool_.submit([this, request]() { return plan(request); }));
+  }
+  std::vector<PlanResponse> responses;
+  responses.reserve(requests.size());
+  for (std::future<PlanResponse>& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::string& source) {
+  struct Slot {
+    std::optional<PlanResponse> immediate;
+    std::future<PlanResponse> pending;
+  };
+  std::vector<Slot> slots;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Slot slot;
+    try {
+      PlanRequest request = parse_plan_request(line, source, lineno);
+      slot.pending = pool_.submit([this, request]() { return plan(request); });
+    } catch (const std::exception& e) {
+      slot.immediate = error_response("", e.what());
+    }
+    slots.push_back(std::move(slot));
+  }
+  for (Slot& slot : slots) {
+    const PlanResponse response = slot.immediate ? *slot.immediate : slot.pending.get();
+    out << response.to_json() << '\n';
+  }
+  return static_cast<int>(slots.size());
+}
+
+PlanService::Stats PlanService::stats() const {
+  Stats s;
+  s.intra = intra_cache_.stats();
+  s.fused = fused_cache_.stats();
+  s.arch = arch_cache_.stats();
+  s.single_flight_shared = shared_flights_.value();
+  return s;
+}
+
+}  // namespace fusecu

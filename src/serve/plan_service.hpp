@@ -1,0 +1,151 @@
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/dataflow_space.hpp"
+#include "serve/canonical.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/plan_request.hpp"
+#include "serve/thread_pool.hpp"
+
+/// \file plan_service.hpp
+/// Concurrent planning front-end: thread-pool batch planner + sharded plan
+/// cache + canonicalization, wired into the optimizers via the interceptor
+/// hooks (see principles/principle_optimizer.hpp).
+///
+/// Construction installs the process-wide interceptors, so *every* planning
+/// path in the process — optimize_intra, optimize_fused_pair,
+/// optimize_intra_for_arch and everything layered on them (plan_chain,
+/// evaluate_model) — transparently reuses cached plans while the service is
+/// alive.  Destruction restores the previously installed interceptors.  At
+/// most one PlanService should be alive at a time.
+///
+/// Identical concurrent requests are single-flighted: the first thread in
+/// computes, the rest wait on its completion and then read the cached plan,
+/// so a batch of N equal requests costs one optimization.
+
+namespace fusecu {
+
+struct ServeOptions {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  std::size_t cache_bytes = 64ull * 1024 * 1024;
+  int shards = 8;
+  /// Install the optimizer interceptors (disable for benchmarking the pool
+  /// without caching).
+  bool install_interceptors = true;
+};
+
+/// A typed intra-op answer: the plan plus whether the cache served it.
+struct IntraPlanned {
+  IntraOptResult result;
+  bool cached = false;
+};
+
+/// A typed fused-pair answer; nullopt result means "not fusable at bs".
+struct FusedPlanned {
+  std::optional<FusedOptResult> result;
+  bool cached = false;
+};
+
+class PlanService {
+ public:
+  explicit PlanService(ServeOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Plan one request; never throws — failures come back as ok=false.
+  PlanResponse plan(const PlanRequest& request);
+
+  /// Plan a batch on the worker pool; responses in request order.
+  std::vector<PlanResponse> plan_batch(const std::vector<PlanRequest>& requests);
+
+  /// Read JSONL requests from \p in, write one JSONL response per input line
+  /// to \p out (blank lines are skipped).  Malformed lines produce
+  /// ok=false responses carrying "<source>:<line>: ..." messages; the
+  /// stream never aborts.  Returns the number of responses written.
+  int serve_stream(std::istream& in, std::ostream& out, const std::string& source = "<stdin>");
+
+  /// Typed API used by the examples/benchmarks: single-flighted, cached
+  /// intra-op planning.  Byte-identical to optimize_intra(op, bs).
+  IntraPlanned plan_intra(const TensorOp& op, BufferSize bs);
+
+  /// Typed fused-pair planning, same guarantees.
+  FusedPlanned plan_fused(const FusedPair& pair, BufferSize bs);
+
+  ThreadPool& pool() { return pool_; }
+  const ServeOptions& options() const { return options_; }
+
+  struct Stats {
+    CacheStats intra;
+    CacheStats fused;
+    CacheStats arch;
+    std::int64_t single_flight_shared = 0;  ///< requests that waited on a leader
+
+    CacheStats combined() const {
+      CacheStats all = intra;
+      all += fused;
+      all += arch;
+      return all;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  /// Cached value for one transpose class: slot[0] holds the m <= l
+  /// orientation's plan, slot[1] the swapped one (see canonical.hpp).
+  struct IntraEntry {
+    std::array<std::optional<IntraOptResult>, 2> slots;
+  };
+  struct FusedEntry {
+    std::optional<FusedOptResult> result;
+  };
+  struct ArchEntry {
+    ArchIntraOpt result;
+  };
+
+  class IntraInterceptor;
+  class FusedInterceptor;
+  class ArchInterceptor;
+
+  /// In-flight computation other threads can wait on.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  /// True when this thread is the leader for \p key (must call end_flight);
+  /// false after having waited for an existing leader to finish.
+  bool begin_flight(const std::string& key);
+  void end_flight(const std::string& key);
+
+  ServeOptions options_;
+  ShardedLruCache<IntraEntry> intra_cache_;
+  ShardedLruCache<FusedEntry> fused_cache_;
+  ShardedLruCache<ArchEntry> arch_cache_;
+  ThreadPool pool_;
+
+  std::unique_ptr<IntraInterceptor> intra_hook_;
+  std::unique_ptr<FusedInterceptor> fused_hook_;
+  std::unique_ptr<ArchInterceptor> arch_hook_;
+  IntraPlanInterceptor* prev_intra_hook_ = nullptr;
+  FusedPlanInterceptor* prev_fused_hook_ = nullptr;
+  ArchPlanInterceptor* prev_arch_hook_ = nullptr;
+
+  std::mutex flights_mu_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  Counter& shared_flights_;
+};
+
+}  // namespace fusecu

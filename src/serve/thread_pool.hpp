@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool used by the plan service.
+///
+/// Deliberately minimal: a locked deque feeding N long-lived workers, with
+/// futures for result plumbing.  Planning jobs are CPU-bound and coarse
+/// (microseconds to milliseconds each), so queue contention is negligible
+/// and work stealing would be over-engineering.
+
+namespace fusecu {
+
+class ThreadPool {
+ public:
+  /// \p threads is clamped to >= 1.
+  explicit ThreadPool(int threads);
+  /// Drains nothing: pending jobs still run, then workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue \p fn; the future carries its return value or exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fusecu

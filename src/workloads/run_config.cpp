@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/parse_error.hpp"
 
 namespace fusecu {
 
@@ -37,17 +38,19 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
-Index parse_positive(const std::string& value, int line, const std::string& key) {
+Index parse_positive(const std::string& source, const std::string& value, int line,
+                     const std::string& key) {
   char* end = nullptr;
   const long long v = std::strtoll(value.c_str(), &end, 10);
-  FCU_CHECK(end && *end == '\0' && v >= 1,
-            "line " + std::to_string(line) + ": " + key + " expects a positive integer");
+  if (!(end && *end == '\0' && v >= 1)) {
+    throw ParseError(source, line, 0, "a positive integer for " + key, "got \"" + value + "\"");
+  }
   return v;
 }
 
 }  // namespace
 
-RunConfig parse_run_config(std::istream& in) {
+RunConfig parse_run_config(std::istream& in, const std::string& source) {
   RunConfig config;
   std::vector<std::string> requested_models;
   std::map<std::string, ModelConfig> customs;   // insertion handled below
@@ -65,14 +68,19 @@ RunConfig parse_run_config(std::istream& in) {
     if (text.empty()) continue;
 
     if (text.front() == '[') {
-      FCU_CHECK(text.back() == ']', "line " + std::to_string(line) + ": unterminated section");
+      if (text.back() != ']') throw ParseError(source, line, 0, "a closing ']'", "got \"" + text + "\"");
       std::string header = trim(text.substr(1, text.size() - 2));
-      FCU_CHECK(header.rfind("model ", 0) == 0,
-                "line " + std::to_string(line) + ": only [model NAME] sections are supported");
+      if (header.rfind("model ", 0) != 0) {
+        throw ParseError(source, line, 0, "a [model NAME] section header", "got \"" + text + "\"");
+      }
       current_section = trim(header.substr(6));
-      FCU_CHECK(!current_section.empty(), "line " + std::to_string(line) + ": empty model name");
-      FCU_CHECK(customs.find(current_section) == customs.end(),
-                "line " + std::to_string(line) + ": duplicate model section");
+      if (current_section.empty()) {
+        throw ParseError(source, line, 0, "a model name after [model", "got \"" + text + "\"");
+      }
+      if (customs.find(current_section) != customs.end()) {
+        throw ParseError(source, line, 0, "a unique model section name",
+                         "duplicate [model " + current_section + "]");
+      }
       ModelConfig m;
       m.name = current_section;
       customs[current_section] = m;
@@ -81,41 +89,52 @@ RunConfig parse_run_config(std::istream& in) {
     }
 
     const std::size_t eq = text.find('=');
-    FCU_CHECK(eq != std::string::npos, "line " + std::to_string(line) + ": expected key = value");
+    if (eq == std::string::npos) {
+      throw ParseError(source, line, 0, "key = value", "got \"" + text + "\"");
+    }
     const std::string key = lower(trim(text.substr(0, eq)));
     const std::string value = trim(text.substr(eq + 1));
-    FCU_CHECK(!value.empty(), "line " + std::to_string(line) + ": empty value for " + key);
+    if (value.empty()) throw ParseError(source, line, 0, "a value after " + key + " =");
 
     if (current_section.empty()) {
       if (key == "buffer") {
-        config.buffer_bytes = parse_bytes(value);
+        try {
+          config.buffer_bytes = parse_bytes(value);
+        } catch (const std::invalid_argument&) {
+          throw ParseError(source, line, 0, "a byte size for buffer (e.g. 512KB)",
+                           "got \"" + value + "\"");
+        }
       } else if (key == "bandwidth") {
         config.bandwidth_bytes_per_cycle = std::strtod(value.c_str(), nullptr);
-        FCU_CHECK(config.bandwidth_bytes_per_cycle > 0,
-                  "line " + std::to_string(line) + ": bandwidth must be positive");
+        if (config.bandwidth_bytes_per_cycle <= 0) {
+          throw ParseError(source, line, 0, "a positive bandwidth", "got \"" + value + "\"");
+        }
       } else if (key == "platforms") {
         config.platforms = split_list(value);
       } else if (key == "models") {
         requested_models = split_list(value);
       } else {
-        FCU_CHECK(false, "line " + std::to_string(line) + ": unknown option " + key);
+        throw ParseError(source, line, 0,
+                         "one of buffer / bandwidth / platforms / models", "got \"" + key + "\"");
       }
     } else {
       ModelConfig& m = customs[current_section];
       if (key == "heads") {
-        m.heads = static_cast<int>(parse_positive(value, line, key));
+        m.heads = static_cast<int>(parse_positive(source, value, line, key));
       } else if (key == "seq") {
-        m.seq = parse_positive(value, line, key);
+        m.seq = parse_positive(source, value, line, key);
       } else if (key == "hidden") {
-        m.hidden = parse_positive(value, line, key);
+        m.hidden = parse_positive(source, value, line, key);
       } else if (key == "batch") {
-        m.batch = parse_positive(value, line, key);
+        m.batch = parse_positive(source, value, line, key);
       } else if (key == "ffn_mult") {
-        m.ffn_mult = parse_positive(value, line, key);
+        m.ffn_mult = parse_positive(source, value, line, key);
       } else if (key == "kv_heads") {
-        m.kv_heads = static_cast<int>(parse_positive(value, line, key));
+        m.kv_heads = static_cast<int>(parse_positive(source, value, line, key));
       } else {
-        FCU_CHECK(false, "line " + std::to_string(line) + ": unknown model key " + key);
+        throw ParseError(source, line, 0,
+                         "one of heads / seq / hidden / batch / ffn_mult / kv_heads",
+                         "got \"" + key + "\"");
       }
     }
   }

@@ -37,9 +37,10 @@ struct RunConfig {
   std::vector<ModelConfig> models;     ///< resolved, in request order
 };
 
-/// Parse a configuration stream; throws std::invalid_argument with a line
-/// number on malformed input.
-RunConfig parse_run_config(std::istream& in);
+/// Parse a configuration stream; throws ParseError (a std::invalid_argument,
+/// see common/parse_error.hpp) naming \p source, the line and the expected
+/// token on malformed input.
+RunConfig parse_run_config(std::istream& in, const std::string& source = "<config>");
 
 /// Platform specs for the configuration (name matching is
 /// case-insensitive; unknown names throw).

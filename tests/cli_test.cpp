@@ -38,6 +38,30 @@ TEST(ArgParser, RejectsUnknownAndMalformed) {
   EXPECT_THROW(r.option_int("--n", 0), std::invalid_argument);
 }
 
+TEST(ArgParser, OptionUint64) {
+  ArgParser p({}, {"--seed"});
+  const char* decimal[] = {"prog", "--seed", "12345"};
+  p.parse(3, decimal);
+  EXPECT_EQ(p.option_uint64("--seed", 0), 12345u);
+
+  ArgParser q({}, {"--seed"});
+  const char* hex[] = {"prog", "--seed", "0x5eed"};
+  q.parse(3, hex);
+  EXPECT_EQ(q.option_uint64("--seed", 0), 0x5eedu);
+
+  ArgParser absent({}, {"--seed"});
+  const char* none[] = {"prog"};
+  absent.parse(1, none);
+  EXPECT_EQ(absent.option_uint64("--seed", 42), 42u);
+
+  for (const char* bad : {"-1", "12x", "", "seed"}) {
+    ArgParser r({}, {"--seed"});
+    const char* argv[] = {"prog", "--seed", bad};
+    r.parse(3, argv);
+    EXPECT_THROW(r.option_uint64("--seed", 0), std::invalid_argument) << bad;
+  }
+}
+
 TEST(ParseBytes, SuffixesAndErrors) {
   EXPECT_EQ(parse_bytes("1024"), 1024);
   EXPECT_EQ(parse_bytes("512KB"), 512 * kKiB);

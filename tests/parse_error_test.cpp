@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json_parse.hpp"
+#include "common/parse_error.hpp"
+#include "workloads/run_config.hpp"
+
+namespace fusecu {
+namespace {
+
+TEST(ParseError, FormatsCompilerStyle) {
+  ParseError e("eval.cfg", 7, 1, "key = value", "got \"platfroms TPUv4i\"");
+  EXPECT_EQ(std::string(e.what()), "eval.cfg:7:1: expected key = value — got \"platfroms TPUv4i\"");
+  EXPECT_EQ(e.source(), "eval.cfg");
+  EXPECT_EQ(e.line(), 7);
+  EXPECT_EQ(e.column(), 1);
+  EXPECT_EQ(e.expected(), "key = value");
+
+  // Zero column / empty detail degrade gracefully.
+  ParseError bare("x.json", 3, 0, "'}'");
+  EXPECT_EQ(std::string(bare.what()), "x.json:3: expected '}'");
+
+  // It stays catchable as std::invalid_argument at every existing site.
+  try {
+    throw ParseError("f", 1, 1, "t");
+    FAIL();
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+TEST(ParseError, LineColumnAt) {
+  const std::string text = "ab\ncde\n\nf";
+  EXPECT_EQ(line_column_at(text, 0), std::make_pair(1, 1));
+  EXPECT_EQ(line_column_at(text, 1), std::make_pair(1, 2));
+  EXPECT_EQ(line_column_at(text, 3), std::make_pair(2, 1));
+  EXPECT_EQ(line_column_at(text, 5), std::make_pair(2, 3));
+  EXPECT_EQ(line_column_at(text, 7), std::make_pair(3, 1));
+  EXPECT_EQ(line_column_at(text, 8), std::make_pair(4, 1));
+  EXPECT_EQ(line_column_at(text, 1000), std::make_pair(4, 2)) << "past-the-end clamps";
+}
+
+TEST(ParseError, JsonParserReportsSourceLineColumn) {
+  try {
+    parse_json("{\"a\":1,\n\"b\":}", "doc.json");
+    FAIL() << "malformed JSON must throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "doc.json");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("doc.json:2:", 0), 0u) << what;
+    EXPECT_NE(what.find("expected"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseError, RunConfigReportsSourceAndLine) {
+  // Line 3 is missing its '='.
+  std::istringstream cfg(
+      "buffer = 524288\n"
+      "bandwidth = 1024\n"
+      "platfroms TPUv4i\n");
+  try {
+    parse_run_config(cfg, "eval.cfg");
+    FAIL() << "malformed config must throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "eval.cfg");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(std::string(e.what()).rfind("eval.cfg:3", 0), 0u) << e.what();
+  }
+
+  // Bad value: anchored to its own line, and the expectation names the key.
+  std::istringstream bad_value("buffer = lots\n");
+  try {
+    parse_run_config(bad_value, "b.cfg");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "b.cfg");
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(e.expected().find("buffer"), std::string::npos) << e.expected();
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

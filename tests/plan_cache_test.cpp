@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_cache.hpp"
+
+namespace fusecu {
+namespace {
+
+/// Each test uses a distinct metric prefix so the global-registry counters
+/// the cache reports through start at zero for that test.
+ShardedLruCache<int>::Options options_for(const std::string& prefix, int shards,
+                                          std::size_t capacity) {
+  ShardedLruCache<int>::Options o;
+  o.shards = shards;
+  o.capacity_bytes = capacity;
+  o.metric_prefix = prefix;
+  return o;
+}
+
+/// Bookkeeping overhead charged per entry on top of the caller's cost; the
+/// tests size capacities relative to it so eviction points are exact.
+std::size_t overhead(const std::string& key) {
+  ShardedLruCache<int> probe(options_for("test/cache/probe/" + key, 1, 1));
+  probe.put(key, 0, 0);
+  return probe.stats().bytes;
+}
+
+TEST(ShardedLruCache, HitMissAndRecency) {
+  ShardedLruCache<int> cache(options_for("test/cache/hitmiss", 4, 1 << 20));
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  cache.put("a", 1, 8);
+  cache.put("b", 2, 8);
+  EXPECT_EQ(cache.get("a"), std::optional<int>(1));
+  EXPECT_EQ(cache.get("b"), std::optional<int>(2));
+  EXPECT_EQ(cache.get("c"), std::nullopt);
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.insertions, 2);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the whole budget is a single LRU list.  Capacity fits
+  // exactly three entries of cost 100 (plus fixed per-entry overhead).
+  const std::size_t per_entry = 100 + overhead("a");
+  ShardedLruCache<int> cache(options_for("test/cache/evict", 1, 3 * per_entry));
+  cache.put("a", 1, 100);
+  cache.put("b", 2, 100);
+  cache.put("c", 3, 100);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch "a": recency order is now a, c, b — "b" is the LRU victim.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("d", 4, 100);
+  EXPECT_EQ(cache.get("b"), std::nullopt) << "LRU entry should have been evicted";
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // Inserting two more evicts in strict recency order: c, then a.
+  cache.put("e", 5, 100);
+  cache.put("f", 6, 100);
+  EXPECT_EQ(cache.get("c"), std::nullopt);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 3);
+}
+
+TEST(ShardedLruCache, KeepsAtLeastOneEntryWhenOversized) {
+  ShardedLruCache<int> cache(options_for("test/cache/oversize", 1, 16));
+  cache.put("huge", 7, 1 << 20);  // cost far beyond capacity
+  EXPECT_EQ(cache.get("huge"), std::optional<int>(7))
+      << "a single oversized entry must survive (never evict below one entry)";
+  cache.put("huge2", 8, 1 << 20);
+  EXPECT_EQ(cache.get("huge"), std::nullopt);
+  EXPECT_EQ(cache.get("huge2"), std::optional<int>(8));
+}
+
+TEST(ShardedLruCache, UpsertExtendsInPlace) {
+  ShardedLruCache<int> cache(options_for("test/cache/upsert", 2, 1 << 20));
+  bool existed_first = true;
+  cache.upsert(
+      "k", [&](int& v, bool existed) { existed_first = existed; v = 1; }, 8);
+  EXPECT_FALSE(existed_first);
+
+  bool existed_second = false;
+  cache.upsert(
+      "k",
+      [&](int& v, bool existed) {
+        existed_second = existed;
+        EXPECT_EQ(v, 1) << "upsert must see the previously stored value";
+        v = 2;
+      },
+      8);
+  EXPECT_TRUE(existed_second);
+  EXPECT_EQ(cache.get("k"), std::optional<int>(2));
+  EXPECT_EQ(cache.stats().insertions, 1) << "in-place extension is not a new insertion";
+}
+
+TEST(ShardedLruCache, ConcurrentMixedTrafficStaysConsistent) {
+  // Hammer a small cache from several threads; the assertion is internal
+  // consistency (every successful get returns the value put under that key),
+  // and under TSan this is the data-race check for the shard locking.
+  ShardedLruCache<int> cache(options_for("test/cache/hammer", 4, 4096));
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int slot = (t * 7 + i) % 13;
+        const std::string key = "key" + std::to_string(slot);
+        if (std::optional<int> v = cache.get(key)) {
+          ASSERT_EQ(*v, slot * 11);
+        } else {
+          cache.put(key, slot * 11, 64);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kIters);
+  EXPECT_GE(s.entries, 1u);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "serve/plan_service.hpp"
+
+namespace fusecu {
+namespace {
+
+constexpr BufferSize kBs = 256 * 1024;  // 512 KB bf16
+
+std::int64_t counter_value(const std::string& name) {
+  return MetricsRegistry::global().counter(name).value();
+}
+
+/// Serialize an intra plan the way the service does, with a fixed id and
+/// cached flag, so responses can be compared byte-for-byte.
+std::string intra_json(const std::string& id, const IntraOptResult& result, bool cached) {
+  PlanResponse response;
+  response.id = id;
+  response.ok = true;
+  response.kind = PlanRequest::Kind::kMatmul;
+  response.cached = cached;
+  response.intra = result;
+  return response.to_json();
+}
+
+PlanRequest matmul_request(const std::string& id, Index m, Index k, Index l,
+                           BufferSize bs = kBs) {
+  PlanRequest r;
+  r.id = id;
+  r.m = m;
+  r.k = k;
+  r.l = l;
+  r.buffer_elems = bs;
+  return r;
+}
+
+TEST(PlanService, ByteIdenticalToDirectOptimizer) {
+  TensorOp op = TensorOp::matmul("matmul", 2048, 512, 512);
+  TensorOp opT = TensorOp::matmul("matmul", 512, 512, 2048);
+  // Direct answers, computed while no service (and hence no cache) exists.
+  const IntraOptResult direct = optimize_intra(op, kBs);
+  const IntraOptResult directT = optimize_intra(opT, kBs);
+
+  ServeOptions options;
+  options.threads = 2;
+  PlanService service(options);
+
+  IntraPlanned first = service.plan_intra(op, kBs);
+  EXPECT_FALSE(first.cached);
+  IntraPlanned second = service.plan_intra(op, kBs);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(intra_json("x", first.result, false), intra_json("x", direct, false));
+  EXPECT_EQ(intra_json("x", second.result, false), intra_json("x", direct, false));
+
+  // The transposed orientation shares the cache key but owns its own slot:
+  // it is computed once (not derived from the other orientation's plan) and
+  // must match the direct optimizer byte-for-byte too.
+  IntraPlanned firstT = service.plan_intra(opT, kBs);
+  EXPECT_FALSE(firstT.cached);
+  IntraPlanned secondT = service.plan_intra(opT, kBs);
+  EXPECT_TRUE(secondT.cached);
+  EXPECT_EQ(intra_json("x", firstT.result, false), intra_json("x", directT, false));
+  EXPECT_EQ(intra_json("x", secondT.result, false), intra_json("x", directT, false));
+
+  // Full response framing: the service's JSONL line equals one assembled
+  // from the direct result.
+  PlanResponse response = service.plan(matmul_request("r1", 2048, 512, 512));
+  EXPECT_EQ(response.to_json(), intra_json("r1", direct, true));
+}
+
+TEST(PlanService, BatchSingleFlightsIdenticalRequests) {
+  ServeOptions options;
+  options.threads = 4;
+  PlanService service(options);
+
+  std::vector<PlanRequest> batch;
+  for (int i = 0; i < 16; ++i) batch.push_back(matmul_request("same", 1024, 768, 768));
+
+  const std::int64_t calls_before = counter_value("principles/optimize_intra/calls");
+  const CacheStats intra_before = service.stats().intra;
+  std::vector<PlanResponse> responses = service.plan_batch(batch);
+  const std::int64_t calls = counter_value("principles/optimize_intra/calls") - calls_before;
+  const CacheStats intra_after = service.stats().intra;
+
+  // Responses may differ in the "cached" flag (the leader computed, the
+  // rest hit); the plans themselves may not.
+  auto normalized = [](const PlanResponse& r) {
+    std::string json = r.to_json();
+    const std::string hot = "\"cached\":true";
+    const auto pos = json.find(hot);
+    if (pos != std::string::npos) json.replace(pos, hot.size(), "\"cached\":false");
+    return json;
+  };
+  ASSERT_EQ(responses.size(), batch.size());
+  for (const PlanResponse& r : responses) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(normalized(r), normalized(responses[0]))
+        << "identical requests must produce identical plans";
+  }
+  EXPECT_EQ(calls, 1) << "16 identical concurrent requests must cost one optimization";
+  EXPECT_EQ(intra_after.insertions - intra_before.insertions, 1);
+}
+
+TEST(PlanService, ConcurrentHammerProducesIdenticalPlans) {
+  const std::vector<PlanRequest> shapes = {
+      matmul_request("a", 1024, 64, 1024),  matmul_request("b", 4096, 128, 4096),
+      matmul_request("c", 512, 512, 2048),  matmul_request("d", 2048, 512, 512),
+      matmul_request("e", 768, 3072, 768),
+  };
+  // Expected plans from the direct optimizer, computed before the service
+  // (and its process-wide interceptors) exists.
+  std::map<std::string, std::string> expected;
+  for (const PlanRequest& r : shapes) {
+    expected[r.id] = intra_json(r.id, optimize_intra(r.to_op(), r.buffer_elems), false);
+  }
+
+  ServeOptions options;
+  options.threads = 4;
+  PlanService service(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures[kThreads];
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const PlanRequest& r = shapes[static_cast<std::size_t>((t + i) % shapes.size())];
+        const std::string json = service.plan(r).to_json();
+        const std::string want = expected[r.id];
+        // Responses may legitimately differ in the "cached" flag; plans may
+        // not.  Compare with the flag normalized.
+        std::string got = json;
+        const std::string hot = "\"cached\":true";
+        const auto pos = got.find(hot);
+        if (pos != std::string::npos) got.replace(pos, hot.size(), "\"cached\":false");
+        if (got != want) failures[t].push_back("want " + want + "\n got " + json);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << failures[t][0];
+  }
+}
+
+TEST(PlanService, FusedPlansAndNegativeAnswersAreCached) {
+  ServeOptions options;
+  options.threads = 1;
+  PlanService service(options);
+
+  FusedPair pair = FusedPair::make(1024, 64, 1024, 64);
+  FusedPlanned first = service.plan_fused(pair, kBs);
+  ASSERT_TRUE(first.result.has_value());
+  EXPECT_FALSE(first.cached);
+  FusedPlanned second = service.plan_fused(pair, kBs);
+  ASSERT_TRUE(second.result.has_value());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(first.result->access.total, second.result->access.total);
+  EXPECT_EQ(first.result->chosen.rule, second.result->chosen.rule);
+
+  // "Not fusable at this buffer" is a planning answer, not an error — the
+  // second ask must come from the cache without re-running the optimizer.
+  const BufferSize tiny = 4;  // no fused candidate fits 4 elements
+  const std::int64_t calls_before = counter_value("principles/optimize_fused_pair/calls");
+  FusedPlanned miss = service.plan_fused(pair, tiny);
+  FusedPlanned cached_miss = service.plan_fused(pair, tiny);
+  EXPECT_FALSE(miss.result.has_value());
+  EXPECT_FALSE(cached_miss.result.has_value());
+  EXPECT_TRUE(cached_miss.cached);
+  EXPECT_EQ(counter_value("principles/optimize_fused_pair/calls") - calls_before, 1);
+}
+
+TEST(PlanService, DestructionRestoresInterceptors) {
+  TensorOp op = TensorOp::matmul("m", 256, 128, 256);
+  {
+    PlanService service(ServeOptions{.threads = 1});
+    optimize_intra(op, kBs);
+    const std::int64_t before = counter_value("principles/optimize_intra/intercepted");
+    optimize_intra(op, kBs);
+    EXPECT_EQ(counter_value("principles/optimize_intra/intercepted") - before, 1)
+        << "while the service is alive, repeats are served by the cache";
+  }
+  const std::int64_t after_dtor = counter_value("principles/optimize_intra/intercepted");
+  optimize_intra(op, kBs);
+  optimize_intra(op, kBs);
+  EXPECT_EQ(counter_value("principles/optimize_intra/intercepted"), after_dtor)
+      << "destroying the service must uninstall the interceptors";
+}
+
+TEST(PlanService, BadRequestsBecomeErrorResponsesWithTheirId) {
+  PlanService service(ServeOptions{.threads = 1});
+  PlanRequest bad = matmul_request("oops", 0, 64, 64);
+  PlanResponse response = service.plan(bad);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, "oops");
+  EXPECT_FALSE(response.error.empty());
+  const std::string json = response.to_json();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"oops\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fusecu

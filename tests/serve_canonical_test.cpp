@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/dataflow_space.hpp"
+#include "serve/canonical.hpp"
+
+namespace fusecu {
+namespace {
+
+constexpr BufferSize kBs = 256 * 1024;
+
+TEST(CanonicalIntraKey, TransposeClassSharesKeyWithDistinctSlots) {
+  TensorOp op = TensorOp::matmul("t", 2048, 512, 512);
+  TensorOp opT = TensorOp::matmul("tT", 512, 512, 2048);
+  CanonicalIntraKey a = canonical_intra_key(op, kBs);
+  CanonicalIntraKey b = canonical_intra_key(opT, kBs);
+  EXPECT_EQ(a.text, b.text) << "same labels, transposed extents: one transpose class";
+  EXPECT_NE(a.swapped, b.swapped) << "each orientation gets its own plan slot";
+
+  // Square matmuls are their own transpose: slot 0 by convention.
+  CanonicalIntraKey sq = canonical_intra_key(TensorOp::matmul("s", 512, 64, 512), kBs);
+  EXPECT_FALSE(sq.swapped);
+}
+
+TEST(CanonicalIntraKey, OperatorNameDoesNotMatterButLabelsDo) {
+  TensorOp a = TensorOp::matmul("proj.q", 1024, 768, 768);
+  TensorOp b = TensorOp::matmul("proj.k", 1024, 768, 768);
+  EXPECT_EQ(canonical_intra_key(a, kBs).text, canonical_intra_key(b, kBs).text)
+      << "the optimizer never reads the op name";
+
+  // Tensor names appear in rule strings ("P1(stationary=A)"), so renaming an
+  // operand must change the key.
+  TensorOp named = TensorOp::matmul("proj.q", 1024, 768, 768, "Wq", "X", "Q");
+  EXPECT_NE(canonical_intra_key(a, kBs).text, canonical_intra_key(named, kBs).text);
+}
+
+TEST(CanonicalIntraKey, NameBoundariesAreUnambiguous) {
+  // Length-prefixed name encoding: ("AB","C") and ("A","BC") concatenate to
+  // the same characters but must not collide.
+  TensorOp ab_c = TensorOp::matmul("x", 64, 64, 64, "AB", "C", "Z");
+  TensorOp a_bc = TensorOp::matmul("x", 64, 64, 64, "A", "BC", "Z");
+  EXPECT_NE(canonical_intra_key(ab_c, kBs).text, canonical_intra_key(a_bc, kBs).text);
+}
+
+TEST(CanonicalIntraKey, BufferClampAtFullFit) {
+  const Index m = 128, k = 64, l = 256;
+  TensorOp op = TensorOp::matmul("x", m, k, l);
+  const BufferSize full_fit = m * k + k * l + m * l;
+  EXPECT_EQ(clamp_buffer_for_intra(op, full_fit), full_fit);
+  EXPECT_EQ(clamp_buffer_for_intra(op, full_fit * 1000), full_fit);
+  EXPECT_EQ(clamp_buffer_for_intra(op, full_fit - 1), full_fit - 1);
+
+  // Saturated buffers share a key; sub-saturated sizes stay distinct.
+  EXPECT_EQ(canonical_intra_key(op, full_fit).text,
+            canonical_intra_key(op, full_fit * 1000).text);
+  EXPECT_NE(canonical_intra_key(op, full_fit - 1).text,
+            canonical_intra_key(op, full_fit).text);
+  EXPECT_NE(canonical_intra_key(op, 3000).text, canonical_intra_key(op, 3001).text);
+}
+
+TEST(CanonicalIntraKey, DistinctWorkloadsNeverCollide) {
+  // Every key in this sweep describes a genuinely different planning problem
+  // (different extents modulo transposition, labels, or effective buffer);
+  // all must be unique.
+  std::set<std::string> keys;
+  std::vector<std::string> described;
+  auto add = [&](const TensorOp& op, BufferSize bs, const std::string& what) {
+    CanonicalIntraKey key = canonical_intra_key(op, bs);
+    EXPECT_TRUE(keys.insert(key.text).second)
+        << what << " collided with an earlier workload; key = " << key.text;
+    described.push_back(what);
+  };
+
+  const Index extents[] = {64, 128, 768, 1024};
+  for (Index m : extents) {
+    for (Index k : extents) {
+      for (Index l : extents) {
+        if (m > l) continue;  // the transpose is the SAME class by design
+        add(TensorOp::matmul("w", m, k, l), kBs,
+            "matmul " + std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(l));
+      }
+    }
+  }
+  add(TensorOp::matmul("w", 64, 64, 64), 1024, "small buffer");
+  add(TensorOp::matmul("w", 64, 64, 64), 2048, "medium buffer");
+  add(TensorOp::matmul("w", 64, 64, 64, "Wq", "X", "Q"), kBs, "renamed tensors");
+  ASSERT_GE(keys.size(), 40u);
+}
+
+TEST(CanonicalIntraKey, OutOfScopeOpsReturnNullopt) {
+  TensorOp gelu = TensorOp::elementwise("gelu", 128, 128, "X", "Y");
+  EXPECT_FALSE(try_canonical_intra_key(gelu, kBs).has_value());
+  EXPECT_THROW(canonical_intra_key(gelu, kBs), std::invalid_argument);
+  EXPECT_TRUE(try_canonical_intra_key(TensorOp::matmul("m", 8, 8, 8), kBs).has_value());
+}
+
+TEST(CanonicalFusedKey, ExactInAllFourExtentsAndBuffer) {
+  std::set<std::string> keys;
+  for (Index n : {32, 64, 128}) {
+    EXPECT_TRUE(keys.insert(canonical_fused_key(FusedPair::make(1024, 64, 1024, n), kBs)).second);
+  }
+  // No transpose folding for fused pairs: construction is asymmetric.
+  EXPECT_NE(canonical_fused_key(FusedPair::make(1024, 64, 512, 64), kBs),
+            canonical_fused_key(FusedPair::make(512, 64, 1024, 64), kBs));
+  EXPECT_NE(canonical_fused_key(FusedPair::make(1024, 64, 1024, 64), kBs),
+            canonical_fused_key(FusedPair::make(1024, 64, 1024, 64), kBs + 1));
+}
+
+TEST(CanonicalArchKey, ArchitectureAttributesAreSpelledIn) {
+  TensorOp op = TensorOp::matmul("m", 1024, 768, 768);
+  ArchSpec fusecu = make_fusecu();
+  ArchSpec tpu = make_tpu_v4i();
+  auto a = try_canonical_arch_key(op, fusecu);
+  auto b = try_canonical_arch_key(op, tpu);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b) << "different dataflow spaces must never share plans";
+
+  // Bandwidth and frequency price plans but never change them: excluded.
+  ArchSpec faster = fusecu;
+  faster.bandwidth_bytes_per_cycle *= 2;
+  faster.frequency_ghz *= 2;
+  EXPECT_EQ(*a, *try_canonical_arch_key(op, faster));
+
+  // Buffer size and flexibility DO change plans: included.
+  ArchSpec bigger = fusecu;
+  bigger.buffer_bytes *= 2;
+  EXPECT_NE(*a, *try_canonical_arch_key(op, bigger));
+  ArchSpec rigid = fusecu;
+  rigid.tiling_flex = TilingFlexibility::kLow;
+  EXPECT_NE(*a, *try_canonical_arch_key(op, rigid));
+
+  TensorOp gelu = TensorOp::elementwise("gelu", 128, 128, "X", "Y");
+  EXPECT_FALSE(try_canonical_arch_key(gelu, fusecu).has_value());
+}
+
+}  // namespace
+}  // namespace fusecu

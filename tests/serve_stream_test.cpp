@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "serve/plan_service.hpp"
+
+/// JSONL round-trip acceptance for the planning service: the in-process
+/// serve_stream() contract, and the real fusecu_serve binary end to end
+/// (path injected by CMake, mirroring eval_obs_test).
+
+#ifndef FUSECU_SERVE_BIN
+#error "FUSECU_SERVE_BIN must be defined to the fusecu_serve binary path"
+#endif
+
+namespace fusecu {
+namespace {
+
+const char kRequests[] =
+    "{\"id\":\"r1\",\"op\":\"matmul\",\"m\":1024,\"k\":768,\"l\":768,\"buffer\":\"512KB\"}\n"
+    "\n"
+    "{\"id\":\"r2\",\"op\":\"matmul\",\"m\":1024,\"k\":768,\"l\":768,\"buffer\":\"512KB\"}\n"
+    "{\"id\":\"r3\",\"op\":\"fused_pair\",\"m\":1024,\"k\":64,\"l\":1024,\"n\":64,"
+    "\"buffer_elems\":262144}\n"
+    "{\"id\":\"r4\",\"op\":\"matmul\",\"m\":128,\"k\":64,\"l\":256,\"batch\":8,"
+    "\"shared_weight\":true,\"buffer_elems\":65536}\n"
+    "{\"id\":\"bad\",\"op\":\"matmul\",\"m\":128\n"
+    "{\"id\":\"r5\",\"op\":\"matmul\",\"m\":64,\"k\":64,\"l\":64,\"buffer_elems\":1}\n";
+
+std::vector<JsonValuePtr> parse_lines(std::istream& in) {
+  std::vector<JsonValuePtr> docs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    docs.push_back(parse_json(line));  // throws on any malformed response
+  }
+  return docs;
+}
+
+void check_responses(std::vector<JsonValuePtr>& docs) {
+  ASSERT_EQ(docs.size(), 6u) << "one response per non-blank input line";
+
+  EXPECT_EQ(docs[0]->get("id")->as_string(), "r1");
+  EXPECT_TRUE(docs[0]->get("ok")->as_bool());
+  EXPECT_EQ(docs[0]->get("kind")->as_string(), "matmul");
+  EXPECT_FALSE(docs[0]->get("cached")->as_bool());
+  EXPECT_GT(docs[0]->get("total_access")->as_number(), 0.0);
+  EXPECT_FALSE(docs[0]->get("rule")->as_string().empty());
+  EXPECT_EQ(docs[0]->get("per_tensor")->as_array().size(), 3u);
+
+  // r2 repeats r1 exactly: cache hit, identical plan.
+  EXPECT_TRUE(docs[1]->get("cached")->as_bool());
+  EXPECT_EQ(docs[1]->get("rule")->as_string(), docs[0]->get("rule")->as_string());
+  EXPECT_EQ(docs[1]->get("total_access")->as_number(), docs[0]->get("total_access")->as_number());
+
+  EXPECT_EQ(docs[2]->get("id")->as_string(), "r3");
+  EXPECT_TRUE(docs[2]->get("ok")->as_bool());
+  EXPECT_EQ(docs[2]->get("kind")->as_string(), "fused_pair");
+  EXPECT_TRUE(docs[2]->get("fusable")->as_bool());
+
+  EXPECT_EQ(docs[3]->get("id")->as_string(), "r4");
+  EXPECT_TRUE(docs[3]->get("ok")->as_bool());
+
+  // The malformed line produces an error response in place, anchored to the
+  // source and line of the stream; the stream itself keeps going.
+  EXPECT_FALSE(docs[4]->get("ok")->as_bool());
+  const std::string error = docs[4]->get("error")->as_string();
+  EXPECT_NE(error.find(":6:"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected"), std::string::npos) << error;
+
+  // Well-formed JSON with an impossible workload: error, id preserved.
+  EXPECT_FALSE(docs[5]->get("ok")->as_bool());
+  EXPECT_EQ(docs[5]->get("id")->as_string(), "r5");
+}
+
+TEST(ServeStream, InProcessRoundTrip) {
+  PlanService service(ServeOptions{.threads = 2});
+  std::istringstream in(kRequests);
+  std::ostringstream out;
+  const int n = service.serve_stream(in, out, "requests.jsonl");
+  EXPECT_EQ(n, 6);
+  std::istringstream replies(out.str());
+  std::vector<JsonValuePtr> docs = parse_lines(replies);
+  check_responses(docs);
+  EXPECT_NE(docs[4]->get("error")->as_string().find("requests.jsonl:6:"), std::string::npos);
+}
+
+TEST(ServeStream, BinaryEndToEnd) {
+  const std::string input_path = testing::TempDir() + "serve_requests.jsonl";
+  const std::string output_path = testing::TempDir() + "serve_responses.jsonl";
+  {
+    std::ofstream out(input_path);
+    out << kRequests;
+  }
+  const std::string cmd = std::string(FUSECU_SERVE_BIN) + " --input " + input_path +
+                          " --threads 2 --cache-mb 16 > " + output_path;
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream replies(output_path);
+  ASSERT_TRUE(replies.is_open());
+  std::vector<JsonValuePtr> docs = parse_lines(replies);
+  check_responses(docs);
+  EXPECT_NE(docs[4]->get("error")->as_string().find(":6:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fusecu
