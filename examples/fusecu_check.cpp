@@ -1,0 +1,122 @@
+// fusecu_check — differential conformance harness driver.
+//
+// Random mode (default): derive one workload per trial from --seed, run the
+// full oracle stack (floors, exhaustive search, functional simulation, serve
+// byte-identity), shrink any counterexample and optionally dump it as a
+// self-contained JSON repro:
+//
+//   fusecu_check --trials 500 --seed 1 --repro-out repro.json
+//
+// Replay mode: re-run the shrunk workload of a repro artifact:
+//
+//   fusecu_check --replay repro.json
+//
+// Shared observability flags (--metrics-out / --trace-out) publish the
+// check/... counters: trials, per-buffer-class coverage, failures, executor
+// runs vs skips.  Exit status: 0 clean, 1 mismatches found, 2 usage error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "check/harness.hpp"
+#include "common/cli.hpp"
+#include "obs/obs_session.hpp"
+
+using namespace fusecu;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--trials N] [--seed S] [--max-extent N]\n"
+               "       [--repro-out FILE] [--replay FILE]\n"
+               "       [--no-exec] [--no-serve] [--no-arch] [--no-shrink]\n"
+               "       [--metrics-out FILE] [--trace-out FILE]\n";
+  return 2;
+}
+
+void print_coverage(std::ostream& os) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  os << "regime coverage:";
+  for (const char* cls : {"tiny", "small", "medium", "large"}) {
+    os << " " << cls << "=" << reg.counter(std::string("check/regime/") + cls).value();
+  }
+  os << "\nexecutor: runs=" << reg.counter("check/executor_runs").value()
+     << " skips=" << reg.counter("check/executor_skips").value()
+     << "  serve checks=" << reg.counter("check/serve_checks").value() << "\n";
+}
+
+int run_replay(const std::string& path, const CheckOptions& check) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fusecu_check: cannot open replay file " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Repro repro = repro_from_json(buffer.str(), path);
+
+  std::cout << "replaying " << repro.shrunk.to_string() << " (original "
+            << repro.original.to_string() << ")\n";
+  CheckReport report = replay_repro(repro, check);
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
+  ArgParser parser({"--no-exec", "--no-serve", "--no-arch", "--no-shrink", "--help"},
+                   {"--trials", "--seed", "--max-extent", "--repro-out", "--replay"});
+  try {
+    parser.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fusecu_check: " << e.what() << "\n";
+    return usage(argv[0]);
+  }
+  if (parser.has_flag("--help")) return usage(argv[0]);
+
+  HarnessOptions opts;
+  opts.seed = parser.option_uint64("--seed", 1);
+  opts.trials = static_cast<int>(parser.option_int("--trials", 100));
+  opts.limits.max_extent = parser.option_int("--max-extent", opts.limits.max_extent);
+  opts.check.with_executor = !parser.has_flag("--no-exec");
+  opts.check.with_serve = !parser.has_flag("--no-serve");
+  opts.check.with_arch = !parser.has_flag("--no-arch");
+  opts.shrink = !parser.has_flag("--no-shrink");
+
+  try {
+    if (auto replay = parser.option("--replay")) {
+      return run_replay(*replay, opts.check);
+    }
+
+    std::cout << "fusecu_check: " << opts.trials << " trials, seed " << opts.seed << "\n";
+    HarnessResult result = run_conformance(opts, &std::cout);
+
+    std::cout << result.trials_run << " trials, " << result.checks_run << " checks, "
+              << result.failed_trials << " failing trial(s)\n";
+    print_coverage(std::cout);
+
+    if (!result.ok()) {
+      if (auto out = parser.option("--repro-out")) {
+        std::ofstream os(*out);
+        if (!os) {
+          std::cerr << "fusecu_check: cannot write repro to " << *out << "\n";
+        } else {
+          os << repro_to_json(make_repro(result.failures.front())) << "\n";
+          std::cout << "repro written to " << *out << "\n";
+        }
+      }
+      std::cout << "replay any failure with: " << argv[0]
+                << " --replay <repro.json>, or regenerate it from its reported seed\n";
+      return 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fusecu_check: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,483 @@
+#include "check/conformance.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/dataflow_space.hpp"
+#include "fusion/fusion_principles.hpp"
+#include "fusion/graph_planner.hpp"
+#include "obs/metrics.hpp"
+#include "search/exhaustive.hpp"
+#include "serve/plan_service.hpp"
+#include "sim/tiled_executor.hpp"
+
+namespace fusecu {
+
+namespace {
+
+/// splitmix64 step: decorrelates sub-draws (executor dataflow, arch spec)
+/// from the workload seed without sharing the generator stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Checker {
+ public:
+  Checker(const Workload& w, const CheckOptions& opts, CheckReport* report)
+      : w_(w), opts_(opts), report_(report) {}
+
+  void fail(const std::string& check, const std::string& detail) {
+    report_->failures.push_back({check, w_.to_string() + ": " + detail});
+  }
+
+  /// Expect lhs == rhs.
+  template <typename T>
+  void expect_eq(const std::string& check, const T& lhs, const T& rhs,
+                 const std::string& what) {
+    ++report_->checks_run;
+    if (!(lhs == rhs)) {
+      std::ostringstream os;
+      os << what << " mismatch: " << lhs << " != " << rhs;
+      fail(check, os.str());
+    }
+  }
+
+  /// Expect lhs <= rhs.
+  void expect_le(const std::string& check, AccessCount lhs, AccessCount rhs,
+                 const std::string& what) {
+    ++report_->checks_run;
+    if (lhs > rhs) {
+      std::ostringstream os;
+      os << what << ": " << lhs << " > " << rhs;
+      fail(check, os.str());
+    }
+  }
+
+  void expect_true(const std::string& check, bool cond, const std::string& what) {
+    ++report_->checks_run;
+    if (!cond) fail(check, what);
+  }
+
+  const Workload& w_;
+  const CheckOptions& opts_;
+  CheckReport* report_;
+};
+
+std::string dims_to_string(const std::vector<Index>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ",";
+    os << v[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Random executable dataflow: tiles capped at the array edge so every
+/// stationary mode fits, loop order uniform.
+Dataflow gen_executor_dataflow(const TensorOp& op, Rng& rng, Index array_n) {
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  Dataflow df;
+  df.loop_order = orders[rng.pick(orders.size())];
+  for (int d = 0; d < op.num_dims(); ++d) {
+    df.tile.push_back(rng.uniform(1, std::min(op.extent(d), array_n)));
+  }
+  return df;
+}
+
+Index tile_visits(const TensorOp& op, const Dataflow& df) {
+  Index visits = 1;
+  for (int d = 0; d < op.num_dims(); ++d) visits *= df.trips(op, d);
+  return visits;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-operator checks.
+
+void check_intra_workload(Checker& c, const TensorOp& op, BufferSize bs) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+
+  IntraOptResult principled = optimize_intra(op, bs);
+  if (c.opts_.intra_mutator) c.opts_.intra_mutator(op, principled);
+
+  // Self-consistency: the reported access/footprint must re-evaluate
+  // identically, the dataflow must be valid and fit the buffer.
+  validate_dataflow(op, principled.dataflow);
+  AccessBreakdown re = evaluate_access(op, principled.dataflow);
+  c.expect_eq("intra/self_consistent", re.total, principled.access.total, "re-evaluated total");
+  c.expect_eq("intra/self_consistent", re.buffer_footprint, principled.access.buffer_footprint,
+              "re-evaluated footprint");
+  c.expect_le("intra/fits_buffer", principled.access.buffer_footprint, bs, "footprint > BS");
+
+  // The paper's central claim: the one-shot construction matches or beats
+  // ground-truth exhaustive search.
+  auto searched = exhaustive_intra(op, bs);
+  c.expect_true("intra/exhaustive_feasible", searched.has_value(),
+                "exhaustive found nothing but principled plan exists");
+  if (searched) {
+    c.expect_le("intra/opt_vs_exhaustive", principled.access.total, searched->access.total,
+                "principled MA above exhaustive optimum (rule " + principled.rule + ")");
+    // Nothing, searched or constructed, may beat the analytical floor.
+    const AccessCount floor = intra_traffic_lower_bound(op, bs);
+    c.expect_le("intra/lower_bound", floor, searched->access.total,
+                "exhaustive optimum below the Dinh-Demmel floor");
+    c.expect_le("intra/lower_bound", floor, principled.access.total,
+                "principled MA below the Dinh-Demmel floor");
+  }
+
+  // More buffer can never cost more accesses.
+  if (bs / 2 >= 3) {
+    IntraOptResult half = optimize_intra(op, bs / 2);
+    c.expect_le("intra/monotone_in_bs", principled.access.total, half.access.total,
+                "doubling the buffer increased MA");
+  }
+
+  // Principle 1-3 regime rules at the paper's prescribed probe points
+  // (Sec. III-A4), guarded exactly like the table: deep-tiny => Single,
+  // mid-medium => Two, comfortably-large => Three at the ideal minimum.
+  const Index dmin = op.min_extent();
+  const Index tmin = op.tensor_size(op.smallest_tensor());
+  if (dmin >= 16) {
+    IntraOptResult tiny = optimize_intra(op, dmin * dmin / 8);
+    c.expect_true("intra/regime_tiny_single", tiny.nra == NraKind::kSingle,
+                  std::string("deep-tiny probe won ") + to_string(tiny.nra));
+    const BufferSize mid = (dmin * dmin / 2 + tmin) / 2 + dmin;
+    if (mid > dmin * dmin / 2 && mid <= tmin) {
+      IntraOptResult medium = optimize_intra(op, mid);
+      c.expect_true("intra/regime_medium_two", medium.nra == NraKind::kTwo,
+                    std::string("mid-medium probe won ") + to_string(medium.nra));
+    }
+  }
+  {
+    IntraOptResult large = optimize_intra(op, 2 * tmin + 2 * dmin);
+    c.expect_true("intra/regime_large_three", large.nra == NraKind::kThree,
+                  std::string("comfortably-large probe won ") + to_string(large.nra));
+    c.expect_eq("intra/regime_large_three", large.access.total, op.ideal_min_access(),
+                "large-buffer MA vs ideal minimum");
+  }
+
+  // Analytical model vs functional simulation: traffic must agree exactly,
+  // per tensor, on a random executable schedule.
+  if (c.opts_.with_executor) {
+    Rng sub(mix64(c.w_.seed ^ 0x5eedf00dull));
+    Dataflow df = gen_executor_dataflow(op, sub, c.opts_.array_n);
+    if (tile_visits(op, df) <= c.opts_.max_tile_visits) {
+      reg.counter("check/executor_runs").add();
+      Matrix a = make_test_matrix(op.extent(mm::kDimM), op.extent(mm::kDimK),
+                                  mix64(c.w_.seed) ^ 1);
+      Matrix b = make_test_matrix(op.extent(mm::kDimK), op.extent(mm::kDimL),
+                                  mix64(c.w_.seed) ^ 2);
+      ComputeUnit cu(c.opts_.array_n);
+      TiledExecutionResult run = execute_tiled(op, df, a, b, cu);
+      AccessBreakdown model = evaluate_access(op, df);
+      c.expect_eq("intra/executor_traffic", run.total_traffic, model.total,
+                  "simulated vs modeled total traffic (" + df.to_string(op) + ")");
+      for (int t = 0; t < op.num_tensors(); ++t) {
+        c.expect_eq("intra/executor_traffic",
+                    run.traffic_per_tensor[static_cast<std::size_t>(t)],
+                    model.per_tensor[static_cast<std::size_t>(t)],
+                    "simulated vs modeled traffic of " + op.tensor(t).name);
+      }
+      c.expect_true("intra/executor_output", run.output == matmul_reference(a, b),
+                    "executed output differs from reference matmul");
+    } else {
+      reg.counter("check/executor_skips").add();
+    }
+  }
+
+  // Arch-constrained optimizer: deterministic, in-budget, tile-legal.
+  if (c.opts_.with_arch) {
+    Rng sub(mix64(c.w_.seed ^ 0xa5c4a5c4ull));
+    ArchSpec arch = gen_arch_spec(sub);
+    ArchIntraOpt r1 = optimize_intra_for_arch(op, arch);
+    ArchIntraOpt r2 = optimize_intra_for_arch(op, arch);
+    c.expect_eq("arch/deterministic", dims_to_string(r1.dataflow.tile),
+                dims_to_string(r2.dataflow.tile),
+                "arch plan tiles across two runs (" + arch.name + ")");
+    c.expect_eq("arch/deterministic", r1.access.total, r2.access.total,
+                "arch plan MA across two runs (" + arch.name + ")");
+    c.expect_le("arch/fits_buffer", r1.access.buffer_footprint, arch.buffer_elements(),
+                "arch plan footprint > platform buffer (" + arch.name + ")");
+    for (int d = 0; d < op.num_dims(); ++d) {
+      const Index t = r1.dataflow.tile[static_cast<std::size_t>(d)];
+      c.expect_eq("arch/tile_legal", legalize_tile(t, op.extent(d), arch.tile_granularity()), t,
+                  "tile of " + op.dim(d).name + " vs granularity on " + arch.name);
+    }
+    // The platform-constrained optimum can never beat the unconstrained one.
+    c.expect_le("arch/vs_unconstrained",
+                optimize_intra(op, arch.buffer_elements()).access.total, r1.access.total,
+                "unconstrained MA above " + arch.name + "'s constrained MA");
+  }
+
+  // Serve path: byte-identity of cached / canonicalized plans.
+  if (c.opts_.with_serve) {
+    reg.counter("check/serve_checks").add();
+    const std::string direct = intra_plan_signature(optimize_intra(op, bs));
+    TensorOp transposed = TensorOp::matmul("wl", op.extent(mm::kDimL), op.extent(mm::kDimK),
+                                           op.extent(mm::kDimM));
+    const std::string direct_t = intra_plan_signature(optimize_intra(transposed, bs));
+    {
+      ServeOptions so;
+      so.threads = 1;
+      so.cache_bytes = 1 << 20;
+      so.shards = 1;
+      PlanService service(so);
+      IntraPlanned cold = service.plan_intra(op, bs);
+      c.expect_true("serve/cold_uncached", !cold.cached, "first lookup claimed a cache hit");
+      c.expect_eq("serve/byte_identity", intra_plan_signature(cold.result), direct,
+                  "served plan vs direct optimize_intra");
+      IntraPlanned warm = service.plan_intra(op, bs);
+      c.expect_true("serve/warm_cached", warm.cached, "second lookup missed the cache");
+      c.expect_eq("serve/byte_identity", intra_plan_signature(warm.result), direct,
+                  "cached plan vs direct optimize_intra");
+      IntraPlanned trans = service.plan_intra(transposed, bs);
+      c.expect_eq("serve/transpose_identity", intra_plan_signature(trans.result), direct_t,
+                  "transpose-class plan vs direct optimize_intra of the transposed op");
+    }
+    // Interceptor teardown: after the service dies, planning is direct again
+    // and still produces the same bytes.
+    c.expect_eq("serve/teardown", intra_plan_signature(optimize_intra(op, bs)), direct,
+                "post-service plan vs pre-service plan");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused-pair checks.
+
+void check_fused_workload(Checker& c, const FusedPair& pair, BufferSize bs) {
+  auto fopt = optimize_fused_pair(pair, bs);
+  auto fexh = exhaustive_fused(pair, bs);
+  c.expect_eq("fused/feasibility_agreement", fopt.has_value(), fexh.has_value(),
+              "principled vs exhaustive fused feasibility");
+  if (fopt && fexh) {
+    c.expect_le("fused/opt_vs_exhaustive", fopt->access.total, fexh->access.total,
+                "principled fused MA above exhaustive optimum (rule " + fopt->chosen.rule + ")");
+    const AccessCount floor = fused_traffic_lower_bound(pair);
+    c.expect_le("fused/lower_bound", floor, fexh->access.total,
+                "exhaustive fused MA below the externals-once floor");
+    c.expect_le("fused/lower_bound", floor, fopt->access.total,
+                "principled fused MA below the externals-once floor");
+    c.expect_le("fused/fits_buffer", fopt->access.buffer_footprint, bs,
+                "fused footprint > BS");
+    // Self-consistency: re-pricing the chosen configuration reproduces it.
+    FusedAccess re = fopt->chosen.phased ? evaluate_phased(pair, *fopt->chosen.phased)
+                                         : evaluate_resident(pair, *fopt->chosen.resident);
+    c.expect_eq("fused/self_consistent", re.total, fopt->access.total,
+                "re-evaluated fused total");
+  }
+
+  // Principle 4 and the fuse-or-not decision must tell one coherent story.
+  FusionDecision d = decide_fusion(pair, bs);
+  c.expect_eq("fused/decision_consistent", d.fusable, fopt.has_value(), "fusable flag");
+  c.expect_eq("fused/principle4_predicate", d.principle4_predicts, same_nra_regime(pair, bs),
+              "Principle-4 prediction vs regime predicate");
+  if (fopt) {
+    c.expect_eq("fused/decision_consistent", d.fused_ma, fopt->access.total, "decision fused MA");
+    c.expect_eq("fused/decision_consistent", d.unfused_ma, unfused_pair_access(pair, bs),
+                "decision unfused MA");
+    c.expect_eq("fused/decision_consistent", d.profitable, d.fused_ma < d.unfused_ma,
+                "profitability flag");
+  }
+
+  // Fused functional simulation vs the phased analytical model.
+  if (c.opts_.with_executor && pair.m() <= 2 * c.opts_.array_n &&
+      pair.l() <= c.opts_.array_n && pair.k() <= 2 * c.opts_.array_n &&
+      pair.n() <= 2 * c.opts_.array_n) {
+    Rng sub(mix64(c.w_.seed ^ 0xf0e1d2c3ull));
+    PhasedFusedDataflow df;
+    df.t_m = sub.uniform(1, std::min(pair.m(), c.opts_.array_n));
+    df.t_k = sub.uniform(1, pair.k());
+    df.t_l = sub.uniform(1, std::min(pair.l(), c.opts_.array_n));
+    df.t_n = sub.uniform(1, pair.n());
+    df.l_outer = sub.chance(0.5);
+    MetricsRegistry::global().counter("check/executor_runs").add();
+    Matrix a = make_test_matrix(pair.m(), pair.k(), mix64(c.w_.seed) ^ 3);
+    Matrix b = make_test_matrix(pair.k(), pair.l(), mix64(c.w_.seed) ^ 4);
+    Matrix dmat = make_test_matrix(pair.l(), pair.n(), mix64(c.w_.seed) ^ 5);
+    FuseCuQuad quad(c.opts_.array_n);
+    FusedExecutionResult run = execute_fused_phased(pair, df, a, b, dmat, quad);
+    FusedAccess model = evaluate_phased(pair, df);
+    c.expect_eq("fused/executor_traffic", run.total_traffic, model.total,
+                "simulated vs modeled fused traffic (" + df.to_string() + ")");
+    c.expect_eq("fused/executor_traffic", run.traffic_c, AccessCount{0},
+                "intermediate spilled to memory");
+    c.expect_true("fused/executor_output",
+                  run.output == matmul_reference(matmul_reference(a, b), dmat),
+                  "fused execution differs from reference (A*B)*D");
+  }
+
+  // Serve path byte-identity for fused plans.
+  if (c.opts_.with_serve) {
+    MetricsRegistry::global().counter("check/serve_checks").add();
+    const std::string direct = fused_plan_signature(optimize_fused_pair(pair, bs));
+    {
+      ServeOptions so;
+      so.threads = 1;
+      so.cache_bytes = 1 << 20;
+      so.shards = 1;
+      PlanService service(so);
+      FusedPlanned cold = service.plan_fused(pair, bs);
+      c.expect_eq("serve/fused_byte_identity", fused_plan_signature(cold.result), direct,
+                  "served fused plan vs direct optimize_fused_pair");
+      FusedPlanned warm = service.plan_fused(pair, bs);
+      c.expect_true("serve/warm_cached", warm.cached, "second fused lookup missed the cache");
+      c.expect_eq("serve/fused_byte_identity", fused_plan_signature(warm.result), direct,
+                  "cached fused plan vs direct optimize_fused_pair");
+    }
+    c.expect_eq("serve/teardown", fused_plan_signature(optimize_fused_pair(pair, bs)), direct,
+                "post-service fused plan vs pre-service plan");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chain checks.
+
+void check_chain_workload(Checker& c, const ChainSpec& chain, BufferSize bs) {
+  OperatorGraph direct = chain.direct();
+  OperatorGraph with_ew = chain.with_elementwise();
+
+  GraphPlan pd = plan_graph(direct, bs, PlannerPolicy::kCostOnly, 3);
+  GraphPlan pe = plan_graph(with_ew, bs, PlannerPolicy::kCostOnly, 3);
+
+  // Pointwise epilogues are free: they may never change the chain cost.
+  c.expect_eq("chain/pointwise_invariant", pe.total_access, pd.total_access,
+              "chain cost with vs without pointwise ops");
+  c.expect_eq("chain/pointwise_invariant", pe.elementwise_access, AccessCount{0},
+              "non-absorbed pointwise traffic");
+  c.expect_eq("chain/pointwise_invariant", static_cast<AccessCount>(pe.spilled_rowwise),
+              AccessCount{0}, "spilled row-wise ops in a pointwise-only chain");
+
+  // Floors and ceilings: a plan can never beat perfect fusion, and the DP
+  // includes the all-solo partition so it can never lose to it.
+  c.expect_le("chain/lower_bound", direct.ideal_min_access_fused(), pd.total_access,
+              "chain plan below the perfect-fusion floor");
+  AccessCount solo_sum = 0;
+  for (const TensorOp& op : direct.ops()) solo_sum += optimize_intra(op, bs).access.total;
+  c.expect_le("chain/vs_all_solo", pd.total_access, solo_sum,
+              "chain plan above the all-solo partition");
+
+  // Determinism.
+  GraphPlan pd2 = plan_graph(direct, bs, PlannerPolicy::kCostOnly, 3);
+  c.expect_eq("chain/deterministic", pd2.total_access, pd.total_access,
+              "chain cost across two planning runs");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+bool CheckReport::has_failure(const std::string& check) const {
+  for (const CheckFailure& f : failures) {
+    if (f.check == check) return true;
+  }
+  return false;
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << checks_run << " checks, " << failures.size() << " failure(s)";
+  for (const CheckFailure& f : failures) {
+    os << "\n  [" << f.check << "] " << f.detail;
+  }
+  return os.str();
+}
+
+AccessCount intra_traffic_lower_bound(const TensorOp& op, BufferSize bs) {
+  AccessCount floor = op.ideal_min_access();
+  if (op.num_dims() == 3 && bs >= 1) {
+    // Dinh-Demmel projective-loop bound, provable for every dataflow of the
+    // access model: some tensor tile of area t1*t2 <= BS bounds two of the
+    // redundancy terms, and AM-GM gives MA >= 2*MKL/sqrt(t1*t2).  Rounded
+    // down one element to stay sound under floating-point evaluation.
+    const double mkl = static_cast<double>(op.macs());
+    const AccessCount dd =
+        static_cast<AccessCount>(2.0 * mkl / std::sqrt(static_cast<double>(bs))) - 1;
+    floor = std::max(floor, dd);
+  }
+  return floor;
+}
+
+AccessCount fused_traffic_lower_bound(const FusedPair& pair) {
+  return pair.ideal_min_access();
+}
+
+std::string intra_plan_signature(const IntraOptResult& r) {
+  std::ostringstream os;
+  os << "rule=" << r.rule << " nra=" << static_cast<int>(r.nra)
+     << " class=" << to_string(r.buffer_class) << " order=[";
+  for (std::size_t i = 0; i < r.dataflow.loop_order.size(); ++i) {
+    if (i) os << ",";
+    os << r.dataflow.loop_order[i];
+  }
+  os << "] tile=" << dims_to_string(r.dataflow.tile)
+     << " per_tensor=" << dims_to_string(r.access.per_tensor) << " total=" << r.access.total
+     << " footprint=" << r.access.buffer_footprint;
+  return os.str();
+}
+
+std::string fused_plan_signature(const std::optional<FusedOptResult>& r) {
+  if (!r) return "unfusable";
+  std::ostringstream os;
+  os << "rule=" << r->chosen.rule << " r1=" << static_cast<int>(r->regime1)
+     << " r2=" << static_cast<int>(r->regime2) << " op1=" << r->access.op1_external
+     << " op2=" << r->access.op2_external << " total=" << r->access.total
+     << " footprint=" << r->access.buffer_footprint;
+  if (r->chosen.phased) {
+    const PhasedFusedDataflow& p = *r->chosen.phased;
+    os << " phased{" << p.t_m << "," << p.t_k << "," << p.t_l << "," << p.t_n << ","
+       << (p.l_outer ? "L" : "M") << "}";
+  }
+  if (r->chosen.resident) {
+    os << " resident{" << dims_to_string(r->chosen.resident->df1.tile) << ","
+       << dims_to_string(r->chosen.resident->df2.tile) << "}";
+  }
+  return os.str();
+}
+
+CheckReport check_workload(const Workload& w, const CheckOptions& opts) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  CheckReport report;
+  Checker c(w, opts, &report);
+
+  reg.counter("check/trials").add();
+  try {
+    switch (w.kind) {
+      case WorkloadKind::kIntra: {
+        TensorOp op = w.intra_op();
+        report.buffer_class = classify_buffer(op, w.bs);
+        check_intra_workload(c, op, w.bs);
+        break;
+      }
+      case WorkloadKind::kFused: {
+        FusedPair pair = w.fused_pair();
+        report.buffer_class = classify_buffer(pair.op1(), w.bs);
+        check_fused_workload(c, pair, w.bs);
+        break;
+      }
+      case WorkloadKind::kChain: {
+        report.buffer_class = classify_buffer(w.chain.direct().op(0), w.bs);
+        check_chain_workload(c, w.chain, w.bs);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    c.fail("exception", std::string("unexpected throw: ") + e.what());
+  }
+
+  if (report.buffer_class) {
+    reg.counter(std::string("check/regime/") + to_string(*report.buffer_class)).add();
+  }
+  reg.counter("check/checks_run").add(report.checks_run);
+  if (!report.ok()) {
+    reg.counter("check/failed_trials").add();
+    reg.counter("check/failures").add(static_cast<std::int64_t>(report.failures.size()));
+  }
+  return report;
+}
+
+}  // namespace fusecu

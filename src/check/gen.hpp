@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "common/rng.hpp"
+#include "fusion/fused_pair.hpp"
+#include "tensor/op_graph.hpp"
+
+/// \file gen.hpp
+/// Property-based workload generators for the differential conformance
+/// harness (src/check).
+///
+/// Every generator draws from a caller-owned Rng, so one seed determines the
+/// whole workload stream.  The distributions are deliberately adversarial
+/// rather than uniform:
+///
+///  * **Extents** mix unit dimensions, small primes, exact powers of two and
+///    uniform draws, because the optimizer's integer rounding (trip-count
+///    breakpoints, divisor grids) fails first on primes and degenerate dims.
+///  * **Buffer sizes** are regime-biased: a target buffer class is drawn
+///    first and the size sampled inside that band, with extra mass exactly
+///    on the paper's classification boundaries BS = D_min^2/4, D_min^2/2 and
+///    |Tensor_min| (and one element on either side) — the shift points where
+///    Principles 1/2/3 hand over (Sec. III-A4).
+///
+/// The Workload struct is a plain-old-data description (extents + buffer
+/// size), deliberately decoupled from TensorOp/FusedPair so the shrinker can
+/// transform it and the repro writer can serialize it without touching
+/// library invariants until materialization.
+
+namespace fusecu {
+
+/// Bounds for generated workloads.  The defaults keep a single conformance
+/// trial (which runs exhaustive search as the oracle) in the low
+/// milliseconds, so CI can afford hundreds of trials.
+struct GenLimits {
+  Index max_extent = 96;    ///< intra/fused matmul dimension cap
+  int max_chain_ops = 4;    ///< matmul count cap for chain workloads
+  Index max_chain_extent = 64;  ///< chain dimension cap (planning only)
+};
+
+/// Size-biased extent in [1, max_extent]: ~10% unit, ~15% prime, ~25% power
+/// of two, rest uniform.
+Index gen_extent(Rng& rng, Index max_extent);
+
+/// Random matmul-shaped operator with canonical labels (M/K/L, A/B/C).
+TensorOp gen_matmul(Rng& rng, const GenLimits& limits = {});
+
+/// Random fused matmul pair (A x B) x D.
+FusedPair gen_fused_pair(Rng& rng, const GenLimits& limits = {});
+
+/// Regime-biased buffer size for \p op: draws a target buffer class, then a
+/// size inside its band; ~25% of draws land exactly on a classification
+/// boundary or one element beside it.  Always >= 3 (the minimal matmul
+/// working set), so optimize_intra never rejects it.
+BufferSize gen_buffer_size(Rng& rng, const TensorOp& op);
+
+/// One of the five platform presets with a randomized buffer size.
+ArchSpec gen_arch_spec(Rng& rng);
+
+/// Workload kinds the conformance checker understands.
+enum class WorkloadKind { kIntra, kFused, kChain };
+
+/// A matmul chain X_{i+1} = X_i * W_{i+1} with optional pointwise
+/// activations between ops; `direct()` rebuilds the same chain without the
+/// activations (the planner must price both identically).
+struct ChainSpec {
+  Index m = 1;
+  std::vector<Index> dims;       ///< N_0 .. N_k (k = ops)
+  std::vector<bool> act_after;   ///< pointwise act after op i (size k-1)
+
+  int num_ops() const { return static_cast<int>(dims.size()) - 1; }
+  OperatorGraph direct() const;
+  OperatorGraph with_elementwise() const;
+};
+
+/// A generated (or shrunk, or replayed) conformance workload.
+struct Workload {
+  WorkloadKind kind = WorkloadKind::kIntra;
+  std::uint64_t seed = 0;  ///< generator seed that produced it (diagnostics)
+  Index m = 1, k = 1, l = 1;
+  Index n = 1;             ///< kFused only
+  ChainSpec chain;         ///< kChain only
+  BufferSize bs = 3;
+
+  TensorOp intra_op() const;     ///< kIntra / kFused producer view
+  FusedPair fused_pair() const;  ///< kFused only
+
+  std::string to_string() const;
+};
+
+const char* to_string(WorkloadKind kind);
+
+/// Random workload of a random kind (~60% intra, ~25% fused, ~15% chain).
+Workload gen_workload(Rng& rng, const GenLimits& limits = {});
+
+/// Random workload of a forced kind (used to balance regime/kind coverage).
+Workload gen_workload_of(WorkloadKind kind, Rng& rng, const GenLimits& limits = {});
+
+}  // namespace fusecu

@@ -1,0 +1,73 @@
+#include "check/harness.hpp"
+
+namespace fusecu {
+
+std::uint64_t trial_seed(std::uint64_t seed, int trial) {
+  // splitmix64 over (seed, trial): decorrelates adjacent trials and adjacent
+  // base seeds, so --seed 1 and --seed 2 share no workload stream prefix.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(trial) + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Workload workload_for_trial(std::uint64_t seed, int trial, const GenLimits& limits) {
+  const std::uint64_t ts = trial_seed(seed, trial);
+  Rng rng(ts);
+  Workload w = gen_workload(rng, limits);
+  w.seed = ts;
+  return w;
+}
+
+HarnessResult run_conformance(const HarnessOptions& opts, std::ostream* progress) {
+  HarnessResult result;
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    Workload w = workload_for_trial(opts.seed, trial, opts.limits);
+    CheckReport report = check_workload(w, opts.check);
+    ++result.trials_run;
+    result.checks_run += report.checks_run;
+    if (report.ok()) continue;
+
+    ++result.failed_trials;
+    if (progress) {
+      *progress << "FAIL trial " << trial << " (seed " << w.seed << "): " << report.summary()
+                << "\n";
+    }
+    TrialFailure failure;
+    failure.workload = w;
+    failure.report = report;
+    if (opts.shrink) {
+      failure.shrunk = shrink_workload(w, report.failures.front().check, opts.check);
+      if (progress) {
+        *progress << "  shrunk to " << failure.shrunk.workload.to_string() << " ("
+                  << failure.shrunk.attempts << " attempts)\n";
+      }
+    } else {
+      failure.shrunk.workload = w;
+      failure.shrunk.check = report.failures.front().check;
+    }
+    result.failures.push_back(std::move(failure));
+    if (result.failed_trials >= opts.max_failures) {
+      if (progress) {
+        *progress << "stopping after " << result.failed_trials << " failing trials\n";
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+Repro make_repro(const TrialFailure& failure) {
+  Repro repro;
+  repro.original = failure.workload;
+  repro.shrunk = failure.shrunk.workload;
+  repro.failures = failure.report.failures;
+  repro.tool_version = "fusecu_check/1";
+  return repro;
+}
+
+CheckReport replay_repro(const Repro& repro, const CheckOptions& opts) {
+  return check_workload(repro.shrunk, opts);
+}
+
+}  // namespace fusecu

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "check/conformance.hpp"
+#include "check/gen.hpp"
+
+/// \file repro.hpp
+/// Self-contained JSON reproductions of conformance failures.
+///
+/// A repro artifact carries everything needed to re-run one failing
+/// workload on a different machine or a later commit: the workload itself
+/// (kind, extents, buffer size), the seed it came from, the failing check
+/// ids and their detail strings, plus the shrunk form when available.
+/// `fusecu_check --replay repro.json` feeds it straight back into
+/// check_workload; CI uploads the file as a workflow artifact.
+
+namespace fusecu {
+
+/// One failure plus the workloads that exhibit it.
+struct Repro {
+  Workload original;               ///< as generated
+  Workload shrunk;                 ///< minimized (== original when not shrunk)
+  std::vector<CheckFailure> failures;  ///< from the original run
+  std::string tool_version;        ///< free-form provenance, e.g. "fusecu_check"
+};
+
+/// Serialize to a stable JSON document (one object, versioned schema).
+std::string repro_to_json(const Repro& repro);
+
+/// Parse a document produced by repro_to_json.  Throws ParseError on
+/// malformed JSON and std::invalid_argument on schema violations.
+Repro repro_from_json(const std::string& text, const std::string& source = "<repro>");
+
+}  // namespace fusecu

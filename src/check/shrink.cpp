@@ -1,0 +1,129 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace fusecu {
+
+namespace {
+
+/// Does the candidate still fail the targeted check (or any check)?
+bool reproduces(const Workload& w, const std::string& check, const CheckOptions& opts) {
+  CheckReport report = check_workload(w, opts);
+  if (check.empty()) return !report.ok();
+  return report.has_failure(check);
+}
+
+/// Smaller candidate values for one scalar, strongest reduction first.
+std::vector<Index> scalar_candidates(Index v, Index floor) {
+  std::vector<Index> out;
+  if (v > floor) out.push_back(floor);
+  if (v / 2 > floor) out.push_back(v / 2);
+  if (v - 1 > floor) out.push_back(v - 1);
+  return out;
+}
+
+/// Try shrinking one scalar field in place; returns true when a smaller
+/// value kept the failure alive.
+bool shrink_scalar(Workload& w, Index& field, Index floor, const std::string& check,
+                   const CheckOptions& opts, ShrinkResult& result) {
+  bool changed = false;
+  for (Index candidate : scalar_candidates(field, floor)) {
+    const Index saved = field;
+    field = candidate;
+    ++result.attempts;
+    if (reproduces(w, check, opts)) {
+      ++result.accepted;
+      changed = true;
+      break;  // greedy: keep the strongest reduction that still fails
+    }
+    field = saved;
+  }
+  return changed;
+}
+
+bool shrink_chain_structure(Workload& w, const std::string& check, const CheckOptions& opts,
+                            ShrinkResult& result) {
+  bool changed = false;
+  // Drop trailing matmuls while at least one op remains.
+  while (w.chain.num_ops() > 1) {
+    Workload candidate = w;
+    candidate.chain.dims.pop_back();
+    if (!candidate.chain.act_after.empty()) candidate.chain.act_after.pop_back();
+    ++result.attempts;
+    if (!reproduces(candidate, check, opts)) break;
+    ++result.accepted;
+    w = candidate;
+    changed = true;
+  }
+  // Clear activations wholesale, then one by one.
+  if (std::any_of(w.chain.act_after.begin(), w.chain.act_after.end(),
+                  [](bool b) { return b; })) {
+    Workload candidate = w;
+    std::fill(candidate.chain.act_after.begin(), candidate.chain.act_after.end(), false);
+    ++result.attempts;
+    if (reproduces(candidate, check, opts)) {
+      ++result.accepted;
+      w = candidate;
+      changed = true;
+    } else {
+      for (std::size_t i = 0; i < w.chain.act_after.size(); ++i) {
+        if (!w.chain.act_after[i]) continue;
+        candidate = w;
+        candidate.chain.act_after[i] = false;
+        ++result.attempts;
+        if (reproduces(candidate, check, opts)) {
+          ++result.accepted;
+          w = candidate;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+ShrinkResult shrink_workload(const Workload& failing, const std::string& check,
+                             const CheckOptions& opts, int max_passes) {
+  ShrinkResult result;
+  result.workload = failing;
+  result.check = check;
+
+  // Confirm the failure reproduces at all before spending passes on it.
+  ++result.attempts;
+  if (!reproduces(result.workload, check, opts)) return result;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    Workload& w = result.workload;
+    switch (w.kind) {
+      case WorkloadKind::kIntra:
+        changed |= shrink_scalar(w, w.m, 1, check, opts, result);
+        changed |= shrink_scalar(w, w.k, 1, check, opts, result);
+        changed |= shrink_scalar(w, w.l, 1, check, opts, result);
+        break;
+      case WorkloadKind::kFused:
+        changed |= shrink_scalar(w, w.m, 1, check, opts, result);
+        changed |= shrink_scalar(w, w.k, 1, check, opts, result);
+        changed |= shrink_scalar(w, w.l, 1, check, opts, result);
+        changed |= shrink_scalar(w, w.n, 1, check, opts, result);
+        break;
+      case WorkloadKind::kChain: {
+        changed |= shrink_chain_structure(w, check, opts, result);
+        changed |= shrink_scalar(w, w.chain.m, 1, check, opts, result);
+        for (Index& d : w.chain.dims) {
+          changed |= shrink_scalar(w, d, 1, check, opts, result);
+        }
+        break;
+      }
+    }
+    changed |= shrink_scalar(w, w.bs, 3, check, opts, result);
+    if (!changed) break;  // fixpoint
+  }
+  return result;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "check/conformance.hpp"
+#include "check/gen.hpp"
+
+/// \file shrink.hpp
+/// Greedy test-case minimization for failing conformance workloads.
+///
+/// A randomly generated counterexample is rarely the smallest one: the same
+/// optimizer bug that fires at (m=77, k=43, l=96, bs=1531) usually also
+/// fires at (m=2, k=1, l=4, bs=3), and the small form is what a human debugs.
+/// The shrinker repeatedly applies size-reducing transformations — set a
+/// dimension to 1, halve it, decrement it; shrink the buffer; drop trailing
+/// chain ops; clear activations — keeping a candidate exactly when re-running
+/// the conformance checker still reports the *same* check id.  Greedy
+/// first-accept per transformation, iterated to a fixpoint, is the classic
+/// QuickCheck/delta-debugging strategy: not globally minimal, but local
+/// minima in practice land within a few elements of minimal.
+
+namespace fusecu {
+
+/// Outcome of shrinking one failing workload.
+struct ShrinkResult {
+  Workload workload;        ///< smallest reproducer found
+  std::string check;        ///< the check id the shrink preserved
+  int attempts = 0;         ///< candidate workloads re-checked
+  int accepted = 0;         ///< transformations that kept the failure
+};
+
+/// Minimize \p failing, preserving a failure of \p check (when empty: any
+/// failure).  \p opts must match the options under which the failure was
+/// found, or the predicate may not reproduce at all — in that case the
+/// original workload is returned unchanged with attempts > 0, accepted == 0.
+ShrinkResult shrink_workload(const Workload& failing, const std::string& check,
+                             const CheckOptions& opts, int max_passes = 8);
+
+}  // namespace fusecu

@@ -1,7 +1,10 @@
 #include "fusion/fusion_principles.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <set>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
@@ -29,22 +32,101 @@ void add_phased(std::vector<FusedCandidate>& out, const FusedPair& pair, BufferS
   }
 }
 
-/// Best principled dataflow for one side of a resident fusion: minimize the
-/// op's MA excluding the intermediate tensor \p exclude_tensor, under a
-/// reduced budget.
-std::optional<Dataflow> best_side_dataflow(const TensorOp& op, BufferSize budget,
+/// Best dataflow for one side of a resident fusion: minimize the op's MA
+/// excluding the fully-resident intermediate \p exclude_tensor, subject to
+/// the two remaining tensors' tiles fitting \p residual elements.
+///
+/// The side cost space is tiny: each kept tensor misses exactly one loop
+/// dimension, so MA(X) is either |X| or |X| * trips(miss_X).  Streaming one
+/// tensor once is always free of footprint beyond a unit tile of the other
+/// (order the nest with the other tensor's free dimension innermost), so the
+/// optimum is one of two closed forms — stream X and block Y, or the mirror
+/// — with the blocked tensor's free tile maximized to residual - 1.
+std::optional<Dataflow> best_side_dataflow(const TensorOp& op, BufferSize residual,
                                            int exclude_tensor) {
+  if (residual < 2) return std::nullopt;  // one tile element per kept tensor
+
+  int kept[2] = {-1, -1};
+  int ki = 0;
+  for (int t = 0; t < 3; ++t) {
+    if (t != exclude_tensor) kept[ki++] = t;
+  }
+  // Shared dimension s (indexes both kept tensors) and each side's free
+  // dimension: dx only in kept[0], dy only in kept[1].
+  int s = -1, dx = -1, dy = -1;
+  for (int d = 0; d < 3; ++d) {
+    const bool in0 = op.tensor_has_dim(kept[0], d);
+    const bool in1 = op.tensor_has_dim(kept[1], d);
+    if (in0 && in1) s = d;
+    else if (in0) dx = d;
+    else if (in1) dy = d;
+  }
+  FCU_ASSERT_INTERNAL(s >= 0 && dx >= 0 && dy >= 0, "resident side is not matmul-shaped");
+
+  auto make = [&](int outer, int mid, int inner, Index t_outer) {
+    Dataflow df;
+    df.loop_order = {outer, mid, inner};
+    df.tile.assign(3, 1);
+    df.tile[static_cast<std::size_t>(outer)] = clamp_index(t_outer, 1, op.extent(outer));
+    return df;
+  };
+  // Stream kept[0] once (its free dim dy innermost, so no loop re-iterates
+  // its tiles) while kept[1] re-loads unit tiles per dx block; mirror swaps
+  // the roles.  t = residual - 1 leaves one element for the streamed tile.
+  const Dataflow block_x = make(dx, s, dy, residual - 1);
+  const Dataflow block_y = make(dy, s, dx, residual - 1);
+
   std::optional<Dataflow> best;
   AccessCount best_ma = 0;
-  for (const PrincipleCandidate& c : principle_candidates(op, budget)) {
-    AccessBreakdown b = evaluate_access(op, c.dataflow);
+  for (const Dataflow& df : {block_x, block_y}) {
+    const Index fp = df.tensor_tile_size(op, kept[0]) + df.tensor_tile_size(op, kept[1]);
+    if (fp > residual) continue;
+    AccessBreakdown b = evaluate_access(op, df);
     AccessCount ma = b.total - b.per_tensor[static_cast<std::size_t>(exclude_tensor)];
     if (!best || ma < best_ma) {
-      best = c.dataflow;
+      best = df;
       best_ma = ma;
     }
   }
   return best;
+}
+
+/// Emit the phased family for one (T_K, T_N) choice: closed-form two-tile
+/// sweeps over (T_M, T_L) under both loop orders' weight models, plus the
+/// four untile/unit boundary probes.  Footprint for fixed c = T_K + T_N is
+/// T_M T_L + c (T_M + T_L), so every probe is a one-division closed form.
+void add_phased_family(std::vector<FusedCandidate>& out, const FusedPair& pair, BufferSize bs,
+                       Index t_k, Index t_n) {
+  const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
+  const Index c = t_k + t_n;
+  const std::string rule = std::string("F-phased(K=") + (t_k == k ? "untiled" : "tiled") +
+                           ",N=" + (t_n == n ? "untiled" : "tiled") + ")";
+
+  // Interior weights: trips of K and N never multiply any tensor's MA, so
+  // with T_M, T_L both interior the cost is w_M * n_M + w_L * n_L + const.
+  // A tiled K keeps the producer reduction effective (A re-read per L step /
+  // B per M step); a tiled N keeps the consumer free loop effective (E
+  // partial-sum spill per L step / D re-read per M step).
+  const bool k_eff = t_k < k;
+  const bool n_eff = t_n < n;
+  const double wa = static_cast<double>(m * k), wb = static_cast<double>(k * l);
+  const double wd = static_cast<double>(l * n), we = static_cast<double>(m * n);
+  const double m_outer_wm = wb + wd, m_outer_wl = (k_eff ? wa : 0.0) + (n_eff ? we : 0.0);
+  const double l_outer_wm = (k_eff ? wb : 0.0) + (n_eff ? wd : 0.0), l_outer_wl = wa + we;
+
+  const std::array<std::pair<double, double>, 2> weight_models = {
+      {{m_outer_wm, m_outer_wl}, {l_outer_wm, l_outer_wl}}};
+  for (const auto& [wm, wl] : weight_models) {
+    for (const auto& [t_m, t_l] : two_tile_candidates(m, l, wm, wl, c, c, bs)) {
+      add_phased(out, pair, bs, rule, t_m, t_k, t_l, t_n);
+    }
+  }
+  // Boundary probes (clamped and footprint-checked by add_phased):
+  add_phased(out, pair, bs, rule, (bs - c * l) / (l + c), t_k, l, t_n);  // untile L
+  add_phased(out, pair, bs, rule, m, t_k, (bs - c * m) / (m + c), t_n);  // untile M
+  add_phased(out, pair, bs, rule, m, t_k, l, t_n);                       // untile both
+  add_phased(out, pair, bs, rule, (bs - c) / (1 + c), t_k, 1, t_n);      // unit L
+  add_phased(out, pair, bs, rule, 1, t_k, (bs - c) / (1 + c), t_n);      // unit M
 }
 
 }  // namespace
@@ -55,58 +137,30 @@ bool same_nra_regime(const FusedPair& pair, BufferSize bs) {
 
 std::vector<FusedCandidate> fused_principle_candidates(const FusedPair& pair, BufferSize bs) {
   std::vector<FusedCandidate> out;
-  const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
+  const Index k = pair.k(), n = pair.n();
 
-  // --- Single-NRA tile fusion (Fig. 4a): C stationary in both ops; with
-  // T_K = T_N = 1 the footprint is T_M T_L + 2 T_M + 2 T_L and the cost is
-  // (|B| + |D|) * n_M + (|A| + |E|) * n_L — the shared trip-count-aware
-  // two-tile closed form.
-  for (const auto& [t_m, t_l] :
-       two_tile_candidates(m, l, static_cast<double>(k * l + l * n),
-                           static_cast<double>(m * k + m * n), 2, 2, bs)) {
-    add_phased(out, pair, bs, "F1(tile-fusion)", t_m, 1, t_l, 1);
-  }
-
-  // --- Two-NRA fusion (Fig. 4b/c): untile one dimension of the pair and
-  // maximize one remaining tile in closed form.
-  if (bs > 3 * l + 1) {  // untile L: footprint T_M*(L+2) + 2L
-    add_phased(out, pair, bs, "F2(untile=L)", (bs - 2 * l) / (l + 2), 1, l, 1);
-  }
-  if (bs > 3 * m + 1) {  // untile M (mirror): footprint T_L*(M+2) + 2M
-    add_phased(out, pair, bs, "F2(untile=M)", m, 1, (bs - 2 * m) / (m + 2), 1);
-  }
-  if (bs > 2 * k + 2) {  // untile K (column fusion producer side)
-    add_phased(out, pair, bs, "F2(untile=K)", (bs - k - 1) / (k + 2), k, 1, 1);
-  }
-  if (bs > 2 * n + 2) {  // untile N (column fusion consumer side)
-    add_phased(out, pair, bs, "F2(untile=N)", (bs - n - 1) / (n + 2), 1, 1, n);
-  }
-  if (bs > 2 * (k + n) + 1) {  // untile K and N jointly
-    add_phased(out, pair, bs, "F2(untile=K,N)", (bs - k - n) / (k + n + 1), k, 1, n);
-  }
-
-  // --- Three-NRA fusion by untiling (Fig. 4d): one operand fully resident
-  // alongside an untiled intermediate dimension.
-  if (bs > k * l + l + k + 1) {  // B resident, L untiled
-    add_phased(out, pair, bs, "F3(untile=K,L)", (bs - k * l - l) / (k + l + 1), k, l, 1);
-  }
-  if (bs > m * k + m + k + 1) {  // A resident, M untiled
-    add_phased(out, pair, bs, "F3(untile=M,K)", m, k, (bs - m * k - m) / (k + m + 1), 1);
-  }
-  if (bs > l * n + l + n + 1) {  // D resident, L untiled
-    add_phased(out, pair, bs, "F3(untile=L,N)", (bs - l * n - l) / (l + n + 1), 1, l, n);
+  // --- Phased fusion (Fig. 4a-d).  Trips of K and N never appear as MA
+  // multipliers, so T_K in {1, K} and T_N in {1, N} dominate every interior
+  // choice (same cost, strictly larger footprint); each of the four corner
+  // combinations reduces to a closed-form two-tile problem over (T_M, T_L).
+  // T_K = T_N = 1 recovers the paper's tile fusion (4a), the untile-L/M
+  // boundaries its Two-NRA patterns (4b/c), and untiled K or N with an
+  // untiled intermediate dimension its operand-resident Three-NRA form (4d).
+  std::set<std::pair<Index, Index>> corners = {{1, 1}, {1, n}, {k, 1}, {k, n}};
+  for (const auto& [t_k, t_n] : corners) {
+    add_phased_family(out, pair, bs, t_k, t_n);
   }
 
   // --- Three-NRA resident intermediate (Fig. 4e): the whole of C on-chip,
-  // each op freely principle-optimized within the remaining budget.
+  // each op's external tensors scheduled independently in the remaining
+  // budget (the footprint charges only the larger side, since the ops run
+  // sequentially around the shared resident C).
   const BufferSize residual = bs - pair.intermediate_size();
-  if (residual >= 3) {
-    std::optional<Dataflow> df1 = best_side_dataflow(pair.op1(), residual, mm::kTensorC);
-    std::optional<Dataflow> df2 = best_side_dataflow(pair.op2(), residual, 0);
-    if (df1 && df2) {
-      ResidentFusedDataflow rf{*df1, *df2};
-      out.push_back({std::nullopt, rf, "F3(resident-C)"});
-    }
+  std::optional<Dataflow> df1 = best_side_dataflow(pair.op1(), residual, mm::kTensorC);
+  std::optional<Dataflow> df2 = best_side_dataflow(pair.op2(), residual, 0);
+  if (df1 && df2) {
+    ResidentFusedDataflow rf{*df1, *df2};
+    out.push_back({std::nullopt, rf, "F3(resident-C)"});
   }
   return out;
 }

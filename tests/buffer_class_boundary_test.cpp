@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "principles/buffer_class.hpp"
+#include "principles/principle_optimizer.hpp"
+#include "search/exhaustive.hpp"
+
+namespace fusecu {
+namespace {
+
+/// Boundary-value coverage of the paper's buffer classification
+/// (Sec. III-A4): at BS = D_min^2/4, D_min^2/2 and |Tensor_min| — and one
+/// element on either side — the class must flip exactly on the documented
+/// edge, the optimizer must stay optimal (vs exhaustive search), and the
+/// realized NRA regime must obey Principles 1/2/3 where the paper commits
+/// to a prediction (deep inside a band; the Single/Two handover floats
+/// inside the small band, so no regime assertion *at* those edges).
+
+struct BoundaryShape {
+  Index m, k, l;
+};
+
+class BufferClassBoundary : public ::testing::TestWithParam<BoundaryShape> {};
+
+TEST_P(BufferClassBoundary, ClassFlipsExactlyAtShiftPoints) {
+  const BoundaryShape& s = GetParam();
+  TensorOp op = TensorOp::matmul("edge", s.m, s.k, s.l);
+  const Index dmin = op.min_extent();
+  const BufferSize b1 = dmin * dmin / 4;
+  const BufferSize b2 = dmin * dmin / 2;
+  const BufferSize b3 = op.tensor_size(op.smallest_tensor());
+
+  EXPECT_EQ(classify_buffer(op, b1), BufferClass::kTiny);
+  EXPECT_EQ(classify_buffer(op, b1 + 1), BufferClass::kSmall);
+  EXPECT_EQ(classify_buffer(op, b2), BufferClass::kSmall);
+  EXPECT_EQ(classify_buffer(op, b2 + 1), BufferClass::kMedium);
+  EXPECT_EQ(classify_buffer(op, b3), BufferClass::kMedium);
+  EXPECT_EQ(classify_buffer(op, b3 + 1), BufferClass::kLarge);
+
+  ShiftRange shift = single_two_shift_range(op);
+  EXPECT_EQ(shift.low, b1);
+  EXPECT_EQ(shift.high, b2);
+}
+
+TEST_P(BufferClassBoundary, OptimizerStaysOptimalAcrossEveryEdge) {
+  const BoundaryShape& s = GetParam();
+  TensorOp op = TensorOp::matmul("edge", s.m, s.k, s.l);
+  const Index dmin = op.min_extent();
+  const BufferSize b3 = op.tensor_size(op.smallest_tensor());
+  for (BufferSize edge : {static_cast<BufferSize>(dmin * dmin / 4),
+                          static_cast<BufferSize>(dmin * dmin / 2), b3}) {
+    for (BufferSize bs : {edge - 1, edge, edge + 1}) {
+      if (bs < 3) continue;
+      IntraOptResult principled = optimize_intra(op, bs);
+      auto searched = exhaustive_intra(op, bs);
+      ASSERT_TRUE(searched.has_value());
+      EXPECT_LE(principled.access.total, searched->access.total)
+          << op.to_string() << " bs=" << bs;
+      EXPECT_LE(principled.access.buffer_footprint, bs);
+    }
+  }
+}
+
+TEST_P(BufferClassBoundary, RegimesObeyPrinciplesDeepInsideEachBand) {
+  const BoundaryShape& s = GetParam();
+  TensorOp op = TensorOp::matmul("edge", s.m, s.k, s.l);
+  const Index dmin = op.min_extent();
+  const Index tmin = op.tensor_size(op.smallest_tensor());
+
+  // Principle 1 (tiny): output-stationary Single-NRA.
+  if (dmin * dmin / 8 >= 3) {
+    EXPECT_EQ(optimize_intra(op, dmin * dmin / 8).nra, NraKind::kSingle) << op.to_string();
+  }
+  // Principle 2 (medium): Two-NRA, mid-band to stay clear of both edges.
+  const BufferSize mid = (dmin * dmin / 2 + tmin) / 2 + dmin;
+  if (mid > dmin * dmin / 2 && mid <= tmin) {
+    EXPECT_EQ(optimize_intra(op, mid).nra, NraKind::kTwo) << op.to_string() << " bs=" << mid;
+  }
+  // Principle 3 (large, with slack for the moving tiles): Three-NRA at the
+  // ideal minimum — every element moved exactly once.
+  IntraOptResult three = optimize_intra(op, 2 * tmin + 2 * dmin);
+  EXPECT_EQ(three.nra, NraKind::kThree) << op.to_string();
+  EXPECT_EQ(three.access.total, op.ideal_min_access());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BufferClassBoundary,
+                         ::testing::Values(BoundaryShape{64, 64, 64},      // square
+                                           BoundaryShape{32, 48, 80},     // mixed
+                                           BoundaryShape{17, 19, 23},     // primes
+                                           BoundaryShape{16, 100, 16},    // thin reduction
+                                           BoundaryShape{100, 16, 100})); // small middle
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/gen.hpp"
+#include "check/harness.hpp"
+#include "common/rng.hpp"
+#include "principles/buffer_class.hpp"
+
+namespace fusecu {
+namespace {
+
+// --- Rng edge cases: the generators lean on these contracts, so pin them.
+
+TEST(RngEdge, EmptyUniformRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(5, 4), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(1, -1), std::invalid_argument);
+  EXPECT_EQ(rng.uniform(7, 7), 7);  // singleton range is fine
+}
+
+TEST(RngEdge, PickFromEmptyContainerThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.pick(0), std::invalid_argument);
+  EXPECT_EQ(rng.pick(1), 0u);
+}
+
+TEST(RngEdge, ChanceAtProbabilityExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));  // uniform01() in [0, 1) is never < 0
+    EXPECT_TRUE(rng.chance(1.0));   // ... and always < 1
+  }
+}
+
+TEST(RngEdge, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(0, 1 << 20), b.uniform(0, 1 << 20));
+}
+
+// --- Extent distribution: bounded, and actually size-biased.
+
+TEST(GenExtent, BoundsAndBias) {
+  Rng rng(7);
+  const Index max_extent = 96;
+  int units = 0, pow2 = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Index e = gen_extent(rng, max_extent);
+    ASSERT_GE(e, 1);
+    ASSERT_LE(e, max_extent);
+    if (e == 1) ++units;
+    if (e > 1 && (e & (e - 1)) == 0) ++pow2;
+  }
+  // ~10% unit and ~25% power-of-two by construction; allow wide slack.
+  EXPECT_GT(units, 4000 / 25);
+  EXPECT_GT(pow2, 4000 / 10);
+}
+
+TEST(GenExtent, UnitMaxIsDegenerateButValid) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(gen_extent(rng, 1), 1);
+}
+
+// --- Buffer-size distribution: floor of 3, boundary mass, full regime
+// coverage over a modest number of draws.
+
+TEST(GenBufferSize, FloorAndBoundaryMass) {
+  Rng rng(11);
+  TensorOp op = TensorOp::matmul("g", 64, 64, 64);
+  const BufferSize b1 = 64 * 64 / 4, b2 = 64 * 64 / 2, b3 = op.tensor_size(op.smallest_tensor());
+  std::set<BufferSize> exact_hits;
+  for (int i = 0; i < 2000; ++i) {
+    const BufferSize bs = gen_buffer_size(rng, op);
+    ASSERT_GE(bs, 3);
+    if (bs == b1 || bs == b2 || bs == b3) exact_hits.insert(bs);
+  }
+  // All three classification boundaries must be hit *exactly* at least once.
+  EXPECT_EQ(exact_hits.size(), 3u) << "boundaries hit: " << exact_hits.size();
+}
+
+TEST(GenBufferSize, CoversAllFourRegimes) {
+  Rng rng(13);
+  TensorOp op = TensorOp::matmul("g", 48, 80, 64);
+  std::set<BufferClass> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(classify_buffer(op, gen_buffer_size(rng, op)));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(GenBufferSize, TinyOpStaysAboveMinimalWorkingSet) {
+  Rng rng(17);
+  TensorOp op = TensorOp::matmul("g", 1, 1, 1);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(gen_buffer_size(rng, op), 3);
+}
+
+// --- Workload generation: determinism, kind forcing, chain well-formedness.
+
+TEST(GenWorkload, SameSeedSameWorkloadStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen_workload(a).to_string(), gen_workload(b).to_string());
+  }
+}
+
+TEST(GenWorkload, ForcedKindsMaterialize) {
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    Workload wi = gen_workload_of(WorkloadKind::kIntra, rng);
+    EXPECT_EQ(wi.kind, WorkloadKind::kIntra);
+    EXPECT_NO_THROW(wi.intra_op());
+
+    Workload wf = gen_workload_of(WorkloadKind::kFused, rng);
+    EXPECT_EQ(wf.kind, WorkloadKind::kFused);
+    EXPECT_NO_THROW(wf.fused_pair());
+
+    Workload wc = gen_workload_of(WorkloadKind::kChain, rng);
+    EXPECT_EQ(wc.kind, WorkloadKind::kChain);
+    ASSERT_GE(wc.chain.num_ops(), 1);
+    EXPECT_EQ(wc.chain.direct().ops().size(), static_cast<std::size_t>(wc.chain.num_ops()));
+    // with_elementwise() only adds pointwise ops, never matmuls.
+    EXPECT_GE(wc.chain.with_elementwise().ops().size(), wc.chain.direct().ops().size());
+  }
+}
+
+TEST(GenArchSpec, BufferAlwaysUsable) {
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    ArchSpec arch = gen_arch_spec(rng);
+    EXPECT_GE(arch.buffer_elements(), 3);
+    EXPECT_FALSE(arch.name.empty());
+  }
+}
+
+// --- Trial-seed derivation is a pure function and collision-resistant over
+// the ranges CI uses.
+
+TEST(TrialSeed, PureAndDistinct) {
+  EXPECT_EQ(trial_seed(1, 0), trial_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (int base = 1; base <= 4; ++base) {
+    for (int t = 0; t < 500; ++t) seeds.insert(trial_seed(static_cast<std::uint64_t>(base), t));
+  }
+  EXPECT_EQ(seeds.size(), 4u * 500u);
+  // The derived seed alone regenerates the trial workload.
+  Workload w1 = workload_for_trial(3, 17);
+  Workload w2 = workload_for_trial(3, 17);
+  EXPECT_EQ(w1.to_string(), w2.to_string());
+  EXPECT_EQ(w1.seed, trial_seed(3, 17));
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "check/harness.hpp"
+#include "check/repro.hpp"
+#include "check/shrink.hpp"
+#include "dataflow/access_model.hpp"
+
+namespace fusecu {
+namespace {
+
+/// Options for fast, deterministic shrink tests: the analytical oracles are
+/// enough to reproduce an injected optimizer bug, so skip the simulator and
+/// the serve round-trips.
+CheckOptions analytical_only() {
+  CheckOptions opts;
+  opts.with_executor = false;
+  opts.with_serve = false;
+  opts.with_arch = false;
+  return opts;
+}
+
+/// The ISSUE's canonical injected bug: flip the principled M tile to its
+/// maximum after optimization.  The mutated plan no longer re-evaluates to
+/// its reported cost (and usually overflows the buffer), so the conformance
+/// checker must flag it — and keep flagging it as the workload shrinks.
+CheckOptions flipped_tile_max() {
+  CheckOptions opts = analytical_only();
+  opts.intra_mutator = [](const TensorOp& op, IntraOptResult& r) {
+    Index& t_m = r.dataflow.tile[static_cast<std::size_t>(mm::kDimM)];
+    t_m = (t_m == op.extent(mm::kDimM)) ? 1 : op.extent(mm::kDimM);
+  };
+  return opts;
+}
+
+Workload intra_workload(Index m, Index k, Index l, BufferSize bs) {
+  Workload w;
+  w.kind = WorkloadKind::kIntra;
+  w.m = m;
+  w.k = k;
+  w.l = l;
+  w.bs = bs;
+  return w;
+}
+
+TEST(InjectedBug, HarnessCatchesFlippedTileMax) {
+  Workload w = intra_workload(37, 23, 41, 200);
+  CheckReport clean = check_workload(w, analytical_only());
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  CheckReport broken = check_workload(w, flipped_tile_max());
+  ASSERT_FALSE(broken.ok()) << "injected bug must be detected";
+}
+
+TEST(InjectedBug, ShrinksToTinyRepro) {
+  Workload w = intra_workload(37, 23, 41, 200);
+  CheckOptions opts = flipped_tile_max();
+  CheckReport broken = check_workload(w, opts);
+  ASSERT_FALSE(broken.ok());
+
+  ShrinkResult s = shrink_workload(w, broken.failures.front().check, opts);
+  EXPECT_GT(s.attempts, 0);
+  EXPECT_GT(s.accepted, 0);
+
+  // The minimized workload still fails the same check...
+  CheckReport still = check_workload(s.workload, opts);
+  EXPECT_TRUE(still.has_failure(s.check)) << still.summary();
+
+  // ... and is tiny: the acceptance bar is every dimension <= 8.
+  EXPECT_LE(s.workload.m, 8);
+  EXPECT_LE(s.workload.k, 8);
+  EXPECT_LE(s.workload.l, 8);
+  EXPECT_LE(s.workload.bs, 64);
+}
+
+TEST(Shrink, NonReproducingFailureReturnsOriginal) {
+  Workload w = intra_workload(12, 12, 12, 100);
+  // No bug injected, so the requested check never fires during shrinking.
+  ShrinkResult s = shrink_workload(w, "intra/self_consistent", analytical_only());
+  EXPECT_EQ(s.accepted, 0);
+  EXPECT_GT(s.attempts, 0);
+  EXPECT_EQ(s.workload.to_string(), w.to_string());
+}
+
+TEST(Shrink, PreservesWorkloadKind) {
+  Workload w;
+  w.kind = WorkloadKind::kFused;
+  w.m = 10;
+  w.k = 6;
+  w.l = 9;
+  w.n = 7;
+  w.bs = 120;
+  // Shrinking against a check that never fails just walks candidates; the
+  // kind (and therefore the materialized op structure) must never change.
+  ShrinkResult s = shrink_workload(w, "fused/opt_vs_exhaustive", analytical_only());
+  EXPECT_EQ(s.workload.kind, WorkloadKind::kFused);
+}
+
+// --- Repro JSON round-trips for every workload kind.
+
+TEST(Repro, RoundTripIntra) {
+  Repro r;
+  r.original = intra_workload(37, 23, 41, 200);
+  r.original.seed = 0xdeadbeef;
+  r.shrunk = intra_workload(2, 1, 1, 3);
+  r.failures = {{"intra/self_consistent", "re-evaluated total: 10 vs 12"}};
+  r.tool_version = "check_shrink_test";
+
+  Repro back = repro_from_json(repro_to_json(r));
+  EXPECT_EQ(back.original.to_string(), r.original.to_string());
+  EXPECT_EQ(back.original.seed, r.original.seed);
+  EXPECT_EQ(back.shrunk.to_string(), r.shrunk.to_string());
+  ASSERT_EQ(back.failures.size(), 1u);
+  EXPECT_EQ(back.failures[0].check, r.failures[0].check);
+  EXPECT_EQ(back.failures[0].detail, r.failures[0].detail);
+  EXPECT_EQ(back.tool_version, r.tool_version);
+}
+
+TEST(Repro, RoundTripChain) {
+  Repro r;
+  r.original.kind = WorkloadKind::kChain;
+  r.original.chain.m = 16;
+  r.original.chain.dims = {8, 24, 32};
+  r.original.chain.act_after = {true};
+  r.original.bs = 512;
+  r.shrunk = r.original;
+
+  Repro back = repro_from_json(repro_to_json(r));
+  EXPECT_EQ(back.original.to_string(), r.original.to_string());
+  EXPECT_EQ(back.original.chain.dims, r.original.chain.dims);
+  EXPECT_EQ(back.original.chain.act_after, r.original.chain.act_after);
+}
+
+TEST(Repro, RejectsMalformedDocuments) {
+  EXPECT_THROW(repro_from_json("not json at all"), std::exception);
+  EXPECT_THROW(repro_from_json("{\"schema\": 999}"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fusecu

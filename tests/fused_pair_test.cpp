@@ -3,6 +3,7 @@
 #include "common/rng.hpp"
 #include "fusion/fused_pair.hpp"
 #include "principles/principle_optimizer.hpp"
+#include "test_util.hpp"
 
 namespace fusecu {
 namespace {
@@ -108,14 +109,8 @@ class FusedBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(FusedBoundProperty, TotalsRespectIdealBound) {
   Rng rng(GetParam());
   for (int trial = 0; trial < 30; ++trial) {
-    FusedPair p = FusedPair::make(rng.uniform(1, 64), rng.uniform(1, 64), rng.uniform(1, 64),
-                                  rng.uniform(1, 64));
-    PhasedFusedDataflow df;
-    df.t_m = rng.uniform(1, p.m());
-    df.t_k = rng.uniform(1, p.k());
-    df.t_l = rng.uniform(1, p.l());
-    df.t_n = rng.uniform(1, p.n());
-    df.l_outer = rng.chance(0.5);
+    FusedPair p = test_util::random_pair(rng, 64);
+    PhasedFusedDataflow df = test_util::random_phased(rng, p, 64);
     FusedAccess a = evaluate_phased(p, df);
     EXPECT_GE(a.total, p.ideal_min_access());
     EXPECT_GE(a.op1_external, p.m() * p.k() + p.k() * p.l());

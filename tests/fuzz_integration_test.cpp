@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "check/gen.hpp"
 #include "common/rng.hpp"
 #include "fusion/graph_planner.hpp"
 #include "sim/buffer_plan.hpp"
 #include "sim/tiled_executor.hpp"
+#include "test_util.hpp"
 
 namespace fusecu {
 namespace {
@@ -12,24 +14,21 @@ namespace {
 /// (a) fused-schedule execution vs the fused analytical model, (b) graph
 /// planning with interleaved pointwise elementwise ops vs the equivalent
 /// direct chain, and (c) buffer planning bounds on random schedules.
+///
+/// Workloads come from the conformance-harness generators (src/check/gen),
+/// so the suite inherits their adversarial bias toward unit dims, primes and
+/// powers of two; seeds are contiguous ranges, not hand-picked values, and
+/// widening coverage is a one-line change.
 
 class FusedExecutorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FusedExecutorFuzz, RandomPhasedSchedulesMatchModelExactly) {
   Rng rng(GetParam());
-  for (int trial = 0; trial < 6; ++trial) {
-    FusedPair pair = FusedPair::make(rng.uniform(1, 16), rng.uniform(1, 12),
-                                     rng.uniform(1, 8), rng.uniform(1, 12));
-    PhasedFusedDataflow df;
-    df.t_m = rng.uniform(1, std::min<Index>(pair.m(), 8));
-    df.t_k = rng.uniform(1, pair.k());
-    df.t_l = rng.uniform(1, std::min<Index>(pair.l(), 8));
-    df.t_n = rng.uniform(1, pair.n());
-    df.l_outer = rng.chance(0.5);
+  for (int trial = 0; trial < 5; ++trial) {
+    FusedPair pair = test_util::random_pair(rng, 16);
+    PhasedFusedDataflow df = test_util::random_phased(rng, pair);
 
-    Matrix a = make_test_matrix(pair.m(), pair.k(), GetParam() * 31 + trial);
-    Matrix b = make_test_matrix(pair.k(), pair.l(), GetParam() * 37 + trial);
-    Matrix d = make_test_matrix(pair.l(), pair.n(), GetParam() * 41 + trial);
+    auto [a, b, d] = test_util::make_fused_inputs(pair, GetParam() * 97 + trial);
     FuseCuQuad quad(8);
     FusedExecutionResult r = execute_fused_phased(pair, df, a, b, d, quad);
     EXPECT_EQ(r.output, matmul_reference(matmul_reference(a, b), d)) << df.to_string();
@@ -38,53 +37,23 @@ TEST_P(FusedExecutorFuzz, RandomPhasedSchedulesMatchModelExactly) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FusedExecutorFuzz,
-                         ::testing::Values(501ull, 502ull, 503ull, 504ull, 505ull));
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedExecutorFuzz, ::testing::Range<std::uint64_t>(500, 516));
 
 class GraphPlannerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GraphPlannerFuzz, PointwiseOpsNeverChangeChainCost) {
   Rng rng(GetParam());
   for (int trial = 0; trial < 4; ++trial) {
-    // Random matmul chain of 2-4 ops with pointwise ops sprinkled between.
-    const int ops = static_cast<int>(rng.uniform(2, 4));
-    std::vector<Index> dims;
-    dims.push_back(rng.uniform(8, 128));
-    for (int i = 0; i <= ops; ++i) dims.push_back(rng.uniform(8, 128));
-    const Index m = dims[0];
-
-    OperatorGraph direct;
-    OperatorGraph with_ew;
-    std::string prev_direct = "X0", prev_ew = "X0";
-    for (int i = 0; i < ops; ++i) {
-      const std::string w = "W" + std::to_string(i);
-      const std::string out = "X" + std::to_string(i + 1);
-      direct.add_op(TensorOp::matmul("mm" + std::to_string(i), m,
-                                     dims[static_cast<std::size_t>(i) + 1],
-                                     dims[static_cast<std::size_t>(i) + 2], prev_direct, w, out));
-      with_ew.add_op(TensorOp::matmul("mm" + std::to_string(i), m,
-                                      dims[static_cast<std::size_t>(i) + 1],
-                                      dims[static_cast<std::size_t>(i) + 2], prev_ew, w, out));
-      prev_direct = out;
-      prev_ew = out;
-      if (i + 1 < ops && rng.chance(0.7)) {
-        const std::string acted = out + "_act";
-        with_ew.add_op(TensorOp::elementwise("act" + std::to_string(i), m,
-                                             dims[static_cast<std::size_t>(i) + 2], out, acted));
-        prev_ew = acted;
-      }
-    }
-    const BufferSize bs = rng.uniform(256, 32 * 1024);
-    GraphPlan a = plan_graph(with_ew, bs, PlannerPolicy::kCostOnly, 3);
-    GraphPlan b = plan_graph(direct, bs, PlannerPolicy::kCostOnly, 3);
-    EXPECT_EQ(a.total_access, b.total_access) << "bs=" << bs;
-    EXPECT_EQ(a.spilled_rowwise, 0);
-    EXPECT_EQ(a.elementwise_access, 0);
+    Workload w = gen_workload_of(WorkloadKind::kChain, rng);
+    GraphPlan with_ew = plan_graph(w.chain.with_elementwise(), w.bs, PlannerPolicy::kCostOnly, 3);
+    GraphPlan direct = plan_graph(w.chain.direct(), w.bs, PlannerPolicy::kCostOnly, 3);
+    EXPECT_EQ(with_ew.total_access, direct.total_access) << w.to_string();
+    EXPECT_EQ(with_ew.spilled_rowwise, 0);
+    EXPECT_EQ(with_ew.elementwise_access, 0);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GraphPlannerFuzz,
-                         ::testing::Values(601ull, 602ull, 603ull, 604ull));
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPlannerFuzz, ::testing::Range<std::uint64_t>(600, 612));
 
 class BufferPlanFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -93,11 +62,11 @@ TEST_P(BufferPlanFuzz, LayoutBoundsAndDisjointness) {
   static const std::vector<std::vector<int>> orders = {
       {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
   for (int trial = 0; trial < 20; ++trial) {
-    const Index m = rng.uniform(1, 64), k = rng.uniform(1, 64), l = rng.uniform(1, 64);
-    TensorOp op = TensorOp::matmul("fuzz", m, k, l);
+    TensorOp op = test_util::random_matmul(rng, 64);
     Dataflow df;
     df.loop_order = orders[rng.pick(orders.size())];
-    df.tile = {rng.uniform(1, m), rng.uniform(1, k), rng.uniform(1, l)};
+    df.tile = {rng.uniform(1, op.extent(mm::kDimM)), rng.uniform(1, op.extent(mm::kDimK)),
+               rng.uniform(1, op.extent(mm::kDimL))};
     BufferPlan plan = plan_buffer(op, df);
     const Index footprint = df.buffer_footprint(op);
     EXPECT_GE(plan.total_elements, footprint);
@@ -110,7 +79,7 @@ TEST_P(BufferPlanFuzz, LayoutBoundsAndDisjointness) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, BufferPlanFuzz, ::testing::Values(701ull, 702ull, 703ull));
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPlanFuzz, ::testing::Range<std::uint64_t>(700, 708));
 
 }  // namespace
 }  // namespace fusecu

@@ -4,6 +4,7 @@
 #include "common/units.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "search/exhaustive.hpp"
+#include "test_util.hpp"
 
 namespace fusecu {
 namespace {
@@ -176,11 +177,8 @@ class PrincipleOptimalityRandom : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(PrincipleOptimalityRandom, MatchesOrBeatsExhaustiveSearch) {
   Rng rng(GetParam());
   for (int trial = 0; trial < 6; ++trial) {
-    const Index m = rng.uniform(1, 300);
-    const Index k = rng.uniform(1, 300);
-    const Index l = rng.uniform(1, 300);
-    const BufferSize bs = rng.uniform(3, 64 * 1024);
-    TensorOp op = TensorOp::matmul("rand", m, k, l);
+    TensorOp op = test_util::random_matmul(rng, 300);
+    const BufferSize bs = gen_buffer_size(rng, op);
     IntraOptResult principled = optimize_intra(op, bs);
     auto searched = exhaustive_intra(op, bs);
     ASSERT_TRUE(searched.has_value());
