@@ -29,7 +29,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--trials N] [--seed S] [--max-extent N]\n"
+            << " [--trials N] [--seed S] [--max-extent N] [--jobs N]\n"
                "       [--repro-out FILE] [--replay FILE]\n"
                "       [--no-exec] [--no-serve] [--no-arch] [--no-shrink]\n"
                "       [--metrics-out FILE] [--trace-out FILE]\n";
@@ -69,7 +69,7 @@ int run_replay(const std::string& path, const CheckOptions& check) {
 int main(int argc, char** argv) {
   ObsSession obs(argc, argv);
   ArgParser parser({"--no-exec", "--no-serve", "--no-arch", "--no-shrink", "--help"},
-                   {"--trials", "--seed", "--max-extent", "--repro-out", "--replay"});
+                   {"--trials", "--seed", "--max-extent", "--jobs", "--repro-out", "--replay"});
   try {
     parser.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   opts.seed = parser.option_uint64("--seed", 1);
   opts.trials = static_cast<int>(parser.option_int("--trials", 100));
   opts.limits.max_extent = parser.option_int("--max-extent", opts.limits.max_extent);
+  opts.jobs = static_cast<int>(parser.option_int("--jobs", 1));
   opts.check.with_executor = !parser.has_flag("--no-exec");
   opts.check.with_serve = !parser.has_flag("--no-serve");
   opts.check.with_arch = !parser.has_flag("--no-arch");

@@ -52,11 +52,25 @@ struct CheckReport {
   std::string summary() const;
 };
 
+/// Which slice of a trial's checks to run.  The parallel harness splits
+/// every trial into a thread-safe core phase (floors, exhaustive, executor,
+/// arch) and a serial serve phase: PlanService installs *process-global*
+/// planner interceptors, so no other optimization may run concurrently with
+/// a live service.  kAll (replay, shrinking, tests) runs both in one call —
+/// core checks first, serve checks last, the same order the two-phase split
+/// produces.
+enum class CheckPhase {
+  kAll,
+  kCore,       ///< everything except the serve-path checks
+  kServeOnly,  ///< only the serve-path checks
+};
+
 /// Knobs for the expensive cross-checks.
 struct CheckOptions {
   bool with_executor = true;  ///< functional-simulator traffic cross-check
   bool with_serve = true;     ///< serve-path byte-identity cross-check
   bool with_arch = true;      ///< arch-constrained optimizer determinism
+  CheckPhase phase = CheckPhase::kAll;
   Index array_n = 8;          ///< simulated systolic array edge
   /// Skip simulator runs whose tile-visit count exceeds this (keeps a trial
   /// in the low milliseconds; skipped runs are counted in the metrics).
@@ -67,12 +81,9 @@ struct CheckOptions {
   std::function<void(const TensorOp&, IntraOptResult&)> intra_mutator;
 };
 
-/// Sound communication floor for (op, bs): no valid dataflow in the access
-/// model can move fewer elements.  max(ideal once-each access, the
-/// projective-loop tiling bound 2*M*K*L/sqrt(BS) of Dinh & Demmel).
-AccessCount intra_traffic_lower_bound(const TensorOp& op, BufferSize bs);
-
 /// Sound floor for a fused pair: every external tensor at least once.
+/// (The intra floor, intra_traffic_lower_bound, lives in
+/// dataflow/access_model.hpp — the pruned exhaustive search shares it.)
 AccessCount fused_traffic_lower_bound(const FusedPair& pair);
 
 /// Canonical byte-comparison forms used by the serve-identity checks.

@@ -18,6 +18,14 @@
 /// seed (a splitmix64 mix of base seed and trial index), and that seed alone
 /// regenerates the workload — `trial_seed()` is a pure function, so a single
 /// failing trial replays without re-running the preceding ones.
+///
+/// Parallelism: with jobs > 1 the trials' core phases (CheckPhase::kCore)
+/// fan out over a serve ThreadPool; the serve phases (which install
+/// process-global planner interceptors) then run serially, and results
+/// merge back in trial order.  Every trial always runs to completion and
+/// the split is applied for every jobs value, so the report, the printed
+/// coverage counters and any repro artifact are byte-identical no matter
+/// how many workers ran.
 
 namespace fusecu {
 
@@ -28,7 +36,11 @@ struct HarnessOptions {
   GenLimits limits;
   CheckOptions check;
   bool shrink = true;      ///< minimize failing workloads
-  int max_failures = 8;    ///< stop early after this many failing trials
+  /// Cap on stored (and shrunk) failures; trials beyond it still run and are
+  /// still counted, so the aggregate result does not depend on where the
+  /// cap fell.
+  int max_failures = 8;
+  int jobs = 1;            ///< worker threads for the trials' core phases
 };
 
 /// One failing trial with its minimized form.

@@ -1,5 +1,8 @@
 #include "dataflow/access_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace fusecu {
@@ -77,6 +80,21 @@ int stationary_tensor(const TensorOp& op, const Dataflow& df) {
     if (b.per_tensor[static_cast<std::size_t>(t)] == op.tensor_size(t)) return t;
   }
   return -1;
+}
+
+AccessCount intra_traffic_lower_bound(const TensorOp& op, BufferSize bs) {
+  AccessCount floor = op.ideal_min_access();
+  if (op.num_dims() == 3 && bs >= 1) {
+    // Dinh-Demmel projective-loop bound, provable for every dataflow of the
+    // access model: some tensor tile of area t1*t2 <= BS bounds two of the
+    // redundancy terms, and AM-GM gives MA >= 2*MKL/sqrt(t1*t2).  Rounded
+    // down one element to stay sound under floating-point evaluation.
+    const double mkl = static_cast<double>(op.macs());
+    const AccessCount dd =
+        static_cast<AccessCount>(2.0 * mkl / std::sqrt(static_cast<double>(bs))) - 1;
+    floor = std::max(floor, dd);
+  }
+  return floor;
 }
 
 const char* to_string(NraKind kind) {

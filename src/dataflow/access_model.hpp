@@ -57,6 +57,14 @@ enum class NraKind {
 /// Classify a dataflow by its realized non-redundant-access count.
 NraKind classify_nra(const TensorOp& op, const Dataflow& df);
 
+/// Sound communication floor for (op, bs): no valid dataflow in the access
+/// model can move fewer elements.  max(ideal once-each access, the
+/// projective-loop tiling bound 2*M*K*L/sqrt(BS) of Dinh & Demmel).  Both
+/// the conformance floor checks and the pruned exhaustive search's
+/// early-exit use this bound — it is *admissible*: never above the true
+/// optimum, so stopping at it cannot skip a better plan.
+AccessCount intra_traffic_lower_bound(const TensorOp& op, BufferSize bs);
+
 /// Index of the stationary tensor: accessed exactly once while at least one
 /// other tensor is redundant; -1 when no tensor qualifies (e.g. Three-NRA
 /// where everything is accessed once, or degenerate nests).

@@ -18,6 +18,11 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 ObsOptions extract_obs_options(int& argc, char** argv) {
   ObsOptions opts;
+  if (argc > 0) {
+    const std::string argv0 = argv[0];
+    const std::size_t slash = argv0.find_last_of('/');
+    opts.tool = (slash == std::string::npos) ? argv0 : argv0.substr(slash + 1);
+  }
   std::vector<char*> kept;
   kept.reserve(static_cast<std::size_t>(argc));
   if (argc > 0) kept.push_back(argv[0]);
@@ -25,10 +30,12 @@ ObsOptions extract_obs_options(int& argc, char** argv) {
     const std::string arg = argv[i];
     std::optional<std::string>* target = nullptr;
     std::string flag;
-    for (const char* name : {"--metrics-out", "--trace-out"}) {
+    for (const char* name : {"--metrics-out", "--trace-out", "--bench-out"}) {
       if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0) {
         flag = name;
-        target = (flag == "--metrics-out") ? &opts.metrics_out : &opts.trace_out;
+        target = (flag == "--metrics-out") ? &opts.metrics_out
+                 : (flag == "--trace-out") ? &opts.trace_out
+                                           : &opts.bench_out;
         break;
       }
     }
@@ -54,7 +61,20 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity)
     : ObsSession(extract_obs_options(argc, argv), trace_capacity) {}
 
 ObsSession::ObsSession(ObsOptions options, std::size_t trace_capacity)
-    : options_(std::move(options)), recorder_(trace_capacity) {}
+    : options_(std::move(options)),
+      recorder_(trace_capacity),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ObsSession::record_bench_value(const std::string& name, double value) {
+  if (!bench_enabled()) return;
+  for (auto& entry : bench_values_) {
+    if (entry.first == name) {
+      entry.second = value;
+      return;
+    }
+  }
+  bench_values_.emplace_back(name, value);
+}
 
 void ObsSession::flush() {
   if (flushed_) return;
@@ -74,6 +94,20 @@ void ObsSession::flush() {
     FCU_CHECK(out.good(), "cannot open trace output file: " + *options_.trace_out);
     write_chrome_trace(out, recorder_);
     FCU_CHECK(out.good(), "failed writing trace to " + *options_.trace_out);
+  }
+  if (options_.bench_out) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    std::ofstream out(*options_.bench_out);
+    FCU_CHECK(out.good(), "cannot open bench output file: " + *options_.bench_out);
+    out << "{\n  \"tool\": \"" << options_.tool << "\",\n  \"wall_seconds\": " << wall
+        << ",\n  \"values\": {";
+    for (std::size_t i = 0; i < bench_values_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << bench_values_[i].first
+          << "\": " << bench_values_[i].second;
+    }
+    out << (bench_values_.empty() ? "" : "\n  ") << "}\n}\n";
+    FCU_CHECK(out.good(), "failed writing bench summary to " + *options_.bench_out);
   }
 }
 

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
@@ -15,6 +18,11 @@
 ///                        (JSON by default, CSV when FILE ends in .csv)
 ///   --trace-out FILE     write the session's chrome-tracing / Perfetto
 ///                        trace on exit
+///   --bench-out FILE     write a machine-readable benchmark summary on
+///                        exit: {"tool", "wall_seconds", "values": {...}}
+///                        where values holds whatever the tool reported via
+///                        record_bench_value() — the repo's perf-trajectory
+///                        format (CI archives BENCH_*.json artifacts)
 ///
 /// ObsSession strips these flags from argv *before* the tool's own parser
 /// runs (so binaries with strict unknown-option handling keep working),
@@ -31,11 +39,13 @@ namespace fusecu {
 struct ObsOptions {
   std::optional<std::string> metrics_out;
   std::optional<std::string> trace_out;
+  std::optional<std::string> bench_out;
+  std::string tool;  ///< argv[0] basename, stamped into the bench summary
 };
 
-/// Remove `--metrics-out X` / `--trace-out X` (also the `--flag=X` form)
-/// from argv in place, updating argc.  Throws std::invalid_argument when a
-/// flag is present without a value.
+/// Remove `--metrics-out X` / `--trace-out X` / `--bench-out X` (also the
+/// `--flag=X` form) from argv in place, updating argc.  Throws
+/// std::invalid_argument when a flag is present without a value.
 ObsOptions extract_obs_options(int& argc, char** argv);
 
 class ObsSession {
@@ -50,6 +60,13 @@ class ObsSession {
 
   bool metrics_enabled() const { return options_.metrics_out.has_value(); }
   bool trace_enabled() const { return options_.trace_out.has_value(); }
+  bool bench_enabled() const { return options_.bench_out.has_value(); }
+
+  /// Report one named benchmark number (a seconds value, a speedup ratio, a
+  /// throughput figure — the name should say which).  Values are written to
+  /// --bench-out on flush, in insertion order; re-recording a name
+  /// overwrites it.  Cheap no-op storage when --bench-out is absent.
+  void record_bench_value(const std::string& name, double value);
 
   /// The session recorder when tracing was requested, nullptr otherwise —
   /// shaped to pass straight into the simulators' trace parameter.
@@ -65,6 +82,8 @@ class ObsSession {
  private:
   ObsOptions options_;
   TraceRecorder recorder_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> bench_values_;
   bool flushed_ = false;
 };
 

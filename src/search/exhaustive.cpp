@@ -16,30 +16,64 @@ const std::vector<std::vector<int>>& all_orders3() {
   return orders;
 }
 
+Counter& pruned_evals_counter() {
+  return MetricsRegistry::global().counter("search/exhaustive_pruned_evals");
+}
+
 /// Best dataflow on one side of a resident fusion: minimize MA excluding the
 /// intermediate, with the intermediate's full size already reserved.
+/// Tie-break is first-wins on strictly-smaller MA alone, so the floor
+/// early-exit can stop outright: once best_ma meets the sum of the
+/// non-excluded tensor sizes (each is accessed at least once), no later
+/// candidate can strictly win.
 std::optional<Dataflow> exhaustive_side(const TensorOp& op, BufferSize budget,
-                                        int exclude_tensor, int other_a, int other_b) {
+                                        int exclude_tensor, int other_a, int other_b,
+                                        ExhaustiveMode mode) {
+  const bool prune = mode == ExhaustiveMode::kPruned;
+  AccessCount floor = 0;
+  if (prune) {
+    for (int t = 0; t < op.num_tensors(); ++t) {
+      if (t != exclude_tensor) floor += op.tensor_size(t);
+    }
+  }
+
   std::optional<Dataflow> best;
   AccessCount best_ma = 0;
   std::vector<std::vector<Index>> cands;
   for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
   Dataflow df;
   df.tile.assign(3, 1);
+  // The live footprint (intermediate excluded) is monotone non-decreasing
+  // in every tile axis; probing with the remaining axes at their minimum
+  // candidate makes each over-budget hit a whole-level break.
+  auto side_fp = [&](Index t0, Index t1, Index t2) {
+    df.tile = {t0, t1, t2};
+    return df.tensor_tile_size(op, other_a) + df.tensor_tile_size(op, other_b);
+  };
+  auto at_floor = [&]() { return prune && best && best_ma <= floor; };
+
   for (const auto& order : all_orders3()) {
+    if (at_floor()) break;
     df.loop_order = order;
     for (Index t0 : cands[0]) {
+      if (at_floor()) break;
+      if (prune && side_fp(t0, cands[1].front(), cands[2].front()) > budget) break;
       for (Index t1 : cands[1]) {
+        if (at_floor()) break;
+        if (prune && side_fp(t0, t1, cands[2].front()) > budget) break;
         for (Index t2 : cands[2]) {
-          df.tile = {t0, t1, t2};
-          const Index fp = df.tensor_tile_size(op, other_a) + df.tensor_tile_size(op, other_b);
-          if (fp > budget) continue;
+          const Index fp = side_fp(t0, t1, t2);
+          if (fp > budget) {
+            if (prune) break;  // ascending t2, monotone footprint
+            continue;
+          }
           AccessBreakdown b = evaluate_access(op, df);
           AccessCount ma = b.total - b.per_tensor[static_cast<std::size_t>(exclude_tensor)];
           if (!best || ma < best_ma) {
             best = df;
             best_ma = ma;
           }
+          if (at_floor()) break;
         }
       }
     }
@@ -49,23 +83,63 @@ std::optional<Dataflow> exhaustive_side(const TensorOp& op, BufferSize budget,
 
 }  // namespace
 
-std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs) {
+std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs,
+                                                  ExhaustiveMode mode) {
   FCU_CHECK(op.num_dims() == 3, "exhaustive_intra currently targets 3-dim operators");
   ScopedTimer timer("exhaustive_intra");
+  const bool prune = mode == ExhaustiveMode::kPruned;
   std::int64_t evaluations = 0;
+  std::int64_t visited = 0;  // inner-loop tuples actually reached
   std::vector<std::vector<Index>> cands;
   for (int d = 0; d < 3; ++d) cands.push_back(tile_candidates(op.extent(d)));
+  const std::int64_t tuples_total = 6 * static_cast<std::int64_t>(cands[0].size()) *
+                                    static_cast<std::int64_t>(cands[1].size()) *
+                                    static_cast<std::int64_t>(cands[2].size());
+  const AccessCount floor = prune ? intra_traffic_lower_bound(op, bs) : 0;
 
   std::optional<IntraSearchResult> best;
   Dataflow df;
   df.tile.assign(3, 1);
+  // buffer_footprint is independent of loop order and monotone
+  // non-decreasing in every tile axis (it sums tensor tile sizes).
+  auto footprint = [&](Index t0, Index t1, Index t2) {
+    df.tile = {t0, t1, t2};
+    return df.buffer_footprint(op);
+  };
+  const Index fp_min = footprint(cands[0].front(), cands[1].front(), cands[2].front());
+  // True once no remaining candidate can have a strictly smaller total; the
+  // only way left to win is the footprint tie-break (strict <, first-wins).
+  auto at_floor = [&]() { return prune && best && best->access.total <= floor; };
+
   for (const auto& order : all_orders3()) {
+    // Nothing anywhere can beat an incumbent already at the floor *and* at
+    // the minimum possible footprint.
+    if (at_floor() && best->access.buffer_footprint <= fp_min) break;
     df.loop_order = order;
     for (Index t0 : cands[0]) {
+      if (prune) {
+        const Index fp0 = footprint(t0, cands[1].front(), cands[2].front());
+        if (fp0 > bs) break;  // every (t1, t2) and every later t0 overflows
+        if (at_floor() && fp0 >= best->access.buffer_footprint) break;
+      }
       for (Index t1 : cands[1]) {
+        if (prune) {
+          const Index fp1 = footprint(t0, t1, cands[2].front());
+          if (fp1 > bs) break;
+          if (at_floor() && fp1 >= best->access.buffer_footprint) break;
+        }
         for (Index t2 : cands[2]) {
+          ++visited;
           df.tile = {t0, t1, t2};
-          if (df.buffer_footprint(op) > bs) continue;
+          const Index fp = df.buffer_footprint(op);
+          if (fp > bs) {
+            if (prune) break;
+            continue;
+          }
+          // At the floor a candidate can only win the footprint tie-break;
+          // fp is monotone in t2, so the first non-improving footprint ends
+          // the level.
+          if (at_floor() && fp >= best->access.buffer_footprint) break;
           ++evaluations;
           AccessBreakdown b = evaluate_access(op, df);
           if (!best || b.total < best->access.total ||
@@ -80,6 +154,7 @@ std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.counter("search/exhaustive_intra/calls").add();
   reg.counter("search/exhaustive_intra/evaluations").add(evaluations);
+  if (prune) pruned_evals_counter().add(tuples_total - visited);
   const double elapsed = timer.elapsed_seconds();
   if (elapsed > 0.0) {
     reg.gauge("search/exhaustive_intra/evaluations_per_sec")
@@ -88,46 +163,89 @@ std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize
   return best;
 }
 
-std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs) {
+std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs,
+                                                  ExhaustiveMode mode) {
   ScopedTimer timer("exhaustive_fused");
+  const bool prune = mode == ExhaustiveMode::kPruned;
   std::int64_t evaluations = 0;
+  std::int64_t visited = 0;
   std::optional<FusedSearchResult> best;
+  // Every external tensor is read/written at least once by any fused
+  // dataflow, phased or resident, so ideal_min_access is admissible for the
+  // whole family and the tie-break is first-wins on strictly-smaller total.
+  const AccessCount floor = prune ? pair.ideal_min_access() : 0;
 
   const std::vector<Index> cm = tile_candidates(pair.m());
   const std::vector<Index> ck = tile_candidates(pair.k());
   const std::vector<Index> cl = tile_candidates(pair.l());
   const std::vector<Index> cn = tile_candidates(pair.n());
+  const std::int64_t tuples_total = 2 * static_cast<std::int64_t>(cm.size()) *
+                                    static_cast<std::int64_t>(ck.size()) *
+                                    static_cast<std::int64_t>(cl.size()) *
+                                    static_cast<std::int64_t>(cn.size());
+
+  // The phased live set (evaluate_phased's buffer_footprint), monotone
+  // non-decreasing in every tile axis.
+  auto phased_fp = [](Index t_m, Index t_k, Index t_l, Index t_n) {
+    return t_m * t_k + t_k * t_l + t_m * t_l + t_l * t_n + t_m * t_n;
+  };
+  auto at_floor = [&]() { return prune && best && best->access.total <= floor; };
+  auto finish = [&]() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("search/exhaustive_fused/calls").add();
+    reg.counter("search/exhaustive_fused/evaluations").add(evaluations);
+    if (prune) pruned_evals_counter().add(tuples_total - visited);
+  };
 
   PhasedFusedDataflow df;
   for (bool l_outer : {false, true}) {
+    if (at_floor()) break;
     df.l_outer = l_outer;
     for (Index t_m : cm) {
+      if (at_floor()) break;
+      if (prune && phased_fp(t_m, ck.front(), cl.front(), cn.front()) > bs) break;
       for (Index t_k : ck) {
+        if (at_floor()) break;
+        if (prune && phased_fp(t_m, t_k, cl.front(), cn.front()) > bs) break;
         for (Index t_l : cl) {
+          if (at_floor()) break;
           // Footprint is monotone in t_n; prune before the inner loop.
-          if (t_m * t_k + t_k * t_l + t_m * t_l + t_l + t_m > bs) continue;
+          if (phased_fp(t_m, t_k, t_l, cn.front()) > bs) {
+            if (prune) break;  // ascending t_l, monotone footprint
+            continue;
+          }
           for (Index t_n : cn) {
+            ++visited;
             df.t_m = t_m;
             df.t_k = t_k;
             df.t_l = t_l;
             df.t_n = t_n;
+            if (prune && phased_fp(t_m, t_k, t_l, t_n) > bs) break;  // t_n ascending
             ++evaluations;
             FusedAccess a = evaluate_phased(pair, df);
-            if (a.buffer_footprint > bs) break;  // t_n ascending
+            if (a.buffer_footprint > bs) break;  // t_n ascending (kFull path)
             if (!best || a.total < best->access.total) {
               best = FusedSearchResult{df, std::nullopt, a};
             }
+            if (at_floor()) break;
           }
         }
       }
     }
   }
 
+  // The resident family can no longer *strictly* beat an incumbent at the
+  // floor, and the phased family is enumerated first, so first-wins holds.
+  if (at_floor()) {
+    finish();
+    return best;
+  }
+
   const BufferSize residual = bs - pair.intermediate_size();
   if (residual >= 2) {
     std::optional<Dataflow> df1 =
-        exhaustive_side(pair.op1(), residual, mm::kTensorC, mm::kTensorA, mm::kTensorB);
-    std::optional<Dataflow> df2 = exhaustive_side(pair.op2(), residual, 0, 1, 2);
+        exhaustive_side(pair.op1(), residual, mm::kTensorC, mm::kTensorA, mm::kTensorB, mode);
+    std::optional<Dataflow> df2 = exhaustive_side(pair.op2(), residual, 0, 1, 2, mode);
     if (df1 && df2) {
       ResidentFusedDataflow rf{*df1, *df2};
       FusedAccess a = evaluate_resident(pair, rf);
@@ -136,9 +254,7 @@ std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferS
       }
     }
   }
-  MetricsRegistry& reg = MetricsRegistry::global();
-  reg.counter("search/exhaustive_fused/calls").add();
-  reg.counter("search/exhaustive_fused/evaluations").add(evaluations);
+  finish();
   return best;
 }
 

@@ -14,8 +14,34 @@
 /// tile cross-product, and the decoupled resident-intermediate family.
 /// Exhaustive search is exponential in operator count — exactly the
 /// scalability problem (Sec. I) the principles remove.
+///
+/// Pruning (kPruned, the default) keeps the oracle exact while skipping
+/// most of the grid:
+///
+///  * **footprint-monotone breaks** — every candidate list is ascending and
+///    every footprint is monotone non-decreasing in each tile axis, so the
+///    first over-budget tuple at any loop level ends that level (probed
+///    with the remaining axes at their minimum candidates);
+///  * **admissible floor early-exit** — intra_traffic_lower_bound (Dinh &
+///    Demmel) never exceeds the true optimum, so once the incumbent meets
+///    it no later candidate can be *strictly* better; remaining candidates
+///    are visited only if they could still win the footprint tie-break
+///    (intra), or not at all (fused/side, whose tie-break is first-wins on
+///    the primary key alone).
+///
+/// Both rules only skip candidates that provably cannot change the argmin
+/// under the exact iteration order, so kPruned returns byte-identical plans
+/// to kFull (enforced by tests/search_prune_test.cpp).  Skipped tuples are
+/// counted in the "search/exhaustive_pruned_evals" metric.
 
 namespace fusecu {
+
+/// Search strategy knob: kFull is the naive reference enumeration, kPruned
+/// the production oracle (identical results, provably).
+enum class ExhaustiveMode {
+  kPruned,
+  kFull,
+};
 
 /// An intra-operator search outcome.
 struct IntraSearchResult {
@@ -25,7 +51,8 @@ struct IntraSearchResult {
 
 /// Best dataflow for (op, bs) over the full space; nullopt when nothing fits
 /// the buffer.
-std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs);
+std::optional<IntraSearchResult> exhaustive_intra(const TensorOp& op, BufferSize bs,
+                                                  ExhaustiveMode mode = ExhaustiveMode::kPruned);
 
 /// A fused-pair search outcome.
 struct FusedSearchResult {
@@ -36,6 +63,7 @@ struct FusedSearchResult {
 
 /// Best fused dataflow over phased x orders x tiles plus the resident
 /// family; nullopt when no fused configuration fits.
-std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs);
+std::optional<FusedSearchResult> exhaustive_fused(const FusedPair& pair, BufferSize bs,
+                                                  ExhaustiveMode mode = ExhaustiveMode::kPruned);
 
 }  // namespace fusecu

@@ -10,8 +10,14 @@ ComputeUnit::ComputeUnit(Index n)
     : n_(n),
       pes_(static_cast<std::size_t>(n * n)),
       east_wires_(static_cast<std::size_t>(n * n), 0.0),
-      south_wires_(static_cast<std::size_t>(n * n), 0.0) {
+      south_wires_(static_cast<std::size_t>(n * n), 0.0),
+      scratch_east_(static_cast<std::size_t>(n * n), 0.0),
+      scratch_south_(static_cast<std::size_t>(n * n), 0.0),
+      stationary_scratch_(static_cast<std::size_t>(n * n), 0.0),
+      fastpath_passes_(&MetricsRegistry::global().counter("sim/fastpath_passes")) {
   FCU_CHECK(n >= 1, "compute unit needs at least one PE");
+  edge_out_.east.resize(static_cast<std::size_t>(n_), 0.0);
+  edge_out_.south.resize(static_cast<std::size_t>(n_), 0.0);
 }
 
 XsPe& ComputeUnit::pe(Index row, Index col) {
@@ -59,35 +65,38 @@ void ComputeUnit::reset_traffic() {
   preload_traffic_ = 0;
 }
 
-ComputeUnit::EdgeOutputs ComputeUnit::step(const std::vector<double>& west_feed,
-                                           const std::vector<double>& north_feed) {
+void ComputeUnit::account_functional_pass(AccessCount input, AccessCount output) {
+  input_traffic_ += input;
+  output_traffic_ += output;
+  fastpath_passes_->add();
+}
+
+const ComputeUnit::EdgeOutputs& ComputeUnit::step(const std::vector<double>& west_feed,
+                                                  const std::vector<double>& north_feed) {
   FCU_CHECK(static_cast<Index>(west_feed.size()) == n_, "west feed arity");
   FCU_CHECK(static_cast<Index>(north_feed.size()) == n_, "north feed arity");
 
-  std::vector<double> new_east(static_cast<std::size_t>(n_ * n_));
-  std::vector<double> new_south(static_cast<std::size_t>(n_ * n_));
   for (Index r = 0; r < n_; ++r) {
     for (Index c = 0; c < n_; ++c) {
       XsPe::Inputs in;
       in.west = (c == 0) ? west_feed[static_cast<std::size_t>(r)] : east_wires_[static_cast<std::size_t>(r * n_ + c - 1)];
       in.north = (r == 0) ? north_feed[static_cast<std::size_t>(c)] : south_wires_[static_cast<std::size_t>((r - 1) * n_ + c)];
       XsPe::Outputs o = pe(r, c).step(in);
-      new_east[static_cast<std::size_t>(r * n_ + c)] = o.east;
-      new_south[static_cast<std::size_t>(r * n_ + c)] = o.south;
+      scratch_east_[static_cast<std::size_t>(r * n_ + c)] = o.east;
+      scratch_south_[static_cast<std::size_t>(r * n_ + c)] = o.south;
     }
   }
-  east_wires_ = std::move(new_east);
-  south_wires_ = std::move(new_south);
+  // Double buffer: the freshly latched values become the wires, last
+  // cycle's wires become next cycle's scratch.
+  std::swap(east_wires_, scratch_east_);
+  std::swap(south_wires_, scratch_south_);
 
-  EdgeOutputs out;
-  out.east.resize(static_cast<std::size_t>(n_));
-  out.south.resize(static_cast<std::size_t>(n_));
-  for (Index r = 0; r < n_; ++r) out.east[static_cast<std::size_t>(r)] = east_wire(r, n_ - 1);
-  for (Index c = 0; c < n_; ++c) out.south[static_cast<std::size_t>(c)] = south_wire(n_ - 1, c);
-  return out;
+  for (Index r = 0; r < n_; ++r) edge_out_.east[static_cast<std::size_t>(r)] = east_wire(r, n_ - 1);
+  for (Index c = 0; c < n_; ++c) edge_out_.south[static_cast<std::size_t>(c)] = south_wire(n_ - 1, c);
+  return edge_out_;
 }
 
-ComputeUnit::RunResult ComputeUnit::run_ws(const Matrix& a, const Matrix& b) {
+ComputeUnit::RunResult ComputeUnit::run_ws(MatrixView a, MatrixView b) {
   const Index m = a.rows(), k = a.cols(), l = b.cols();
   FCU_CHECK(b.rows() == k, "matmul shape mismatch");
   FCU_CHECK(k <= n_ && l <= n_, "WS tile exceeds array: K, L must be <= N");
@@ -99,6 +108,21 @@ ComputeUnit::RunResult ComputeUnit::run_ws(const Matrix& a, const Matrix& b) {
   }
   preload_traffic_ += k * l;
 
+  if (fidelity_ == SimFidelity::kFunctional) {
+    // Closed form read off the stepper: every A element streams once, every
+    // C element leaves the south edge once; the skewed schedule finishes at
+    // cycle m+k+l-2 plus the row-by-row weight preload (k).
+    Matrix out(m, l);
+    matmul_into(a, b, out);
+    account_functional_pass(m * k, m * l);
+    const CycleCount total = m + k + l - 2;
+    return {std::move(out), total + k};
+  }
+  return run_ws_stepped(a, b);
+}
+
+ComputeUnit::RunResult ComputeUnit::run_ws_stepped(MatrixView a, MatrixView b) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
   Matrix out(m, l);
   std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
   const std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
@@ -125,7 +149,7 @@ ComputeUnit::RunResult ComputeUnit::run_ws(const Matrix& a, const Matrix& b) {
   return {out, total + k};
 }
 
-ComputeUnit::RunResult ComputeUnit::run_os(const Matrix& a, const Matrix& b) {
+ComputeUnit::RunResult ComputeUnit::run_os(MatrixView a, MatrixView b) {
   const Index m = a.rows(), k = a.cols(), l = b.cols();
   FCU_CHECK(b.rows() == k, "matmul shape mismatch");
   FCU_CHECK(m <= n_ && l <= n_, "OS tile exceeds array: M, L must be <= N");
@@ -133,6 +157,25 @@ ComputeUnit::RunResult ComputeUnit::run_os(const Matrix& a, const Matrix& b) {
   reset();
   set_all_modes(PeMode::kOutputStationary);
 
+  if (fidelity_ == SimFidelity::kFunctional) {
+    // Both operands stream (m*k + k*l), results drain row by row (m*l,
+    // +m cycles).  The computed values are deposited in the accumulators so
+    // drain_east / promote / attention sequencing see stepper-identical
+    // PE state.
+    Matrix out(m, l);
+    matmul_into(a, b, out);
+    for (Index r = 0; r < m; ++r) {
+      for (Index c = 0; c < l; ++c) pe(r, c).load_accumulator(out.at(r, c));
+    }
+    account_functional_pass(m * k + k * l, m * l);
+    const CycleCount total = k + m + l - 2;
+    return {std::move(out), total + m};
+  }
+  return run_os_stepped(a, b);
+}
+
+ComputeUnit::RunResult ComputeUnit::run_os_stepped(MatrixView a, MatrixView b) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
   std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
   std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
   // A(mm, kk) enters west row mm at cycle kk + mm; B(kk, ll) enters north
@@ -181,7 +224,7 @@ ComputeUnit::RunResult ComputeUnit::drain_east(Index m, Index l) {
   // edge every other cycle: column n-1-j arrives at cycle 2j + 1.
   const CycleCount total = 2 * n_ - 1;
   for (CycleCount t = 1; t <= total; ++t) {
-    EdgeOutputs edge = step(zeros, zeros);
+    const EdgeOutputs& edge = step(zeros, zeros);
     if (t % 2 == 1) {
       const Index col = n_ - 1 - (t - 1) / 2;
       if (col < l) {
@@ -195,7 +238,7 @@ ComputeUnit::RunResult ComputeUnit::drain_east(Index m, Index l) {
   return {out, total};
 }
 
-ComputeUnit::RunResult ComputeUnit::run_is_resident(Index m, Index k, const Matrix& b) {
+ComputeUnit::RunResult ComputeUnit::run_is_resident(Index m, Index k, MatrixView b) {
   const Index l = b.cols();
   FCU_CHECK(b.rows() == k, "matmul shape mismatch");
   FCU_CHECK(m >= 1 && k >= 1 && m <= n_ && k <= n_, "IS tile exceeds array: M, K must be <= N");
@@ -203,6 +246,24 @@ ComputeUnit::RunResult ComputeUnit::run_is_resident(Index m, Index k, const Matr
   set_all_modes(PeMode::kInputStationary);
   clear_wires();
 
+  if (fidelity_ == SimFidelity::kFunctional) {
+    // The resident operand lives in the stationary registers; copy its
+    // window row-major so the shared kernel can stream it.
+    for (Index r = 0; r < m; ++r) {
+      for (Index c = 0; c < k; ++c) {
+        stationary_scratch_[static_cast<std::size_t>(r * k + c)] = pe(r, c).stationary();
+      }
+    }
+    Matrix out(m, l);
+    matmul_into(MatrixView(stationary_scratch_.data(), m, k, k), b, out);
+    account_functional_pass(k * l, m * l);
+    return {std::move(out), m + k + l - 2};
+  }
+  return run_is_resident_stepped(m, k, b);
+}
+
+ComputeUnit::RunResult ComputeUnit::run_is_resident_stepped(Index m, Index k, MatrixView b) {
+  const Index l = b.cols();
   Matrix out(m, l);
   const std::vector<double> west(static_cast<std::size_t>(n_), 0.0);
   std::vector<double> north(static_cast<std::size_t>(n_), 0.0);
@@ -228,7 +289,7 @@ ComputeUnit::RunResult ComputeUnit::run_is_resident(Index m, Index k, const Matr
   return {out, total};
 }
 
-ComputeUnit::RunResult ComputeUnit::run_is(const Matrix& a, const Matrix& b) {
+ComputeUnit::RunResult ComputeUnit::run_is(MatrixView a, MatrixView b) {
   const Index m = a.rows(), k = a.cols();
   FCU_CHECK(b.rows() == k, "matmul shape mismatch");
   FCU_CHECK(m <= n_ && k <= n_, "IS tile exceeds array: M, K must be <= N");
@@ -245,8 +306,7 @@ ComputeUnit::RunResult ComputeUnit::run_is(const Matrix& a, const Matrix& b) {
   return result;
 }
 
-ComputeUnit::RunResult ComputeUnit::run_tile_fusion(const Matrix& a, const Matrix& b,
-                                                    const Matrix& d) {
+ComputeUnit::RunResult ComputeUnit::run_tile_fusion(MatrixView a, MatrixView b, MatrixView d) {
   const Index m = a.rows(), l = b.cols();
   FCU_CHECK(d.rows() == l, "fused shape mismatch: C columns must match D rows");
   FCU_CHECK(m <= n_ && l <= n_, "intermediate tile exceeds array: M, L must be <= N");
@@ -266,6 +326,59 @@ ComputeUnit::RunResult ComputeUnit::run_tile_fusion(const Matrix& a, const Matri
   // run_is with (M, K, L) = (m, l, n2).
   RunResult consumer = run_is_resident(m, l, d);
   return {std::move(consumer.output), producer_cycles + 1 + consumer.cycles};
+}
+
+CycleCount ComputeUnit::run_ws_acc(MatrixView a, MatrixView b, Matrix& target, Index r0,
+                                   Index c0) {
+  if (fidelity_ == SimFidelity::kCycleAccurate) {
+    RunResult r = run_ws(a, b);
+    for (Index i = 0; i < r.output.rows(); ++i) {
+      for (Index j = 0; j < r.output.cols(); ++j) target.at(r0 + i, c0 + j) += r.output.at(i, j);
+    }
+    return r.cycles;
+  }
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(k <= n_ && l <= n_, "WS tile exceeds array: K, L must be <= N");
+  preload_traffic_ += k * l;
+  account_functional_pass(m * k, m * l);
+  matmul_accumulate(a, b, target, r0, c0);
+  return m + k + l - 2 + k;
+}
+
+CycleCount ComputeUnit::run_os_acc(MatrixView a, MatrixView b, Matrix& target, Index r0,
+                                   Index c0) {
+  if (fidelity_ == SimFidelity::kCycleAccurate) {
+    RunResult r = run_os(a, b);
+    for (Index i = 0; i < r.output.rows(); ++i) {
+      for (Index j = 0; j < r.output.cols(); ++j) target.at(r0 + i, c0 + j) += r.output.at(i, j);
+    }
+    return r.cycles;
+  }
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(m <= n_ && l <= n_, "OS tile exceeds array: M, L must be <= N");
+  account_functional_pass(m * k + k * l, m * l);
+  matmul_accumulate(a, b, target, r0, c0);
+  return k + m + l - 2 + m;
+}
+
+CycleCount ComputeUnit::run_is_acc(MatrixView a, MatrixView b, Matrix& target, Index r0,
+                                   Index c0) {
+  if (fidelity_ == SimFidelity::kCycleAccurate) {
+    RunResult r = run_is(a, b);
+    for (Index i = 0; i < r.output.rows(); ++i) {
+      for (Index j = 0; j < r.output.cols(); ++j) target.at(r0 + i, c0 + j) += r.output.at(i, j);
+    }
+    return r.cycles;
+  }
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(m <= n_ && k <= n_, "IS tile exceeds array: M, K must be <= N");
+  preload_traffic_ += m * k;
+  account_functional_pass(k * l, m * l);
+  matmul_accumulate(a, b, target, r0, c0);
+  return m + k + l - 2 + m;
 }
 
 }  // namespace fusecu

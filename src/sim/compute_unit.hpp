@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/matrix.hpp"
 #include "sim/xs_pe.hpp"
 
@@ -25,14 +26,45 @@
 ///
 /// The unit also counts operand/result elements crossing its edges, which
 /// the integration tests reconcile against the analytical access model.
+///
+/// Fidelity.  Every run_* pass exists in two bit-identical forms selected
+/// by a SimFidelity knob:
+///
+///  * kCycleAccurate — the original cycle-by-cycle stepper, O((M+K+L) * N^2)
+///    per pass; the reference.
+///  * kFunctional (default) — a blocked matmul kernel (matmul_into /
+///    matmul_accumulate, shared with matmul_reference) plus the closed-form
+///    cycle and traffic model read off the stepper's schedule.  O(M*K*L)
+///    per pass and allocation-free in the _acc forms.
+///
+/// The functional path reproduces the stepper exactly: outputs bit-for-bit
+/// (same per-element floating-point fold — see matmul_into), identical
+/// cycle counts, identical traffic counters, and identical *post-run PE
+/// state* (stationary registers after WS/IS preload, accumulators after an
+/// OS pass) so drain_east / promote / attention sequencing work unchanged.
+/// Only the inter-PE wire latches are not reproduced (every consumer
+/// resets or clears them first).  Equivalence is enforced by
+/// tests/sim_fastpath_test.cpp and the conformance harness's
+/// intra/fastpath_vs_stepper cross-check.
 
 namespace fusecu {
+
+/// Simulation fidelity for ComputeUnit passes.
+enum class SimFidelity {
+  kFunctional,     ///< closed-form fast path (default; bit-identical)
+  kCycleAccurate,  ///< cycle-by-cycle systolic stepper (reference)
+};
 
 class ComputeUnit {
  public:
   explicit ComputeUnit(Index n);
 
   Index size() const { return n_; }
+
+  /// Select the pass implementation.  Both produce identical results,
+  /// cycles, traffic and post-run PE state.
+  void set_fidelity(SimFidelity fidelity) { fidelity_ = fidelity; }
+  SimFidelity fidelity() const { return fidelity_; }
 
   XsPe& pe(Index row, Index col);
   const XsPe& pe(Index row, Index col) const;
@@ -45,12 +77,15 @@ class ComputeUnit {
 
   /// One clock of the whole grid.  \p west_feed / \p north_feed are the
   /// edge inputs for this cycle (size N each); the returned vectors are the
-  /// values leaving the east/south edges (latched this cycle).
+  /// values leaving the east/south edges (latched this cycle).  The return
+  /// references internal scratch reused by the next step() call — copy it
+  /// if it must outlive the cycle.
   struct EdgeOutputs {
     std::vector<double> east;
     std::vector<double> south;
   };
-  EdgeOutputs step(const std::vector<double>& west_feed, const std::vector<double>& north_feed);
+  const EdgeOutputs& step(const std::vector<double>& west_feed,
+                          const std::vector<double>& north_feed);
 
   /// Read an internal eastbound wire (the value PE(row, col) latched last
   /// cycle) — used to tap results at column K-1 when K < N.
@@ -64,25 +99,37 @@ class ComputeUnit {
   };
 
   /// C = A(MxK) x B(KxL) with B resident.  Requires K, L <= N.
-  RunResult run_ws(const Matrix& a, const Matrix& b);
+  RunResult run_ws(MatrixView a, MatrixView b);
   /// C = A(MxK) x B(KxL) accumulated in place.  Requires M, L <= N.
-  RunResult run_os(const Matrix& a, const Matrix& b);
+  RunResult run_os(MatrixView a, MatrixView b);
   /// C = A(MxK) x B(KxL) with A resident.  Requires M, K <= N.
-  RunResult run_is(const Matrix& a, const Matrix& b);
+  RunResult run_is(MatrixView a, MatrixView b);
   /// IS-phase streaming against an operand *already resident* in the
   /// stationary registers of pe(0..m-1, 0..k-1) — the second half of every
   /// fusion pattern.  Clears the inter-PE wires, not the PE state.
-  RunResult run_is_resident(Index m, Index k, const Matrix& b);
+  RunResult run_is_resident(Index m, Index k, MatrixView b);
+
+  /// Allocation-free pass forms for the tiled executor: run one array pass
+  /// and accumulate its output straight into \p target at (r0, c0) — the
+  /// exact bits of "run_*, then add the pass output element-wise".  The
+  /// functional fast path never materializes the pass output (and, being a
+  /// pure inner-loop primitive, does not touch PE state); cycle-accurate
+  /// fidelity falls back to the stepper.  Returns the pass cycle count.
+  CycleCount run_ws_acc(MatrixView a, MatrixView b, Matrix& target, Index r0, Index c0);
+  CycleCount run_os_acc(MatrixView a, MatrixView b, Matrix& target, Index r0, Index c0);
+  CycleCount run_is_acc(MatrixView a, MatrixView b, Matrix& target, Index r0, Index c0);
+
   /// Zero the inter-PE wires without touching PE registers (phase switch).
   void clear_wires();
   /// Shift the OS accumulators of rows [0, m) out through the east edge in
   /// drain mode and return them as an (m x l) matrix whose columns were the
   /// PE columns [0, l).  With registered inter-PE links one original value
-  /// reaches the edge every other cycle: 2N - 1 cycles total.
+  /// reaches the edge every other cycle: 2N - 1 cycles total.  Always
+  /// cycle-stepped (it certifies the drain datapath itself).
   RunResult drain_east(Index m, Index l);
   /// E = (A x B) x D with the intermediate kept in the PEs.
   /// Requires M, L <= N; K and D's columns stream freely.
-  RunResult run_tile_fusion(const Matrix& a, const Matrix& b, const Matrix& d);
+  RunResult run_tile_fusion(MatrixView a, MatrixView b, MatrixView d);
 
   /// Elements streamed into the edges (operands).
   AccessCount input_traffic() const { return input_traffic_; }
@@ -93,11 +140,27 @@ class ComputeUnit {
   void reset_traffic();
 
  private:
+  RunResult run_ws_stepped(MatrixView a, MatrixView b);
+  RunResult run_os_stepped(MatrixView a, MatrixView b);
+  RunResult run_is_resident_stepped(Index m, Index k, MatrixView b);
+  /// Charge one functional pass's traffic and count it in the obs registry.
+  void account_functional_pass(AccessCount input, AccessCount output);
+
   Index n_;
+  SimFidelity fidelity_ = SimFidelity::kFunctional;
   std::vector<XsPe> pes_;
   // Wires latched at the end of the previous cycle, indexed [row][col].
   std::vector<double> east_wires_;
   std::vector<double> south_wires_;
+  // Double-buffer scratch for step(): filled each cycle, then swapped with
+  // the wire arrays — no per-cycle allocation.
+  std::vector<double> scratch_east_;
+  std::vector<double> scratch_south_;
+  EdgeOutputs edge_out_;
+  // Row-major copy of the resident stationary window for the functional
+  // run_is_resident kernel.
+  std::vector<double> stationary_scratch_;
+  Counter* fastpath_passes_;  ///< cached "sim/fastpath_passes" counter
 
   double& east_ref(Index row, Index col);
   double& south_ref(Index row, Index col);

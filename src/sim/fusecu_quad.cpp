@@ -16,6 +16,10 @@ ComputeUnit& FuseCuQuad::unit(int i) {
   return units_[static_cast<std::size_t>(i)];
 }
 
+void FuseCuQuad::set_fidelity(SimFidelity fidelity) {
+  for (ComputeUnit& cu : units_) cu.set_fidelity(fidelity);
+}
+
 FuseCuQuad::QuadRunResult FuseCuQuad::run_independent_ws(const std::array<Matrix, 4>& as,
                                                          const std::array<Matrix, 4>& bs) {
   QuadRunResult out;

@@ -33,6 +33,11 @@ class FuseCuQuad {
   Index unit_size() const { return n_; }
   ComputeUnit& unit(int i);
 
+  /// Forward the fidelity knob to all four CUs (see SimFidelity).  The
+  /// quad's joint schedules (column fusion and its wide variant) drive the
+  /// stepper directly and ignore the knob.
+  void set_fidelity(SimFidelity fidelity);
+
   struct RunResult {
     Matrix output;
     CycleCount cycles = 0;

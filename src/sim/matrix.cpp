@@ -2,18 +2,49 @@
 
 namespace fusecu {
 
+void matmul_into(MatrixView a, MatrixView b, Matrix& out) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(out.rows() == m && out.cols() == l, "matmul output shape mismatch");
+  // ikj with row pointers: out rows start at +0.0, so accumulating term by
+  // term realizes the same ((0 + t_0) + t_1) + ... fold per element as
+  // building the sum separately (0.0 + x == x bitwise for every x the fold
+  // can produce, including -0.0 terms: 0.0 + -0.0 == +0.0 on both paths).
+  for (Index i = 0; i < m; ++i) {
+    const double* a_row = a.row(i);
+    double* c_row = out.row(i);
+    for (Index kk = 0; kk < k; ++kk) {
+      const double av = a_row[kk];
+      const double* b_row = b.row(kk);
+      for (Index j = 0; j < l; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void matmul_accumulate(MatrixView a, MatrixView b, Matrix& target, Index r0, Index c0) {
+  const Index m = a.rows(), k = a.cols(), l = b.cols();
+  FCU_CHECK(b.rows() == k, "matmul shape mismatch");
+  FCU_CHECK(r0 >= 0 && c0 >= 0 && r0 + m <= target.rows() && c0 + l <= target.cols(),
+            "accumulate window out of range");
+  // The pass sum must be completed before it meets the target: the stepper
+  // computes a full pass output, then the executor adds it element-wise.
+  // Folding terms directly into a non-zero target would change the FP
+  // association, so each element's sum is built in a register first.
+  for (Index i = 0; i < m; ++i) {
+    const double* a_row = a.row(i);
+    double* t_row = target.row(r0 + i) + c0;
+    for (Index j = 0; j < l; ++j) {
+      double sum = 0.0;
+      for (Index kk = 0; kk < k; ++kk) sum += a_row[kk] * b.row(kk)[j];
+      t_row[j] += sum;
+    }
+  }
+}
+
 Matrix matmul_reference(const Matrix& a, const Matrix& b) {
   FCU_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix c(a.rows(), b.cols());
-  for (Index i = 0; i < a.rows(); ++i) {
-    for (Index k = 0; k < a.cols(); ++k) {
-      const double av = a.at(i, k);
-      if (av == 0.0) continue;
-      for (Index j = 0; j < b.cols(); ++j) {
-        c.at(i, j) += av * b.at(k, j);
-      }
-    }
-  }
+  matmul_into(a, b, c);
   return c;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
@@ -10,6 +11,12 @@
 /// reference checks.  Element type is double: the simulator validates
 /// dataflow/mapping correctness, not numerics, and exact integer-valued
 /// doubles make equality checks trivial.
+///
+/// MatrixView is the non-owning companion: a (pointer, shape, row stride)
+/// triple over someone else's storage.  The tiled executor works on
+/// edge-clipped windows of the full operands, and views make those windows
+/// free — the old slice() helper copied a fresh Matrix per array pass,
+/// which dominated the conformance harness profile.
 
 namespace fusecu {
 
@@ -33,6 +40,13 @@ class Matrix {
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
 
+  /// Unchecked row pointer (row-major, contiguous).
+  double* row(Index r) { return data_.data() + static_cast<std::size_t>(r * cols_); }
+  const double* row(Index r) const {
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+  const double* data() const { return data_.data(); }
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
@@ -47,7 +61,65 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Reference matmul: C = A * B.
+/// Non-owning read-only window into a row-major matrix.  Implicitly
+/// convertible from Matrix so every Matrix call site keeps compiling; the
+/// viewed storage must outlive the view.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(const Matrix& m)  // NOLINT: implicit by design
+      : data_(m.rows() > 0 ? m.row(0) : nullptr),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        stride_(m.cols()) {}
+  MatrixView(const double* data, Index rows, Index cols, Index stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    FCU_CHECK(rows >= 0 && cols >= 0 && stride >= cols, "bad view shape");
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  double at(Index r, Index c) const {
+    FCU_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "view index out of range");
+    return data_[static_cast<std::size_t>(r * stride_ + c)];
+  }
+  /// Unchecked row pointer.
+  const double* row(Index r) const {
+    return data_ + static_cast<std::size_t>(r * stride_);
+  }
+
+  /// Edge-clipped sub-window at (r0, c0) of at most (rows x cols).
+  MatrixView window(Index r0, Index rows, Index cols, Index c0) const {
+    FCU_CHECK(r0 >= 0 && r0 <= rows_ && c0 >= 0 && c0 <= cols_, "window origin out of range");
+    rows = std::min(rows, rows_ - r0);
+    cols = std::min(cols, cols_ - c0);
+    return MatrixView(data_ + static_cast<std::size_t>(r0 * stride_ + c0), rows, cols, stride_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index stride_ = 0;
+};
+
+/// out = A * B, overwriting \p out (which must be zero-filled and shaped
+/// (a.rows x b.cols)).  Every output element is the fold
+/// ((0 + t_0) + t_1) + ... with terms in ascending-k order — the exact
+/// floating-point association of the systolic stepper's psum chain in all
+/// three stationary modes (see compute_unit.hpp), so results are
+/// bit-identical to a cycle-by-cycle run.
+void matmul_into(MatrixView a, MatrixView b, Matrix& out);
+
+/// target(r0+r, c0+c) += S(r, c) where S = A * B and each S element is the
+/// same ascending-k fold from +0.0 as matmul_into, added into the target
+/// exactly once.  This reproduces "run a pass, then accumulate_into" of the
+/// tiled executor without materializing the pass output.
+void matmul_accumulate(MatrixView a, MatrixView b, Matrix& target, Index r0, Index c0);
+
+/// Reference matmul: C = A * B.  Same kernel (and therefore the same bits)
+/// as the simulator fast path.
 Matrix matmul_reference(const Matrix& a, const Matrix& b);
 
 /// Deterministic small-integer test fill (values in [-4, 4]).

@@ -1,6 +1,7 @@
 #include "sim/tiled_executor.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
@@ -9,46 +10,24 @@ namespace fusecu {
 
 namespace {
 
-/// Edge-clipped submatrix copy.
-Matrix slice(const Matrix& m, Index r0, Index rows, Index c0, Index cols) {
-  rows = std::min(rows, m.rows() - r0);
-  cols = std::min(cols, m.cols() - c0);
-  Matrix out(rows, cols);
-  for (Index r = 0; r < rows; ++r) {
-    for (Index c = 0; c < cols; ++c) out.at(r, c) = m.at(r0 + r, c0 + c);
-  }
-  return out;
-}
-
-/// Add \p tile into \p target at (r0, c0).
-void accumulate_into(Matrix& target, const Matrix& tile, Index r0, Index c0) {
-  for (Index r = 0; r < tile.rows(); ++r) {
-    for (Index c = 0; c < tile.cols(); ++c) target.at(r0 + r, c0 + c) += tile.at(r, c);
-  }
-}
-
-/// Run one tile matmul on the array in whichever stationary mode fits.
-ComputeUnit::RunResult run_tile(ComputeUnit& cu, const Matrix& a_tile, const Matrix& b_tile) {
+/// Run one tile matmul on the array in whichever stationary mode fits,
+/// accumulating straight into \p target at (r0, c0).  Returns pass cycles.
+CycleCount run_tile_acc(ComputeUnit& cu, MatrixView a_tile, MatrixView b_tile, Matrix& target,
+                        Index r0, Index c0) {
   const Index n = cu.size();
   const Index m = a_tile.rows(), k = a_tile.cols(), l = b_tile.cols();
-  ComputeUnit::RunResult result;
-  if (m <= n && l <= n) {
-    result = cu.run_os(a_tile, b_tile);
-  } else if (k <= n && l <= n) {
-    result = cu.run_ws(a_tile, b_tile);
-  } else if (m <= n && k <= n) {
-    result = cu.run_is(a_tile, b_tile);
-  } else {
-    FCU_CHECK(false, "tile does not fit the array in any stationary mode");
-  }
-  return result;
+  if (m <= n && l <= n) return cu.run_os_acc(a_tile, b_tile, target, r0, c0);
+  if (k <= n && l <= n) return cu.run_ws_acc(a_tile, b_tile, target, r0, c0);
+  if (m <= n && k <= n) return cu.run_is_acc(a_tile, b_tile, target, r0, c0);
+  FCU_CHECK(false, "tile does not fit the array in any stationary mode");
+  return 0;  // unreachable
 }
 
 /// One buffer slot: reloads when the scheduled tile coordinates change.
 class TileSlot {
  public:
   /// Returns the clipped element count to charge, or 0 on a buffer hit.
-  AccessCount touch(const std::vector<Index>& coords, Index clipped_elements) {
+  AccessCount touch(std::array<Index, 2> coords, Index clipped_elements) {
     if (valid_ && coords == coords_) return 0;
     coords_ = coords;
     valid_ = true;
@@ -56,7 +35,7 @@ class TileSlot {
   }
 
  private:
-  std::vector<Index> coords_;
+  std::array<Index, 2> coords_{};
   bool valid_ = false;
 };
 
@@ -75,52 +54,50 @@ TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const
   TiledExecutionResult out;
   out.output = Matrix(m, l);
   out.traffic_per_tensor.assign(3, 0);
-  std::vector<TileSlot> slots(3);
+  std::array<TileSlot, 3> slots;
 
-  // Odometer over the tile loops, outermost first.
-  std::vector<Index> iter(3, 0);  // by loop position
-  auto tile_index_of_dim = [&](int dim) {
-    for (int pos = 0; pos < 3; ++pos) {
-      if (df.loop_order[static_cast<std::size_t>(pos)] == dim) {
-        return iter[static_cast<std::size_t>(pos)];
-      }
-    }
-    FCU_ASSERT_INTERNAL(false, "dim missing from loop order");
-    return Index{0};  // unreachable
-  };
+  const MatrixView av(a), bv(b);
+
+  // Odometer over the tile loops, outermost first.  The loop position of
+  // each dim is fixed for the whole schedule — precompute the permutation
+  // instead of scanning loop_order once per dim per pass.
+  std::array<Index, 3> iter{};        // by loop position
+  std::array<int, 3> pos_of_dim{};    // dim -> loop position
+  for (int pos = 0; pos < 3; ++pos) {
+    const int dim = df.loop_order[static_cast<std::size_t>(pos)];
+    FCU_ASSERT_INTERNAL(dim >= 0 && dim < 3, "dim missing from loop order");
+    pos_of_dim[static_cast<std::size_t>(dim)] = pos;
+  }
 
   if (trace != nullptr) trace->set_track_name(1, "PE array");
   Index pass_index = 0;
   while (true) {
-    const Index mi = tile_index_of_dim(mm::kDimM);
-    const Index ki = tile_index_of_dim(mm::kDimK);
-    const Index li = tile_index_of_dim(mm::kDimL);
+    const Index mi = iter[static_cast<std::size_t>(pos_of_dim[mm::kDimM])];
+    const Index ki = iter[static_cast<std::size_t>(pos_of_dim[mm::kDimK])];
+    const Index li = iter[static_cast<std::size_t>(pos_of_dim[mm::kDimL])];
     const Index cm = std::min(t_m, m - mi * t_m);
     const Index ck = std::min(t_k, k - ki * t_k);
     const Index cl = std::min(t_l, l - li * t_l);
 
-    out.traffic_per_tensor[mm::kTensorA] +=
-        slots[mm::kTensorA].touch({mi, ki}, cm * ck);
-    out.traffic_per_tensor[mm::kTensorB] +=
-        slots[mm::kTensorB].touch({ki, li}, ck * cl);
-    out.traffic_per_tensor[mm::kTensorC] +=
-        slots[mm::kTensorC].touch({mi, li}, cm * cl);
+    out.traffic_per_tensor[mm::kTensorA] += slots[mm::kTensorA].touch({mi, ki}, cm * ck);
+    out.traffic_per_tensor[mm::kTensorB] += slots[mm::kTensorB].touch({ki, li}, ck * cl);
+    out.traffic_per_tensor[mm::kTensorC] += slots[mm::kTensorC].touch({mi, li}, cm * cl);
 
-    Matrix a_tile = slice(a, mi * t_m, t_m, ki * t_k, t_k);
-    Matrix b_tile = slice(b, ki * t_k, t_k, li * t_l, t_l);
-    ComputeUnit::RunResult pass = run_tile(cu, a_tile, b_tile);
+    const MatrixView a_tile = av.window(mi * t_m, t_m, t_k, ki * t_k);
+    const MatrixView b_tile = bv.window(ki * t_k, t_k, t_l, li * t_l);
+    const CycleCount pass_cycles =
+        run_tile_acc(cu, a_tile, b_tile, out.output, mi * t_m, li * t_l);
     if (trace != nullptr) {
       const double start = static_cast<double>(out.compute_cycles);
       trace->record({"pass#" + std::to_string(pass_index), "compute", 1, start,
-                     static_cast<double>(pass.cycles)});
+                     static_cast<double>(pass_cycles)});
       AccessCount so_far = 0;
       for (AccessCount t : out.traffic_per_tensor) so_far += t;
-      trace->record_counter("executor_traffic_elements", start + static_cast<double>(pass.cycles),
+      trace->record_counter("executor_traffic_elements", start + static_cast<double>(pass_cycles),
                             static_cast<double>(so_far));
     }
     ++pass_index;
-    out.compute_cycles += pass.cycles;
-    accumulate_into(out.output, pass.output, mi * t_m, li * t_l);
+    out.compute_cycles += pass_cycles;
 
     int pos = 2;
     while (pos >= 0) {
@@ -182,6 +159,8 @@ FusedExecutionResult execute_fused_phased(const FusedPair& pair, const PhasedFus
   out.output = Matrix(m, n);
   TileSlot slot_a, slot_b, slot_d, slot_e;
 
+  const MatrixView av(a), bv(b), dv(d);
+
   auto body = [&](Index mi, Index li) {
     const Index cm = std::min(df.t_m, m - mi * df.t_m);
     const Index cl = std::min(df.t_l, l - li * df.t_l);
@@ -192,11 +171,9 @@ FusedExecutionResult execute_fused_phased(const FusedPair& pair, const PhasedFus
       const Index ck = std::min(df.t_k, k - ki * df.t_k);
       out.traffic_a += slot_a.touch({mi, ki}, cm * ck);
       out.traffic_b += slot_b.touch({ki, li}, ck * cl);
-      Matrix a_tile = slice(a, mi * df.t_m, df.t_m, ki * df.t_k, df.t_k);
-      Matrix b_tile = slice(b, ki * df.t_k, df.t_k, li * df.t_l, df.t_l);
-      ComputeUnit::RunResult pass = quad.unit(0).run_os(a_tile, b_tile);
-      out.compute_cycles += pass.cycles;
-      accumulate_into(c_tile, pass.output, 0, 0);
+      const MatrixView a_tile = av.window(mi * df.t_m, df.t_m, df.t_k, ki * df.t_k);
+      const MatrixView b_tile = bv.window(ki * df.t_k, df.t_k, df.t_l, li * df.t_l);
+      out.compute_cycles += quad.unit(0).run_os_acc(a_tile, b_tile, c_tile, 0, 0);
     }
 
     // Consumer phase: the N loop drains C(mi, li) against D.
@@ -204,10 +181,9 @@ FusedExecutionResult execute_fused_phased(const FusedPair& pair, const PhasedFus
       const Index cn = std::min(df.t_n, n - ni * df.t_n);
       out.traffic_d += slot_d.touch({li, ni}, cl * cn);
       out.traffic_e += slot_e.touch({mi, ni}, cm * cn);
-      Matrix d_tile = slice(d, li * df.t_l, df.t_l, ni * df.t_n, df.t_n);
-      ComputeUnit::RunResult pass = quad.unit(1).run_is(c_tile, d_tile);
-      out.compute_cycles += pass.cycles;
-      accumulate_into(out.output, pass.output, mi * df.t_m, ni * df.t_n);
+      const MatrixView d_tile = dv.window(li * df.t_l, df.t_l, df.t_n, ni * df.t_n);
+      out.compute_cycles +=
+          quad.unit(1).run_is_acc(c_tile, d_tile, out.output, mi * df.t_m, ni * df.t_n);
     }
   };
 

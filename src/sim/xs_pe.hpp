@@ -57,6 +57,9 @@ class XsPe {
   /// Clear the OS accumulator.
   void clear_accumulator() { accumulator_ = 0.0; }
   double accumulator() const { return accumulator_; }
+  /// Functional fast path: deposit an OS result directly in the
+  /// accumulator — bit-identical to having stepped the OS schedule.
+  void load_accumulator(double v) { accumulator_ = v; }
 
   /// The fusion mux: route the accumulated intermediate into the stationary
   /// register for the consumer phase.

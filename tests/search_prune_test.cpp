@@ -1,0 +1,127 @@
+// Byte-identity of the pruned exhaustive oracle: ExhaustiveMode::kPruned
+// must return the exact plan kFull returns — same dataflow (order + tiles,
+// i.e. the same argmin under the exact iteration order and tie-breaks), same
+// access breakdown — over a large adversarial workload population.  This is
+// the soundness proof obligation of the floor early-exit and the
+// footprint-monotone breaks (DESIGN.md "Pruning soundness").
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/gen.hpp"
+#include "obs/metrics.hpp"
+#include "search/exhaustive.hpp"
+#include "test_util.hpp"
+
+namespace fusecu {
+namespace {
+
+std::string intra_sig(const std::optional<IntraSearchResult>& r) {
+  if (!r) return "none";
+  std::ostringstream os;
+  os << "order=[";
+  for (int d : r->dataflow.loop_order) os << d << ",";
+  os << "] tile=[";
+  for (Index t : r->dataflow.tile) os << t << ",";
+  os << "] per_tensor=[";
+  for (AccessCount a : r->access.per_tensor) os << a << ",";
+  os << "] total=" << r->access.total << " fp=" << r->access.buffer_footprint;
+  return os.str();
+}
+
+std::string fused_sig(const std::optional<FusedSearchResult>& r) {
+  if (!r) return "none";
+  std::ostringstream os;
+  os << "op1=" << r->access.op1_external << " op2=" << r->access.op2_external
+     << " total=" << r->access.total << " fp=" << r->access.buffer_footprint;
+  if (r->phased) {
+    os << " phased{" << r->phased->t_m << "," << r->phased->t_k << "," << r->phased->t_l
+       << "," << r->phased->t_n << "," << (r->phased->l_outer ? "L" : "M") << "}";
+  }
+  if (r->resident) {
+    os << " resident{[";
+    for (Index t : r->resident->df1.tile) os << t << ",";
+    os << "],[";
+    for (Index t : r->resident->df2.tile) os << t << ",";
+    os << "]}";
+  }
+  return os.str();
+}
+
+// 1000+ intra workloads from the harness's adversarial distribution (unit
+// dims, primes, powers of two, boundary-biased buffer sizes).
+TEST(SearchPrune, IntraByteIdenticalToFullOverThousandWorkloads) {
+  GenLimits limits;
+  limits.max_extent = 48;
+  Rng rng(20260806);
+  for (int i = 0; i < 1000; ++i) {
+    const Workload w = gen_workload_of(WorkloadKind::kIntra, rng, limits);
+    const TensorOp op = w.intra_op();
+    const std::string full = intra_sig(exhaustive_intra(op, w.bs, ExhaustiveMode::kFull));
+    const std::string pruned = intra_sig(exhaustive_intra(op, w.bs, ExhaustiveMode::kPruned));
+    ASSERT_EQ(pruned, full) << "workload " << i << ": " << w.to_string();
+  }
+}
+
+// Tiny exhaustively-enumerated grid: every (m, k, l) up to 6 at several
+// buffer sizes, including infeasible ones (bs too small for any tiling).
+TEST(SearchPrune, IntraByteIdenticalOnDenseSmallGrid) {
+  for (Index m = 1; m <= 6; ++m) {
+    for (Index k = 1; k <= 6; ++k) {
+      for (Index l = 1; l <= 6; ++l) {
+        const TensorOp op = TensorOp::matmul("g", m, k, l);
+        for (BufferSize bs : {BufferSize(1), BufferSize(3), BufferSize(7), BufferSize(20),
+                              BufferSize(200)}) {
+          ASSERT_EQ(intra_sig(exhaustive_intra(op, bs, ExhaustiveMode::kPruned)),
+                    intra_sig(exhaustive_intra(op, bs, ExhaustiveMode::kFull)))
+              << m << "x" << k << "x" << l << " bs=" << bs;
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchPrune, FusedByteIdenticalToFullOverThreeHundredWorkloads) {
+  GenLimits limits;
+  limits.max_extent = 48;
+  Rng rng(998244353);
+  for (int i = 0; i < 300; ++i) {
+    const Workload w = gen_workload_of(WorkloadKind::kFused, rng, limits);
+    const FusedPair pair = w.fused_pair();
+    const std::string full = fused_sig(exhaustive_fused(pair, w.bs, ExhaustiveMode::kFull));
+    const std::string pruned =
+        fused_sig(exhaustive_fused(pair, w.bs, ExhaustiveMode::kPruned));
+    ASSERT_EQ(pruned, full) << "workload " << i << ": " << w.to_string();
+  }
+}
+
+// The pruning must actually skip work (and publish how much): on a
+// power-of-two cube the floor is tight and most of the grid dies early.
+TEST(SearchPrune, PrunedSkipsTuplesAndCountsThem) {
+  Counter& skipped = MetricsRegistry::global().counter("search/exhaustive_pruned_evals");
+  Counter& evaluated = MetricsRegistry::global().counter("search/exhaustive_intra/evaluations");
+  const std::int64_t skipped_before = skipped.value();
+  const std::int64_t evaluated_before = evaluated.value();
+
+  // Buffer large enough for the untiled Three-NRA dataflow: the incumbent
+  // reaches the ideal-minimum floor early and the rest of the grid dies to
+  // the early-exit, not just to the footprint breaks.
+  const TensorOp op = TensorOp::matmul("p2", 64, 64, 64);
+  const BufferSize big = 3 * 64 * 64 + 64;
+  const auto pruned = exhaustive_intra(op, big, ExhaustiveMode::kPruned);
+  const std::int64_t skipped_by_pruned = skipped.value() - skipped_before;
+  const std::int64_t evaluated_by_pruned = evaluated.value() - evaluated_before;
+
+  const auto full = exhaustive_intra(op, big, ExhaustiveMode::kFull);
+  const std::int64_t evaluated_by_full = evaluated.value() - evaluated_before - evaluated_by_pruned;
+
+  ASSERT_TRUE(pruned.has_value());
+  EXPECT_EQ(intra_sig(pruned), intra_sig(full));
+  EXPECT_GT(skipped_by_pruned, 0);
+  EXPECT_LT(evaluated_by_pruned, evaluated_by_full);
+}
+
+}  // namespace
+}  // namespace fusecu

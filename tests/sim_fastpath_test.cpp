@@ -1,0 +1,218 @@
+// Differential tests for the ComputeUnit functional fast path: every run_*
+// pass must reproduce the cycle-by-cycle stepper *exactly* — outputs
+// bit-for-bit, identical cycle counts, identical per-category traffic, and
+// identical post-run PE state (stationary registers / accumulators) — over
+// randomized shapes drawn from the harness's adversarial distribution.
+// These are the guarantees DESIGN.md Sec. "Fast-path equivalence" relies on.
+
+#include <gtest/gtest.h>
+
+#include "check/gen.hpp"
+#include "dataflow/access_model.hpp"
+#include "sim/compute_unit.hpp"
+#include "sim/fusecu_quad.hpp"
+#include "sim/tiled_executor.hpp"
+#include "test_util.hpp"
+
+namespace fusecu {
+namespace {
+
+constexpr Index kArrayN = 8;
+
+struct Units {
+  ComputeUnit fast{kArrayN};
+  ComputeUnit stepped{kArrayN};
+  Units() {
+    fast.set_fidelity(SimFidelity::kFunctional);
+    stepped.set_fidelity(SimFidelity::kCycleAccurate);
+  }
+};
+
+void expect_same_traffic(const ComputeUnit& fast, const ComputeUnit& stepped) {
+  EXPECT_EQ(fast.input_traffic(), stepped.input_traffic());
+  EXPECT_EQ(fast.output_traffic(), stepped.output_traffic());
+  EXPECT_EQ(fast.preload_traffic(), stepped.preload_traffic());
+}
+
+void expect_same_result(const ComputeUnit::RunResult& f, const ComputeUnit::RunResult& s) {
+  EXPECT_EQ(f.cycles, s.cycles);
+  EXPECT_TRUE(f.output == s.output);
+}
+
+struct Shape {
+  Index m, k, l;
+};
+
+Shape random_shape(Rng& rng, Index cap_m, Index cap_k, Index cap_l) {
+  return {gen_extent(rng, cap_m), gen_extent(rng, cap_k), gen_extent(rng, cap_l)};
+}
+
+class FastPathSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastPathSeeds, WsMatchesStepper) {
+  Rng rng(GetParam());
+  Units u;
+  for (int rep = 0; rep < 20; ++rep) {
+    // WS: K, L <= N; M streams freely (probe past the array edge too).
+    Shape s = random_shape(rng, 3 * kArrayN, kArrayN, kArrayN);
+    Matrix a = make_test_matrix(s.m, s.k, rng.uniform(1, 1 << 20));
+    Matrix b = make_test_matrix(s.k, s.l, rng.uniform(1, 1 << 20));
+    expect_same_result(u.fast.run_ws(a, b), u.stepped.run_ws(a, b));
+    // Post-run state parity: B stays resident in the stationary registers.
+    for (Index r = 0; r < kArrayN; ++r)
+      for (Index c = 0; c < kArrayN; ++c)
+        EXPECT_EQ(u.fast.pe(r, c).stationary(), u.stepped.pe(r, c).stationary());
+  }
+  expect_same_traffic(u.fast, u.stepped);
+}
+
+TEST_P(FastPathSeeds, OsMatchesStepperIncludingAccumulators) {
+  Rng rng(GetParam());
+  Units u;
+  for (int rep = 0; rep < 20; ++rep) {
+    // OS: M, L <= N; K streams freely.
+    Shape s = random_shape(rng, kArrayN, 3 * kArrayN, kArrayN);
+    Matrix a = make_test_matrix(s.m, s.k, rng.uniform(1, 1 << 20));
+    Matrix b = make_test_matrix(s.k, s.l, rng.uniform(1, 1 << 20));
+    expect_same_result(u.fast.run_os(a, b), u.stepped.run_os(a, b));
+    // The fast path must deposit the results in the accumulators, exactly
+    // like the stepped schedule left them — drain/promote depend on it.
+    for (Index r = 0; r < kArrayN; ++r)
+      for (Index c = 0; c < kArrayN; ++c)
+        EXPECT_EQ(u.fast.pe(r, c).accumulator(), u.stepped.pe(r, c).accumulator());
+    expect_same_result(u.fast.drain_east(s.m, s.l), u.stepped.drain_east(s.m, s.l));
+  }
+  expect_same_traffic(u.fast, u.stepped);
+}
+
+TEST_P(FastPathSeeds, IsAndIsResidentMatchStepper) {
+  Rng rng(GetParam());
+  Units u;
+  for (int rep = 0; rep < 20; ++rep) {
+    // IS: M, K <= N; L streams freely.
+    Shape s = random_shape(rng, kArrayN, kArrayN, 3 * kArrayN);
+    Matrix a = make_test_matrix(s.m, s.k, rng.uniform(1, 1 << 20));
+    Matrix b = make_test_matrix(s.k, s.l, rng.uniform(1, 1 << 20));
+    expect_same_result(u.fast.run_is(a, b), u.stepped.run_is(a, b));
+    // run_is leaves A resident: the standalone resident entry point must
+    // agree too (second streamed operand against the same stationary tile).
+    Matrix b2 = make_test_matrix(s.k, gen_extent(rng, 3 * kArrayN), rng.uniform(1, 1 << 20));
+    expect_same_result(u.fast.run_is_resident(s.m, s.k, b2),
+                       u.stepped.run_is_resident(s.m, s.k, b2));
+  }
+  expect_same_traffic(u.fast, u.stepped);
+}
+
+TEST_P(FastPathSeeds, TileFusionMatchesStepper) {
+  Rng rng(GetParam());
+  Units u;
+  for (int rep = 0; rep < 20; ++rep) {
+    // Tile fusion: M, L <= N; K and D's columns stream freely.
+    Shape s = random_shape(rng, kArrayN, 3 * kArrayN, kArrayN);
+    const Index n2 = gen_extent(rng, 3 * kArrayN);
+    Matrix a = make_test_matrix(s.m, s.k, rng.uniform(1, 1 << 20));
+    Matrix b = make_test_matrix(s.k, s.l, rng.uniform(1, 1 << 20));
+    Matrix d = make_test_matrix(s.l, n2, rng.uniform(1, 1 << 20));
+    expect_same_result(u.fast.run_tile_fusion(a, b, d), u.stepped.run_tile_fusion(a, b, d));
+  }
+  expect_same_traffic(u.fast, u.stepped);
+}
+
+TEST_P(FastPathSeeds, AccumulatingPassesMatchStepper) {
+  Rng rng(GetParam());
+  Units u;
+  for (int rep = 0; rep < 20; ++rep) {
+    Shape s = random_shape(rng, kArrayN, kArrayN, kArrayN);
+    Matrix a = make_test_matrix(s.m, s.k, rng.uniform(1, 1 << 20));
+    Matrix b = make_test_matrix(s.k, s.l, rng.uniform(1, 1 << 20));
+    // Accumulate into a window of a larger, non-zero target — both paths
+    // must add the identical pass bits at the identical offset.
+    const Index r0 = rng.uniform(0, 3), c0 = rng.uniform(0, 3);
+    Matrix target = make_test_matrix(s.m + 4, s.l + 4, rng.uniform(1, 1 << 20));
+    Matrix fast_target = target, stepped_target = target;
+    switch (rep % 3) {
+      case 0:
+        EXPECT_EQ(u.fast.run_ws_acc(a, b, fast_target, r0, c0),
+                  u.stepped.run_ws_acc(a, b, stepped_target, r0, c0));
+        break;
+      case 1:
+        EXPECT_EQ(u.fast.run_os_acc(a, b, fast_target, r0, c0),
+                  u.stepped.run_os_acc(a, b, stepped_target, r0, c0));
+        break;
+      default:
+        EXPECT_EQ(u.fast.run_is_acc(a, b, fast_target, r0, c0),
+                  u.stepped.run_is_acc(a, b, stepped_target, r0, c0));
+        break;
+    }
+    EXPECT_TRUE(fast_target == stepped_target);
+  }
+  expect_same_traffic(u.fast, u.stepped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathSeeds, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Whole-schedule differentials: the executors driven end-to-end at both
+// fidelities over harness-generated workloads.
+
+Dataflow random_executable_dataflow(const TensorOp& op, Rng& rng) {
+  static const std::vector<std::vector<int>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  Dataflow df;
+  df.loop_order = orders[rng.pick(orders.size())];
+  for (int d = 0; d < op.num_dims(); ++d)
+    df.tile.push_back(rng.uniform(1, std::min(op.extent(d), kArrayN)));
+  return df;
+}
+
+class ExecutorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorSeeds, TiledExecutionMatchesStepper) {
+  Rng rng(GetParam() * 1000003);
+  TensorOp op = test_util::random_matmul(rng, 24);
+  Dataflow df = random_executable_dataflow(op, rng);
+  test_util::IntraInputs in = test_util::make_intra_inputs(op, GetParam());
+
+  ComputeUnit fast(kArrayN);
+  fast.set_fidelity(SimFidelity::kFunctional);
+  TiledExecutionResult fr = execute_tiled(op, df, in.a, in.b, fast);
+
+  ComputeUnit stepped(kArrayN);
+  stepped.set_fidelity(SimFidelity::kCycleAccurate);
+  TiledExecutionResult sr = execute_tiled(op, df, in.a, in.b, stepped);
+
+  EXPECT_TRUE(fr.output == sr.output);
+  EXPECT_EQ(fr.compute_cycles, sr.compute_cycles);
+  EXPECT_EQ(fr.traffic_per_tensor, sr.traffic_per_tensor);
+  EXPECT_EQ(fr.total_traffic, sr.total_traffic);
+  expect_same_traffic(fast, stepped);
+}
+
+TEST_P(ExecutorSeeds, FusedPhasedExecutionMatchesStepper) {
+  Rng rng(GetParam() * 2000003);
+  FusedPair pair = test_util::random_pair(rng, 16);
+  PhasedFusedDataflow df = test_util::random_phased(rng, pair, kArrayN);
+  test_util::FusedInputs in = test_util::make_fused_inputs(pair, GetParam());
+
+  FuseCuQuad fast(kArrayN);
+  fast.set_fidelity(SimFidelity::kFunctional);
+  FusedExecutionResult fr = execute_fused_phased(pair, df, in.a, in.b, in.d, fast);
+
+  FuseCuQuad stepped(kArrayN);
+  stepped.set_fidelity(SimFidelity::kCycleAccurate);
+  FusedExecutionResult sr = execute_fused_phased(pair, df, in.a, in.b, in.d, stepped);
+
+  EXPECT_TRUE(fr.output == sr.output);
+  EXPECT_EQ(fr.compute_cycles, sr.compute_cycles);
+  EXPECT_EQ(fr.traffic_a, sr.traffic_a);
+  EXPECT_EQ(fr.traffic_b, sr.traffic_b);
+  EXPECT_EQ(fr.traffic_d, sr.traffic_d);
+  EXPECT_EQ(fr.traffic_e, sr.traffic_e);
+  EXPECT_EQ(fr.traffic_c, sr.traffic_c);
+  EXPECT_EQ(fr.traffic_c, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorSeeds, ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace fusecu
