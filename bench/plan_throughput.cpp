@@ -5,7 +5,10 @@
 ///   * serial-cold   — optimize_intra per request, no cache, one thread
 ///                     (the pre-service baseline every tool used to pay);
 ///   * pooled-warm/T — PlanService::plan_batch on T worker threads with the
-///                     sharded cache warm (the steady state of a server).
+///                     sharded cache warm (the steady state of a server);
+///   * pooled-warm obs-disabled / obs-armed — the same warm batch with the
+///                     observability layer idle (CI guards this within 5% of
+///                     pooled-warm) and with the flight recorder armed.
 ///
 /// The batch mixes 16 distinct transformer-derived shapes x 4 repeats, so
 /// even the cold pass has intra-batch repetition — exactly the workload the
@@ -16,6 +19,8 @@
 
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/obs_session.hpp"
 #include "principles/principle_optimizer.hpp"
 #include "serve/plan_service.hpp"
@@ -75,6 +80,45 @@ void BM_PooledWarm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_PooledWarm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Warm pooled batch with the observability layer compiled in but idle:
+/// no span sink, logger below threshold, flight recorder disarmed.  This is
+/// the configuration every production run pays, so CI guards it against
+/// BM_PooledWarm — the instrumented warm path must stay within 5%.
+void BM_PooledWarmObsDisabled(benchmark::State& state) {
+  Logger::global().reset();
+  FlightRecorder::global().disarm();
+  ServeOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  PlanService service(options);
+  const std::vector<PlanRequest> batch = mixed_batch();
+  service.plan_batch(batch);  // warm the cache
+  for (auto _ : state) {
+    std::vector<PlanResponse> responses = service.plan_batch(batch);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PooledWarmObsDisabled)->Arg(4)->UseRealTime();
+
+/// Same warm batch with everything armed: spans recorded into the flight
+/// recorder rings, logger mirroring at info.  Bounds what --flight-out
+/// costs a live server (retention only; no I/O on the hot path).
+void BM_PooledWarmObsArmed(benchmark::State& state) {
+  FlightRecorder::global().arm();
+  ServeOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  PlanService service(options);
+  const std::vector<PlanRequest> batch = mixed_batch();
+  service.plan_batch(batch);  // warm the cache
+  for (auto _ : state) {
+    std::vector<PlanResponse> responses = service.plan_batch(batch);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+  FlightRecorder::global().disarm();
+}
+BENCHMARK(BM_PooledWarmObsArmed)->Arg(4)->UseRealTime();
 
 /// Cold batch through the pool (cache cleared by rebuilding the service):
 /// what parallelism alone buys before the cache kicks in.

@@ -11,9 +11,12 @@
 //
 //   fusecu_check --replay repro.json
 //
-// Shared observability flags (--metrics-out / --trace-out) publish the
-// check/... counters: trials, per-buffer-class coverage, failures, executor
-// runs vs skips.  Exit status: 0 clean, 1 mismatches found, 2 usage error.
+// Shared observability flags (--metrics-out / --trace-out / --log-out /
+// --flight-out) publish the check/... counters: trials, per-buffer-class
+// coverage, failures, executor runs vs skips.  With --flight-out, a failing
+// run dumps the flight recorder (last spans, log lines and a metrics
+// snapshot) as JSON to that path — the same file a crash would dump to.
+// Exit status: 0 clean, 1 mismatches found, 2 usage error.
 
 #include <fstream>
 #include <iostream>
@@ -21,6 +24,7 @@
 
 #include "check/harness.hpp"
 #include "common/cli.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs_session.hpp"
 
 using namespace fusecu;
@@ -32,7 +36,8 @@ int usage(const char* argv0) {
             << " [--trials N] [--seed S] [--max-extent N] [--jobs N]\n"
                "       [--repro-out FILE] [--replay FILE]\n"
                "       [--no-exec] [--no-serve] [--no-arch] [--no-shrink]\n"
-               "       [--metrics-out FILE] [--trace-out FILE]\n";
+               "       [--metrics-out FILE] [--trace-out FILE] [--log-out FILE]\n"
+               "       [--log-level LEVEL] [--flight-out FILE]\n";
   return 2;
 }
 
@@ -47,7 +52,21 @@ void print_coverage(std::ostream& os) {
      << "  serve checks=" << reg.counter("check/serve_checks").value() << "\n";
 }
 
-int run_replay(const std::string& path, const CheckOptions& check) {
+/// On failure with --flight-out, replace the (empty) crash dump with a full
+/// JSON flight dump: the retained spans and log lines of the failing trials
+/// plus a metrics snapshot.
+void dump_flight(const ObsSession& obs) {
+  if (!obs.flight_enabled()) return;
+  std::ofstream os(obs.flight_out());
+  if (!os) {
+    std::cerr << "fusecu_check: cannot write flight dump to " << obs.flight_out() << "\n";
+    return;
+  }
+  FlightRecorder::global().dump_json(os);
+  std::cout << "flight dump written to " << obs.flight_out() << "\n";
+}
+
+int run_replay(const std::string& path, const CheckOptions& check, const ObsSession& obs) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "fusecu_check: cannot open replay file " << path << "\n";
@@ -61,6 +80,7 @@ int run_replay(const std::string& path, const CheckOptions& check) {
             << repro.original.to_string() << ")\n";
   CheckReport report = replay_repro(repro, check);
   std::cout << report.summary() << "\n";
+  if (!report.ok()) dump_flight(obs);
   return report.ok() ? 0 : 1;
 }
 
@@ -90,7 +110,7 @@ int main(int argc, char** argv) {
 
   try {
     if (auto replay = parser.option("--replay")) {
-      return run_replay(*replay, opts.check);
+      return run_replay(*replay, opts.check, obs);
     }
 
     std::cout << "fusecu_check: " << opts.trials << " trials, seed " << opts.seed << "\n";
@@ -110,6 +130,7 @@ int main(int argc, char** argv) {
           std::cout << "repro written to " << *out << "\n";
         }
       }
+      dump_flight(obs);
       std::cout << "replay any failure with: " << argv[0]
                 << " --replay <repro.json>, or regenerate it from its reported seed\n";
       return 1;

@@ -93,7 +93,10 @@ int main(int argc, char** argv) {
         ScopedTimer timer("evaluate/" + arch.name);
         evals.push_back(decode_context > 0 ? evaluate_decode(model, decode_context, arch)
                                            : evaluate_model(model, arch));
-        if (obs.trace_enabled() && obs.recorder().empty()) {
+        // Gate on engine events, not empty(): request spans flow into the
+        // recorder via the span sink and must not suppress the one-shot
+        // representative timeline.
+        if (obs.trace_enabled() && obs.recorder().events().empty()) {
           record_representative_trace(model, arch, obs.recorder());
         }
       }

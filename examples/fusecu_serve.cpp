@@ -2,7 +2,9 @@
 /// JSONL planning server front-end for the concurrent plan service.
 ///
 ///   fusecu_serve [--input FILE] [--threads N] [--cache-mb MB] [--shards N]
-///                [--stats] [--metrics-out m.json] [--trace-out t.json]
+///                [--stats] [--stats-interval SEC] [--stats-out FILE]
+///                [--metrics-out m.json] [--trace-out t.json]
+///                [--log-out l.jsonl] [--log-level LEVEL] [--flight-out f.json]
 ///
 /// Reads one JSON planning request per line (stdin by default), answers one
 /// JSON response per request line on stdout, in request order.  Requests are
@@ -18,9 +20,17 @@
 ///   {"id":"q","ok":true,"kind":"matmul","rule":"P2(untile=K)",...}
 ///
 /// --stats prints cache hit/miss/eviction totals to stderr on exit.
+/// --stats-interval SEC emits one stats line per period while serving —
+/// qps and cache hit rate over the period, latency p50/p95/p99 cumulative —
+/// to stderr, or to --stats-out FILE when given.
 
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "obs/obs_session.hpp"
@@ -28,10 +38,80 @@
 
 using namespace fusecu;
 
+namespace {
+
+/// Background periodic stats line:
+///
+///   stats: qps=120.0 hit_rate=0.83 p50_us=42 p95_us=310 p99_us=900 \
+///     requests=1200 errors=0 entries=57
+///
+/// qps / hit_rate are deltas over the period; the latency percentiles come
+/// from merging the per-class request histograms (Histogram::merge is exact
+/// bucket-by-bucket), so they are cumulative over the process lifetime.
+class StatsReporter {
+ public:
+  StatsReporter(PlanService& service, double interval_s, std::ostream& os)
+      : service_(service), interval_s_(interval_s), os_(os), thread_([this] { run(); }) {}
+
+  ~StatsReporter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    Counter& requests = reg.counter("serve/requests");
+    Counter& errors = reg.counter("serve/request_errors");
+    std::int64_t prev_requests = requests.value();
+    CacheStats prev_cache = service_.stats().combined();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
+                         [this] { return stop_; })) {
+      const std::int64_t now_requests = requests.value();
+      const CacheStats now_cache = service_.stats().combined();
+      const double qps = static_cast<double>(now_requests - prev_requests) / interval_s_;
+      const std::int64_t lookups =
+          (now_cache.hits - prev_cache.hits) + (now_cache.misses - prev_cache.misses);
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(now_cache.hits - prev_cache.hits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      Histogram merged;
+      merged.merge(reg.histogram("serve/latency_us/matmul"));
+      merged.merge(reg.histogram("serve/latency_us/fused_pair"));
+      const HistogramSnapshot lat = merged.snapshot();
+      os_ << "stats: qps=" << qps << " hit_rate=" << hit_rate
+          << " p50_us=" << lat.p50 << " p95_us=" << lat.p95 << " p99_us=" << lat.p99
+          << " requests=" << now_requests << " errors=" << errors.value()
+          << " entries=" << now_cache.entries << "\n"
+          << std::flush;
+      prev_requests = now_requests;
+      prev_cache = now_cache;
+    }
+  }
+
+  PlanService& service_;
+  double interval_s_;
+  std::ostream& os_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ObsSession obs(argc, argv);
   try {
-    ArgParser args({"--stats"}, {"--input", "--threads", "--cache-mb", "--shards"});
+    ArgParser args({"--stats"},
+                   {"--input", "--threads", "--cache-mb", "--shards", "--stats-interval",
+                    "--stats-out"});
     args.parse(argc, argv);
 
     ServeOptions options;
@@ -40,6 +120,26 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.option_int("--cache-mb", 64)) * 1024 * 1024;
     options.shards = static_cast<int>(args.option_int("--shards", 8));
     PlanService service(options);
+
+    std::unique_ptr<std::ofstream> stats_file;
+    std::unique_ptr<StatsReporter> reporter;
+    if (auto interval = args.option("--stats-interval")) {
+      const double seconds = std::stod(*interval);
+      if (!(seconds > 0.0)) {
+        std::cerr << "error: --stats-interval expects a positive number of seconds\n";
+        return 1;
+      }
+      std::ostream* sink = &std::cerr;
+      if (auto stats_path = args.option("--stats-out")) {
+        stats_file = std::make_unique<std::ofstream>(*stats_path);
+        if (!*stats_file) {
+          std::cerr << "error: cannot open " << *stats_path << "\n";
+          return 1;
+        }
+        sink = stats_file.get();
+      }
+      reporter = std::make_unique<StatsReporter>(service, seconds, *sink);
+    }
 
     int served = 0;
     if (auto path = args.option("--input")) {
@@ -52,6 +152,7 @@ int main(int argc, char** argv) {
     } else {
       served = service.serve_stream(std::cin, std::cout, "<stdin>");
     }
+    reporter.reset();  // final partial period is dropped, not misreported
 
     if (args.has_flag("--stats")) {
       const PlanService::Stats stats = service.stats();

@@ -8,6 +8,7 @@
 #include "common/math_util.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 
 namespace fusecu {
@@ -158,6 +159,9 @@ ArchIntraOpt optimize_intra_for_arch(const TensorOp& op, const ArchSpec& arch) {
       return *std::move(cached);
     }
   }
+  // Span opens only past the interceptor, so a cache hit never shows an
+  // optimize span in its request tree.
+  ScopedSpan span("optimize/intra_for_arch");
   const BufferSize bs = arch.buffer_elements();
   FCU_CHECK(bs >= 3, "platform buffer cannot hold the minimal working set");
 
@@ -196,6 +200,7 @@ ArchIntraOpt optimize_intra_for_arch(const TensorOp& op, const ArchSpec& arch) {
     best.spatial_rows = r;
     best.spatial_cols = cidx;
   }
+  span.note(best.rule.c_str());
   if (hook) hook->store(op, arch, best);
   return best;
 }

@@ -6,7 +6,9 @@
 #include "arch/dataflow_space.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "fusion/graph_planner.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "search/exhaustive.hpp"
 #include "serve/plan_service.hpp"
 #include "sim/tiled_executor.hpp"
@@ -467,6 +469,12 @@ CheckReport check_workload(const Workload& w, const CheckOptions& opts) {
   CheckReport report;
   Checker c(w, opts, &report);
 
+  // One span per trial: everything the trial touches (optimizers, the
+  // executor, the serve path) nests under it, so a flight-recorder dump
+  // taken on failure shows the failing trial's full tree.
+  ScopedSpan trial_span("check/trial");
+  trial_span.note(w.to_string().c_str());
+
   // Per-trial coverage counters are charged once per trial, in the phase
   // that runs the core checks — a kServeOnly call is the second half of a
   // trial already counted by its kCore half.
@@ -503,6 +511,9 @@ CheckReport check_workload(const Workload& w, const CheckOptions& opts) {
   if (!report.ok()) {
     reg.counter("check/failed_trials").add();
     reg.counter("check/failures").add(static_cast<std::int64_t>(report.failures.size()));
+    for (const CheckFailure& f : report.failures) {
+      log_error("check", f.detail, {{"check", f.check}, {"workload", w.to_string()}});
+    }
   }
   return report;
 }

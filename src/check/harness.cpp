@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace fusecu {
@@ -85,6 +86,11 @@ HarnessResult run_conformance(const HarnessOptions& opts, std::ostream* progress
     if (report.ok()) continue;
 
     ++result.failed_trials;
+    log_warn("check", "trial failed",
+             {{"trial", std::to_string(i)},
+              {"seed", std::to_string(w.seed)},
+              {"workload", w.to_string()},
+              {"first_check", report.failures.front().check}});
     if (progress) {
       *progress << "FAIL trial " << i << " (seed " << w.seed << "): " << report.summary()
                 << "\n";

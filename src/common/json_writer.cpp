@@ -119,6 +119,12 @@ void JsonWriter::value(std::int64_t v) {
   if (stack_.empty()) root_written_ = true;
 }
 
+void JsonWriter::raw_value(const std::string& json) {
+  before_value();
+  os_ << json;
+  if (stack_.empty()) root_written_ = true;
+}
+
 void JsonWriter::value(bool v) {
   before_value();
   os_ << (v ? "true" : "false");

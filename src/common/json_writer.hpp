@@ -43,6 +43,10 @@ class JsonWriter {
     value(v);
   }
 
+  /// Splice pre-serialized JSON in value position (e.g. a sub-document
+  /// produced by another writer).  The caller vouches for its validity.
+  void raw_value(const std::string& json);
+
   /// True once the root value is complete and all scopes are closed.
   bool complete() const { return stack_.empty() && root_written_; }
 

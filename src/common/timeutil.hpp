@@ -1,0 +1,22 @@
+#pragma once
+
+#include <ctime>
+#include <string>
+
+/// \file timeutil.hpp
+/// Small wall-clock formatting helpers shared by the observability layer.
+///
+/// Every exported artifact (metrics dumps, log lines, flight-recorder
+/// dumps) stamps wall-clock time the same way: RFC 3339 in UTC with a
+/// trailing 'Z' and no fractional seconds, e.g. "2026-08-08T14:03:07Z".
+/// One fixed format keeps artifacts diffable and trivially parseable.
+
+namespace fusecu {
+
+/// Format \p t (seconds since the epoch) as "YYYY-MM-DDTHH:MM:SSZ" (UTC).
+std::string rfc3339_utc(std::time_t t);
+
+/// Current wall-clock time in the same format.
+std::string rfc3339_utc_now();
+
+}  // namespace fusecu

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 
 namespace fusecu {
@@ -182,6 +183,9 @@ std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferS
       return *std::move(cached);
     }
   }
+  // Span opens only past the interceptor, so a cache hit never shows an
+  // optimize span in its request tree.
+  ScopedSpan span("optimize/fused_pair");
   MetricsRegistry::global().counter("principles/optimize_fused_pair/calls").add();
   std::optional<FusedOptResult> best;
   for (const FusedCandidate& c : fused_principle_candidates(pair, bs)) {
@@ -197,6 +201,9 @@ std::optional<FusedOptResult> optimize_fused_pair(const FusedPair& pair, BufferS
   if (best) {
     best->regime1 = optimize_intra(pair.op1(), bs).nra;
     best->regime2 = optimize_intra(pair.op2(), bs).nra;
+    span.note(best->chosen.rule.c_str());
+  } else {
+    span.note("not_fusable");
   }
   if (hook) hook->store(pair, bs, best);
   return best;

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file log.hpp
+/// Leveled structured logging with a JSONL sink.
+///
+/// One process-wide `Logger`, configured by `ObsSession` from the shared
+/// `--log-out FILE` / `--log-level LEVEL` flags, replaces the ad-hoc
+/// `stderr` writes the serve / check / search tools used to make.  Every
+/// line is one JSON object:
+///
+///   {"time":"2026-08-08T14:03:07Z","ts_us":18234,"level":"info",
+///    "component":"serve","thread":2,"trace":"9f41...","span":"03ab...",
+///    "msg":"request failed","id":"r17"}
+///
+/// * `ts_us` is the span clock (obs/span.hpp), so log lines interleave
+///   consistently with span records in traces and flight-recorder dumps.
+/// * `trace`/`span` are present when the calling thread has an ambient
+///   span — log lines attach themselves to the request being served.
+/// * Extra key/value fields are appended flat after `msg`.
+///
+/// Cost when disabled: `enabled()` is one relaxed atomic load, and the
+/// `log_*` helpers check it before anything else, so a disabled call site
+/// costs the argument evaluation only.  Call sites with expensive messages
+/// should guard themselves:
+///
+///   if (Logger::global().enabled(LogLevel::kDebug))
+///     log_debug("serve", "slow path: " + expensive());
+///
+/// When the flight recorder is armed, log lines at `kInfo` and above are
+/// also mirrored into the per-thread rings even if no sink is configured,
+/// so a crash dump carries the most recent log context.
+
+namespace fusecu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Lowercase level name ("debug", "info", "warn", "error", "off").
+const char* log_level_name(LogLevel level);
+
+/// Parse a level name (case-sensitive, the names above); nullopt on junk.
+std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// One structured field; values are emitted as JSON strings.
+struct LogField {
+  const char* key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  static Logger& global();
+
+  /// Route lines at \p level and above to \p sink (JSONL).  The sink is
+  /// shared so the logger can outlive the configuring scope; pass nullptr
+  /// to detach.  Thread-safe.
+  void configure(LogLevel level, std::shared_ptr<std::ostream> sink);
+
+  /// Detach the sink and stop emitting (flight-recorder mirroring, when
+  /// armed, continues).
+  void reset();
+
+  /// Would a line at \p level go anywhere (sink or flight recorder)?
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= effective_threshold_.load(std::memory_order_relaxed);
+  }
+
+  LogLevel sink_level() const {
+    return static_cast<LogLevel>(sink_threshold_.load(std::memory_order_relaxed));
+  }
+
+  /// Emit one structured line.  Thread-safe; cheap no-op below threshold.
+  void log(LogLevel level, const char* component, std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  /// Flight-recorder arming hook: lines at kInfo+ mirror into the rings
+  /// while armed.  Called by FlightRecorder::arm()/disarm().
+  void set_mirror_to_flight(bool mirror);
+
+ private:
+  void recompute_threshold();
+
+  std::atomic<int> sink_threshold_{static_cast<int>(LogLevel::kOff)};
+  std::atomic<int> effective_threshold_{static_cast<int>(LogLevel::kOff)};
+  std::atomic<bool> mirror_to_flight_{false};
+  std::mutex mu_;
+  std::shared_ptr<std::ostream> sink_;
+};
+
+inline void log_debug(const char* component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kDebug)) logger.log(LogLevel::kDebug, component, message, fields);
+}
+
+inline void log_info(const char* component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kInfo)) logger.log(LogLevel::kInfo, component, message, fields);
+}
+
+inline void log_warn(const char* component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kWarn)) logger.log(LogLevel::kWarn, component, message, fields);
+}
+
+inline void log_error(const char* component, std::string_view message,
+                      std::initializer_list<LogField> fields = {}) {
+  Logger& logger = Logger::global();
+  if (logger.enabled(LogLevel::kError)) logger.log(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace fusecu

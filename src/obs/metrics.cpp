@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/json_writer.hpp"
+#include "common/timeutil.hpp"
 
 namespace fusecu {
 
@@ -102,6 +103,7 @@ HistogramSnapshot Histogram::snapshot() const {
   s.p50 = quantile_locked(0.50);
   s.p95 = quantile_locked(0.95);
   s.p99 = quantile_locked(0.99);
+  s.p999 = quantile_locked(0.999);
   return s;
 }
 
@@ -136,12 +138,20 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  clear_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, _] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : gauges_) out.push_back(name);
   return out;
 }
 
@@ -166,14 +176,16 @@ void write_histogram_fields(JsonWriter& w, const HistogramSnapshot& s) {
   w.field("p50", finite_or_zero(s.p50));
   w.field("p95", finite_or_zero(s.p95));
   w.field("p99", finite_or_zero(s.p99));
+  w.field("p99.9", finite_or_zero(s.p999));
 }
 
 }  // namespace
 
-void MetricsRegistry::write_json(std::ostream& os) const {
+void MetricsRegistry::write_json(std::ostream& os, std::optional<std::time_t> exported_at) const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(os);
   w.begin_object();
+  w.field("exported_at", rfc3339_utc(exported_at.value_or(std::time(nullptr))));
   w.key("counters");
   w.begin_object();
   for (const auto& [name, c] : counters_) w.field(name, static_cast<std::int64_t>(c->value()));
@@ -195,25 +207,26 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << '\n';
 }
 
-void MetricsRegistry::write_csv(std::ostream& os) const {
+void MetricsRegistry::write_csv(std::ostream& os, std::optional<std::time_t> exported_at) const {
   std::lock_guard<std::mutex> lock(mu_);
-  os << "kind,name,count,sum,min,max,mean,p50,p95,p99\n";
+  os << "# exported_at " << rfc3339_utc(exported_at.value_or(std::time(nullptr))) << "\n";
+  os << "kind,name,count,sum,min,max,mean,p50,p95,p99,p99.9\n";
   auto num = [](double v) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", finite_or_zero(v));
     return std::string(buf);
   };
   for (const auto& [name, c] : counters_) {
-    os << "counter," << name << ",1," << c->value() << ",,,,,,\n";
+    os << "counter," << name << ",1," << c->value() << ",,,,,,,\n";
   }
   for (const auto& [name, g] : gauges_) {
-    os << "gauge," << name << ",1," << num(g->value()) << ",,,,,,\n";
+    os << "gauge," << name << ",1," << num(g->value()) << ",,,,,,,\n";
   }
   for (const auto& [name, h] : histograms_) {
     const HistogramSnapshot s = h->snapshot();
     os << "histogram," << name << "," << s.count << "," << num(s.sum) << "," << num(s.min) << ","
        << num(s.max) << "," << num(s.mean()) << "," << num(s.p50) << "," << num(s.p95) << ","
-       << num(s.p99) << "\n";
+       << num(s.p99) << "," << num(s.p999) << "\n";
   }
 }
 

@@ -3,9 +3,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -57,6 +59,7 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< p99.9 — the tail the serving SLO cares about
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 };
@@ -104,20 +107,31 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// Drop every metric (between test cases / evaluation phases).
+  /// Drop every metric (between test cases / evaluation phases).  Bumps
+  /// clear_epoch() so pointer caches (the flight recorder's signal-path
+  /// index) can detect they went stale.
   void clear();
 
+  /// Monotonic count of clear() calls; metric references obtained before
+  /// the epoch changed must not be dereferenced.
+  std::uint64_t clear_epoch() const { return clear_epoch_.load(std::memory_order_acquire); }
+
   std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
   std::vector<std::string> histogram_names() const;
 
-  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  void write_json(std::ostream& os) const;
-  /// Flat CSV: kind,name,count,sum,min,max,mean,p50,p95,p99 (value in `sum`
-  /// for counters/gauges).
-  void write_csv(std::ostream& os) const;
+  /// One JSON object: {"exported_at":"RFC3339","counters":{...},
+  /// "gauges":{...},"histograms":{...}}.  \p exported_at overrides the
+  /// wall-clock stamp (tests pin it for byte-stable artifacts).
+  void write_json(std::ostream& os, std::optional<std::time_t> exported_at = std::nullopt) const;
+  /// Flat CSV: kind,name,count,sum,min,max,mean,p50,p95,p99,p99.9 (value in
+  /// `sum` for counters/gauges), preceded by a "# exported_at <RFC3339>"
+  /// header line.
+  void write_csv(std::ostream& os, std::optional<std::time_t> exported_at = std::nullopt) const;
 
  private:
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> clear_epoch_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace fusecu {
 
@@ -30,12 +33,15 @@ ObsOptions extract_obs_options(int& argc, char** argv) {
     const std::string arg = argv[i];
     std::optional<std::string>* target = nullptr;
     std::string flag;
-    for (const char* name : {"--metrics-out", "--trace-out", "--bench-out"}) {
+    const std::pair<const char*, std::optional<std::string>*> flags[] = {
+        {"--metrics-out", &opts.metrics_out}, {"--trace-out", &opts.trace_out},
+        {"--bench-out", &opts.bench_out},     {"--log-out", &opts.log_out},
+        {"--log-level", &opts.log_level},     {"--flight-out", &opts.flight_out},
+    };
+    for (const auto& [name, slot] : flags) {
       if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0) {
         flag = name;
-        target = (flag == "--metrics-out") ? &opts.metrics_out
-                 : (flag == "--trace-out") ? &opts.trace_out
-                                           : &opts.bench_out;
+        target = slot;
         break;
       }
     }
@@ -49,7 +55,7 @@ ObsOptions extract_obs_options(int& argc, char** argv) {
       FCU_CHECK(i + 1 < argc, "option " + flag + " expects a value");
       *target = argv[++i];
     }
-    FCU_CHECK(!(*target)->empty(), "option " + flag + " expects a non-empty path");
+    FCU_CHECK(!(*target)->empty(), "option " + flag + " expects a non-empty value");
   }
   for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
   argc = static_cast<int>(kept.size());
@@ -63,7 +69,35 @@ ObsSession::ObsSession(int& argc, char** argv, std::size_t trace_capacity)
 ObsSession::ObsSession(ObsOptions options, std::size_t trace_capacity)
     : options_(std::move(options)),
       recorder_(trace_capacity),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  if (log_enabled()) {
+    LogLevel level = LogLevel::kInfo;
+    if (options_.log_level) {
+      const auto parsed = parse_log_level(*options_.log_level);
+      FCU_CHECK(parsed.has_value(), "unknown --log-level: " + *options_.log_level +
+                                        " (expected debug|info|warn|error|off)");
+      level = *parsed;
+    }
+    std::shared_ptr<std::ostream> sink;
+    if (options_.log_out) {
+      auto file = std::make_shared<std::ofstream>(*options_.log_out);
+      FCU_CHECK(file->good(), "cannot open log output file: " + *options_.log_out);
+      sink = file;
+    } else {
+      // --log-level without --log-out: human-debug mode, lines to stderr.
+      sink = std::shared_ptr<std::ostream>(&std::cerr, [](std::ostream*) {});
+    }
+    Logger::global().configure(level, std::move(sink));
+  }
+  if (flight_enabled()) {
+    FCU_CHECK(FlightRecorder::global().install_crash_handler(*options_.flight_out),
+              "cannot open flight output file: " + *options_.flight_out);
+  }
+  if (trace_enabled()) {
+    span_sink_ = std::make_unique<TraceSpanSink>(recorder_);
+    set_span_sink(span_sink_.get());
+  }
+}
 
 void ObsSession::record_bench_value(const std::string& name, double value) {
   if (!bench_enabled()) return;
@@ -79,6 +113,13 @@ void ObsSession::record_bench_value(const std::string& name, double value) {
 void ObsSession::flush() {
   if (flushed_) return;
   flushed_ = true;
+  if (span_sink_) {
+    // Detach before reading the recorder so no straggler thread appends
+    // while the trace is serialized; the sink object stays alive for any
+    // on_span call already past the pointer load.
+    set_span_sink(nullptr);
+  }
+  if (log_enabled()) Logger::global().reset();
   if (options_.metrics_out) {
     std::ofstream out(*options_.metrics_out);
     FCU_CHECK(out.good(), "cannot open metrics output file: " + *options_.metrics_out);

@@ -1,0 +1,129 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/flight_recorder.hpp"
+
+namespace fusecu {
+
+namespace {
+
+std::atomic<SpanSink*> g_sink{nullptr};
+std::atomic<std::uint64_t> g_next_id{1};
+std::atomic<int> g_next_thread_index{0};
+
+thread_local SpanContext t_current_span;
+
+/// splitmix64 finalizer: spreads the sequential counter over the id space
+/// so ids from different runs / threads don't collide visually.  Never
+/// returns 0 (0 means "no span").
+std::uint64_t mix_id(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+std::uint64_t next_id() { return mix_id(g_next_id.fetch_add(1, std::memory_order_relaxed)); }
+
+std::chrono::steady_clock::time_point span_epoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void dispatch(SpanRecord&& record) {
+  FlightRecorder& flight = FlightRecorder::global();
+  if (flight.armed()) flight.record_span(record);
+  if (SpanSink* sink = g_sink.load(std::memory_order_acquire)) sink->on_span(record);
+}
+
+}  // namespace
+
+SpanSink* set_span_sink(SpanSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+bool span_recording_enabled() {
+  return g_sink.load(std::memory_order_relaxed) != nullptr ||
+         FlightRecorder::global().armed();
+}
+
+std::int64_t span_clock_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               span_epoch())
+      .count();
+}
+
+int obs_thread_index() {
+  thread_local const int index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+SpanContext current_span() { return t_current_span; }
+
+void ScopedSpan::open(const char* name, std::int64_t start_us) {
+  if (!span_recording_enabled()) return;
+  const SpanContext parent = t_current_span;
+  context_.span_id = next_id();
+  if (parent.valid()) {
+    context_.trace_id = parent.trace_id;
+    context_.parent_span_id = parent.span_id;
+  } else {
+    context_.trace_id = next_id();
+    context_.parent_span_id = 0;
+  }
+  saved_ambient_ = parent;
+  t_current_span = context_;
+  name_ = name;
+  start_us_ = start_us;
+  active_ = true;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (span_recording_enabled()) open(name, span_clock_us());
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::int64_t start_us) { open(name, start_us); }
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::int64_t end_us = span_clock_us();
+  t_current_span = saved_ambient_;
+  SpanRecord record;
+  record.name = name_;
+  record.detail = std::move(detail_);
+  record.context = context_;
+  record.thread_index = obs_thread_index();
+  record.start_us = start_us_;
+  record.duration_us = end_us - start_us_;
+  dispatch(std::move(record));
+}
+
+void ScopedSpan::note(const char* detail) {
+  if (active_) detail_ = detail;
+}
+
+void record_span(const char* name, std::int64_t start_us, std::int64_t end_us,
+                 const char* detail) {
+  if (!span_recording_enabled()) return;
+  const SpanContext parent = t_current_span;
+  SpanRecord record;
+  record.name = name;
+  if (detail != nullptr) record.detail = detail;
+  record.context.span_id = next_id();
+  if (parent.valid()) {
+    record.context.trace_id = parent.trace_id;
+    record.context.parent_span_id = parent.span_id;
+  } else {
+    record.context.trace_id = next_id();
+    record.context.parent_span_id = 0;
+  }
+  record.thread_index = obs_thread_index();
+  record.start_us = start_us;
+  record.duration_us = end_us - start_us;
+  dispatch(std::move(record));
+}
+
+}  // namespace fusecu

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 
 namespace fusecu {
@@ -208,6 +209,9 @@ IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
       return *std::move(cached);
     }
   }
+  // Span opens only past the interceptor, so a cache hit never shows an
+  // optimize span in its request tree.
+  ScopedSpan span("optimize/intra");
   std::vector<PrincipleCandidate> candidates = principle_candidates(op, bs);
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.counter("principles/optimize_intra/calls").add();
@@ -237,6 +241,7 @@ IntraOptResult optimize_intra(const TensorOp& op, BufferSize bs) {
   FCU_ASSERT_INTERNAL(nra >= 1 && nra <= 3, "optimal dataflow must be 1/2/3-NRA");
   best.nra = static_cast<NraKind>(nra);
   reg.counter("principles/optimize_intra/winner_nra_" + std::to_string(nra)).add();
+  span.note(best.rule.c_str());
   if (hook) hook->store(op, bs, best);
   return best;
 }

@@ -1,5 +1,6 @@
 #include "serve/plan_service.hpp"
 
+#include <chrono>
 #include <exception>
 #include <future>
 #include <istream>
@@ -7,6 +8,8 @@
 #include <utility>
 
 #include "fusion/fusion_principles.hpp"
+#include "obs/log.hpp"
+#include "obs/span.hpp"
 #include "principles/principle_optimizer.hpp"
 
 namespace fusecu {
@@ -131,7 +134,13 @@ PlanService::PlanService(ServeOptions options)
       arch_cache_(cache_options<ArchEntry>(options_, options_.cache_bytes / 4,
                                            "serve/cache/arch")),
       pool_(options_.threads),
-      shared_flights_(MetricsRegistry::global().counter("serve/single_flight/shared")) {
+      shared_flights_(MetricsRegistry::global().counter("serve/single_flight/shared")),
+      requests_(MetricsRegistry::global().counter("serve/requests")),
+      request_errors_(MetricsRegistry::global().counter("serve/request_errors")),
+      latency_matmul_us_(MetricsRegistry::global().histogram("serve/latency_us/matmul")),
+      latency_fused_us_(MetricsRegistry::global().histogram("serve/latency_us/fused_pair")),
+      latency_hit_us_(MetricsRegistry::global().histogram("serve/latency_us/hit")),
+      latency_miss_us_(MetricsRegistry::global().histogram("serve/latency_us/miss")) {
   if (options_.install_interceptors) {
     intra_hook_ = std::make_unique<IntraInterceptor>(intra_cache_);
     fused_hook_ = std::make_unique<FusedInterceptor>(fused_cache_);
@@ -186,18 +195,33 @@ void PlanService::end_flight(const std::string& key) {
 }
 
 IntraPlanned PlanService::plan_intra(const TensorOp& op, BufferSize bs) {
-  std::optional<CanonicalIntraKey> key = try_canonical_intra_key(op, bs);
+  std::optional<CanonicalIntraKey> key;
+  {
+    ScopedSpan canon("canonicalize");
+    key = try_canonical_intra_key(op, bs);
+  }
   if (key && intra_hook_) {
-    if (std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs)) {
-      return IntraPlanned{*std::move(hit), true};
+    {
+      ScopedSpan lookup("cache_lookup");
+      std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs);
+      lookup.note(hit ? "hit" : "miss");
+      if (hit) return IntraPlanned{*std::move(hit), true};
     }
     const std::string flight_key = key->text + (key->swapped ? "#1" : "#0");
+    const bool recording = span_recording_enabled();
+    const std::int64_t flight_start_us = recording ? span_clock_us() : 0;
     if (!begin_flight(flight_key)) {
+      if (recording) {
+        record_span("single_flight_join", flight_start_us, span_clock_us(), "joined");
+      }
       // A leader finished this exact computation while we waited; its plan
       // is in the cache unless it was evicted or the leader threw — fall
       // through to compute (idempotent) in those rare cases.
-      if (std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs)) {
-        return IntraPlanned{*std::move(hit), true};
+      {
+        ScopedSpan lookup("cache_lookup");
+        std::optional<IntraOptResult> hit = intra_hook_->lookup(op, bs);
+        lookup.note(hit ? "hit" : "miss");
+        if (hit) return IntraPlanned{*std::move(hit), true};
       }
       return IntraPlanned{optimize_intra(op, bs), false};
     }
@@ -216,13 +240,28 @@ IntraPlanned PlanService::plan_intra(const TensorOp& op, BufferSize bs) {
 
 FusedPlanned PlanService::plan_fused(const FusedPair& pair, BufferSize bs) {
   if (fused_hook_) {
-    if (auto hit = fused_hook_->lookup(pair, bs)) {
-      return FusedPlanned{*std::move(hit), true};
+    std::string flight_key;
+    {
+      ScopedSpan canon("canonicalize");
+      flight_key = canonical_fused_key(pair, bs);
     }
-    const std::string flight_key = canonical_fused_key(pair, bs);
+    {
+      ScopedSpan lookup("cache_lookup");
+      auto hit = fused_hook_->lookup(pair, bs);
+      lookup.note(hit ? "hit" : "miss");
+      if (hit) return FusedPlanned{*std::move(hit), true};
+    }
+    const bool recording = span_recording_enabled();
+    const std::int64_t flight_start_us = recording ? span_clock_us() : 0;
     if (!begin_flight(flight_key)) {
-      if (auto hit = fused_hook_->lookup(pair, bs)) {
-        return FusedPlanned{*std::move(hit), true};
+      if (recording) {
+        record_span("single_flight_join", flight_start_us, span_clock_us(), "joined");
+      }
+      {
+        ScopedSpan lookup("cache_lookup");
+        auto hit = fused_hook_->lookup(pair, bs);
+        lookup.note(hit ? "hit" : "miss");
+        if (hit) return FusedPlanned{*std::move(hit), true};
       }
       return FusedPlanned{optimize_fused_pair(pair, bs), false};
     }
@@ -239,11 +278,20 @@ FusedPlanned PlanService::plan_fused(const FusedPair& pair, BufferSize bs) {
 }
 
 PlanResponse PlanService::plan(const PlanRequest& request) {
+  const bool matmul = request.kind == PlanRequest::Kind::kMatmul;
+  // Root the span tree here only for direct calls; plan_batch/serve_stream
+  // open the request root inside the pool task (anchored at enqueue time,
+  // with a queue_wait child), and this call inherits it as ambient.
+  std::optional<ScopedSpan> root;
+  if (span_recording_enabled() && !current_span().valid()) {
+    root.emplace(matmul ? "request/matmul" : "request/fused_pair");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
   PlanResponse response;
   response.id = request.id;
   response.kind = request.kind;
   try {
-    if (request.kind == PlanRequest::Kind::kMatmul) {
+    if (matmul) {
       IntraPlanned planned = plan_intra(request.to_op(), request.buffer_elems);
       response.intra = std::move(planned.result);
       response.cached = planned.cached;
@@ -256,7 +304,16 @@ PlanResponse PlanService::plan(const PlanRequest& request) {
     response.ok = true;
   } catch (const std::exception& e) {
     response = error_response(request.id, e.what());
+    request_errors_.add();
+    log_error("serve", e.what(), {{"id", request.id}});
   }
+  const double us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                              wall_start)
+                        .count();
+  requests_.add();
+  (matmul ? latency_matmul_us_ : latency_fused_us_).observe(us);
+  (response.cached ? latency_hit_us_ : latency_miss_us_).observe(us);
+  if (root) root->note(response.ok ? (response.cached ? "ok cached" : "ok") : "error");
   return response;
 }
 
@@ -264,7 +321,10 @@ std::vector<PlanResponse> PlanService::plan_batch(const std::vector<PlanRequest>
   std::vector<std::future<PlanResponse>> futures;
   futures.reserve(requests.size());
   for (const PlanRequest& request : requests) {
-    futures.push_back(pool_.submit([this, request]() { return plan(request); }));
+    const std::int64_t enqueue_us = span_recording_enabled() ? span_clock_us() : 0;
+    futures.push_back(pool_.submit([this, request, enqueue_us]() {
+      return plan_enqueued(request, enqueue_us);
+    }));
   }
   std::vector<PlanResponse> responses;
   responses.reserve(requests.size());
@@ -272,10 +332,41 @@ std::vector<PlanResponse> PlanService::plan_batch(const std::vector<PlanRequest>
   return responses;
 }
 
+void PlanService::open_request_root(std::optional<ScopedSpan>& root, const PlanRequest& request,
+                                    std::int64_t enqueue_us) {
+  // Pool workers run the whole request on one thread, so opening the root
+  // here (anchored at enqueue time) makes every span below it — including
+  // the interceptor-level optimize spans — part of one connected tree.
+  if (!span_recording_enabled()) return;
+  const bool matmul = request.kind == PlanRequest::Kind::kMatmul;
+  // Recording may have been armed after the request was enqueued; fall
+  // back to "now" rather than anchoring at the clock origin.
+  const std::int64_t anchor_us = enqueue_us > 0 ? enqueue_us : span_clock_us();
+  root.emplace(matmul ? "request/matmul" : "request/fused_pair", anchor_us);
+  record_span("queue_wait", anchor_us, span_clock_us());
+}
+
+PlanResponse PlanService::plan_enqueued(const PlanRequest& request, std::int64_t enqueue_us) {
+  std::optional<ScopedSpan> root;
+  open_request_root(root, request, enqueue_us);
+  return plan(request);
+}
+
+std::string PlanService::plan_enqueued_json(const PlanRequest& request, std::int64_t enqueue_us) {
+  std::optional<ScopedSpan> root;
+  open_request_root(root, request, enqueue_us);
+  PlanResponse response = plan(request);
+  ScopedSpan serialize("serialize");
+  return response.to_json();
+}
+
 int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::string& source) {
+  // Workers return the serialized response line so the serialize span is a
+  // child of the request root on the same thread (the writer loop below
+  // only concatenates).
   struct Slot {
-    std::optional<PlanResponse> immediate;
-    std::future<PlanResponse> pending;
+    std::optional<std::string> immediate;
+    std::future<std::string> pending;
   };
   std::vector<Slot> slots;
   std::string line;
@@ -286,15 +377,18 @@ int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::st
     Slot slot;
     try {
       PlanRequest request = parse_plan_request(line, source, lineno);
-      slot.pending = pool_.submit([this, request]() { return plan(request); });
+      const std::int64_t enqueue_us = span_recording_enabled() ? span_clock_us() : 0;
+      slot.pending = pool_.submit(
+          [this, request, enqueue_us]() { return plan_enqueued_json(request, enqueue_us); });
     } catch (const std::exception& e) {
-      slot.immediate = error_response("", e.what());
+      request_errors_.add();
+      log_warn("serve", "malformed request line", {{"error", e.what()}});
+      slot.immediate = error_response("", e.what()).to_json();
     }
     slots.push_back(std::move(slot));
   }
   for (Slot& slot : slots) {
-    const PlanResponse response = slot.immediate ? *slot.immediate : slot.pending.get();
-    out << response.to_json() << '\n';
+    out << (slot.immediate ? *slot.immediate : slot.pending.get()) << '\n';
   }
   return static_cast<int>(slots.size());
 }

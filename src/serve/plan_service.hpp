@@ -2,6 +2,7 @@
 
 #include <array>
 #include <condition_variable>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "arch/dataflow_space.hpp"
+#include "obs/span.hpp"
 #include "serve/canonical.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/plan_request.hpp"
@@ -130,6 +132,18 @@ class PlanService {
   bool begin_flight(const std::string& key);
   void end_flight(const std::string& key);
 
+  /// Opens the "request/<class>" span root anchored at \p enqueue_us (span
+  /// clock) plus a queue_wait child — called at the top of a pool task so
+  /// the whole tree of a pooled request lives on the worker thread.  No-op
+  /// (root stays empty) when span recording is off.
+  void open_request_root(std::optional<ScopedSpan>& root, const PlanRequest& request,
+                         std::int64_t enqueue_us);
+  /// plan() under a pool-side request root.
+  PlanResponse plan_enqueued(const PlanRequest& request, std::int64_t enqueue_us);
+  /// plan() under a pool-side request root, serialized to the JSONL
+  /// response line inside a "serialize" child span.
+  std::string plan_enqueued_json(const PlanRequest& request, std::int64_t enqueue_us);
+
   ServeOptions options_;
   ShardedLruCache<IntraEntry> intra_cache_;
   ShardedLruCache<FusedEntry> fused_cache_;
@@ -146,6 +160,16 @@ class PlanService {
   std::mutex flights_mu_;
   std::map<std::string, std::shared_ptr<Flight>> flights_;
   Counter& shared_flights_;
+
+  // Request observability (obs/span.hpp drives the span trees; these are
+  // the always-on latency histograms by request class plus the counters
+  // the --stats-interval reporter differentiates for qps / error rate).
+  Counter& requests_;
+  Counter& request_errors_;
+  Histogram& latency_matmul_us_;
+  Histogram& latency_fused_us_;
+  Histogram& latency_hit_us_;
+  Histogram& latency_miss_us_;
 };
 
 }  // namespace fusecu

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "obs/span.hpp"
 
 namespace fusecu {
 
@@ -43,6 +44,8 @@ class TileSlot {
 
 TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const Matrix& a,
                                    const Matrix& b, ComputeUnit& cu, TraceRecorder* trace) {
+  ScopedSpan span("sim/execute_tiled");
+  span.note(cu.fidelity() == SimFidelity::kFunctional ? "fastpath" : "stepped");
   validate_dataflow(op, df);
   FCU_CHECK(op.num_dims() == 3 && op.num_tensors() == 3, "executor targets matmul-shaped ops");
   const Index m = op.extent(mm::kDimM), k = op.extent(mm::kDimK), l = op.extent(mm::kDimL);
@@ -115,6 +118,7 @@ TiledExecutionResult execute_tiled(const TensorOp& op, const Dataflow& df, const
 FusedExecutionResult execute_fused_resident(const FusedPair& pair,
                                             const ResidentFusedDataflow& df, const Matrix& a,
                                             const Matrix& b, const Matrix& d, FuseCuQuad& quad) {
+  ScopedSpan span("sim/execute_fused_resident");
   const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
   FCU_CHECK(a.rows() == m && a.cols() == k, "A shape mismatch");
   FCU_CHECK(b.rows() == k && b.cols() == l, "B shape mismatch");
@@ -145,6 +149,7 @@ FusedExecutionResult execute_fused_resident(const FusedPair& pair,
 FusedExecutionResult execute_fused_phased(const FusedPair& pair, const PhasedFusedDataflow& df,
                                           const Matrix& a, const Matrix& b, const Matrix& d,
                                           FuseCuQuad& quad) {
+  ScopedSpan span("sim/execute_fused_phased");
   const Index m = pair.m(), k = pair.k(), l = pair.l(), n = pair.n();
   FCU_CHECK(a.rows() == m && a.cols() == k, "A shape mismatch");
   FCU_CHECK(b.rows() == k && b.cols() == l, "B shape mismatch");

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/span.hpp"
 
 /// \file trace.hpp
 /// Execution trace recording and chrome-tracing export.
@@ -40,6 +42,11 @@ struct CounterSample {
 
 class TraceRecorder {
  public:
+  /// Chrome-trace tid offset for request-span tracks: span records from
+  /// obs thread i land on tid kSpanTrackBase + i, away from the simulator
+  /// engine tracks (0 = DMA, 1 = compute, ...).
+  static constexpr Index kSpanTrackBase = 1000;
+
   explicit TraceRecorder(std::size_t capacity = 100000);
 
   void record(TraceEvent event);
@@ -48,30 +55,63 @@ class TraceRecorder {
     record_counter(CounterSample{std::move(track), cycle, value});
   }
 
+  /// Retain one finished request span (see obs/span.hpp).  Same capacity /
+  /// drop accounting as duration events.  NOT thread-safe — concurrent
+  /// producers go through TraceSpanSink below.
+  void record_span(SpanRecord span);
+
   /// Human-readable name for a tid ("DMA", "PE array", ...), emitted as
   /// chrome-tracing thread_name metadata.
   void set_track_name(Index track, std::string name);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<CounterSample>& counter_samples() const { return counter_samples_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::map<Index, std::string>& track_names() const { return track_names_; }
   std::size_t dropped() const { return dropped_; }
   std::size_t dropped_counters() const { return dropped_counters_; }
-  bool empty() const { return events_.empty() && counter_samples_.empty(); }
+  std::size_t dropped_spans() const { return dropped_spans_; }
+  bool empty() const {
+    return events_.empty() && counter_samples_.empty() && spans_.empty();
+  }
 
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   std::vector<CounterSample> counter_samples_;
+  std::vector<SpanRecord> spans_;
   std::map<Index, std::string> track_names_;
   std::size_t dropped_ = 0;
   std::size_t dropped_counters_ = 0;
+  std::size_t dropped_spans_ = 0;
+};
+
+/// Thread-safe SpanSink adapter feeding a TraceRecorder — the glue
+/// ObsSession installs so `--trace-out` traces carry the per-request span
+/// trees next to the simulator timelines.
+class TraceSpanSink : public SpanSink {
+ public:
+  explicit TraceSpanSink(TraceRecorder& recorder) : recorder_(recorder) {}
+
+  void on_span(const SpanRecord& span) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorder_.record_span(span);
+  }
+
+ private:
+  std::mutex mu_;
+  TraceRecorder& recorder_;
 };
 
 /// Emit the trace as a chrome-tracing JSON array: thread_name metadata for
-/// named tracks, "ph":"X" complete events, "ph":"C" counter samples, and —
-/// when the recorder overflowed — a "trace_truncated" metadata record with
-/// the drop counts.  Cycle timestamps map to microseconds 1:1.
+/// named tracks, "ph":"X" complete events, "ph":"C" counter samples,
+/// request spans as "ph":"X" events on per-thread span tracks (tid
+/// kSpanTrackBase + thread, args carrying hex trace/span/parent ids and
+/// the detail annotation, so Perfetto shows the tree and a query can
+/// reassemble it), and — when the recorder overflowed — a
+/// "trace_truncated" metadata record with the drop counts.  Cycle
+/// timestamps map to microseconds 1:1; span timestamps are already
+/// microseconds on the span clock.
 void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder);
 
 }  // namespace fusecu

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/conformance.hpp"
+#include "common/json_parse.hpp"
+#include "tensor/tensor_op.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace fusecu {
+namespace {
+
+/// The injected-bug fixture from check_shrink_test: an analytical-only run
+/// whose intra mutator flips the M tile, so every trial fails and the check
+/// layer emits spans and error log lines into the armed recorder.
+CheckOptions flipped_tile_max() {
+  CheckOptions opts;
+  opts.with_executor = false;
+  opts.with_serve = false;
+  opts.with_arch = false;
+  opts.intra_mutator = [](const TensorOp& op, IntraOptResult& r) {
+    Index& t_m = r.dataflow.tile[static_cast<std::size_t>(mm::kDimM)];
+    t_m = (t_m == op.extent(mm::kDimM)) ? 1 : op.extent(mm::kDimM);
+  };
+  return opts;
+}
+
+Workload intra_workload(Index m, Index k, Index l, BufferSize bs) {
+  Workload w;
+  w.kind = WorkloadKind::kIntra;
+  w.m = m;
+  w.k = k;
+  w.l = l;
+  w.bs = bs;
+  return w;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(FlightRecorder, FailingTrialLandsSpansLogsAndMetricsInDump) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.arm(256);
+  ASSERT_TRUE(flight.armed());
+  ASSERT_TRUE(span_recording_enabled());  // arming alone enables spans
+
+  CheckReport report = check_workload(intra_workload(37, 23, 41, 200), flipped_tile_max());
+  ASSERT_FALSE(report.ok()) << "injected bug must fail so the dump has content";
+  flight.refresh_metrics_index();
+
+  std::ostringstream os;
+  flight.dump_json(os);
+  JsonValuePtr dump = parse_json(os.str());
+
+  EXPECT_TRUE(dump->get("armed")->as_bool());
+  EXPECT_GE(dump->get("recorded")->as_number(), 1.0);
+  EXPECT_TRUE(dump->has("exported_at"));
+
+  bool saw_trial_span = false, saw_error_log = false, saw_connected_child = false;
+  for (const JsonValuePtr& e : dump->get("events")->as_array()) {
+    const std::string kind = e->get("kind")->as_string();
+    if (kind == "span" && e->get("name")->as_string() == "check/trial") {
+      saw_trial_span = true;
+      // The failing trial's root span carries the workload description.
+      EXPECT_NE(e->get("detail")->as_string().find("intra"), std::string::npos);
+    }
+    if (kind == "log" && e->get("component")->as_string() == "check" &&
+        e->get("level")->as_string() == "error") {
+      saw_error_log = true;
+      EXPECT_FALSE(e->get("msg")->as_string().empty());
+    }
+    if (kind == "span" && e->has("parent") &&
+        e->get("parent")->as_string() != "0000000000000000") {
+      saw_connected_child = true;
+    }
+  }
+  EXPECT_TRUE(saw_trial_span) << "dump must retain the failing trial's root span";
+  EXPECT_TRUE(saw_error_log) << "dump must retain the conformance failure log line";
+  EXPECT_TRUE(saw_connected_child) << "spans in the dump must keep parent links";
+
+  // The metrics snapshot rides along, including the check-layer counters
+  // the failing run just bumped.
+  JsonValuePtr counters = dump->get("metrics")->get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->get("check/trials")->as_number(), 1.0);
+
+  flight.disarm();
+  EXPECT_FALSE(flight.armed());
+}
+
+TEST(FlightRecorder, OverwrittenCountsRetentionOverflow) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.arm();  // capacity was fixed by the first arm() in this process
+  const std::uint64_t cap = flight.events_per_thread();
+  ASSERT_GE(cap, 16u);
+
+  const std::uint64_t before_recorded = flight.recorded();
+  const std::uint64_t before_overwritten = flight.overwritten();
+  const int bursts = static_cast<int>(cap) + 50;
+  for (int i = 0; i < bursts; ++i) {
+    ScopedSpan span("burst");
+  }
+
+  EXPECT_EQ(flight.recorded() - before_recorded, static_cast<std::uint64_t>(bursts));
+  // This thread's ring wrapped, so at least the overflow past capacity on
+  // this ring is accounted as overwritten.
+  EXPECT_GE(flight.overwritten() - before_overwritten, 50u);
+  flight.disarm();
+
+  // Disarmed: spans stop landing in the rings.
+  const std::uint64_t after = flight.recorded();
+  { ScopedSpan span("ignored"); }
+  EXPECT_EQ(flight.recorded(), after);
+}
+
+TEST(FlightRecorder, SignalSafeDumpWritesEventsAndCapturedCounters) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.arm();
+  MetricsRegistry::global().counter("flight_test/marker").add(7);
+  flight.refresh_metrics_index();  // capture the marker for the signal path
+  { ScopedSpan span("flight_test/span"); }
+
+  const std::string path = testing::TempDir() + "flight_signal_dump.txt";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  flight.dump_signal_safe(fd);
+  ::close(fd);
+  flight.disarm();
+
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("event seq="), std::string::npos);
+  EXPECT_NE(dump.find("kind=span name=flight_test/span"), std::string::npos);
+  EXPECT_NE(dump.find("counter flight_test/marker=7"), std::string::npos);
+}
+
+TEST(FlightRecorder, CrashHandlerPreopensItsFd) {
+  FlightRecorder& flight = FlightRecorder::global();
+  EXPECT_FALSE(flight.install_crash_handler("/nonexistent-dir/flight.dump"));
+
+  const std::string path = testing::TempDir() + "flight_crash_dump.txt";
+  ASSERT_TRUE(flight.install_crash_handler(path));
+  EXPECT_TRUE(flight.armed());  // installation arms the recorder
+  const int fd = flight.crash_fd();
+  EXPECT_GE(fd, 0);
+  // Async-signal-safety by construction: the handler has nothing left to
+  // open — the fd accepts writes right now.
+  EXPECT_EQ(::write(fd, "", 0), 0);
+
+  // A second installation re-points the fd without reinstalling handlers.
+  const std::string path2 = testing::TempDir() + "flight_crash_dump2.txt";
+  ASSERT_TRUE(flight.install_crash_handler(path2));
+  EXPECT_GE(flight.crash_fd(), 0);
+  flight.disarm();
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "obs/log.hpp"
+#include "obs/span.hpp"
+
+namespace fusecu {
+namespace {
+
+/// Configure the global logger into a captured stringstream for one test,
+/// and always detach it afterwards.
+class LoggerScope {
+ public:
+  explicit LoggerScope(LogLevel level)
+      : sink_(std::make_shared<std::ostringstream>()) {
+    Logger::global().configure(level, sink_);
+  }
+  ~LoggerScope() { Logger::global().reset(); }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(sink_->str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) out.push_back(line);
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<std::ostringstream> sink_;
+};
+
+TEST(Log, ParseLogLevelRoundTrips) {
+  for (LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    auto parsed = parse_log_level(log_level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("INFO").has_value());  // case-sensitive
+}
+
+TEST(Log, DisabledByDefaultAndAfterReset) {
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kError));
+  {
+    LoggerScope scope(LogLevel::kInfo);
+    EXPECT_TRUE(Logger::global().enabled(LogLevel::kInfo));
+  }
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kError));
+  log_error("test", "goes nowhere");  // must not crash with no sink
+}
+
+TEST(Log, LinesAreJsonWithLevelComponentAndFields) {
+  LoggerScope scope(LogLevel::kInfo);
+  log_info("serve", "request failed", {{"id", "r17"}, {"why", "bad \"buffer\""}});
+
+  const std::vector<std::string> lines = scope.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  JsonValuePtr line = parse_json(lines[0]);
+  EXPECT_EQ(line->get("level")->as_string(), "info");
+  EXPECT_EQ(line->get("component")->as_string(), "serve");
+  EXPECT_EQ(line->get("msg")->as_string(), "request failed");
+  EXPECT_EQ(line->get("id")->as_string(), "r17");
+  EXPECT_EQ(line->get("why")->as_string(), "bad \"buffer\"");  // escapes survive
+  EXPECT_TRUE(line->has("time"));
+  EXPECT_GE(line->get("ts_us")->as_number(), 0.0);
+  EXPECT_GE(line->get("thread")->as_number(), 0.0);
+  // No ambient span on this thread: the line carries no trace/span ids.
+  EXPECT_FALSE(line->has("trace"));
+  EXPECT_FALSE(line->has("span"));
+}
+
+TEST(Log, ThresholdFiltersLowerLevels) {
+  LoggerScope scope(LogLevel::kWarn);
+  log_debug("test", "drop me");
+  log_info("test", "drop me too");
+  log_warn("test", "keep");
+  log_error("test", "keep too");
+
+  const std::vector<std::string> lines = scope.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(parse_json(lines[0])->get("level")->as_string(), "warn");
+  EXPECT_EQ(parse_json(lines[1])->get("level")->as_string(), "error");
+}
+
+TEST(Log, AmbientSpanIdsAttachToLines) {
+  LoggerScope scope(LogLevel::kInfo);
+
+  // Spans need a sink to become ambient; a discarding one is enough here.
+  struct NullSink : SpanSink {
+    void on_span(const SpanRecord&) override {}
+  } null_sink;
+  SpanSink* prev = set_span_sink(&null_sink);
+
+  std::string trace_hex, span_hex;
+  {
+    ScopedSpan span("request/matmul");
+    log_info("serve", "inside");
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(span.context().trace_id));
+    trace_hex = buf;
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(span.context().span_id));
+    span_hex = buf;
+  }
+  log_info("serve", "outside");
+  set_span_sink(prev);
+
+  const std::vector<std::string> lines = scope.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  JsonValuePtr inside = parse_json(lines[0]);
+  EXPECT_EQ(inside->get("trace")->as_string(), trace_hex);
+  EXPECT_EQ(inside->get("span")->as_string(), span_hex);
+  EXPECT_FALSE(parse_json(lines[1])->has("trace"));
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveLines) {
+  LoggerScope scope(LogLevel::kInfo);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        log_info("burst", "line", {{"writer", std::to_string(t)}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<std::string> lines = scope.lines();
+  ASSERT_EQ(lines.size(), 400u);
+  for (const std::string& line : lines) {
+    JsonValuePtr v = parse_json(line);  // throws if a line was torn
+    EXPECT_EQ(v->get("component")->as_string(), "burst");
+  }
+}
+
+}  // namespace
+}  // namespace fusecu

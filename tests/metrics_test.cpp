@@ -143,11 +143,35 @@ TEST(MetricsRegistry, CsvExportHasHeaderAndRows) {
   reg.counter("c").add(2);
   reg.histogram("h").observe(4.0);
   std::ostringstream os;
-  reg.write_csv(os);
+  reg.write_csv(os, /*exported_at=*/static_cast<std::time_t>(0));
   const std::string csv = os.str();
-  EXPECT_EQ(csv.rfind("kind,name,count,sum,min,max,mean,p50,p95,p99\n", 0), 0u);
+  // Pinned timestamp makes the artifact byte-stable.
+  EXPECT_EQ(csv.rfind("# exported_at 1970-01-01T00:00:00Z\n", 0), 0u);
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max,mean,p50,p95,p99,p99.9\n"), std::string::npos);
   EXPECT_NE(csv.find("counter,c,1,2"), std::string::npos);
   EXPECT_NE(csv.find("histogram,h,1,4"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesTimestampAndTailQuantile) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int v = 1; v <= 1000; ++v) h.observe(static_cast<double>(v));
+  std::ostringstream os;
+  reg.write_json(os, /*exported_at=*/static_cast<std::time_t>(86400));
+  JsonValuePtr root = parse_json(os.str());
+  EXPECT_EQ(root->get("exported_at")->as_string(), "1970-01-02T00:00:00Z");
+  JsonValuePtr hist = root->get("histograms")->get("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->get("sum")->as_number(), 500500.0);
+  EXPECT_NEAR(hist->get("p99.9")->as_number(), 999.0, 100.0);
+}
+
+TEST(MetricsRegistry, ClearBumpsEpoch) {
+  MetricsRegistry reg;
+  const std::uint64_t before = reg.clear_epoch();
+  reg.counter("x").add(1);
+  reg.clear();
+  EXPECT_EQ(reg.clear_epoch(), before + 1);
 }
 
 TEST(ScopedTimer, RecordsIntoRegistry) {

@@ -104,6 +104,70 @@ TEST(ObsSession, FlushWritesValidMetricsAndTraceJson) {
   EXPECT_TRUE(saw_thread_name);
 }
 
+TEST(ExtractObsOptions, StripsLoggingAndFlightFlags) {
+  Argv a({"tool", "--log-out", "l.jsonl", "--log-level=warn", "--flight-out", "f.json", "run"});
+  int argc = a.argc;
+  ObsOptions opts = extract_obs_options(argc, a.argv());
+  ASSERT_TRUE(opts.log_out.has_value());
+  EXPECT_EQ(*opts.log_out, "l.jsonl");
+  ASSERT_TRUE(opts.log_level.has_value());
+  EXPECT_EQ(*opts.log_level, "warn");
+  ASSERT_TRUE(opts.flight_out.has_value());
+  EXPECT_EQ(*opts.flight_out, "f.json");
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(a.argv()[1], "run");
+}
+
+TEST(ObsSession, LogSessionWritesJsonlAndDetachesOnFlush) {
+  const std::string log_path = testing::TempDir() + "fusecu_obs_log.jsonl";
+  {
+    ObsOptions opts;
+    opts.log_out = log_path;
+    opts.log_level = "warn";
+    ObsSession obs(opts);
+    ASSERT_TRUE(obs.log_enabled());
+    EXPECT_TRUE(Logger::global().enabled(LogLevel::kWarn));
+    log_info("obs_session_test", "below threshold, dropped");
+    log_warn("obs_session_test", "kept", {{"n", "1"}});
+    obs.flush();
+  }
+  // The session detached the logger on flush.
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kError));
+
+  std::istringstream lines(slurp(log_path));
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  JsonValuePtr entry = parse_json(line);
+  EXPECT_EQ(entry->get("level")->as_string(), "warn");
+  EXPECT_EQ(entry->get("component")->as_string(), "obs_session_test");
+  EXPECT_EQ(entry->get("msg")->as_string(), "kept");
+  EXPECT_EQ(entry->get("n")->as_string(), "1");
+  EXPECT_FALSE(std::getline(lines, line)) << "info line must have been filtered: " << line;
+}
+
+TEST(ObsSession, TraceSessionRoutesSpansIntoTheChromeTrace) {
+  const std::string trace_path = testing::TempDir() + "fusecu_obs_span_trace.json";
+  {
+    ObsOptions opts;
+    opts.trace_out = trace_path;
+    ObsSession obs(opts);
+    ScopedSpan span("session_span");
+    span.note("unit");
+  }
+  JsonValuePtr trace = parse_json(slurp(trace_path));
+  ASSERT_TRUE(trace->is_array());
+  bool saw_span = false;
+  for (const JsonValuePtr& event : trace->as_array()) {
+    if (event->get("ph")->as_string() == "X" &&
+        event->get("name")->as_string() == "session_span") {
+      saw_span = true;
+      EXPECT_FALSE(event->get("args")->get("trace")->as_string().empty());
+      EXPECT_EQ(event->get("args")->get("detail")->as_string(), "unit");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+}
+
 TEST(ObsSession, DisabledSessionWritesNothing) {
   ObsSession obs(ObsOptions{});
   EXPECT_FALSE(obs.metrics_enabled());
