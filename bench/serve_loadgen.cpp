@@ -1,0 +1,367 @@
+/// \file serve_loadgen.cpp
+/// Open-loop load generator for the fusecu_serve TCP mode (src/net).
+///
+///   serve_loadgen --connect HOST:PORT [--connections N] [--requests N]
+///                 [--qps TARGET] [--distinct N] [--recv-timeout-ms MS]
+///                 [--port-file FILE] [--bench-out BENCH_serve_loadgen.json]
+///
+/// Opens N connections (one thread each), sends `--requests` planning
+/// requests split across them, and reads the pipelined responses.  With
+/// --qps the sends are paced open-loop against the wall clock — a send
+/// happens when its scheduled time arrives whether or not earlier responses
+/// have come back, so a slow server grows queueing delay instead of
+/// silently slowing the offered load (the coordinated-omission trap).
+/// --qps 0 (default) sends as fast as the sockets accept.
+///
+/// Every request carries id "c<conn>-<seq>".  Responses on a connection
+/// must come back exactly in request order (the server contract); each
+/// mismatch counts as out_of_order, and requests still unanswered when the
+/// stream ends (or --recv-timeout-ms passes with no progress) count as
+/// lost.  The exit status is non-zero when anything was lost or reordered,
+/// or when a connection could not be established.
+///
+/// Output: one summary line plus exact latency percentiles (sorted
+/// send-to-response times, not histogram buckets):
+///
+///   serve_loadgen: requests=5000 responses=5000 achieved_qps=48210.7
+///       errors=0 shed=0 lost=0 out_of_order=0
+///   latency_us: p50=92 p95=210 p99=368 max=1204
+///
+/// --bench-out records the same numbers in the repo's perf-trajectory
+/// format (CI archives BENCH_serve_loadgen.json).
+///
+/// Request shapes cycle through --distinct variants so the server's plan
+/// cache sees a realistic hit/miss mix; "--distinct 1" measures the pure
+/// cache-hit fast path.
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "net/socket.hpp"
+#include "obs/obs_session.hpp"
+
+using namespace fusecu;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t us_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
+}
+
+/// One connection's workload and tallies; `latencies_us` is merged into the
+/// global percentile pool after the thread joins.
+struct ConnResult {
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+  std::int64_t errors = 0;  ///< ok=false responses that are not sheds
+  std::int64_t shed = 0;    ///< ok=false "overloaded" responses
+  std::int64_t out_of_order = 0;
+  std::int64_t lost = 0;
+  std::vector<std::int64_t> latencies_us;
+  std::string failure;  ///< non-empty = connection-level failure
+};
+
+std::string make_request(int conn, std::int64_t seq, int distinct) {
+  // A small shape family keyed off the request index: repeats within
+  // `distinct` variants exercise the plan cache, the sizes stay cheap
+  // enough that the pool is never the bottleneck under --qps 0.
+  static const int kSizes[] = {128, 192, 256, 320, 384, 512};
+  const std::int64_t v = distinct > 0 ? (seq % distinct) : seq;
+  const int m = kSizes[v % 6];
+  const int k = kSizes[(v / 6) % 6];
+  const int l = kSizes[(v / 36) % 6];
+  std::string line = "{\"id\":\"c" + std::to_string(conn) + "-" + std::to_string(seq) +
+                     "\",\"op\":\"matmul\",\"m\":" + std::to_string(m) +
+                     ",\"k\":" + std::to_string(k) + ",\"l\":" + std::to_string(l) +
+                     ",\"buffer\":\"512KB\"}\n";
+  return line;
+}
+
+/// Pull `"key":"value"` out of a response line without a JSON parser — the
+/// serializer always emits the id first and never escapes quotes in it.
+std::string extract_string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+void run_connection(const std::string& host, std::uint16_t port, int conn_index,
+                    std::int64_t requests, double per_conn_qps, int distinct,
+                    std::int64_t recv_timeout_ms, ConnResult& result) {
+  std::string error;
+  const int fd = connect_tcp(host, port, error);
+  if (fd < 0) {
+    result.failure = "connect: " + error;
+    return;
+  }
+  set_nonblocking(fd);
+
+  const Clock::time_point start = Clock::now();
+  // Open-loop schedule: request k on this connection is due at k / qps,
+  // staggered a fraction of a period per connection so the fleet does not
+  // fire in lockstep.
+  const double interval_us = per_conn_qps > 0.0 ? 1e6 / per_conn_qps : 0.0;
+  const double phase_us = interval_us * conn_index /
+                          std::max(1, conn_index + 1);  // < one period, deterministic
+
+  std::string outbuf;
+  std::size_t outbuf_off = 0;
+  std::string inbuf;
+  std::deque<std::int64_t> send_time_us;  // FIFO: per-conn responses are ordered
+  bool sent_all_and_flushed = false;
+  std::int64_t last_progress_us = 0;
+
+  while (result.received < requests) {
+    const std::int64_t now_us = us_since(start);
+
+    // Schedule every request that is due (all of them when unpaced).  The
+    // recorded send time is the *scheduled* instant, not the moment the
+    // bytes leave — open-loop latency charges the server for our own
+    // scheduling slippage instead of hiding it (coordinated omission).
+    while (result.sent < requests) {
+      const std::int64_t due_us =
+          interval_us > 0.0
+              ? static_cast<std::int64_t>(phase_us + interval_us * static_cast<double>(result.sent))
+              : 0;
+      if (now_us < due_us) break;
+      outbuf += make_request(conn_index, result.sent, distinct);
+      send_time_us.push_back(interval_us > 0.0 ? due_us : us_since(start));
+      ++result.sent;
+    }
+
+    short events = POLLIN;
+    if (outbuf.size() > outbuf_off) events |= POLLOUT;
+
+    std::int64_t wait_ms = 50;
+    if (result.sent < requests && interval_us > 0.0) {
+      // Round up: sleeping a hair past the due time costs sub-ms pacing
+      // error, while rounding down would spin poll(0) and starve the
+      // server of CPU on small machines.
+      const std::int64_t next_due_us =
+          static_cast<std::int64_t>(phase_us + interval_us * static_cast<double>(result.sent));
+      wait_ms = std::max<std::int64_t>(1, (next_due_us - now_us + 999) / 1000);
+      wait_ms = std::min<std::int64_t>(wait_ms, 50);
+    } else if (result.sent < requests) {
+      wait_ms = 0;
+    }
+
+    struct pollfd pfd = {fd, events, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(wait_ms));
+    if (n < 0 && errno != EINTR) {
+      result.failure = std::string("poll: ") + std::strerror(errno);
+      break;
+    }
+
+    if (n > 0 && (pfd.revents & POLLOUT) && outbuf.size() > outbuf_off) {
+      const ssize_t wrote = ::send(fd, outbuf.data() + outbuf_off, outbuf.size() - outbuf_off,
+                                   MSG_NOSIGNAL);
+      if (wrote > 0) {
+        outbuf_off += static_cast<std::size_t>(wrote);
+        if (outbuf_off == outbuf.size()) {
+          outbuf.clear();
+          outbuf_off = 0;
+        }
+        last_progress_us = us_since(start);
+      } else if (wrote < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        result.failure = std::string("send: ") + std::strerror(errno);
+        break;
+      }
+    }
+    if (!sent_all_and_flushed && result.sent == requests && outbuf.empty()) {
+      // Half-close: the server answers everything already on the wire and
+      // then closes, turning "done" into a clean EOF instead of a timeout.
+      ::shutdown(fd, SHUT_WR);
+      sent_all_and_flushed = true;
+    }
+
+    bool saw_eof = false;
+    if (n > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+      char chunk[64 * 1024];
+      while (true) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+          inbuf.append(chunk, static_cast<std::size_t>(got));
+          last_progress_us = us_since(start);
+          continue;
+        }
+        if (got == 0) saw_eof = true;
+        if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          result.failure = std::string("recv: ") + std::strerror(errno);
+          saw_eof = true;
+        }
+        break;
+      }
+    }
+
+    std::size_t line_start = 0;
+    std::size_t nl;
+    while ((nl = inbuf.find('\n', line_start)) != std::string::npos) {
+      const std::string line = inbuf.substr(line_start, nl - line_start);
+      line_start = nl + 1;
+      const std::int64_t recv_us = us_since(start);
+      if (!send_time_us.empty()) {
+        result.latencies_us.push_back(recv_us - send_time_us.front());
+        send_time_us.pop_front();
+      }
+      const std::string expected_id =
+          "c" + std::to_string(conn_index) + "-" + std::to_string(result.received);
+      if (extract_string_field(line, "id") != expected_id) ++result.out_of_order;
+      if (line.find("\"ok\":false") != std::string::npos) {
+        if (line.find("overloaded") != std::string::npos) {
+          ++result.shed;
+        } else {
+          ++result.errors;
+        }
+      }
+      ++result.received;
+    }
+    if (line_start > 0) inbuf.erase(0, line_start);
+
+    if (saw_eof) break;
+    if (recv_timeout_ms > 0 && !send_time_us.empty() &&
+        us_since(start) - last_progress_us > recv_timeout_ms * 1000) {
+      result.failure = "receive timeout: no progress for " + std::to_string(recv_timeout_ms) +
+                       "ms with " + std::to_string(send_time_us.size()) + " responses outstanding";
+      break;
+    }
+  }
+
+  result.lost = result.sent - result.received;
+  close_fd(fd);
+}
+
+std::int64_t percentile_us(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx > 0) --idx;                          // 1-based -> 0-based
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
+  try {
+    ArgParser args({}, {"--connect", "--connections", "--requests", "--qps", "--distinct",
+                        "--recv-timeout-ms", "--port-file"});
+    args.parse(argc, argv);
+    signal(SIGPIPE, SIG_IGN);
+
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    if (auto connect = args.option("--connect")) {
+      std::optional<HostPort> hp = parse_host_port(*connect);
+      if (!hp) {
+        std::cerr << "error: --connect expects HOST:PORT, got \"" << *connect << "\"\n";
+        return 1;
+      }
+      if (!hp->host.empty()) host = hp->host;
+      port = hp->port;
+    }
+    if (auto port_path = args.option("--port-file")) {
+      std::ifstream port_file(*port_path);
+      int file_port = 0;
+      if (!(port_file >> file_port) || file_port <= 0 || file_port > 65535) {
+        std::cerr << "error: cannot read a port number from " << *port_path << "\n";
+        return 1;
+      }
+      port = static_cast<std::uint16_t>(file_port);
+    }
+    if (port == 0) {
+      std::cerr << "error: need --connect HOST:PORT or --port-file FILE\n";
+      return 1;
+    }
+
+    const int connections = static_cast<int>(args.option_int("--connections", 4));
+    const std::int64_t requests = args.option_int("--requests", 5000);
+    const double qps = args.option("--qps") ? std::stod(*args.option("--qps")) : 0.0;
+    const int distinct = static_cast<int>(args.option_int("--distinct", 64));
+    const std::int64_t recv_timeout_ms = args.option_int("--recv-timeout-ms", 10'000);
+    if (connections <= 0 || requests <= 0) {
+      std::cerr << "error: --connections and --requests must be positive\n";
+      return 1;
+    }
+
+    std::vector<ConnResult> results(static_cast<std::size_t>(connections));
+    std::vector<std::thread> threads;
+    const Clock::time_point start = Clock::now();
+    for (int c = 0; c < connections; ++c) {
+      // Spread the total: the first (requests % connections) conns take one
+      // extra so every request is owned by exactly one connection.
+      const std::int64_t share = requests / connections + (c < requests % connections ? 1 : 0);
+      threads.emplace_back(run_connection, host, port, c, share, qps / connections, distinct,
+                           recv_timeout_ms, std::ref(results[static_cast<std::size_t>(c)]));
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = static_cast<double>(us_since(start)) / 1e6;
+
+    ConnResult total;
+    std::vector<std::int64_t> latencies;
+    bool conn_failed = false;
+    for (const ConnResult& r : results) {
+      total.sent += r.sent;
+      total.received += r.received;
+      total.errors += r.errors;
+      total.shed += r.shed;
+      total.out_of_order += r.out_of_order;
+      total.lost += r.lost;
+      latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
+      if (!r.failure.empty()) {
+        conn_failed = true;
+        std::cerr << "serve_loadgen: connection failure: " << r.failure << "\n";
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double achieved_qps = wall_s > 0.0 ? static_cast<double>(total.received) / wall_s : 0.0;
+    const std::int64_t p50 = percentile_us(latencies, 0.50);
+    const std::int64_t p95 = percentile_us(latencies, 0.95);
+    const std::int64_t p99 = percentile_us(latencies, 0.99);
+    const std::int64_t max_us = latencies.empty() ? 0 : latencies.back();
+
+    std::cout << "serve_loadgen: requests=" << total.sent << " responses=" << total.received
+              << " achieved_qps=" << achieved_qps << " errors=" << total.errors
+              << " shed=" << total.shed << " lost=" << total.lost
+              << " out_of_order=" << total.out_of_order << "\n";
+    std::cout << "latency_us: p50=" << p50 << " p95=" << p95 << " p99=" << p99
+              << " max=" << max_us << "\n";
+
+    obs.record_bench_value("achieved_qps", achieved_qps);
+    obs.record_bench_value("requests", static_cast<double>(total.sent));
+    obs.record_bench_value("responses", static_cast<double>(total.received));
+    obs.record_bench_value("errors", static_cast<double>(total.errors));
+    obs.record_bench_value("shed", static_cast<double>(total.shed));
+    obs.record_bench_value("lost", static_cast<double>(total.lost));
+    obs.record_bench_value("out_of_order", static_cast<double>(total.out_of_order));
+    obs.record_bench_value("p50_us", static_cast<double>(p50));
+    obs.record_bench_value("p95_us", static_cast<double>(p95));
+    obs.record_bench_value("p99_us", static_cast<double>(p99));
+
+    if (conn_failed || total.lost > 0 || total.out_of_order > 0) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

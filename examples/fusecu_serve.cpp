@@ -2,6 +2,9 @@
 /// JSONL planning server front-end for the concurrent plan service.
 ///
 ///   fusecu_serve [--input FILE] [--threads N] [--cache-mb MB] [--shards N]
+///                [--listen HOST:PORT] [--max-conns N] [--queue-depth N]
+///                [--request-timeout-ms MS] [--idle-timeout-ms MS]
+///                [--max-line-bytes BYTES] [--port-file FILE]
 ///                [--stats] [--stats-interval SEC] [--stats-out FILE]
 ///                [--metrics-out m.json] [--trace-out t.json]
 ///                [--log-out l.jsonl] [--log-level LEVEL] [--flight-out f.json]
@@ -13,96 +16,69 @@
 /// deduplicated.  See src/serve/plan_request.hpp for the wire format.
 ///
 /// A malformed line never kills the stream: it produces an ok=false response
-/// whose error message names the input, line and expected token.
+/// whose error message names the input, line and expected token.  Lines
+/// longer than --max-line-bytes (default 1 MiB) are answered the same way
+/// instead of being buffered without bound.
 ///
 ///   $ echo '{"id":"q","op":"matmul","m":512,"k":512,"l":512,"buffer":"512KB"}' |
 ///       fusecu_serve
 ///   {"id":"q","ok":true,"kind":"matmul","rule":"P2(untile=K)",...}
 ///
+/// With --listen HOST:PORT the same JSONL protocol is served over TCP by a
+/// single-threaded event loop (src/net/server.hpp): pipelined requests per
+/// connection answered in order, a bounded admission queue (--queue-depth)
+/// in front of the worker pool with ok=false "overloaded" shedding past the
+/// high-water mark, per-request deadlines (--request-timeout-ms),
+/// idle-connection timeouts (--idle-timeout-ms) and SIGINT/SIGTERM graceful
+/// drain (stop accepting, finish in-flight, flush stats/metrics/trace; a
+/// second signal hard-stops).  Port 0 picks a free port; the bound address
+/// is printed to stderr and written to --port-file when given.
+///
+///   $ fusecu_serve --listen 127.0.0.1:7411 --threads 8 --queue-depth 256 &
+///   $ printf '%s\n' '{"id":"q","op":"matmul",...}' | nc 127.0.0.1 7411
+///
 /// --stats prints cache hit/miss/eviction totals to stderr on exit.
 /// --stats-interval SEC emits one stats line per period while serving —
 /// qps and cache hit rate over the period, latency p50/p95/p99 cumulative —
-/// to stderr, or to --stats-out FILE when given.
+/// to stderr, or to --stats-out FILE when given; the final partial period
+/// is flushed as one last line on shutdown.
 
-#include <chrono>
-#include <condition_variable>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
-#include <thread>
 
 #include "common/cli.hpp"
+#include "net/server.hpp"
 #include "obs/obs_session.hpp"
 #include "serve/plan_service.hpp"
+#include "serve/stats_reporter.hpp"
 
 using namespace fusecu;
 
 namespace {
 
-/// Background periodic stats line:
-///
-///   stats: qps=120.0 hit_rate=0.83 p50_us=42 p95_us=310 p99_us=900 \
-///     requests=1200 errors=0 entries=57
-///
-/// qps / hit_rate are deltas over the period; the latency percentiles come
-/// from merging the per-class request histograms (Histogram::merge is exact
-/// bucket-by-bucket), so they are cumulative over the process lifetime.
-class StatsReporter {
- public:
-  StatsReporter(PlanService& service, double interval_s, std::ostream& os)
-      : service_(service), interval_s_(interval_s), os_(os), thread_([this] { run(); }) {}
+/// Signal-handler target: handlers may only do async-signal-safe work, and
+/// NetServer::request_drain (atomic bump + pipe write) qualifies.
+std::atomic<NetServer*> g_net_server{nullptr};
 
-  ~StatsReporter() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
+void on_stop_signal(int) {
+  if (NetServer* server = g_net_server.load(std::memory_order_acquire)) {
+    server->request_drain();
   }
+}
 
- private:
-  void run() {
-    MetricsRegistry& reg = MetricsRegistry::global();
-    Counter& requests = reg.counter("serve/requests");
-    Counter& errors = reg.counter("serve/request_errors");
-    std::int64_t prev_requests = requests.value();
-    CacheStats prev_cache = service_.stats().combined();
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
-                         [this] { return stop_; })) {
-      const std::int64_t now_requests = requests.value();
-      const CacheStats now_cache = service_.stats().combined();
-      const double qps = static_cast<double>(now_requests - prev_requests) / interval_s_;
-      const std::int64_t lookups =
-          (now_cache.hits - prev_cache.hits) + (now_cache.misses - prev_cache.misses);
-      const double hit_rate =
-          lookups > 0 ? static_cast<double>(now_cache.hits - prev_cache.hits) /
-                            static_cast<double>(lookups)
-                      : 0.0;
-      Histogram merged;
-      merged.merge(reg.histogram("serve/latency_us/matmul"));
-      merged.merge(reg.histogram("serve/latency_us/fused_pair"));
-      const HistogramSnapshot lat = merged.snapshot();
-      os_ << "stats: qps=" << qps << " hit_rate=" << hit_rate
-          << " p50_us=" << lat.p50 << " p95_us=" << lat.p95 << " p99_us=" << lat.p99
-          << " requests=" << now_requests << " errors=" << errors.value()
-          << " entries=" << now_cache.entries << "\n"
-          << std::flush;
-      prev_requests = now_requests;
-      prev_cache = now_cache;
-    }
-  }
-
-  PlanService& service_;
-  double interval_s_;
-  std::ostream& os_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
-};
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: the loop's poll should wake immediately
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  // A dead client mid-write must be a connection error, not process death.
+  signal(SIGPIPE, SIG_IGN);
+}
 
 }  // namespace
 
@@ -111,7 +87,9 @@ int main(int argc, char** argv) {
   try {
     ArgParser args({"--stats"},
                    {"--input", "--threads", "--cache-mb", "--shards", "--stats-interval",
-                    "--stats-out"});
+                    "--stats-out", "--listen", "--max-conns", "--queue-depth",
+                    "--request-timeout-ms", "--idle-timeout-ms", "--max-line-bytes",
+                    "--port-file"});
     args.parse(argc, argv);
 
     ServeOptions options;
@@ -119,6 +97,8 @@ int main(int argc, char** argv) {
     options.cache_bytes =
         static_cast<std::size_t>(args.option_int("--cache-mb", 64)) * 1024 * 1024;
     options.shards = static_cast<int>(args.option_int("--shards", 8));
+    options.max_line_bytes =
+        static_cast<std::size_t>(args.option_bytes("--max-line-bytes", 1 << 20));
     PlanService service(options);
 
     std::unique_ptr<std::ofstream> stats_file;
@@ -141,8 +121,42 @@ int main(int argc, char** argv) {
       reporter = std::make_unique<StatsReporter>(service, seconds, *sink);
     }
 
-    int served = 0;
-    if (auto path = args.option("--input")) {
+    std::int64_t served = 0;
+    if (auto listen = args.option("--listen")) {
+      std::optional<HostPort> hp = parse_host_port(*listen);
+      if (!hp) {
+        std::cerr << "error: --listen expects HOST:PORT, got \"" << *listen << "\"\n";
+        return 1;
+      }
+      NetServerOptions net;
+      net.host = hp->host.empty() ? "127.0.0.1" : hp->host;
+      net.port = hp->port;
+      net.max_conns = static_cast<int>(args.option_int("--max-conns", 256));
+      net.queue_depth = static_cast<int>(args.option_int("--queue-depth", 128));
+      net.request_timeout_ms = args.option_int("--request-timeout-ms", 0);
+      net.idle_timeout_ms = args.option_int("--idle-timeout-ms", 60'000);
+      net.max_line_bytes = options.max_line_bytes;
+      NetServer server(service, net);
+      std::cerr << "listening on " << server.bound().host << ":" << server.port() << "\n";
+      if (auto port_path = args.option("--port-file")) {
+        std::ofstream port_file(*port_path);
+        if (!port_file) {
+          std::cerr << "error: cannot open " << *port_path << "\n";
+          return 1;
+        }
+        port_file << server.port() << "\n";
+      }
+      g_net_server.store(&server, std::memory_order_release);
+      install_stop_handlers();
+      server.run();  // returns after SIGINT/SIGTERM drain
+      g_net_server.store(nullptr, std::memory_order_release);
+      const NetServer::Stats net_stats = server.stats();
+      served = net_stats.responses;
+      std::cerr << "drained: " << net_stats.responses << " responses over "
+                << net_stats.accepted << " connections; shed " << net_stats.shed
+                << ", parse errors " << net_stats.parse_errors << ", deadline expired "
+                << net_stats.deadline_expired << "\n";
+    } else if (auto path = args.option("--input")) {
       std::ifstream in(*path);
       if (!in) {
         std::cerr << "error: cannot open " << *path << "\n";
@@ -152,7 +166,7 @@ int main(int argc, char** argv) {
     } else {
       served = service.serve_stream(std::cin, std::cout, "<stdin>");
     }
-    reporter.reset();  // final partial period is dropped, not misreported
+    reporter.reset();  // flushes the final partial stats period
 
     if (args.has_flag("--stats")) {
       const PlanService::Stats stats = service.stats();

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+/// \file poller.hpp
+/// Readiness notification for the net/ event loop: epoll on Linux, with a
+/// poll(2) fallback for portability (and so the fallback is testable on the
+/// platform that would never otherwise exercise it — the backend is a
+/// runtime choice, not an #ifdef maze).
+///
+/// Level-triggered on both backends: the loop re-arms interest explicitly
+/// via set(), which keeps the deferred-read backpressure logic trivial —
+/// "stop reading" is just dropping the read bit until the queue drains.
+
+namespace fusecu {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Peer hung up or the socket errored; the loop treats either as "read
+  /// until EOF/error and close".
+  bool hangup = false;
+};
+
+enum class PollBackend {
+  kAuto,   ///< epoll where available, else poll
+  kEpoll,  ///< Linux only; construction throws elsewhere
+  kPoll,
+};
+
+class Poller {
+ public:
+  explicit Poller(PollBackend backend = PollBackend::kAuto);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Register \p fd with the given interest set.
+  void add(int fd, bool want_read, bool want_write);
+  /// Change interest for a registered fd.
+  void set(int fd, bool want_read, bool want_write);
+  /// Deregister (call before closing the fd).
+  void remove(int fd);
+
+  /// Block up to \p timeout_ms (-1 = forever) and fill \p out with ready
+  /// fds.  Returns the number of events (0 on timeout); EINTR reports as 0.
+  int wait(std::vector<PollEvent>& out, int timeout_ms);
+
+  /// The backend actually in use (kAuto resolves at construction).
+  PollBackend backend() const { return backend_; }
+
+  int size() const { return static_cast<int>(interest_.size()); }
+
+ private:
+  PollBackend backend_;
+  int epoll_fd_ = -1;
+  /// fd -> (want_read, want_write); the poll backend rebuilds its pollfd
+  /// array from this each wait, the epoll backend keeps it for set() deltas
+  /// and size().
+  std::map<int, std::pair<bool, bool>> interest_;
+};
+
+}  // namespace fusecu

@@ -1,0 +1,167 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace fusecu {
+
+std::optional<HostPort> parse_host_port(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty() || port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0' || port > 65535) return std::nullopt;
+  HostPort hp;
+  hp.host = text.substr(0, colon);
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+namespace {
+
+/// Resolve host:port to one IPv4/IPv6 sockaddr via getaddrinfo.  \p passive
+/// selects AI_PASSIVE (bind) semantics; an empty host means loopback for
+/// connects and the wildcard for binds.
+struct Resolved {
+  sockaddr_storage addr = {};
+  socklen_t len = 0;
+  int family = AF_UNSPEC;
+};
+
+bool resolve(const std::string& host, std::uint16_t port, bool passive, Resolved& out,
+             std::string& error) {
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  const std::string service = std::to_string(port);
+  addrinfo* result = nullptr;
+  const int rc = getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(), &hints,
+                             &result);
+  if (rc != 0) {
+    error = "cannot resolve \"" + host + "\": " + gai_strerror(rc);
+    return false;
+  }
+  std::memcpy(&out.addr, result->ai_addr, result->ai_addrlen);
+  out.len = static_cast<socklen_t>(result->ai_addrlen);
+  out.family = result->ai_family;
+  freeaddrinfo(result);
+  return true;
+}
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+HostPort name_of(const sockaddr_storage& addr) {
+  char host[NI_MAXHOST] = "";
+  char serv[NI_MAXSERV] = "";
+  HostPort hp;
+  if (getnameinfo(reinterpret_cast<const sockaddr*>(&addr), sizeof(addr), host, sizeof(host),
+                  serv, sizeof(serv), NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+    hp.host = host;
+    hp.port = static_cast<std::uint16_t>(std::strtoul(serv, nullptr, 10));
+  }
+  return hp;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& host, std::uint16_t port, std::string& error) {
+  Resolved r;
+  if (!resolve(host, port, /*passive=*/true, r, error)) return -1;
+  const int fd = ::socket(r.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_message("socket");
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&r.addr), r.len) != 0) {
+    error = errno_message("bind");
+    close_fd(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    error = errno_message("listen");
+    close_fd(fd);
+    return -1;
+  }
+  if (!set_nonblocking(fd)) {
+    error = errno_message("fcntl(O_NONBLOCK)");
+    close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, std::string& error) {
+  Resolved r;
+  if (!resolve(host, port, /*passive=*/false, r, error)) return -1;
+  const int fd = ::socket(r.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_message("socket");
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&r.addr), r.len);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    error = errno_message("connect");
+    close_fd(fd);
+    return -1;
+  }
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
+HostPort local_host_port(int fd) {
+  sockaddr_storage addr = {};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return {};
+  return name_of(addr);
+}
+
+std::string peer_name(int fd) {
+  sockaddr_storage addr = {};
+  socklen_t len = sizeof(addr);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return "?";
+  const HostPort hp = name_of(addr);
+  return hp.host + ":" + std::to_string(hp.port);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void close_fd(int fd) {
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace fusecu

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+/// \file socket.hpp
+/// Thin POSIX TCP helpers shared by the server event loop (net/server.hpp),
+/// the load generator (bench/serve_loadgen.cpp) and the socket tests.
+/// Everything returns explicit error strings instead of throwing — the
+/// event loop treats per-connection failures as connection closures, never
+/// as process errors.
+
+namespace fusecu {
+
+/// "HOST:PORT" split; HOST may be empty (":0" binds the wildcard port on
+/// the default host).  Returns nullopt on junk (missing colon, non-numeric
+/// or out-of-range port).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+std::optional<HostPort> parse_host_port(const std::string& text);
+
+/// Create a listening TCP socket on \p host:\p port (port 0 picks a free
+/// one), SO_REUSEADDR set, non-blocking, backlog 128.  Returns the fd, or
+/// -1 with \p error filled.
+int listen_tcp(const std::string& host, std::uint16_t port, std::string& error);
+
+/// Blocking connect to \p host:\p port.  Returns the fd, or -1 with
+/// \p error filled.
+int connect_tcp(const std::string& host, std::uint16_t port, std::string& error);
+
+/// The locally bound "host:port" of \p fd (resolves a port-0 bind).
+HostPort local_host_port(int fd);
+
+/// The peer's "host:port" (logging label for accepted connections).
+std::string peer_name(int fd);
+
+/// O_NONBLOCK on; returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// TCP_NODELAY on (response lines are small; Nagle would add 40ms stalls
+/// to pipelined request/response traffic).  Best-effort.
+void set_tcp_nodelay(int fd);
+
+/// close(2) retrying on EINTR.
+void close_fd(int fd);
+
+}  // namespace fusecu

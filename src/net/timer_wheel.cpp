@@ -1,0 +1,89 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fusecu {
+
+TimerWheel::TimerWheel(std::int64_t tick_ms, int slots)
+    : tick_ms_(tick_ms > 0 ? tick_ms : 1),
+      slots_(static_cast<std::size_t>(slots > 0 ? slots : 1)) {}
+
+TimerWheel::TimerId TimerWheel::schedule(std::int64_t now_ms, std::int64_t delay_ms,
+                                         std::function<void()> fn) {
+  if (delay_ms < 0) delay_ms = 0;
+  // Strictly after "now" and never behind the cursor, so a zero delay
+  // fires on the next advance (never reentrantly) and a stale now_ms
+  // cannot park an entry where the cursor will never look again.
+  const std::int64_t deadline_tick =
+      std::max({tick_of(now_ms + delay_ms), tick_of(now_ms) + 1, cursor_tick_});
+  const TimerId id = next_id_++;
+  const std::size_t slot = static_cast<std::size_t>(deadline_tick % static_cast<std::int64_t>(
+                                                                        slots_.size()));
+  slots_[slot].push_back(Entry{id, deadline_tick, std::move(fn)});
+  index_.emplace(id, std::make_pair(slot, std::prev(slots_[slot].end())));
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  slots_[it->second.first].erase(it->second.second);
+  index_.erase(it);
+  return true;
+}
+
+std::int64_t TimerWheel::advance(std::int64_t now_ms) {
+  const std::int64_t now_tick = tick_of(now_ms);
+  if (now_tick >= cursor_tick_) {
+    // Collect every due entry first, then fire: a callback may schedule or
+    // cancel other timers, which must not invalidate this traversal.  A
+    // callback cancelling a timer that is *also* due in this same advance
+    // does not stop it — callbacks must tolerate firing for state that was
+    // just torn down (the server's do via id lookups).
+    std::vector<Entry> due;
+    const std::int64_t span = now_tick - cursor_tick_ + 1;
+    const std::int64_t nslots = static_cast<std::int64_t>(slots_.size());
+    if (span >= nslots) {
+      // Big jump: every slot was passed at least once.
+      for (Slot& slot : slots_) {
+        for (auto it = slot.begin(); it != slot.end();) {
+          if (it->deadline_tick <= now_tick) {
+            index_.erase(it->id);
+            due.push_back(std::move(*it));
+            it = slot.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    } else {
+      for (std::int64_t tick = cursor_tick_; tick <= now_tick; ++tick) {
+        Slot& slot = slots_[static_cast<std::size_t>(tick % nslots)];
+        for (auto it = slot.begin(); it != slot.end();) {
+          if (it->deadline_tick <= now_tick) {
+            index_.erase(it->id);
+            due.push_back(std::move(*it));
+            it = slot.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    cursor_tick_ = now_tick + 1;
+    std::stable_sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+      return a.deadline_tick != b.deadline_tick ? a.deadline_tick < b.deadline_tick
+                                                : a.id < b.id;
+    });
+    for (Entry& entry : due) entry.fn();
+  }
+  if (index_.empty()) return -1;
+  std::int64_t min_tick = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [id, where] : index_) {
+    min_tick = std::min(min_tick, where.second->deadline_tick);
+  }
+  return std::max<std::int64_t>(1, min_tick * tick_ms_ - now_ms);
+}
+
+}  // namespace fusecu

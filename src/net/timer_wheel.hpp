@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+/// \file timer_wheel.hpp
+/// Hashed timer wheel for the event loop's per-request deadlines and
+/// idle-connection timeouts.
+///
+/// The classic structure: time is quantized into ticks; slot
+/// `deadline_tick % slots` holds every timer hashed there, and advancing
+/// the cursor fires the due entries of each slot it passes.  schedule() and
+/// cancel() are O(1); advance() touches only the slots between the old and
+/// new cursor (capped at one full rotation).  With the loop's default
+/// 10 ms tick and 512 slots one rotation covers ~5 s — longer timeouts
+/// simply survive extra rotations of their slot (the deadline tick is
+/// stored absolutely, so a not-yet-due entry is skipped, not fired).
+///
+/// Single-threaded by design: the event loop owns the wheel; pool threads
+/// never touch it (completions come back through the wakeup pipe and the
+/// loop cancels the deadline itself).
+
+namespace fusecu {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+
+  explicit TimerWheel(std::int64_t tick_ms = 10, int slots = 512);
+
+  /// Arm a timer \p delay_ms from \p now_ms (clamped to at least one tick
+  /// so a zero delay still fires on the *next* advance, never reentrantly).
+  /// Returns a nonzero id usable with cancel().
+  TimerId schedule(std::int64_t now_ms, std::int64_t delay_ms, std::function<void()> fn);
+
+  /// Disarm; returns false when the timer already fired or never existed.
+  bool cancel(TimerId id);
+
+  /// Fire everything due at \p now_ms (in tick order).  Returns the
+  /// suggested poll timeout in ms: time to the next tick that could hold a
+  /// due timer, or -1 when the wheel is empty.
+  std::int64_t advance(std::int64_t now_ms);
+
+  std::size_t pending() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    TimerId id = 0;
+    std::int64_t deadline_tick = 0;
+    std::function<void()> fn;
+  };
+  using Slot = std::list<Entry>;
+
+  std::int64_t tick_of(std::int64_t ms) const { return ms / tick_ms_; }
+
+  std::int64_t tick_ms_;
+  std::vector<Slot> slots_;
+  std::unordered_map<TimerId, std::pair<std::size_t, Slot::iterator>> index_;
+  std::int64_t cursor_tick_ = 0;  ///< everything before this tick has fired
+  TimerId next_id_ = 1;
+};
+
+}  // namespace fusecu

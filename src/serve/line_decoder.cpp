@@ -1,0 +1,73 @@
+#include "serve/line_decoder.hpp"
+
+namespace fusecu {
+
+void LineDecoder::feed(const char* data, std::size_t n) { pending_.append(data, n); }
+
+bool LineDecoder::next(DecodedLine& out) {
+  while (true) {
+    if (discarding_) {
+      // The oversized event for this line was already delivered; eat bytes
+      // up to and including its newline without storing them.
+      const std::size_t nl = pending_.find('\n');
+      if (nl == std::string::npos) {
+        pending_.clear();
+        scan_ = 0;
+        return false;
+      }
+      pending_.erase(0, nl + 1);
+      scan_ = 0;
+      discarding_ = false;
+      continue;
+    }
+    const std::size_t nl = pending_.find('\n', scan_);
+    if (nl == std::string::npos) {
+      if (pending_.size() > max_line_bytes_) {
+        // Cap crossed with no terminator in sight: report now, discard the
+        // rest of the line as it streams in.
+        out.text.clear();
+        out.oversized = true;
+        pending_.clear();
+        scan_ = 0;
+        discarding_ = true;
+        return true;
+      }
+      scan_ = pending_.size();
+      return false;
+    }
+    if (nl > max_line_bytes_) {
+      out.text.clear();
+      out.oversized = true;
+    } else {
+      out.text.assign(pending_, 0, nl);
+      out.oversized = false;
+    }
+    pending_.erase(0, nl + 1);
+    scan_ = 0;
+    return true;
+  }
+}
+
+bool LineDecoder::finish(DecodedLine& out) {
+  if (discarding_) {
+    // Tail of an oversized line that never got its newline; the event was
+    // already reported when the cap was crossed.
+    discarding_ = false;
+    pending_.clear();
+    scan_ = 0;
+    return false;
+  }
+  if (pending_.empty()) return false;
+  if (pending_.size() > max_line_bytes_) {
+    out.text.clear();
+    out.oversized = true;
+  } else {
+    out.text = std::move(pending_);
+    out.oversized = false;
+  }
+  pending_.clear();
+  scan_ = 0;
+  return true;
+}
+
+}  // namespace fusecu

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+/// \file line_decoder.hpp
+/// Incremental '\n' splitter with a line-length cap, shared by the stdin
+/// JSONL stream (PlanService::serve_stream) and the TCP connection read path
+/// (net/server.hpp).
+///
+/// Both paths receive bytes in arbitrary chunks and must never buffer an
+/// unbounded amount waiting for a newline that a hostile or broken client
+/// withholds.  The decoder therefore reports an *oversized* line as soon as
+/// the cap is crossed — before its terminator arrives — and silently
+/// discards the rest of that line, so memory stays bounded by
+/// `max_line_bytes` plus one input chunk while the stream keeps its
+/// one-response-per-line accounting (an oversized line still occupies
+/// exactly one line slot).
+///
+/// Semantics match the `std::getline` loop it replaces: lines are split on
+/// '\n' (a trailing '\r' stays in the text, as before), and a final partial
+/// line at end of input is delivered by finish().
+
+namespace fusecu {
+
+class LineDecoder {
+ public:
+  /// One decoded input line.  When \p oversized is set the line crossed the
+  /// cap; \p text is empty (the payload was discarded, not truncated — a
+  /// JSON parser should never see half a document).
+  struct DecodedLine {
+    std::string text;
+    bool oversized = false;
+  };
+
+  /// \p max_line_bytes counts the line body, excluding the '\n'.
+  explicit LineDecoder(std::size_t max_line_bytes) : max_line_bytes_(max_line_bytes) {}
+
+  /// Append \p n raw bytes.  Call next() until it returns false before
+  /// feeding again to keep the internal buffer small.
+  void feed(const char* data, std::size_t n);
+
+  /// Pop the next complete line (or oversized-line event) into \p out.
+  /// Returns false when more input is needed.
+  bool next(DecodedLine& out);
+
+  /// End of input: deliver the trailing newline-less partial line, if any.
+  /// Returns false when there is nothing pending (including when the tail
+  /// belongs to an already-reported oversized line).  The decoder is reset
+  /// and reusable afterwards.
+  bool finish(DecodedLine& out);
+
+  /// Bytes currently buffered (bounded by max_line_bytes + one feed chunk).
+  std::size_t buffered() const { return pending_.size(); }
+
+  std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string pending_;
+  std::size_t scan_ = 0;      ///< resume offset for the '\n' search
+  bool discarding_ = false;   ///< inside an oversized line already reported
+};
+
+}  // namespace fusecu

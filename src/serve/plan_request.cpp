@@ -183,4 +183,12 @@ PlanResponse error_response(const std::string& id, const std::string& message) {
   return r;
 }
 
+std::string oversized_line_message(const std::string& source, int lineno,
+                                   std::size_t max_line_bytes) {
+  return ParseError::format(source, lineno, 1,
+                            "a request line of at most " + std::to_string(max_line_bytes) +
+                                " bytes (--max-line-bytes)",
+                            "");
+}
+
 }  // namespace fusecu

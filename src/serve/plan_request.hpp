@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,5 +91,12 @@ struct PlanResponse {
 
 /// Error response preserving the request id (empty when unknown).
 PlanResponse error_response(const std::string& id, const std::string& message);
+
+/// ParseError-style message for a request line that crossed the
+/// --max-line-bytes cap, e.g. "<stdin>:7:1: expected a request line of at
+/// most 1048576 bytes (--max-line-bytes)".  Shared by the stdin stream and
+/// the TCP connection path so both shed oversized lines identically.
+std::string oversized_line_message(const std::string& source, int lineno,
+                                   std::size_t max_line_bytes);
 
 }  // namespace fusecu

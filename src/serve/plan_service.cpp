@@ -11,6 +11,7 @@
 #include "obs/log.hpp"
 #include "obs/span.hpp"
 #include "principles/principle_optimizer.hpp"
+#include "serve/line_decoder.hpp"
 
 namespace fusecu {
 
@@ -360,6 +361,13 @@ std::string PlanService::plan_enqueued_json(const PlanRequest& request, std::int
   return response.to_json();
 }
 
+void PlanService::plan_async(PlanRequest request, std::function<void(std::string&&)> done) {
+  const std::int64_t enqueue_us = span_recording_enabled() ? span_clock_us() : 0;
+  pool_.submit([this, request = std::move(request), done = std::move(done), enqueue_us]() {
+    done(plan_enqueued_json(request, enqueue_us));
+  });
+}
+
 int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::string& source) {
   // Workers return the serialized response line so the serialize span is a
   // child of the request root on the same thread (the writer loop below
@@ -369,14 +377,24 @@ int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::st
     std::future<std::string> pending;
   };
   std::vector<Slot> slots;
-  std::string line;
+  LineDecoder decoder(options_.max_line_bytes);
   int lineno = 0;
-  while (std::getline(in, line)) {
+  const auto handle_line = [&](LineDecoder::DecodedLine&& line) {
     ++lineno;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.oversized) {
+      request_errors_.add();
+      log_warn("serve", "oversized request line", {{"line", std::to_string(lineno)}});
+      Slot slot;
+      slot.immediate = error_response("", oversized_line_message(source, lineno,
+                                                                options_.max_line_bytes))
+                           .to_json();
+      slots.push_back(std::move(slot));
+      return;
+    }
+    if (line.text.find_first_not_of(" \t\r") == std::string::npos) return;
     Slot slot;
     try {
-      PlanRequest request = parse_plan_request(line, source, lineno);
+      PlanRequest request = parse_plan_request(line.text, source, lineno);
       const std::int64_t enqueue_us = span_recording_enabled() ? span_clock_us() : 0;
       slot.pending = pool_.submit(
           [this, request, enqueue_us]() { return plan_enqueued_json(request, enqueue_us); });
@@ -386,7 +404,14 @@ int PlanService::serve_stream(std::istream& in, std::ostream& out, const std::st
       slot.immediate = error_response("", e.what()).to_json();
     }
     slots.push_back(std::move(slot));
+  };
+  char chunk[64 * 1024];
+  LineDecoder::DecodedLine line;
+  while (in.read(chunk, sizeof(chunk)), in.gcount() > 0) {
+    decoder.feed(chunk, static_cast<std::size_t>(in.gcount()));
+    while (decoder.next(line)) handle_line(std::move(line));
   }
+  if (decoder.finish(line)) handle_line(std::move(line));
   for (Slot& slot : slots) {
     out << (slot.immediate ? *slot.immediate : slot.pending.get()) << '\n';
   }

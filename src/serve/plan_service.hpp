@@ -3,6 +3,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -44,6 +45,10 @@ struct ServeOptions {
   /// Install the optimizer interceptors (disable for benchmarking the pool
   /// without caching).
   bool install_interceptors = true;
+  /// Longest accepted JSONL request line; an overlong line yields a
+  /// structured ok=false ParseError response instead of unbounded
+  /// buffering.  Shared by the stdin stream and the TCP path.
+  std::size_t max_line_bytes = 1 << 20;
 };
 
 /// A typed intra-op answer: the plan plus whether the cache served it.
@@ -77,6 +82,15 @@ class PlanService {
   /// ok=false responses carrying "<source>:<line>: ..." messages; the
   /// stream never aborts.  Returns the number of responses written.
   int serve_stream(std::istream& in, std::ostream& out, const std::string& source = "<stdin>");
+
+  /// Submit one request to the worker pool; \p done runs on the worker
+  /// thread with the serialized JSONL response line.  The request travels
+  /// exactly like a serve_stream line — same request/* span root anchored
+  /// at enqueue time, same per-class latency histograms, same serializer —
+  /// so TCP-served responses are byte-identical to the stdin path.  Used by
+  /// the net/ event loop, whose completion callback hands the line back to
+  /// the loop thread through its wakeup pipe.
+  void plan_async(PlanRequest request, std::function<void(std::string&&)> done);
 
   /// Typed API used by the examples/benchmarks: single-flighted, cached
   /// intra-op planning.  Byte-identical to optimize_intra(op, bs).

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+
+#include "serve/plan_cache.hpp"
+
+/// \file stats_reporter.hpp
+/// Background periodic stats line for the serving front-ends (stdin and
+/// TCP), one line per period:
+///
+///   stats: qps=120.0 hit_rate=0.83 p50_us=42 p95_us=310 p99_us=900
+///          requests=1200 errors=0 entries=57
+///
+/// qps / hit_rate are deltas over the period (measured wall time, so a
+/// late-firing tick does not inflate qps); the latency percentiles come
+/// from merging the per-class request histograms (Histogram::merge is
+/// exact bucket-by-bucket), so they are cumulative over the process
+/// lifetime.
+///
+/// Shutdown flushes the tail: the destructor emits the final partial
+/// period as one last stats line whenever that window saw any requests or
+/// errors, so short runs (or the burst between the last tick and exit) are
+/// reported instead of silently dropped.  An idle tail emits nothing.
+
+namespace fusecu {
+
+class PlanService;
+
+class StatsReporter {
+ public:
+  StatsReporter(PlanService& service, double interval_s, std::ostream& os);
+  /// Stops the ticker and flushes the final partial period.
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+ private:
+  void run();
+  /// Emit one stats line covering [last period end, now); updates the
+  /// deltas.  When \p only_if_active, an all-quiet window writes nothing
+  /// (the destructor's final flush).
+  void emit(bool only_if_active);
+
+  PlanService& service_;
+  double interval_s_;
+  std::ostream& os_;
+
+  std::int64_t prev_requests_ = 0;
+  std::int64_t prev_errors_ = 0;
+  CacheStats prev_cache_;
+  std::chrono::steady_clock::time_point period_start_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fusecu

@@ -1,0 +1,129 @@
+#include "serve/line_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+/// LineDecoder: the incremental '\n' splitter with a line-length cap shared
+/// by serve_stream and the TCP read path.  The contract under test is the
+/// std::getline-equivalence (split on '\n', '\r' kept, trailing partial
+/// line delivered by finish()) plus the oversized behavior: reported as
+/// soon as the cap is crossed, payload discarded, exactly one line slot.
+
+namespace fusecu {
+namespace {
+
+std::vector<LineDecoder::DecodedLine> drain(LineDecoder& decoder) {
+  std::vector<LineDecoder::DecodedLine> lines;
+  LineDecoder::DecodedLine line;
+  while (decoder.next(line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LineDecoder, SplitsOnNewlineAcrossArbitraryChunks) {
+  LineDecoder decoder(1024);
+  const std::string input = "alpha\nbeta\r\ngam";
+  // Feed one byte at a time: chunk boundaries must never matter.
+  std::vector<LineDecoder::DecodedLine> lines;
+  for (char c : input) {
+    decoder.feed(&c, 1);
+    for (auto& l : drain(decoder)) lines.push_back(l);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "alpha");
+  EXPECT_FALSE(lines[0].oversized);
+  EXPECT_EQ(lines[1].text, "beta\r") << "'\\r' stays in the text, as with std::getline";
+
+  LineDecoder::DecodedLine tail;
+  ASSERT_TRUE(decoder.finish(tail)) << "newline-less final line is delivered";
+  EXPECT_EQ(tail.text, "gam");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(LineDecoder, EmptyLinesAreLines) {
+  LineDecoder decoder(64);
+  const std::string input = "\n\nx\n";
+  decoder.feed(input.data(), input.size());
+  auto lines = drain(decoder);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "");
+  EXPECT_EQ(lines[1].text, "");
+  EXPECT_EQ(lines[2].text, "x");
+  LineDecoder::DecodedLine tail;
+  EXPECT_FALSE(decoder.finish(tail)) << "no partial line after a trailing newline";
+}
+
+TEST(LineDecoder, OversizedReportedBeforeTerminatorArrives) {
+  LineDecoder decoder(8);
+  const std::string big(32, 'a');  // no newline yet
+  decoder.feed(big.data(), big.size());
+  LineDecoder::DecodedLine line;
+  ASSERT_TRUE(decoder.next(line)) << "cap crossing must not wait for '\\n'";
+  EXPECT_TRUE(line.oversized);
+  EXPECT_TRUE(line.text.empty()) << "payload is discarded, never truncated JSON";
+  EXPECT_FALSE(decoder.next(line));
+  EXPECT_LE(decoder.buffered(), 8u + 32u) << "discarding keeps memory bounded";
+
+  // The rest of the oversized line, then a good one.
+  const std::string rest = "aaaa\nok\n";
+  decoder.feed(rest.data(), rest.size());
+  auto lines = drain(decoder);
+  ASSERT_EQ(lines.size(), 1u) << "already-reported oversized line takes one slot only";
+  EXPECT_EQ(lines[0].text, "ok");
+}
+
+TEST(LineDecoder, OversizedLineWithNewlineInSameChunk) {
+  LineDecoder decoder(6);
+  const std::string input = "abcdefgh\nshort\n";
+  decoder.feed(input.data(), input.size());
+  auto lines = drain(decoder);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].oversized);
+  EXPECT_EQ(lines[1].text, "short");
+  EXPECT_FALSE(lines[1].oversized);
+}
+
+TEST(LineDecoder, ExactCapIsNotOversized) {
+  LineDecoder decoder(5);
+  const std::string input = "12345\n123456\n";
+  decoder.feed(input.data(), input.size());
+  auto lines = drain(decoder);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "12345") << "cap counts the body, excluding '\\n'";
+  EXPECT_FALSE(lines[0].oversized);
+  EXPECT_TRUE(lines[1].oversized);
+}
+
+TEST(LineDecoder, FinishDropsTailOfReportedOversizedLine) {
+  LineDecoder decoder(4);
+  const std::string input = "abcdefgh";  // oversized, never terminated
+  decoder.feed(input.data(), input.size());
+  LineDecoder::DecodedLine line;
+  ASSERT_TRUE(decoder.next(line));
+  EXPECT_TRUE(line.oversized);
+  LineDecoder::DecodedLine tail;
+  EXPECT_FALSE(decoder.finish(tail))
+      << "the tail belongs to a line already reported as oversized";
+  // finish() resets: the decoder is reusable.
+  const std::string more = "next\n";
+  decoder.feed(more.data(), more.size());
+  auto lines = drain(decoder);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].text, "next");
+}
+
+TEST(LineDecoder, ChunkStraddlesCapBoundary) {
+  LineDecoder decoder(10);
+  const std::string first(6, 'x');
+  decoder.feed(first.data(), first.size());
+  LineDecoder::DecodedLine line;
+  EXPECT_FALSE(decoder.next(line)) << "under the cap, waiting for more input";
+  const std::string second(6, 'y');  // total 12 > 10
+  decoder.feed(second.data(), second.size());
+  ASSERT_TRUE(decoder.next(line));
+  EXPECT_TRUE(line.oversized);
+}
+
+}  // namespace
+}  // namespace fusecu

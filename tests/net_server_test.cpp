@@ -1,0 +1,451 @@
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "serve/plan_service.hpp"
+
+/// NetServer: the TCP serving layer, exercised in-process (server on a
+/// background thread, real sockets through the loopback).  The contracts
+/// under test are the hostile-input ones from the issue — truncated line at
+/// close, interleaved pipelined requests, oversized line, slow reader — plus
+/// overload shedding, per-request deadlines, graceful drain, and
+/// byte-identity of the socket path with serve_stream on the same request
+/// stream.
+
+namespace fusecu {
+namespace {
+
+std::string make_req(const std::string& id, int m, int k, int l) {
+  return "{\"id\":\"" + id + "\",\"op\":\"matmul\",\"m\":" + std::to_string(m) +
+         ",\"k\":" + std::to_string(k) + ",\"l\":" + std::to_string(l) +
+         ",\"buffer\":\"512KB\"}\n";
+}
+
+/// Server-under-test: PlanService + NetServer + the loop thread.
+struct TestServer {
+  PlanService service;
+  NetServer server;
+  std::thread loop;
+
+  TestServer(ServeOptions serve_options, NetServerOptions net_options)
+      : service(serve_options), server(service, net_options), loop([this] { server.run(); }) {}
+
+  ~TestServer() { stop(); }
+
+  void stop() {
+    if (loop.joinable()) {
+      server.request_drain();
+      loop.join();
+    }
+  }
+};
+
+/// Blocking test client with poll-timed reads (no test may hang the suite).
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    std::string error;
+    fd_ = connect_tcp("127.0.0.1", port, error);
+    EXPECT_GE(fd_, 0) << error;
+  }
+  ~Client() {
+    if (fd_ >= 0) close_fd(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  void send_all(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Next '\n'-terminated line (without the newline); nullopt on EOF or
+  /// timeout.
+  std::optional<std::string> read_line(int timeout_ms = 10'000) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      if (eof_) return std::nullopt;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return std::nullopt;
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) return std::nullopt;
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        eof_ = true;
+      } else if (errno != EINTR && errno != EAGAIN) {
+        eof_ = true;
+      }
+    }
+  }
+
+  std::vector<std::string> read_lines(int n, int timeout_ms = 10'000) {
+    std::vector<std::string> lines;
+    for (int i = 0; i < n; ++i) {
+      auto line = read_line(timeout_ms);
+      if (!line) break;
+      lines.push_back(std::move(*line));
+    }
+    return lines;
+  }
+
+  /// True when the peer closes without sending more data.
+  bool read_eof(int timeout_ms = 10'000) {
+    const auto line = read_line(timeout_ms);
+    EXPECT_FALSE(line.has_value()) << "unexpected extra line: " << *line;
+    return eof_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+std::string id_of(const std::string& response_line) {
+  const std::string needle = "\"id\":\"";
+  const std::size_t at = response_line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t end = response_line.find('"', at + needle.size());
+  return response_line.substr(at + needle.size(), end - at - needle.size());
+}
+
+NetServerOptions loopback_options() {
+  NetServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  return options;
+}
+
+TEST(NetServer, RoundTripMatchesServeStreamByteForByte) {
+  // Mixed stream with repeats: the repeats must come back cached and every
+  // response byte must match the stdin path on an identically configured
+  // fresh service.
+  std::string stream;
+  for (int i = 0; i < 8; ++i) stream += make_req("q" + std::to_string(i), 256 + 64 * (i % 3), 192, 320);
+  for (int i = 0; i < 8; ++i) stream += make_req("q" + std::to_string(8 + i), 256 + 64 * (i % 3), 192, 320);
+
+  const ServeOptions serve_options{.threads = 2};
+  TestServer ts(serve_options, loopback_options());
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+  client.send_all(stream);
+  client.half_close();
+  std::vector<std::string> tcp_lines = client.read_lines(16);
+  ASSERT_EQ(tcp_lines.size(), 16u);
+  EXPECT_TRUE(client.read_eof()) << "server closes once the half-closed stream is answered";
+  ts.stop();
+
+  PlanService reference(serve_options);
+  std::istringstream in(stream);
+  std::ostringstream out;
+  ASSERT_EQ(reference.serve_stream(in, out, "<stdin>"), 16);
+  std::istringstream ref_lines_in(out.str());
+  std::string ref_line;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(std::getline(ref_lines_in, ref_line));
+    EXPECT_EQ(tcp_lines[static_cast<std::size_t>(i)], ref_line) << "response " << i;
+  }
+  EXPECT_NE(out.str().find("\"cached\":true"), std::string::npos)
+      << "the repeats must exercise the cache-hit path";
+}
+
+TEST(NetServer, PipelinedRequestsAnswerInOrderPerConnection) {
+  TestServer ts(ServeOptions{.threads = 4}, loopback_options());
+  Client a(ts.server.port());
+  Client b(ts.server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  // Interleave two pipelined bursts; each connection's responses must come
+  // back exactly in its own request order even though planning completes
+  // out of order on the pool.
+  std::string burst_a, burst_b;
+  for (int i = 0; i < 40; ++i) {
+    burst_a += make_req("a" + std::to_string(i), 64 + i, 64, 64);
+    burst_b += make_req("b" + std::to_string(i), 64, 64 + i, 64);
+  }
+  a.send_all(burst_a);
+  b.send_all(burst_b);
+
+  std::vector<std::string> lines_a = a.read_lines(40);
+  std::vector<std::string> lines_b = b.read_lines(40);
+  ASSERT_EQ(lines_a.size(), 40u);
+  ASSERT_EQ(lines_b.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(id_of(lines_a[static_cast<std::size_t>(i)]), "a" + std::to_string(i));
+    EXPECT_EQ(id_of(lines_b[static_cast<std::size_t>(i)]), "b" + std::to_string(i));
+  }
+}
+
+TEST(NetServer, TruncatedLineAtCloseIsServedLikeGetline) {
+  TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  // One complete request, then one with no trailing newline before the
+  // half-close: the tail is a request (std::getline semantics), so the
+  // client still gets two responses and then EOF.
+  std::string stream = make_req("full", 128, 128, 128);
+  std::string tail = make_req("tail", 96, 96, 96);
+  tail.pop_back();  // strip '\n'
+  client.send_all(stream + tail);
+  client.half_close();
+
+  std::vector<std::string> lines = client.read_lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(id_of(lines[0]), "full");
+  EXPECT_EQ(id_of(lines[1]), "tail");
+  EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
+  EXPECT_TRUE(client.read_eof());
+
+  // A truncated *malformed* tail gets an error response, and the server
+  // survives for the next connection.
+  Client broken(ts.server.port());
+  ASSERT_TRUE(broken.connected());
+  broken.send_all("{\"id\":\"cut\",\"op\":\"matmul\",\"m\":12");
+  broken.half_close();
+  std::vector<std::string> error_lines = broken.read_lines(1);
+  ASSERT_EQ(error_lines.size(), 1u);
+  EXPECT_NE(error_lines[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(error_lines[0].find("expected"), std::string::npos);
+  EXPECT_TRUE(broken.read_eof());
+
+  Client after(ts.server.port());
+  ASSERT_TRUE(after.connected());
+  after.send_all(make_req("alive", 64, 64, 64));
+  auto line = after.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(id_of(*line), "alive");
+}
+
+TEST(NetServer, OversizedLineGetsStructuredErrorAndConnectionSurvives) {
+  NetServerOptions options = loopback_options();
+  options.max_line_bytes = 256;
+  TestServer ts(ServeOptions{.threads = 2}, options);
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::string huge(1024, 'x');
+  client.send_all(huge + "\n" + make_req("next", 64, 64, 64));
+
+  std::vector<std::string> lines = client.read_lines(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[0].find("--max-line-bytes"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("256"), std::string::npos) << lines[0];
+  EXPECT_EQ(id_of(lines[1]), "next") << "the connection keeps serving after the oversized line";
+  EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
+  ts.stop();
+  EXPECT_EQ(ts.server.stats().oversized_lines, 1);
+}
+
+TEST(NetServer, SlowReaderIsBackpressuredNotDisconnected) {
+  NetServerOptions options = loopback_options();
+  options.write_high_water = 2048;  // tiny: a few responses fill it
+  TestServer ts(ServeOptions{.threads = 2}, options);
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Send a burst without reading anything: the server's outbound buffer
+  // crosses the high-water mark and its reads defer, but nothing is
+  // dropped or disconnected.  Then read everything — in order.
+  const int kBurst = 120;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += make_req("s" + std::to_string(i), 64, 64, 64);
+  client.send_all(burst);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // let the buffer fill
+
+  std::vector<std::string> lines = client.read_lines(kBurst, 30'000);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kBurst));
+  for (int i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(id_of(lines[static_cast<std::size_t>(i)]), "s" + std::to_string(i));
+  }
+}
+
+TEST(NetServer, OverloadShedsWithExplicitResponsesInOrder) {
+  NetServerOptions options = loopback_options();
+  options.queue_depth = 1;  // admit one request at a time; bursts shed
+  TestServer ts(ServeOptions{.threads = 1}, options);
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  const int kBurst = 100;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += make_req("o" + std::to_string(i), 64 + i, 64, 64);
+  client.send_all(burst);
+  client.half_close();
+
+  std::vector<std::string> lines = client.read_lines(kBurst);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kBurst))
+      << "every request gets a response, shed or served";
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string& line = lines[static_cast<std::size_t>(i)];
+    EXPECT_EQ(id_of(line), "o" + std::to_string(i)) << "shed responses keep id and order";
+    if (line.find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else if (line.find("overloaded") != std::string::npos) {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1) << "a burst past queue_depth=1 must shed";
+  EXPECT_TRUE(client.read_eof());
+
+  // Reads resumed after the queue drained: a fresh request is admitted.
+  Client after(ts.server.port());
+  ASSERT_TRUE(after.connected());
+  after.send_all(make_req("recovered", 64, 64, 64));
+  auto line = after.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NE(line->find("\"ok\":true"), std::string::npos);
+  ts.stop();
+  EXPECT_EQ(ts.server.stats().shed, shed);
+}
+
+TEST(NetServer, DeadlineExpiryAnswersInOrderWithoutLosingSlots) {
+  NetServerOptions options = loopback_options();
+  options.request_timeout_ms = 1;
+  options.queue_depth = 8192;  // admit the whole burst; the deadline, not
+                               // admission, is under test
+  TestServer ts(ServeOptions{.threads = 1}, options);
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  // A single worker thread and a burst of distinct (cache-missing) shapes:
+  // the tail of the queue cannot finish within 1ms, so deadlines fire while
+  // the pool grinds.  Every slot must still produce exactly one in-order
+  // response — planned or "deadline exceeded".
+  const int kBurst = 1500;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += make_req("d" + std::to_string(i), 200 + (i % 700), 100 + (i / 7) % 500, 160);
+  }
+  client.send_all(burst);
+  client.half_close();
+
+  std::vector<std::string> lines = client.read_lines(kBurst, 60'000);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kBurst));
+  int expired = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::string& line = lines[static_cast<std::size_t>(i)];
+    EXPECT_EQ(id_of(line), "d" + std::to_string(i));
+    if (line.find("deadline exceeded") != std::string::npos) ++expired;
+  }
+  ts.stop();
+  EXPECT_GE(expired, 1) << "a 1ms deadline over a 1-thread burst must expire some requests";
+  EXPECT_EQ(ts.server.stats().deadline_expired, expired);
+}
+
+TEST(NetServer, GracefulDrainFinishesInFlightThenCloses) {
+  TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+
+  std::string burst;
+  for (int i = 0; i < 30; ++i) burst += make_req("g" + std::to_string(i), 64 + i, 64, 64);
+  client.send_all(burst);
+  ts.server.request_drain();
+  ts.loop.join();
+
+  // Whatever the server had read before the drain is answered — an exact
+  // in-order prefix g0..g(n-1) — then the connection is closed.
+  std::vector<std::string> lines;
+  while (auto line = client.read_line(5000)) lines.push_back(std::move(*line));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(id_of(lines[i]), "g" + std::to_string(i));
+  }
+  EXPECT_LE(lines.size(), 30u);
+  const NetServer::Stats stats = ts.server.stats();
+  EXPECT_EQ(stats.responses, static_cast<std::int64_t>(lines.size()));
+  EXPECT_EQ(stats.closed, stats.accepted);
+}
+
+TEST(NetServer, DrainWithIdleConnectionReturnsPromptly) {
+  TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+  Client idle(ts.server.port());
+  ASSERT_TRUE(idle.connected());
+  // Ensure the loop has accepted before draining.
+  idle.send_all(make_req("warm", 64, 64, 64));
+  ASSERT_TRUE(idle.read_line().has_value());
+
+  ts.server.request_drain();
+  ts.loop.join();
+  EXPECT_TRUE(idle.read_eof()) << "drain closes idle connections";
+}
+
+TEST(NetServer, MaxConnsDefersAcceptUntilASlotFrees) {
+  NetServerOptions options = loopback_options();
+  options.max_conns = 1;
+  TestServer ts(ServeOptions{.threads = 2}, options);
+
+  auto first = std::make_unique<Client>(ts.server.port());
+  ASSERT_TRUE(first->connected());
+  first->send_all(make_req("one", 64, 64, 64));
+  ASSERT_TRUE(first->read_line().has_value());
+
+  // The second connect lands in the listen backlog; the server only
+  // accepts it once the first connection goes away.
+  Client second(ts.server.port());
+  ASSERT_TRUE(second.connected());
+  second.send_all(make_req("two", 96, 96, 96));
+  auto quick = second.read_line(300);
+  EXPECT_FALSE(quick.has_value()) << "must not be served while the slot is taken";
+
+  first.reset();  // closes the first connection
+  auto line = second.read_line(10'000);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(id_of(*line), "two");
+}
+
+TEST(NetServer, IdleTimeoutClosesQuietConnections) {
+  NetServerOptions options = loopback_options();
+  options.idle_timeout_ms = 100;
+  TestServer ts(ServeOptions{.threads = 2}, options);
+  Client client(ts.server.port());
+  ASSERT_TRUE(client.connected());
+  client.send_all(make_req("ping", 64, 64, 64));
+  ASSERT_TRUE(client.read_line().has_value());
+
+  EXPECT_TRUE(client.read_eof(10'000)) << "a quiet connection is closed at idle_timeout_ms";
+  ts.stop();
+  EXPECT_EQ(ts.server.stats().idle_closed, 1);
+}
+
+}  // namespace
+}  // namespace fusecu
