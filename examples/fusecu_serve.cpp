@@ -5,6 +5,7 @@
 ///                [--listen HOST:PORT] [--max-conns N] [--queue-depth N]
 ///                [--request-timeout-ms MS] [--idle-timeout-ms MS]
 ///                [--max-line-bytes BYTES] [--port-file FILE]
+///                [--fault-plan FILE]
 ///                [--stats] [--stats-interval SEC] [--stats-out FILE]
 ///                [--metrics-out m.json] [--trace-out t.json]
 ///                [--log-out l.jsonl] [--log-level LEVEL] [--flight-out f.json]
@@ -37,6 +38,13 @@
 ///   $ fusecu_serve --listen 127.0.0.1:7411 --threads 8 --queue-depth 256 &
 ///   $ printf '%s\n' '{"id":"q","op":"matmul",...}' | nc 127.0.0.1 7411
 ///
+/// --fault-plan FILE arms a deterministic fault-injection schedule (a
+/// fusecu_fault_plan/1 JSON document — see src/common/fault.hpp; a chaos
+/// repro's "plan"/"shrunk_plan" member is one) before serving:
+/// short reads/writes, EINTR, connection resets, deferred accepts, spurious
+/// wakeups, clock skew and pool stalls fire at their scheduled sites.
+/// Debug/ops tooling only — never enable in production.
+///
 /// --stats prints cache hit/miss/eviction totals to stderr on exit.
 /// --stats-interval SEC emits one stats line per period while serving —
 /// qps and cache hit rate over the period, latency p50/p95/p99 cumulative —
@@ -49,7 +57,10 @@
 #include <iostream>
 #include <memory>
 
+#include <sstream>
+
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "net/server.hpp"
 #include "obs/obs_session.hpp"
 #include "serve/plan_service.hpp"
@@ -89,8 +100,24 @@ int main(int argc, char** argv) {
                    {"--input", "--threads", "--cache-mb", "--shards", "--stats-interval",
                     "--stats-out", "--listen", "--max-conns", "--queue-depth",
                     "--request-timeout-ms", "--idle-timeout-ms", "--max-line-bytes",
-                    "--port-file"});
+                    "--port-file", "--fault-plan"});
     args.parse(argc, argv);
+
+    // Armed before the service exists so pool-stall events cover the whole
+    // serving lifetime; disarmed implicitly at process exit.
+    if (auto fault_path = args.option("--fault-plan")) {
+      std::ifstream fault_file(*fault_path);
+      if (!fault_file) {
+        std::cerr << "error: cannot open --fault-plan " << *fault_path << "\n";
+        return 1;
+      }
+      std::stringstream fault_text;
+      fault_text << fault_file.rdbuf();
+      const fault::FaultPlan plan = fault::FaultPlan::from_json(fault_text.str(), *fault_path);
+      fault::arm(plan);
+      std::cerr << "fault plan armed: " << plan.events.size() << " events (seed " << plan.seed
+                << ") — debug mode, not for production\n";
+    }
 
     ServeOptions options;
     options.threads = static_cast<int>(args.option_int("--threads", 4));

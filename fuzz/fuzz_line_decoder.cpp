@@ -1,0 +1,71 @@
+// Fuzz target for serve/line_decoder.hpp — the '\n' splitter both the stdin
+// stream and every TCP connection feed raw bytes into.  The first two input
+// bytes steer the harness (line cap and feed chunk size) so the fuzzer can
+// explore cap boundaries and re-chunking; the rest is the byte stream.
+//
+// Invariants checked on every input:
+//   * buffered() stays bounded by max_line_bytes + one feed chunk;
+//   * an oversized line is reported with empty text (discarded, never
+//     truncated half-JSON);
+//   * a normal line never contains '\n' and never exceeds the cap;
+//   * the total line count is chunking-independent: re-feeding the same
+//     stream byte-by-byte yields the same sequence of (text, oversized).
+
+// The invariants below must hold in every build type, including
+// RelWithDebInfo (which defines NDEBUG).
+#undef NDEBUG
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/line_decoder.hpp"
+
+namespace {
+
+std::vector<std::pair<std::string, bool>> decode_all(const std::uint8_t* data, std::size_t size,
+                                                     std::size_t cap, std::size_t chunk) {
+  fusecu::LineDecoder decoder(cap);
+  std::vector<std::pair<std::string, bool>> lines;
+  fusecu::LineDecoder::DecodedLine line;
+  std::size_t off = 0;
+  while (off < size) {
+    const std::size_t n = std::min(chunk, size - off);
+    decoder.feed(reinterpret_cast<const char*>(data) + off, n);
+    off += n;
+    while (decoder.next(line)) {
+      lines.emplace_back(std::move(line.text), line.oversized);
+      assert(lines.back().second ? lines.back().first.empty()
+                                 : lines.back().first.size() <= cap);
+      assert(lines.back().first.find('\n') == std::string::npos);
+    }
+    assert(decoder.buffered() <= cap + chunk);
+  }
+  if (decoder.finish(line)) {
+    lines.emplace_back(std::move(line.text), line.oversized);
+  }
+  return lines;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  // Byte 0: line cap in [1, 64]; byte 1: feed chunk size in [1, 32].
+  const std::size_t cap = 1 + (data[0] % 64);
+  const std::size_t chunk = 1 + (data[1] % 32);
+  data += 2;
+  size -= 2;
+
+  const auto chunked = decode_all(data, size, cap, chunk);
+  const auto bytewise = decode_all(data, size, cap, 1);
+  assert(chunked.size() == bytewise.size());
+  for (std::size_t i = 0; i < chunked.size(); ++i) {
+    assert(chunked[i] == bytewise[i]);
+  }
+  return 0;
+}

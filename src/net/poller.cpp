@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "common/fault.hpp"
+
 #if defined(__linux__)
 #include <sys/epoll.h>
 #define FUSECU_HAVE_EPOLL 1
@@ -94,6 +96,10 @@ void Poller::remove(int fd) {
 
 int Poller::wait(std::vector<PollEvent>& out, int timeout_ms) {
   out.clear();
+  // Injected spurious wakeup: report "nothing ready" without blocking — the
+  // loop must tolerate poll returning early with no events (real kernels do
+  // this); disarmed cost is one relaxed load.
+  if (fault::armed() && fault::on_poll()) return 0;
 #if FUSECU_HAVE_EPOLL
   if (backend_ == PollBackend::kEpoll) {
     epoll_event events[128];

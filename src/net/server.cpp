@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/plan_request.hpp"
@@ -105,9 +106,14 @@ NetServer::~NetServer() {
 }
 
 std::int64_t NetServer::now_ms() const {
+  // Injected clock skew shifts the loop's view of time forward (never
+  // backward), driving the timer wheel through multi-revolution jumps; a
+  // disarmed injector contributes one relaxed load and zero skew.
+  const std::int64_t skew = fault::armed() ? fault::clock_skew_ms() : 0;
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now() - epoch_)
-      .count();
+             .count() +
+         skew;
 }
 
 void NetServer::request_drain() {
@@ -170,7 +176,7 @@ NetServer::Conn* NetServer::find_conn(std::uint64_t conn_id) {
 
 void NetServer::on_accept() {
   while (static_cast<int>(conns_.size()) < options_.max_conns) {
-    const int fd = ::accept(listener_fd_, nullptr, nullptr);
+    const int fd = sys_accept(listener_fd_);
     if (fd < 0) {
       if (errno == EINTR) continue;
       // EAGAIN: drained.  EMFILE and friends: log and retry on the next
@@ -218,7 +224,7 @@ void NetServer::on_readable(Conn& conn) {
   std::size_t budget = kReadBudget;
   const int fd = conn.fd;
   while (budget > 0) {
-    const ssize_t n = ::recv(fd, buf, std::min(sizeof(buf), budget), 0);
+    const ssize_t n = sys_recv(fd, buf, std::min(sizeof(buf), budget));
     if (n > 0) {
       budget -= static_cast<std::size_t>(n);
       conn.last_activity_ms = now_ms();
@@ -319,6 +325,21 @@ void NetServer::push_done_response(Conn& conn, std::string&& json) {
 
 void NetServer::flush_ready(Conn& conn) {
   std::int64_t appended = 0;
+  if (fault::test_bug() == fault::TestBug::kReorderResponses) {
+    // Intentional ordering bug, armed only by the chaos harness to prove it
+    // catches per-connection response reordering: flush *any* completed
+    // slot instead of the contiguous done prefix.
+    for (auto it = conn.pending.begin(); it != conn.pending.end();) {
+      if (it->done) {
+        conn.outbuf += it->json;
+        conn.outbuf += '\n';
+        it = conn.pending.erase(it);
+        ++appended;
+      } else {
+        ++it;
+      }
+    }
+  }
   while (!conn.pending.empty() && conn.pending.front().done) {
     conn.outbuf += conn.pending.front().json;
     conn.outbuf += '\n';
@@ -335,8 +356,8 @@ void NetServer::flush_ready(Conn& conn) {
 
 bool NetServer::try_write(Conn& conn) {
   while (conn.outbuf_off < conn.outbuf.size()) {
-    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
-                             conn.outbuf.size() - conn.outbuf_off, MSG_NOSIGNAL);
+    const ssize_t n = sys_send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
+                               conn.outbuf.size() - conn.outbuf_off);
     if (n > 0) {
       conn.outbuf_off += static_cast<std::size_t>(n);
       bytes_out_counter_.add(n);

@@ -9,9 +9,12 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/fault.hpp"
 
 namespace fusecu {
 
@@ -162,6 +165,42 @@ void close_fd(int fd) {
   do {
     rc = ::close(fd);
   } while (rc != 0 && errno == EINTR);
+}
+
+ssize_t sys_recv(int fd, void* buf, std::size_t len) {
+  if (!fault::armed()) return ::recv(fd, buf, len, 0);
+  const fault::IoFault injected = fault::on_read(len);
+  if (injected.error != 0) {
+    errno = injected.error;
+    return -1;
+  }
+  if (injected.cap != 0) len = std::min<std::size_t>(len, injected.cap);
+  const ssize_t n = ::recv(fd, buf, len, 0);
+  if (n > 0) fault::note_read_bytes(static_cast<std::size_t>(n));
+  return n;
+}
+
+ssize_t sys_send(int fd, const void* buf, std::size_t len) {
+  if (!fault::armed()) return ::send(fd, buf, len, MSG_NOSIGNAL);
+  const fault::IoFault injected = fault::on_write(len);
+  if (injected.error != 0) {
+    errno = injected.error;
+    return -1;
+  }
+  if (injected.cap != 0) len = std::min<std::size_t>(len, injected.cap);
+  const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n > 0) fault::note_write_bytes(static_cast<std::size_t>(n));
+  return n;
+}
+
+int sys_accept(int listener_fd) {
+  if (fault::armed()) {
+    if (const int error = fault::on_accept()) {
+      errno = error;
+      return -1;
+    }
+  }
+  return ::accept(listener_fd, nullptr, nullptr);
 }
 
 }  // namespace fusecu

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <sys/types.h>
+
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -46,5 +49,18 @@ void set_tcp_nodelay(int fd);
 
 /// close(2) retrying on EINTR.
 void close_fd(int fd);
+
+/// Fault-aware syscall shims (the injection seam the event loop reads and
+/// writes through — see common/fault.hpp).  With no fault plan armed each
+/// is the bare syscall behind one relaxed atomic load; with a plan armed
+/// they can return short transfers, EINTR, ECONNRESET/EPIPE at scheduled
+/// byte offsets, or deferred/EMFILE accepts, without touching the kernel
+/// for the injected failures.  Only the server side calls these — test
+/// clients and the load generator use the raw syscalls, so injected faults
+/// always land on the code under test.
+ssize_t sys_recv(int fd, void* buf, std::size_t len);
+ssize_t sys_send(int fd, const void* buf, std::size_t len);
+/// accept(2) with nullptr addr; returns the fd or -1 with errno set.
+int sys_accept(int listener_fd);
 
 }  // namespace fusecu

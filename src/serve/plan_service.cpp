@@ -5,8 +5,10 @@
 #include <future>
 #include <istream>
 #include <ostream>
+#include <thread>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "obs/log.hpp"
 #include "obs/span.hpp"
@@ -16,6 +18,17 @@
 namespace fusecu {
 
 namespace {
+
+/// Fault seam for the worker pool (common/fault.hpp): a scheduled
+/// kPoolStall event makes this task sleep briefly before planning,
+/// modeling a stalled pool / pathologically slow plan.  Runs at the top of
+/// every pooled request; disarmed cost is a single relaxed load.
+void maybe_inject_pool_stall() {
+  if (!fault::armed()) return;
+  if (const std::uint64_t stall_us = fault::on_pool_task()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+  }
+}
 
 std::size_t approx_bytes(const IntraOptResult& r) {
   return sizeof(IntraOptResult) + r.rule.size() +
@@ -348,12 +361,14 @@ void PlanService::open_request_root(std::optional<ScopedSpan>& root, const PlanR
 }
 
 PlanResponse PlanService::plan_enqueued(const PlanRequest& request, std::int64_t enqueue_us) {
+  maybe_inject_pool_stall();
   std::optional<ScopedSpan> root;
   open_request_root(root, request, enqueue_us);
   return plan(request);
 }
 
 std::string PlanService::plan_enqueued_json(const PlanRequest& request, std::int64_t enqueue_us) {
+  maybe_inject_pool_stall();
   std::optional<ScopedSpan> root;
   open_request_root(root, request, enqueue_us);
   PlanResponse response = plan(request);

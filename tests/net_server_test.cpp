@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "net/socket.hpp"
 #include "serve/plan_service.hpp"
 
@@ -431,6 +432,120 @@ TEST(NetServer, MaxConnsDefersAcceptUntilASlotFrees) {
   auto line = second.read_line(10'000);
   ASSERT_TRUE(line.has_value());
   EXPECT_EQ(id_of(*line), "two");
+}
+
+// Fault-injection seams (common/fault.hpp): the loop must treat injected
+// EINTR exactly like kernel EINTR — retry, not close — and an injected
+// mid-response ECONNRESET/EPIPE must reap only the victim connection.
+// Plans are armed before the server starts and disarmed after it stopped,
+// per the fault.hpp threading contract.
+
+TEST(NetServer, InjectedReadEintrAndShortReadAreRetriedTransparently) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  // The first two recv() invocations return EINTR, the third is capped to a
+  // single byte: the read path must retry through all of it.
+  plan.events.push_back({fault::Kind::kReadEintr, 0, 0});
+  plan.events.push_back({fault::Kind::kReadEintr, 1, 0});
+  plan.events.push_back({fault::Kind::kShortRead, 2, 1});
+  fault::ScopedFaultPlan armed(plan);
+  {
+    TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+    Client client(ts.server.port());
+    ASSERT_TRUE(client.connected());
+    std::string stream;
+    for (int i = 0; i < 3; ++i) stream += make_req("e" + std::to_string(i), 64 + i, 64, 64);
+    client.send_all(stream);
+    client.half_close();
+    std::vector<std::string> lines = client.read_lines(3);
+    ASSERT_EQ(lines.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(id_of(lines[static_cast<std::size_t>(i)]), "e" + std::to_string(i));
+      EXPECT_NE(lines[static_cast<std::size_t>(i)].find("\"ok\":true"), std::string::npos);
+    }
+    EXPECT_TRUE(client.read_eof());
+    ts.stop();
+  }
+  EXPECT_EQ(fault::fired_count(fault::Kind::kReadEintr), 2);
+  EXPECT_EQ(fault::fired_count(fault::Kind::kShortRead), 1);
+}
+
+TEST(NetServer, InjectedWriteEintrAndShortWriteAreRetriedTransparently) {
+  fault::FaultPlan plan;
+  plan.seed = 43;
+  plan.events.push_back({fault::Kind::kWriteEintr, 0, 0});
+  plan.events.push_back({fault::Kind::kShortWrite, 1, 5});
+  plan.events.push_back({fault::Kind::kWriteEintr, 2, 0});
+  fault::ScopedFaultPlan armed(plan);
+  {
+    TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+    Client client(ts.server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_all(make_req("w0", 64, 64, 64) + make_req("w1", 65, 64, 64));
+    client.half_close();
+    std::vector<std::string> lines = client.read_lines(2);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(id_of(lines[0]), "w0");
+    EXPECT_EQ(id_of(lines[1]), "w1");
+    EXPECT_TRUE(client.read_eof());
+    ts.stop();
+  }
+  EXPECT_EQ(fault::fired_count(fault::Kind::kWriteEintr), 2);
+  EXPECT_EQ(fault::fired_count(fault::Kind::kShortWrite), 1);
+}
+
+TEST(NetServer, InjectedMidResponseResetReapsOnlyTheVictimConnection) {
+  fault::FaultPlan plan;
+  plan.seed = 44;
+  // First send is capped to 10 bytes; the retry (cumulative bytes >= 10)
+  // fails with EPIPE mid-response, killing the victim connection.
+  plan.events.push_back({fault::Kind::kShortWrite, 0, 10});
+  plan.events.push_back({fault::Kind::kWriteReset, 10, 0});
+  fault::ScopedFaultPlan armed(plan);
+  {
+    TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+    Client victim(ts.server.port());
+    ASSERT_TRUE(victim.connected());
+    victim.send_all(make_req("victim", 64, 64, 64));
+    // 10 bytes of response arrive, never a complete line, then the close.
+    EXPECT_TRUE(victim.read_eof()) << "the poisoned connection must be reaped";
+
+    // The write-fault schedule is exhausted; a fresh connection on the same
+    // server is unaffected.
+    Client survivor(ts.server.port());
+    ASSERT_TRUE(survivor.connected());
+    survivor.send_all(make_req("survivor", 96, 96, 96));
+    auto line = survivor.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(id_of(*line), "survivor");
+    EXPECT_NE(line->find("\"ok\":true"), std::string::npos);
+    ts.stop();
+    const NetServer::Stats stats = ts.server.stats();
+    EXPECT_EQ(stats.accepted, 2);
+    EXPECT_EQ(stats.closed, 2);
+  }
+  EXPECT_EQ(fault::fired_count(fault::Kind::kWriteReset), 1);
+}
+
+TEST(NetServer, InjectedEmfileAcceptIsRetriedOnNextReadiness) {
+  fault::FaultPlan plan;
+  plan.seed = 45;
+  plan.events.push_back({fault::Kind::kAcceptEmfile, 0, 0});
+  fault::ScopedFaultPlan armed(plan);
+  {
+    TestServer ts(ServeOptions{.threads = 2}, loopback_options());
+    // The first accept attempt fails with EMFILE; the listener stays
+    // registered (level-triggered), so the connection is accepted on the
+    // next loop turn instead of being lost.
+    Client client(ts.server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_all(make_req("late", 64, 64, 64));
+    auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(id_of(*line), "late");
+    ts.stop();
+  }
+  EXPECT_EQ(fault::fired_count(fault::Kind::kAcceptEmfile), 1);
 }
 
 TEST(NetServer, IdleTimeoutClosesQuietConnections) {

@@ -78,6 +78,32 @@ TEST(TimerWheel, BigAdvanceJumpFiresEverything) {
   EXPECT_EQ(fired, 14) << "nothing fires twice";
 }
 
+TEST(TimerWheel, ClockSkewJumpPastFullRevolutionSkipsAndDoublesNothing) {
+  // Regression for injected clock skew (fault::Kind::kClockSkew): the
+  // loop's now_ms can jump forward by more than one full wheel revolution
+  // in a single advance().  Everything due inside the jump must fire
+  // exactly once, and a not-yet-due timer sharing a slot with a fired one
+  // must neither fire early nor be dropped when its slot's turn comes.
+  TimerWheel wheel(10, 8);  // 80ms per revolution
+  int fired_30 = 0, fired_900 = 0;
+  wheel.schedule(0, 30, [&] { ++fired_30; });
+  // 900ms = tick 90; 90 % 8 == 3 % 8: same slot as the 30ms timer.
+  wheel.schedule(0, 900, [&] { ++fired_900; });
+
+  wheel.advance(500);  // one jump spanning 6+ revolutions
+  EXPECT_EQ(fired_30, 1) << "due timer inside the jump fires exactly once";
+  EXPECT_EQ(fired_900, 0) << "slot-mate beyond the jump must not fire early";
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  wheel.advance(890);
+  EXPECT_EQ(fired_900, 0) << "one tick short: not yet";
+  wheel.advance(1'700);  // second skew jump, again past a full revolution
+  EXPECT_EQ(fired_900, 1);
+  wheel.advance(3'000);
+  EXPECT_EQ(fired_30 + fired_900, 2) << "nothing double-fires after the jumps";
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
 TEST(TimerWheel, CallbackCancelingAlreadyDueTimerDoesNotStopIt) {
   // The loop's deadline handler cancels other timers; advance() collects
   // the due set first, so a cancel of a timer that is due in the *same*
