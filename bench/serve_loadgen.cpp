@@ -1,12 +1,16 @@
 /// \file serve_loadgen.cpp
 /// Open-loop load generator for the fusecu_serve TCP mode (src/net).
 ///
-///   serve_loadgen --connect HOST:PORT [--connections N] [--requests N]
-///                 [--qps TARGET] [--distinct N] [--recv-timeout-ms MS]
-///                 [--port-file FILE] [--bench-out BENCH_serve_loadgen.json]
+///   serve_loadgen --connect HOST:PORT [--connections N] [--threads T]
+///                 [--requests N] [--qps TARGET] [--distinct N]
+///                 [--recv-timeout-ms MS] [--port-file FILE]
+///                 [--bench-out BENCH_serve_loadgen.json]
 ///
-/// Opens N connections (one thread each), sends `--requests` planning
-/// requests split across them, and reads the pipelined responses.  With
+/// Opens N connections spread over T client threads (default: one thread
+/// per connection; with T < N each thread multiplexes its share of the
+/// connections over one poll loop, so hundreds of connections don't need
+/// hundreds of client threads).  `--requests` planning requests are split
+/// across the connections and the pipelined responses read back.  With
 /// --qps the sends are paced open-loop against the wall clock — a send
 /// happens when its scheduled time arrives whether or not earlier responses
 /// have come back, so a slow server grows queueing delay instead of
@@ -14,20 +18,24 @@
 /// --qps 0 (default) sends as fast as the sockets accept.
 ///
 /// Every request carries id "c<conn>-<seq>".  Responses on a connection
-/// must come back exactly in request order (the server contract); each
-/// mismatch counts as out_of_order, and requests still unanswered when the
-/// stream ends (or --recv-timeout-ms passes with no progress) count as
-/// lost.  The exit status is non-zero when anything was lost or reordered,
-/// or when a connection could not be established.
+/// must come back exactly in request order (the server contract, regardless
+/// of how many reactors serve the socket); each mismatch counts as
+/// out_of_order, and requests still unanswered when the stream ends (or
+/// --recv-timeout-ms passes with no progress) count as lost.  The exit
+/// status is non-zero when anything was lost or reordered, or when a
+/// connection could not be established.
 ///
-/// Output: one summary line plus exact latency percentiles (sorted
-/// send-to-response times, not histogram buckets):
+/// Output: one merged summary line with exact latency percentiles (sorted
+/// send-to-response times, not histogram buckets), preceded by one line
+/// per client thread so per-thread skew is visible:
 ///
+///   thread 0: conns=4 responses=2500 p50=91 p95=204 p99=361
+///   thread 1: conns=4 responses=2500 p50=94 p95=215 p99=377
 ///   serve_loadgen: requests=5000 responses=5000 achieved_qps=48210.7
 ///       errors=0 shed=0 lost=0 out_of_order=0
 ///   latency_us: p50=92 p95=210 p99=368 max=1204
 ///
-/// --bench-out records the same numbers in the repo's perf-trajectory
+/// --bench-out records the merged numbers in the repo's perf-trajectory
 /// format (CI archives BENCH_serve_loadgen.json).
 ///
 /// Request shapes cycle through --distinct variants so the server's plan
@@ -63,8 +71,8 @@ std::int64_t us_since(Clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
 }
 
-/// One connection's workload and tallies; `latencies_us` is merged into the
-/// global percentile pool after the thread joins.
+/// One connection's tallies; `latencies_us` is merged per-thread and then
+/// globally after the threads join.
 struct ConnResult {
   std::int64_t sent = 0;
   std::int64_t received = 0;
@@ -74,6 +82,23 @@ struct ConnResult {
   std::int64_t lost = 0;
   std::vector<std::int64_t> latencies_us;
   std::string failure;  ///< non-empty = connection-level failure
+};
+
+/// One multiplexed connection: socket, schedule, framing buffers, tallies.
+struct ConnState {
+  int fd = -1;
+  int index = 0;  ///< global connection index — the "c<conn>-" id prefix
+  std::int64_t requests = 0;
+  double interval_us = 0.0;
+  double phase_us = 0.0;
+  std::string outbuf;
+  std::size_t outbuf_off = 0;
+  std::string inbuf;
+  std::deque<std::int64_t> send_time_us;  ///< FIFO: per-conn responses are ordered
+  bool sent_all_and_flushed = false;
+  bool done = false;
+  std::int64_t last_progress_us = 0;
+  ConnResult result;
 };
 
 std::string make_request(int conn, std::int64_t seq, int distinct) {
@@ -104,149 +129,178 @@ std::string extract_string_field(const std::string& line, const std::string& key
   return line.substr(begin, end - begin);
 }
 
-void run_connection(const std::string& host, std::uint16_t port, int conn_index,
-                    std::int64_t requests, double per_conn_qps, int distinct,
-                    std::int64_t recv_timeout_ms, ConnResult& result) {
-  std::string error;
-  const int fd = connect_tcp(host, port, error);
-  if (fd < 0) {
-    result.failure = "connect: " + error;
+void finish_conn(ConnState& conn) {
+  conn.result.lost = conn.result.sent - conn.result.received;
+  if (conn.fd >= 0) {
+    close_fd(conn.fd);
+    conn.fd = -1;
+  }
+  conn.done = true;
+}
+
+/// Schedule every request of \p conn that is due (all of them when
+/// unpaced).  The recorded send time is the *scheduled* instant, not the
+/// moment the bytes leave — open-loop latency charges the server for our
+/// own scheduling slippage instead of hiding it (coordinated omission).
+void schedule_due(ConnState& conn, std::int64_t now_us, Clock::time_point start, int distinct) {
+  while (conn.result.sent < conn.requests) {
+    const std::int64_t due_us =
+        conn.interval_us > 0.0
+            ? static_cast<std::int64_t>(conn.phase_us +
+                                        conn.interval_us * static_cast<double>(conn.result.sent))
+            : 0;
+    if (now_us < due_us) break;
+    conn.outbuf += make_request(conn.index, conn.result.sent, distinct);
+    conn.send_time_us.push_back(conn.interval_us > 0.0 ? due_us : us_since(start));
+    ++conn.result.sent;
+  }
+}
+
+/// Drain writable/readable events for \p conn; marks it done on EOF, error
+/// or stall.  Returns nothing — all state lives in the ConnState.
+void pump_conn(ConnState& conn, short revents, Clock::time_point start,
+               std::int64_t recv_timeout_ms) {
+  if ((revents & POLLOUT) && conn.outbuf.size() > conn.outbuf_off) {
+    const ssize_t wrote = ::send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
+                                 conn.outbuf.size() - conn.outbuf_off, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      conn.outbuf_off += static_cast<std::size_t>(wrote);
+      if (conn.outbuf_off == conn.outbuf.size()) {
+        conn.outbuf.clear();
+        conn.outbuf_off = 0;
+      }
+      conn.last_progress_us = us_since(start);
+    } else if (wrote < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      conn.result.failure = std::string("send: ") + std::strerror(errno);
+      finish_conn(conn);
+      return;
+    }
+  }
+  if (!conn.sent_all_and_flushed && conn.result.sent == conn.requests && conn.outbuf.empty()) {
+    // Half-close: the server answers everything already on the wire and
+    // then closes, turning "done" into a clean EOF instead of a timeout.
+    ::shutdown(conn.fd, SHUT_WR);
+    conn.sent_all_and_flushed = true;
+  }
+
+  bool saw_eof = false;
+  if (revents & (POLLIN | POLLHUP)) {
+    char chunk[64 * 1024];
+    while (true) {
+      const ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.inbuf.append(chunk, static_cast<std::size_t>(got));
+        conn.last_progress_us = us_since(start);
+        continue;
+      }
+      if (got == 0) saw_eof = true;
+      if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        conn.result.failure = std::string("recv: ") + std::strerror(errno);
+        saw_eof = true;
+      }
+      break;
+    }
+  }
+
+  std::size_t line_start = 0;
+  std::size_t nl;
+  while ((nl = conn.inbuf.find('\n', line_start)) != std::string::npos) {
+    const std::string line = conn.inbuf.substr(line_start, nl - line_start);
+    line_start = nl + 1;
+    const std::int64_t recv_us = us_since(start);
+    if (!conn.send_time_us.empty()) {
+      conn.result.latencies_us.push_back(recv_us - conn.send_time_us.front());
+      conn.send_time_us.pop_front();
+    }
+    const std::string expected_id =
+        "c" + std::to_string(conn.index) + "-" + std::to_string(conn.result.received);
+    if (extract_string_field(line, "id") != expected_id) ++conn.result.out_of_order;
+    if (line.find("\"ok\":false") != std::string::npos) {
+      if (line.find("overloaded") != std::string::npos) {
+        ++conn.result.shed;
+      } else {
+        ++conn.result.errors;
+      }
+    }
+    ++conn.result.received;
+  }
+  if (line_start > 0) conn.inbuf.erase(0, line_start);
+
+  if (conn.result.received >= conn.requests || saw_eof) {
+    finish_conn(conn);
     return;
   }
-  set_nonblocking(fd);
+  if (recv_timeout_ms > 0 && !conn.send_time_us.empty() &&
+      us_since(start) - conn.last_progress_us > recv_timeout_ms * 1000) {
+    conn.result.failure = "receive timeout: no progress for " + std::to_string(recv_timeout_ms) +
+                          "ms with " + std::to_string(conn.send_time_us.size()) +
+                          " responses outstanding";
+    finish_conn(conn);
+  }
+}
 
+/// One client thread: connect and multiplex every ConnState assigned to it
+/// over a single poll loop, preserving per-connection due-time pacing.
+void run_worker(const std::string& host, std::uint16_t port, std::vector<ConnState*> conns,
+                int distinct, std::int64_t recv_timeout_ms) {
+  for (ConnState* conn : conns) {
+    std::string error;
+    conn->fd = connect_tcp(host, port, error);
+    if (conn->fd < 0) {
+      conn->result.failure = "connect: " + error;
+      conn->done = true;
+      continue;
+    }
+    set_nonblocking(conn->fd);
+  }
   const Clock::time_point start = Clock::now();
-  // Open-loop schedule: request k on this connection is due at k / qps,
-  // staggered a fraction of a period per connection so the fleet does not
-  // fire in lockstep.
-  const double interval_us = per_conn_qps > 0.0 ? 1e6 / per_conn_qps : 0.0;
-  const double phase_us = interval_us * conn_index /
-                          std::max(1, conn_index + 1);  // < one period, deterministic
 
-  std::string outbuf;
-  std::size_t outbuf_off = 0;
-  std::string inbuf;
-  std::deque<std::int64_t> send_time_us;  // FIFO: per-conn responses are ordered
-  bool sent_all_and_flushed = false;
-  std::int64_t last_progress_us = 0;
-
-  while (result.received < requests) {
+  std::vector<struct pollfd> pfds;
+  std::vector<ConnState*> polled;
+  while (true) {
     const std::int64_t now_us = us_since(start);
-
-    // Schedule every request that is due (all of them when unpaced).  The
-    // recorded send time is the *scheduled* instant, not the moment the
-    // bytes leave — open-loop latency charges the server for our own
-    // scheduling slippage instead of hiding it (coordinated omission).
-    while (result.sent < requests) {
-      const std::int64_t due_us =
-          interval_us > 0.0
-              ? static_cast<std::int64_t>(phase_us + interval_us * static_cast<double>(result.sent))
-              : 0;
-      if (now_us < due_us) break;
-      outbuf += make_request(conn_index, result.sent, distinct);
-      send_time_us.push_back(interval_us > 0.0 ? due_us : us_since(start));
-      ++result.sent;
-    }
-
-    short events = POLLIN;
-    if (outbuf.size() > outbuf_off) events |= POLLOUT;
-
+    pfds.clear();
+    polled.clear();
     std::int64_t wait_ms = 50;
-    if (result.sent < requests && interval_us > 0.0) {
-      // Round up: sleeping a hair past the due time costs sub-ms pacing
-      // error, while rounding down would spin poll(0) and starve the
-      // server of CPU on small machines.
-      const std::int64_t next_due_us =
-          static_cast<std::int64_t>(phase_us + interval_us * static_cast<double>(result.sent));
-      wait_ms = std::max<std::int64_t>(1, (next_due_us - now_us + 999) / 1000);
-      wait_ms = std::min<std::int64_t>(wait_ms, 50);
-    } else if (result.sent < requests) {
-      wait_ms = 0;
+    for (ConnState* conn : conns) {
+      if (conn->done) continue;
+      schedule_due(*conn, now_us, start, distinct);
+      short events = POLLIN;
+      if (conn->outbuf.size() > conn->outbuf_off) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      polled.push_back(conn);
+      if (conn->result.sent < conn->requests && conn->interval_us > 0.0) {
+        // Round up: sleeping a hair past the due time costs sub-ms pacing
+        // error, while rounding down would spin poll(0) and starve the
+        // server of CPU on small machines.
+        const std::int64_t next_due_us = static_cast<std::int64_t>(
+            conn->phase_us + conn->interval_us * static_cast<double>(conn->result.sent));
+        wait_ms = std::min(wait_ms,
+                           std::max<std::int64_t>(1, (next_due_us - now_us + 999) / 1000));
+      } else if (conn->result.sent < conn->requests) {
+        wait_ms = 0;
+      }
     }
+    if (polled.empty()) break;
 
-    struct pollfd pfd = {fd, events, 0};
-    const int n = ::poll(&pfd, 1, static_cast<int>(wait_ms));
+    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                         static_cast<int>(wait_ms));
     if (n < 0 && errno != EINTR) {
-      result.failure = std::string("poll: ") + std::strerror(errno);
+      for (ConnState* conn : polled) {
+        conn->result.failure = std::string("poll: ") + std::strerror(errno);
+        finish_conn(*conn);
+      }
       break;
     }
-
-    if (n > 0 && (pfd.revents & POLLOUT) && outbuf.size() > outbuf_off) {
-      const ssize_t wrote = ::send(fd, outbuf.data() + outbuf_off, outbuf.size() - outbuf_off,
-                                   MSG_NOSIGNAL);
-      if (wrote > 0) {
-        outbuf_off += static_cast<std::size_t>(wrote);
-        if (outbuf_off == outbuf.size()) {
-          outbuf.clear();
-          outbuf_off = 0;
-        }
-        last_progress_us = us_since(start);
-      } else if (wrote < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-        result.failure = std::string("send: ") + std::strerror(errno);
-        break;
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      if (!polled[i]->done) {
+        pump_conn(*polled[i], n > 0 ? pfds[i].revents : 0, start, recv_timeout_ms);
       }
-    }
-    if (!sent_all_and_flushed && result.sent == requests && outbuf.empty()) {
-      // Half-close: the server answers everything already on the wire and
-      // then closes, turning "done" into a clean EOF instead of a timeout.
-      ::shutdown(fd, SHUT_WR);
-      sent_all_and_flushed = true;
-    }
-
-    bool saw_eof = false;
-    if (n > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
-      char chunk[64 * 1024];
-      while (true) {
-        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (got > 0) {
-          inbuf.append(chunk, static_cast<std::size_t>(got));
-          last_progress_us = us_since(start);
-          continue;
-        }
-        if (got == 0) saw_eof = true;
-        if (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-          result.failure = std::string("recv: ") + std::strerror(errno);
-          saw_eof = true;
-        }
-        break;
-      }
-    }
-
-    std::size_t line_start = 0;
-    std::size_t nl;
-    while ((nl = inbuf.find('\n', line_start)) != std::string::npos) {
-      const std::string line = inbuf.substr(line_start, nl - line_start);
-      line_start = nl + 1;
-      const std::int64_t recv_us = us_since(start);
-      if (!send_time_us.empty()) {
-        result.latencies_us.push_back(recv_us - send_time_us.front());
-        send_time_us.pop_front();
-      }
-      const std::string expected_id =
-          "c" + std::to_string(conn_index) + "-" + std::to_string(result.received);
-      if (extract_string_field(line, "id") != expected_id) ++result.out_of_order;
-      if (line.find("\"ok\":false") != std::string::npos) {
-        if (line.find("overloaded") != std::string::npos) {
-          ++result.shed;
-        } else {
-          ++result.errors;
-        }
-      }
-      ++result.received;
-    }
-    if (line_start > 0) inbuf.erase(0, line_start);
-
-    if (saw_eof) break;
-    if (recv_timeout_ms > 0 && !send_time_us.empty() &&
-        us_since(start) - last_progress_us > recv_timeout_ms * 1000) {
-      result.failure = "receive timeout: no progress for " + std::to_string(recv_timeout_ms) +
-                       "ms with " + std::to_string(send_time_us.size()) + " responses outstanding";
-      break;
     }
   }
-
-  result.lost = result.sent - result.received;
-  close_fd(fd);
+  for (ConnState* conn : conns) {
+    if (!conn->done) finish_conn(*conn);
+  }
 }
 
 std::int64_t percentile_us(const std::vector<std::int64_t>& sorted, double q) {
@@ -264,8 +318,8 @@ std::int64_t percentile_us(const std::vector<std::int64_t>& sorted, double q) {
 int main(int argc, char** argv) {
   ObsSession obs(argc, argv);
   try {
-    ArgParser args({}, {"--connect", "--connections", "--requests", "--qps", "--distinct",
-                        "--recv-timeout-ms", "--port-file"});
+    ArgParser args({}, {"--connect", "--connections", "--threads", "--requests", "--qps",
+                        "--distinct", "--recv-timeout-ms", "--port-file"});
     args.parse(argc, argv);
     signal(SIGPIPE, SIG_IGN);
 
@@ -303,35 +357,73 @@ int main(int argc, char** argv) {
       std::cerr << "error: --connections and --requests must be positive\n";
       return 1;
     }
+    // Default preserves the historical one-thread-per-connection behavior;
+    // explicit --threads caps at one thread per connection.
+    int threads = static_cast<int>(args.option_int("--threads", connections));
+    if (threads <= 0) {
+      std::cerr << "error: --threads must be positive\n";
+      return 1;
+    }
+    threads = std::min(threads, connections);
 
-    std::vector<ConnResult> results(static_cast<std::size_t>(connections));
-    std::vector<std::thread> threads;
-    const Clock::time_point start = Clock::now();
+    std::vector<ConnState> conns(static_cast<std::size_t>(connections));
     for (int c = 0; c < connections; ++c) {
+      ConnState& conn = conns[static_cast<std::size_t>(c)];
+      conn.index = c;
       // Spread the total: the first (requests % connections) conns take one
       // extra so every request is owned by exactly one connection.
-      const std::int64_t share = requests / connections + (c < requests % connections ? 1 : 0);
-      threads.emplace_back(run_connection, host, port, c, share, qps / connections, distinct,
-                           recv_timeout_ms, std::ref(results[static_cast<std::size_t>(c)]));
+      conn.requests = requests / connections + (c < requests % connections ? 1 : 0);
+      // Open-loop schedule: request k on a connection is due at k / qps,
+      // staggered a fraction of a period per connection so the fleet does
+      // not fire in lockstep.
+      const double per_conn_qps = qps / connections;
+      conn.interval_us = per_conn_qps > 0.0 ? 1e6 / per_conn_qps : 0.0;
+      conn.phase_us = conn.interval_us * c / std::max(1, c + 1);  // < one period, deterministic
     }
-    for (auto& t : threads) t.join();
+    // Round-robin assignment: thread t owns connections t, t+T, t+2T, ...
+    std::vector<std::vector<ConnState*>> assigned(static_cast<std::size_t>(threads));
+    for (int c = 0; c < connections; ++c) {
+      assigned[static_cast<std::size_t>(c % threads)].push_back(
+          &conns[static_cast<std::size_t>(c)]);
+    }
+
+    std::vector<std::thread> workers;
+    const Clock::time_point start = Clock::now();
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(run_worker, host, port, assigned[static_cast<std::size_t>(t)],
+                           distinct, recv_timeout_ms);
+    }
+    for (auto& w : workers) w.join();
     const double wall_s = static_cast<double>(us_since(start)) / 1e6;
 
     ConnResult total;
     std::vector<std::int64_t> latencies;
     bool conn_failed = false;
-    for (const ConnResult& r : results) {
-      total.sent += r.sent;
-      total.received += r.received;
-      total.errors += r.errors;
-      total.shed += r.shed;
-      total.out_of_order += r.out_of_order;
-      total.lost += r.lost;
-      latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
-      if (!r.failure.empty()) {
-        conn_failed = true;
-        std::cerr << "serve_loadgen: connection failure: " << r.failure << "\n";
+    for (int t = 0; t < threads; ++t) {
+      std::vector<std::int64_t> thread_lat;
+      std::int64_t thread_responses = 0;
+      for (const ConnState* conn : assigned[static_cast<std::size_t>(t)]) {
+        const ConnResult& r = conn->result;
+        total.sent += r.sent;
+        total.received += r.received;
+        total.errors += r.errors;
+        total.shed += r.shed;
+        total.out_of_order += r.out_of_order;
+        total.lost += r.lost;
+        thread_responses += r.received;
+        thread_lat.insert(thread_lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+        if (!r.failure.empty()) {
+          conn_failed = true;
+          std::cerr << "serve_loadgen: connection failure: " << r.failure << "\n";
+        }
       }
+      std::sort(thread_lat.begin(), thread_lat.end());
+      std::cout << "thread " << t << ": conns=" << assigned[static_cast<std::size_t>(t)].size()
+                << " responses=" << thread_responses
+                << " p50=" << percentile_us(thread_lat, 0.50)
+                << " p95=" << percentile_us(thread_lat, 0.95)
+                << " p99=" << percentile_us(thread_lat, 0.99) << "\n";
+      latencies.insert(latencies.end(), thread_lat.begin(), thread_lat.end());
     }
     std::sort(latencies.begin(), latencies.end());
     const double achieved_qps = wall_s > 0.0 ? static_cast<double>(total.received) / wall_s : 0.0;

@@ -52,7 +52,7 @@ int usage(const char* argv0) {
             << " [--trials N] [--seed S] [--max-extent N] [--jobs N]\n"
                "       [--repro-out FILE] [--replay FILE]\n"
                "       [--chaos-trials N] [--chaos-max-events N] [--chaos-bug reorder]\n"
-               "       [--chaos-repro-out FILE] [--chaos-replay FILE]\n"
+               "       [--chaos-reactors N] [--chaos-repro-out FILE] [--chaos-replay FILE]\n"
                "       [--no-exec] [--no-serve] [--no-arch] [--no-shrink]\n"
                "       [--metrics-out FILE] [--trace-out FILE] [--log-out FILE]\n"
                "       [--log-level LEVEL] [--flight-out FILE]\n";
@@ -163,8 +163,8 @@ int main(int argc, char** argv) {
   ObsSession obs(argc, argv);
   ArgParser parser({"--no-exec", "--no-serve", "--no-arch", "--no-shrink", "--help"},
                    {"--trials", "--seed", "--max-extent", "--jobs", "--repro-out", "--replay",
-                    "--chaos-trials", "--chaos-max-events", "--chaos-bug", "--chaos-repro-out",
-                    "--chaos-replay"});
+                    "--chaos-trials", "--chaos-max-events", "--chaos-bug", "--chaos-reactors",
+                    "--chaos-repro-out", "--chaos-replay"});
   try {
     parser.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
   chaos.seed = opts.seed;
   chaos.trials = static_cast<int>(parser.option_int("--chaos-trials", 0));
   chaos.max_events = static_cast<int>(parser.option_int("--chaos-max-events", chaos.max_events));
+  chaos.reactors = static_cast<int>(parser.option_int("--chaos-reactors", chaos.reactors));
   chaos.shrink = opts.shrink;
   if (auto bug_name = parser.option("--chaos-bug")) {
     const std::optional<fault::TestBug> bug = parse_chaos_bug(*bug_name);

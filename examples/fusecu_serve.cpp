@@ -2,7 +2,8 @@
 /// JSONL planning server front-end for the concurrent plan service.
 ///
 ///   fusecu_serve [--input FILE] [--threads N] [--cache-mb MB] [--shards N]
-///                [--listen HOST:PORT] [--max-conns N] [--queue-depth N]
+///                [--listen HOST:PORT] [--reactors N] [--accept MODE]
+///                [--max-conns N] [--queue-depth N]
 ///                [--request-timeout-ms MS] [--idle-timeout-ms MS]
 ///                [--max-line-bytes BYTES] [--port-file FILE]
 ///                [--fault-plan FILE]
@@ -25,9 +26,12 @@
 ///       fusecu_serve
 ///   {"id":"q","ok":true,"kind":"matmul","rule":"P2(untile=K)",...}
 ///
-/// With --listen HOST:PORT the same JSONL protocol is served over TCP by a
-/// single-threaded event loop (src/net/server.hpp): pipelined requests per
-/// connection answered in order, a bounded admission queue (--queue-depth)
+/// With --listen HOST:PORT the same JSONL protocol is served over TCP by
+/// --reactors N sharded event loops (src/net/server.hpp; default = hardware
+/// threads, 0 = the legacy single inline loop) with SO_REUSEPORT kernel
+/// accept distribution when available (--accept auto|reuseport|handoff):
+/// pipelined requests per connection answered in order, a bounded
+/// per-reactor admission queue (--queue-depth)
 /// in front of the worker pool with ok=false "overloaded" shedding past the
 /// high-water mark, per-request deadlines (--request-timeout-ms),
 /// idle-connection timeouts (--idle-timeout-ms) and SIGINT/SIGTERM graceful
@@ -51,11 +55,13 @@
 /// to stderr, or to --stats-out FILE when given; the final partial period
 /// is flushed as one last line on shutdown.
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include <sstream>
 
@@ -98,9 +104,9 @@ int main(int argc, char** argv) {
   try {
     ArgParser args({"--stats"},
                    {"--input", "--threads", "--cache-mb", "--shards", "--stats-interval",
-                    "--stats-out", "--listen", "--max-conns", "--queue-depth",
-                    "--request-timeout-ms", "--idle-timeout-ms", "--max-line-bytes",
-                    "--port-file", "--fault-plan"});
+                    "--stats-out", "--listen", "--reactors", "--accept", "--max-conns",
+                    "--queue-depth", "--request-timeout-ms", "--idle-timeout-ms",
+                    "--max-line-bytes", "--port-file", "--fault-plan"});
     args.parse(argc, argv);
 
     // Armed before the service exists so pool-stall events cover the whole
@@ -163,8 +169,26 @@ int main(int argc, char** argv) {
       net.request_timeout_ms = args.option_int("--request-timeout-ms", 0);
       net.idle_timeout_ms = args.option_int("--idle-timeout-ms", 60'000);
       net.max_line_bytes = options.max_line_bytes;
+      const int hw = static_cast<int>(std::thread::hardware_concurrency());
+      net.reactors = static_cast<int>(args.option_int("--reactors", std::max(1, hw)));
+      if (auto accept_mode = args.option("--accept")) {
+        if (*accept_mode == "auto") {
+          net.accept_mode = NetServerOptions::AcceptMode::kAuto;
+        } else if (*accept_mode == "reuseport") {
+          net.accept_mode = NetServerOptions::AcceptMode::kReusePort;
+        } else if (*accept_mode == "handoff") {
+          net.accept_mode = NetServerOptions::AcceptMode::kHandoff;
+        } else {
+          std::cerr << "error: --accept expects auto|reuseport|handoff, got \"" << *accept_mode
+                    << "\"\n";
+          return 1;
+        }
+      }
       NetServer server(service, net);
-      std::cerr << "listening on " << server.bound().host << ":" << server.port() << "\n";
+      std::cerr << "listening on " << server.bound().host << ":" << server.port() << " ("
+                << server.reactor_count() << " reactor"
+                << (server.reactor_count() == 1 ? "" : "s") << ", "
+                << server.accept_mode_used() << " accept)\n";
       if (auto port_path = args.option("--port-file")) {
         std::ofstream port_file(*port_path);
         if (!port_file) {

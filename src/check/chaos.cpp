@@ -214,6 +214,7 @@ ChaosTrialReport run_chaos_trial(std::uint64_t trial_seed, const fault::FaultPla
     net_opts.host = "127.0.0.1";
     net_opts.port = 0;
     net_opts.queue_depth = script.queue_depth;
+    net_opts.reactors = opts.reactors;
     net_opts.request_timeout_ms = 0;
     // Far above the watchdog plus any accumulated injected skew (<= 3 s per
     // event), so clock jumps can never idle-close a live connection.
@@ -393,6 +394,7 @@ ChaosResult run_chaos(const ChaosOptions& opts, std::ostream* progress) {
     ChaosFailure failure;
     failure.trial = trial;
     failure.seed = seed;
+    failure.reactors = opts.reactors;
     failure.plan = plan;
     failure.violations = report.violations;
     if (opts.shrink) {
@@ -481,6 +483,7 @@ std::string chaos_repro_to_json(const ChaosFailure& failure) {
   // Seeds are full-width uint64: serialized as strings, like the fault-plan
   // schema, so a double-typed JSON number can't round them.
   w.field("seed", std::to_string(failure.seed));
+  w.field("reactors", failure.reactors);
   w.key("violations");
   w.begin_array();
   for (const ChaosViolation& v : failure.violations) {
@@ -513,6 +516,9 @@ ChaosFailure chaos_repro_from_json(const std::string& text, const std::string& s
     failure.seed = seed->is_string() ? std::stoull(seed->as_string())
                                     : static_cast<std::uint64_t>(seed->as_number());
   }
+  if (const JsonValuePtr reactors = doc->get("reactors")) {
+    failure.reactors = static_cast<int>(reactors->as_number());
+  }
   if (const JsonValuePtr plan = doc->get("plan")) {
     failure.plan = fault::FaultPlan::from_json_value(*plan);
   }
@@ -539,7 +545,12 @@ ChaosTrialReport replay_chaos_repro(const ChaosFailure& failure, const ChaosOpti
   // original plan.
   const bool have_shrunk =
       !failure.shrunk.invariant.empty() || !failure.shrunk.plan.events.empty();
-  return run_chaos_trial(failure.seed, have_shrunk ? failure.shrunk.plan : failure.plan, opts);
+  // Replay with the reactor count the failure was found at, not the
+  // caller's default — sharding changes scheduling enough to matter.
+  ChaosOptions replay_opts = opts;
+  replay_opts.reactors = failure.reactors;
+  return run_chaos_trial(failure.seed, have_shrunk ? failure.shrunk.plan : failure.plan,
+                         replay_opts);
 }
 
 }  // namespace fusecu

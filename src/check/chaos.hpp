@@ -58,6 +58,11 @@ struct ChaosOptions {
   fault::TestBug bug = fault::TestBug::kNone;
   /// Per-trial watchdog for client reads and the drain join.
   std::int64_t watchdog_ms = 20'000;
+  /// Reactor shards for the trial server (NetServerOptions::reactors):
+  /// 0 = the legacy single inline loop, N = N reactor threads.  The
+  /// invariants are reactor-count-independent, so the same trials double as
+  /// the multi-reactor drain/order suite.
+  int reactors = 0;
 };
 
 /// One violated serving invariant.
@@ -85,6 +90,7 @@ struct ChaosShrinkResult {
 struct ChaosFailure {
   int trial = 0;
   std::uint64_t seed = 0;  ///< derived trial seed (regenerates the scripts)
+  int reactors = 0;        ///< server shards the failure was found at
   fault::FaultPlan plan;
   ChaosShrinkResult shrunk;
   std::vector<ChaosViolation> violations;

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file ring_buffer.hpp
+/// Capacity-preserving FIFO ring used on the net/ reactor hot path in place
+/// of std::deque.
+///
+/// The point is allocation reuse, not just O(1) push/pop: slots are
+/// default-constructed once and *never destroyed* by pop_front(), so an
+/// element type holding std::strings (a response slot, a queued pool job)
+/// keeps its heap buffers across reuse.  push_slot() hands back the next
+/// slot as-is — the caller overwrites the fields it needs and inherits the
+/// old capacities.  After warm-up, a steady-state push/pop cycle touches no
+/// allocator at all; growth (amortized doubling) only happens while depth is
+/// still increasing.
+///
+/// Single-threaded by design (each reactor owns its rings); not a
+/// concurrent queue.
+
+namespace fusecu {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Element \p i positions from the front (0 = oldest).  No bounds check
+  /// beyond the debug-build vector's own.
+  T& operator[](std::size_t i) { return slots_[(head_ + i) & mask_]; }
+  const T& operator[](std::size_t i) const { return slots_[(head_ + i) & mask_]; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  /// Append one element and return the slot, *without* resetting it: the
+  /// slot still holds whatever a previously popped element left behind
+  /// (reused string capacity, stale fields).  Callers must assign every
+  /// field they later read.
+  T& push_slot() {
+    if (count_ == slots_.size()) grow();
+    T& slot = slots_[(head_ + count_) & mask_];
+    ++count_;
+    return slot;
+  }
+
+  /// Logically remove the front element.  Its heap state is left in place
+  /// for the next push_slot() that lands on the slot.
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  /// Logical clear; slot capacities survive.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> bigger(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_.swap(bigger);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> slots_;  ///< size == capacity, always a power of two
+  std::size_t mask_ = 0;  ///< capacity - 1 (0 while empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fusecu

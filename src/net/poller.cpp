@@ -117,7 +117,8 @@ int Poller::wait(std::vector<PollEvent>& out, int timeout_ms) {
     return n;
   }
 #endif
-  std::vector<pollfd> fds;
+  std::vector<pollfd>& fds = poll_scratch_;
+  fds.clear();
   fds.reserve(interest_.size());
   for (const auto& [fd, want] : interest_) {
     pollfd p = {};

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <poll.h>
+
 #include <map>
 #include <vector>
 
@@ -61,6 +63,10 @@ class Poller {
   /// array from this each wait, the epoll backend keeps it for set() deltas
   /// and size().
   std::map<int, std::pair<bool, bool>> interest_;
+  /// Reused poll(2) scratch: rebuilt (not reallocated) each wait so the
+  /// fallback backend is as allocation-free per turn as the epoll one —
+  /// the reactor hot path asserts zero steady-state heap allocations.
+  std::vector<struct pollfd> poll_scratch_;
 };
 
 }  // namespace fusecu

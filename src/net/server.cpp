@@ -1,541 +1,148 @@
 #include "net/server.hpp"
 
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <stdexcept>
+#include <thread>
 
-#include "common/fault.hpp"
 #include "obs/log.hpp"
-#include "obs/metrics.hpp"
-#include "serve/plan_request.hpp"
 
 namespace fusecu {
 
-namespace {
-
-/// 64 KiB read chunks, at most 256 KiB per connection per loop turn so one
-/// firehose client cannot starve the rest.
-constexpr std::size_t kReadChunk = 64 * 1024;
-constexpr std::size_t kReadBudget = 256 * 1024;
-
-bool make_pipe(int fds[2]) {
-  if (::pipe(fds) != 0) return false;
-  return set_nonblocking(fds[0]) && set_nonblocking(fds[1]);
-}
-
-void drain_pipe_bytes(int fd) {
-  char buf[256];
-  while (::read(fd, buf, sizeof(buf)) > 0) {
-  }
-}
-
-}  // namespace
-
-void NetServer::CompletionQueue::post(std::uint64_t seq, std::string&& json) {
-  std::lock_guard<std::mutex> lock(mu);
-  if (wakeup_w < 0) return;  // server already gone; drop the response
-  const bool was_empty = items.empty();
-  items.emplace_back(seq, std::move(json));
-  if (was_empty) {
-    const char byte = 0;
-    // Nonblocking; EAGAIN means the loop already has a wakeup pending.
-    [[maybe_unused]] ssize_t n = ::write(wakeup_w, &byte, 1);
-  }
-}
-
-void NetServer::CompletionQueue::shutdown() {
-  std::lock_guard<std::mutex> lock(mu);
-  if (wakeup_w >= 0) close_fd(wakeup_w);
-  wakeup_w = -1;
-  items.clear();
-}
-
 NetServer::NetServer(PlanService& service, NetServerOptions options)
-    : service_(service),
-      options_(std::move(options)),
-      poller_(options_.poll_backend),
-      epoch_(std::chrono::steady_clock::now()),
-      bytes_in_counter_(MetricsRegistry::global().counter("net/bytes_in")),
-      bytes_out_counter_(MetricsRegistry::global().counter("net/bytes_out")),
-      responses_counter_(MetricsRegistry::global().counter("net/responses")) {
+    : service_(service), options_(std::move(options)) {
   options_.max_conns = std::max(1, options_.max_conns);
   options_.queue_depth = std::max(1, options_.queue_depth);
+  inline_run_ = options_.reactors <= 0;
+  const int n = inline_run_ ? 1 : std::min(options_.reactors, 256);
 
+  // Bind listeners.  REUSEPORT wants one socket per reactor on the same
+  // address; all of them must bind or none do (a partial set would skew
+  // the kernel's hash).  Port 0 resolves on the first bind and the rest
+  // reuse the resolved port.
   std::string error;
-  listener_fd_ = listen_tcp(options_.host, options_.port, error);
-  if (listener_fd_ < 0) {
-    throw std::runtime_error("cannot listen on " + options_.host + ":" +
-                             std::to_string(options_.port) + ": " + error);
+  std::vector<int> listeners;
+  const bool try_reuseport =
+      options_.accept_mode == NetServerOptions::AcceptMode::kReusePort ||
+      (options_.accept_mode == NetServerOptions::AcceptMode::kAuto && n > 1);
+  if (try_reuseport) {
+    const int first = listen_tcp(options_.host, options_.port, error, /*reuseport=*/true);
+    if (first >= 0) {
+      listeners.push_back(first);
+      bound_ = local_host_port(first);
+      for (int i = 1; i < n; ++i) {
+        const int fd = listen_tcp(options_.host, bound_.port, error, /*reuseport=*/true);
+        if (fd < 0) break;
+        listeners.push_back(fd);
+      }
+      if (static_cast<int>(listeners.size()) != n) {
+        for (int fd : listeners) close_fd(fd);
+        listeners.clear();
+      }
+    }
+    if (listeners.empty() && options_.accept_mode == NetServerOptions::AcceptMode::kReusePort) {
+      throw std::runtime_error("cannot bind " + std::to_string(n) +
+                               " SO_REUSEPORT listeners on " + options_.host + ":" +
+                               std::to_string(options_.port) + ": " + error);
+    }
+    if (listeners.empty()) {
+      log_warn("net", "SO_REUSEPORT unavailable, falling back to fd handoff",
+               {{"error", error}});
+    }
   }
-  bound_ = local_host_port(listener_fd_);
-
-  int wakeup[2];
-  int drain[2];
-  if (!make_pipe(wakeup) || !make_pipe(drain)) {
-    close_fd(listener_fd_);
-    throw std::runtime_error("cannot create event-loop pipes");
+  reuseport_ = !listeners.empty();
+  if (!reuseport_) {
+    const int fd = listen_tcp(options_.host, options_.port, error, /*reuseport=*/false);
+    if (fd < 0) {
+      throw std::runtime_error("cannot listen on " + options_.host + ":" +
+                               std::to_string(options_.port) + ": " + error);
+    }
+    bound_ = local_host_port(fd);
+    listeners.push_back(fd);  // reactor 0 owns it and hands fds around
   }
-  wakeup_r_ = wakeup[0];
-  drain_r_ = drain[0];
-  drain_w_ = drain[1];
-  completions_ = std::make_shared<CompletionQueue>();
-  completions_->wakeup_w = wakeup[1];
 
-  poller_.add(listener_fd_, /*want_read=*/true, /*want_write=*/false);
-  poller_.add(wakeup_r_, true, false);
-  poller_.add(drain_r_, true, false);
+  const auto epoch = std::chrono::steady_clock::now();
+  const int per_reactor_limit = std::max(1, (options_.max_conns + n - 1) / n);
+  try {
+    for (int i = 0; i < n; ++i) {
+      ReactorConfig cfg;
+      cfg.index = i;
+      cfg.listener_fd = reuseport_ ? listeners[static_cast<std::size_t>(i)]
+                                   : (i == 0 ? listeners[0] : -1);
+      cfg.acceptor = !reuseport_ && i == 0;
+      cfg.conn_limit = reuseport_ ? per_reactor_limit : options_.max_conns;
+      cfg.max_conns_total = options_.max_conns;
+      cfg.queue_depth = options_.queue_depth;
+      cfg.request_timeout_ms = options_.request_timeout_ms;
+      cfg.idle_timeout_ms = options_.idle_timeout_ms;
+      cfg.max_line_bytes = options_.max_line_bytes;
+      cfg.write_high_water = options_.write_high_water;
+      cfg.poll_backend = options_.poll_backend;
+      cfg.epoch = epoch;
+      cfg.total_conns = &total_conns_;
+      cfg.drain_requests = &drain_requests_;
+      reactors_.push_back(std::make_unique<Reactor>(service_, cfg));
+      // The reactor owns its listener fd from here on.
+    }
+  } catch (...) {
+    // A reactor constructor failure (pipes) leaves later listeners
+    // unconsumed; the constructed reactors close theirs in ~Reactor.
+    for (std::size_t i = reactors_.size() + (reuseport_ ? 0 : 1); i < listeners.size(); ++i) {
+      close_fd(listeners[i]);
+    }
+    throw;
+  }
+
+  std::vector<Reactor*> peers;
+  peers.reserve(reactors_.size());
+  for (auto& reactor : reactors_) peers.push_back(reactor.get());
+  for (auto& reactor : reactors_) reactor->set_peers(peers);
+  drain_fds_.reserve(reactors_.size());
+  for (auto& reactor : reactors_) drain_fds_.push_back(reactor->drain_fd());
 
   log_info("net", "listening",
            {{"addr", bound_.host + ":" + std::to_string(bound_.port)},
+            {"reactors", std::to_string(n)},
+            {"accept", accept_mode_used()},
             {"max_conns", std::to_string(options_.max_conns)},
             {"queue_depth", std::to_string(options_.queue_depth)}});
 }
 
-NetServer::~NetServer() {
-  for (auto& [fd, conn] : conns_) close_fd(fd);
-  conns_.clear();
-  conns_by_id_.clear();
-  if (listener_fd_ >= 0) close_fd(listener_fd_);
-  close_fd(wakeup_r_);
-  close_fd(drain_r_);
-  close_fd(drain_w_);
-  completions_->shutdown();
-}
-
-std::int64_t NetServer::now_ms() const {
-  // Injected clock skew shifts the loop's view of time forward (never
-  // backward), driving the timer wheel through multi-revolution jumps; a
-  // disarmed injector contributes one relaxed load and zero skew.
-  const std::int64_t skew = fault::armed() ? fault::clock_skew_ms() : 0;
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-             .count() +
-         skew;
-}
+NetServer::~NetServer() = default;
 
 void NetServer::request_drain() {
-  // Async-signal-safe: one atomic bump + one write(2).
+  // Async-signal-safe: one atomic bump + one write(2) per reactor.
   drain_requests_.fetch_add(1, std::memory_order_relaxed);
   const char byte = 1;
-  [[maybe_unused]] ssize_t n = ::write(drain_w_, &byte, 1);
+  for (int fd : drain_fds_) {
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
 }
 
 void NetServer::run() {
-  MetricsRegistry& reg = MetricsRegistry::global();
-  Gauge& conns_gauge = reg.gauge("net/conns");
-  std::vector<PollEvent> events;
-  while (!done_) {
-    const std::int64_t timeout = wheel_.advance(now_ms());
-    poller_.wait(events, static_cast<int>(std::min<std::int64_t>(
-                             timeout < 0 ? 1000 : timeout, 1000)));
-    for (const PollEvent& ev : events) {
-      if (ev.fd == wakeup_r_) {
-        drain_pipe_bytes(wakeup_r_);
-      } else if (ev.fd == drain_r_) {
-        drain_pipe_bytes(drain_r_);
-      } else if (ev.fd == listener_fd_) {
-        on_accept();
-      } else {
-        // A handler may close the connection; re-resolve before each use.
-        if (ev.readable || ev.hangup) {
-          if (Conn* conn = conn_by_fd(ev.fd)) on_readable(*conn);
-        }
-        if (ev.writable) {
-          if (Conn* conn = conn_by_fd(ev.fd)) on_writable(*conn);
-        }
-      }
-    }
-    process_completions();
-    const int drains = drain_requests_.load(std::memory_order_relaxed);
-    if (drains > drain_requests_seen_) {
-      drain_requests_seen_ = drains;
-      if (!draining_) {
-        begin_drain();
-      } else {
-        hard_stop();
-      }
-    }
-    conns_gauge.set(static_cast<double>(conns_.size()));
-    if (draining_ && conns_.empty() && inflight_ == 0) done_ = true;
-  }
-  conns_gauge.set(static_cast<double>(conns_.size()));
-}
-
-NetServer::Conn* NetServer::conn_by_fd(int fd) {
-  auto it = conns_.find(fd);
-  return it == conns_.end() ? nullptr : it->second.get();
-}
-
-NetServer::Conn* NetServer::find_conn(std::uint64_t conn_id) {
-  auto it = conns_by_id_.find(conn_id);
-  return it == conns_by_id_.end() ? nullptr : it->second;
-}
-
-void NetServer::on_accept() {
-  while (static_cast<int>(conns_.size()) < options_.max_conns) {
-    const int fd = sys_accept(listener_fd_);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // EAGAIN: drained.  EMFILE and friends: log and retry on the next
-      // readiness notification rather than dying.
-      if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        log_warn("net", "accept failed", {{"errno", std::to_string(errno)}});
-      }
-      break;
-    }
-    if (!set_nonblocking(fd)) {
-      close_fd(fd);
-      continue;
-    }
-    set_tcp_nodelay(fd);
-    auto conn = std::make_unique<Conn>(options_.max_line_bytes);
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    conn->peer = peer_name(fd);
-    conn->last_activity_ms = now_ms();
-    if (options_.idle_timeout_ms > 0) {
-      const std::uint64_t conn_id = conn->id;
-      conn->idle_timer = wheel_.schedule(conn->last_activity_ms, options_.idle_timeout_ms,
-                                         [this, conn_id] { on_idle(conn_id); });
-    }
-    poller_.add(fd, /*want_read=*/!reads_paused_, /*want_write=*/false);
-    conns_by_id_[conn->id] = conn.get();
-    conns_.emplace(fd, std::move(conn));
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("net/accepted").add();
-  }
-  update_listener_interest();
-}
-
-void NetServer::update_listener_interest() {
-  if (listener_fd_ < 0) return;
-  const bool want = static_cast<int>(conns_.size()) < options_.max_conns;
-  if (want != !listener_paused_) {
-    poller_.set(listener_fd_, want, false);
-    listener_paused_ = !want;
-  }
-}
-
-void NetServer::on_readable(Conn& conn) {
-  char buf[kReadChunk];
-  std::size_t budget = kReadBudget;
-  const int fd = conn.fd;
-  while (budget > 0) {
-    const ssize_t n = sys_recv(fd, buf, std::min(sizeof(buf), budget));
-    if (n > 0) {
-      budget -= static_cast<std::size_t>(n);
-      conn.last_activity_ms = now_ms();
-      bytes_in_counter_.add(n);
-      conn.decoder.feed(buf, static_cast<std::size_t>(n));
-      LineDecoder::DecodedLine line;
-      while (conn.decoder.next(line)) {
-        handle_line(conn, std::move(line));
-        if (conn_by_fd(fd) != &conn) return;  // write error closed it
-      }
-      // Deferred reads: past either high-water mark, leave the rest of the
-      // socket buffer to the kernel so TCP flow control pushes back.
-      if (reads_paused_ || conn.outbuf_bytes() >= options_.write_high_water) break;
-      continue;
-    }
-    if (n == 0) {
-      conn.read_eof = true;
-      // Same contract as the stdin stream: a final newline-less partial
-      // line is still one request (half-closed clients read its response).
-      LineDecoder::DecodedLine tail;
-      if (conn.decoder.finish(tail)) {
-        handle_line(conn, std::move(tail));
-        if (conn_by_fd(fd) != &conn) return;
-      }
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    close_conn(conn, "read error");
+  if (inline_run_) {
+    reactors_[0]->run();
     return;
   }
-  update_interest(conn);
-  maybe_close(conn);
-}
-
-void NetServer::handle_line(Conn& conn, LineDecoder::DecodedLine&& line) {
-  ++conn.lineno;
-  if (line.oversized) {
-    stats_.oversized_lines.fetch_add(1, std::memory_order_relaxed);
-    stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("net/oversized_lines").add();
-    push_done_response(
-        conn, error_response("", oversized_line_message(conn.peer, conn.lineno,
-                                                        options_.max_line_bytes))
-                  .to_json());
-    return;
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size());
+  for (auto& reactor : reactors_) {
+    threads.emplace_back([&reactor] { reactor->run(); });
   }
-  if (line.text.find_first_not_of(" \t\r") == std::string::npos) return;
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
-  PlanRequest request;
-  try {
-    request = parse_plan_request(line.text, conn.peer, conn.lineno);
-  } catch (const std::exception& e) {
-    stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("net/parse_errors").add();
-    log_warn("net", "malformed request line", {{"peer", conn.peer}, {"error", e.what()}});
-    push_done_response(conn, error_response("", e.what()).to_json());
-    return;
-  }
-  if (inflight_ >= options_.queue_depth) {
-    // Past the high-water mark reads are already deferred; lines that were
-    // decoded before the pause took effect are shed, keeping the pool
-    // queue bounded.  The response still occupies its ordered slot.
-    stats_.shed.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("net/shed").add();
-    push_done_response(
-        conn, error_response(request.id, "overloaded: admission queue full (queue-depth " +
-                                             std::to_string(options_.queue_depth) + ")")
-                  .to_json());
-    return;
-  }
-  const std::uint64_t seq = next_seq_++;
-  Pending pending;
-  pending.seq = seq;
-  pending.request_id = request.id;
-  if (options_.request_timeout_ms > 0) {
-    pending.deadline_timer = wheel_.schedule(now_ms(), options_.request_timeout_ms,
-                                             [this, seq] { on_deadline(seq); });
-  }
-  conn.pending.push_back(std::move(pending));
-  seq_to_conn_[seq] = conn.id;
-  ++inflight_;
-  std::shared_ptr<CompletionQueue> queue = completions_;
-  service_.plan_async(std::move(request), [queue, seq](std::string&& json) {
-    queue->post(seq, std::move(json));
-  });
-  if (inflight_ >= options_.queue_depth && !reads_paused_) pause_reads();
-}
-
-void NetServer::push_done_response(Conn& conn, std::string&& json) {
-  Pending pending;
-  pending.seq = next_seq_++;
-  pending.done = true;
-  pending.json = std::move(json);
-  conn.pending.push_back(std::move(pending));
-  flush_ready(conn);
-}
-
-void NetServer::flush_ready(Conn& conn) {
-  std::int64_t appended = 0;
-  if (fault::test_bug() == fault::TestBug::kReorderResponses) {
-    // Intentional ordering bug, armed only by the chaos harness to prove it
-    // catches per-connection response reordering: flush *any* completed
-    // slot instead of the contiguous done prefix.
-    for (auto it = conn.pending.begin(); it != conn.pending.end();) {
-      if (it->done) {
-        conn.outbuf += it->json;
-        conn.outbuf += '\n';
-        it = conn.pending.erase(it);
-        ++appended;
-      } else {
-        ++it;
-      }
-    }
-  }
-  while (!conn.pending.empty() && conn.pending.front().done) {
-    conn.outbuf += conn.pending.front().json;
-    conn.outbuf += '\n';
-    conn.pending.pop_front();
-    ++appended;
-  }
-  if (appended == 0) return;
-  stats_.responses.fetch_add(appended, std::memory_order_relaxed);
-  responses_counter_.add(appended);
-  if (!try_write(conn)) return;
-  update_interest(conn);
-  maybe_close(conn);
-}
-
-bool NetServer::try_write(Conn& conn) {
-  while (conn.outbuf_off < conn.outbuf.size()) {
-    const ssize_t n = sys_send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
-                               conn.outbuf.size() - conn.outbuf_off);
-    if (n > 0) {
-      conn.outbuf_off += static_cast<std::size_t>(n);
-      bytes_out_counter_.add(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_conn(conn, "write error");
-    return false;
-  }
-  if (conn.outbuf_off == conn.outbuf.size()) {
-    conn.outbuf.clear();
-    conn.outbuf_off = 0;
-  } else if (conn.outbuf_off > (1 << 16) && conn.outbuf_off * 2 > conn.outbuf.size()) {
-    conn.outbuf.erase(0, conn.outbuf_off);
-    conn.outbuf_off = 0;
-  }
-  return true;
-}
-
-void NetServer::on_writable(Conn& conn) {
-  if (!try_write(conn)) return;
-  update_interest(conn);
-  maybe_close(conn);
-}
-
-void NetServer::update_interest(Conn& conn) {
-  const bool want_read = !conn.read_eof && !draining_ && !reads_paused_ &&
-                         conn.outbuf_bytes() < options_.write_high_water;
-  const bool want_write = conn.outbuf_bytes() > 0;
-  poller_.set(conn.fd, want_read, want_write);
-}
-
-void NetServer::maybe_close(Conn& conn) {
-  if ((conn.read_eof || draining_) && conn.pending.empty() && conn.outbuf_bytes() == 0) {
-    close_conn(conn, conn.read_eof ? "eof" : "drain");
-  }
-}
-
-void NetServer::close_conn(Conn& conn, const char* reason) {
-  poller_.remove(conn.fd);
-  close_fd(conn.fd);
-  if (conn.idle_timer != 0) wheel_.cancel(conn.idle_timer);
-  for (Pending& pending : conn.pending) {
-    if (pending.deadline_timer != 0) wheel_.cancel(pending.deadline_timer);
-    // Completions for these seqs arrive later; the erased mapping makes
-    // process_completions drop them (inflight_ still decrements there).
-    seq_to_conn_.erase(pending.seq);
-  }
-  log_debug("net", "connection closed", {{"peer", conn.peer}, {"reason", reason}});
-  stats_.closed.fetch_add(1, std::memory_order_relaxed);
-  MetricsRegistry::global().counter("net/closed").add();
-  conns_by_id_.erase(conn.id);
-  conns_.erase(conn.fd);  // destroys conn; no member access past this line
-  update_listener_interest();
-}
-
-void NetServer::process_completions() {
-  std::vector<std::pair<std::uint64_t, std::string>> items;
-  {
-    std::lock_guard<std::mutex> lock(completions_->mu);
-    items.swap(completions_->items);
-  }
-  for (auto& [seq, json] : items) {
-    --inflight_;
-    auto it = seq_to_conn_.find(seq);
-    if (it == seq_to_conn_.end()) continue;  // deadline answered or conn gone
-    Conn* conn = find_conn(it->second);
-    seq_to_conn_.erase(it);
-    if (conn == nullptr) continue;
-    for (Pending& pending : conn->pending) {
-      if (pending.seq != seq) continue;
-      if (pending.deadline_timer != 0) {
-        wheel_.cancel(pending.deadline_timer);
-        pending.deadline_timer = 0;
-      }
-      pending.done = true;
-      pending.json = std::move(json);
-      break;
-    }
-    flush_ready(*conn);
-  }
-  if (reads_paused_ && inflight_ <= options_.queue_depth / 2) resume_reads();
-}
-
-void NetServer::on_deadline(std::uint64_t seq) {
-  auto it = seq_to_conn_.find(seq);
-  if (it == seq_to_conn_.end()) return;  // completed in this same loop turn
-  Conn* conn = find_conn(it->second);
-  seq_to_conn_.erase(it);
-  if (conn == nullptr) return;
-  for (Pending& pending : conn->pending) {
-    if (pending.seq != seq) continue;
-    pending.deadline_timer = 0;
-    pending.done = true;
-    pending.json = error_response(pending.request_id,
-                                  "deadline exceeded after " +
-                                      std::to_string(options_.request_timeout_ms) + "ms")
-                       .to_json();
-    break;
-  }
-  stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-  MetricsRegistry::global().counter("net/deadline_expired").add();
-  flush_ready(*conn);
-}
-
-void NetServer::on_idle(std::uint64_t conn_id) {
-  Conn* conn = find_conn(conn_id);
-  if (conn == nullptr) return;
-  conn->idle_timer = 0;
-  const std::int64_t idle_for = now_ms() - conn->last_activity_ms;
-  if (idle_for >= options_.idle_timeout_ms && conn->pending.empty() &&
-      conn->outbuf_bytes() == 0) {
-    stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("net/idle_closed").add();
-    close_conn(*conn, "idle timeout");
-    return;
-  }
-  const std::int64_t remaining = std::max<std::int64_t>(options_.idle_timeout_ms - idle_for, 1);
-  conn->idle_timer = wheel_.schedule(now_ms(), remaining, [this, conn_id] { on_idle(conn_id); });
-}
-
-void NetServer::pause_reads() {
-  reads_paused_ = true;
-  for (auto& [fd, conn] : conns_) update_interest(*conn);
-}
-
-void NetServer::resume_reads() {
-  reads_paused_ = false;
-  for (auto& [fd, conn] : conns_) update_interest(*conn);
-}
-
-void NetServer::begin_drain() {
-  draining_ = true;
-  log_info("net", "drain requested",
-           {{"conns", std::to_string(conns_.size())}, {"inflight", std::to_string(inflight_)}});
-  if (listener_fd_ >= 0) {
-    poller_.remove(listener_fd_);
-    close_fd(listener_fd_);
-    listener_fd_ = -1;
-  }
-  // Stop reading everywhere; close whatever has nothing left to say.
-  // Iterate over a snapshot: maybe_close erases from conns_.
-  std::vector<std::uint64_t> ids;
-  ids.reserve(conns_.size());
-  for (auto& [fd, conn] : conns_) ids.push_back(conn->id);
-  for (std::uint64_t id : ids) {
-    if (Conn* conn = find_conn(id)) {
-      update_interest(*conn);
-      maybe_close(*conn);
-    }
-  }
-}
-
-void NetServer::hard_stop() {
-  log_warn("net", "hard stop: abandoning in-flight work",
-           {{"conns", std::to_string(conns_.size())}, {"inflight", std::to_string(inflight_)}});
-  std::vector<std::uint64_t> ids;
-  ids.reserve(conns_.size());
-  for (auto& [fd, conn] : conns_) ids.push_back(conn->id);
-  for (std::uint64_t id : ids) {
-    if (Conn* conn = find_conn(id)) close_conn(*conn, "hard stop");
-  }
-  done_ = true;
+  // Joining every reactor is the drain barrier: run() returns only once
+  // all shards have flushed and closed their connections.
+  for (std::thread& t : threads) t.join();
 }
 
 NetServer::Stats NetServer::stats() const {
-  Stats s;
-  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
-  s.closed = stats_.closed.load(std::memory_order_relaxed);
-  s.responses = stats_.responses.load(std::memory_order_relaxed);
-  s.requests = stats_.requests.load(std::memory_order_relaxed);
-  s.shed = stats_.shed.load(std::memory_order_relaxed);
-  s.parse_errors = stats_.parse_errors.load(std::memory_order_relaxed);
-  s.oversized_lines = stats_.oversized_lines.load(std::memory_order_relaxed);
-  s.deadline_expired = stats_.deadline_expired.load(std::memory_order_relaxed);
-  s.idle_closed = stats_.idle_closed.load(std::memory_order_relaxed);
-  return s;
+  Stats sum;
+  for (const auto& reactor : reactors_) sum += reactor->stats_snapshot();
+  return sum;
+}
+
+NetServer::Stats NetServer::reactor_stats(int index) const {
+  return reactors_[static_cast<std::size_t>(index)]->stats_snapshot();
 }
 
 }  // namespace fusecu

@@ -1,67 +1,77 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
-#include "net/poller.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
-#include "net/timer_wheel.hpp"
-#include "obs/metrics.hpp"
-#include "serve/line_decoder.hpp"
 #include "serve/plan_service.hpp"
 
 /// \file server.hpp
-/// TCP serving layer for the plan service: a single-threaded event loop
-/// (epoll, poll fallback) speaking the same length-delimited JSONL protocol
-/// as the stdin path, in front of the PlanService worker pool.
+/// TCP serving layer for the plan service: N sharded single-threaded event
+/// loops (net/reactor.hpp) speaking the same length-delimited JSONL
+/// protocol as the stdin path, in front of the PlanService worker pool.
 ///
-/// Threading model.  The loop thread owns every connection, the poller and
-/// the timer wheel; planning runs on the PlanService pool, and each
-/// completed response line crosses back via a mutex-guarded completion
-/// queue plus a wakeup pipe (pool workers never touch connection state).
-/// `request_drain()` is the only other entry point and is async-signal-safe
-/// (an atomic bump plus one write(2) on a self-pipe), so it can be called
-/// straight from SIGINT/SIGTERM handlers.
+/// Threading model.  Each reactor thread owns its connections, poller,
+/// timer wheel and deadline queue; planning (parse + plan + serialize) runs
+/// on the PlanService pool, and each completed response line crosses back
+/// to its owning reactor via a mutex-guarded completion queue plus a wakeup
+/// pipe (pool workers never touch connection state).  `request_drain()` is
+/// the only other entry point and is async-signal-safe (an atomic bump plus
+/// one write(2) per reactor drain pipe), so it can be called straight from
+/// SIGINT/SIGTERM handlers.
+///
+/// Accept distribution.  With `reactors >= 2` the server prefers
+/// SO_REUSEPORT: every reactor binds its own listening socket to the same
+/// address and the kernel spreads incoming connections across them with no
+/// user-space coordination.  Where that bind fails (or with
+/// `AcceptMode::kHandoff`), reactor 0 owns the single listener and
+/// round-robins accepted fds to the others through their inboxes — fully
+/// deterministic, which is what the distribution tests use.
+/// `reactors = 0` (the default) keeps the pre-sharding behavior: one
+/// reactor, run inline on the caller's thread.
 ///
 /// Backpressure and admission control.  In-flight requests (submitted to
-/// the pool, not yet completed) are bounded by `queue_depth`:
+/// the pool, not yet completed) are bounded **per reactor** by
+/// `queue_depth`:
 ///
-///   * at the high-water mark (`inflight >= queue_depth`) the loop stops
-///     reading every connection — deferred reads let the kernel's TCP flow
+///   * at the high-water mark (`inflight >= queue_depth`) a reactor stops
+///     reading its connections — deferred reads let the kernel's TCP flow
 ///     control push back on clients;
 ///   * request lines that were already decoded when the mark was crossed
 ///     are *shed*: an immediate `ok=false` "overloaded" response in their
 ///     response slot, never queued to the pool;
 ///   * reads resume at the low-water mark (queue_depth / 2).
 ///
-/// A connection whose outbound buffer passes `write_high_water` (a slow or
-/// stalled reader) also has its reads deferred until the buffer drains
-/// below half, bounding per-connection memory at roughly write_high_water
-/// plus one response per in-flight request.
+/// The pool-facing bound of the whole server is therefore
+/// `reactors * queue_depth` — callers that want a fixed global bound
+/// should divide their depth by the reactor count.  A connection whose
+/// unwritten responses pass `write_high_water` (a slow or stalled reader)
+/// also has its reads deferred, bounding per-connection memory.
 ///
-/// Ordering.  Each connection keeps a deque of response slots in request
+/// Ordering.  Each connection keeps a ring of response slots in request
 /// order; a response (planned, shed, parse error, or deadline-expired) is
 /// written only when every earlier slot on that connection has been
 /// written, so pipelined clients get responses exactly in request order.
+/// Contiguous completed slots are flushed with a single writev (see
+/// Reactor::kWritevBatchSlots).
 ///
-/// Deadlines and idle connections ride the timer wheel: a request that
-/// misses `request_timeout_ms` is answered with an ok=false deadline error
-/// in order (the pool result, arriving later, is discarded); a connection
-/// with no traffic and nothing pending for `idle_timeout_ms` is closed.
+/// Deadlines ride a per-reactor FIFO ring; idle connections ride the timer
+/// wheel.  A request that misses `request_timeout_ms` is answered with an
+/// ok=false deadline error in order (the pool result, arriving later, is
+/// discarded); a connection with no traffic and nothing pending for
+/// `idle_timeout_ms` is closed.
 ///
-/// Graceful drain: after request_drain() the loop stops accepting, stops
-/// reading, answers everything already submitted or decoded, flushes each
-/// connection's outbound bytes, then returns from run().  A second
-/// request_drain() (e.g. a second Ctrl-C) hard-stops: connections are torn
-/// down immediately and still-running pool work is abandoned.
+/// Graceful drain: after request_drain() every reactor stops accepting,
+/// stops reading, answers everything already submitted or decoded, flushes
+/// each connection's outbound bytes, then its loop exits; run() joins all
+/// reactor threads, so returning from run() is the cross-reactor barrier —
+/// no connection on any reactor is left with unwritten responses.  A
+/// second request_drain() (e.g. a second Ctrl-C) hard-stops: connections
+/// are torn down immediately and still-running pool work is abandoned.
 
 namespace fusecu {
 
@@ -69,12 +79,24 @@ struct NetServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 binds a free port (see NetServer::port())
   int max_conns = 256;     ///< accept pauses at this many live connections
-  int queue_depth = 128;   ///< admission high-water mark (in-flight cap)
+  int queue_depth = 128;   ///< per-reactor admission high-water mark
   std::int64_t request_timeout_ms = 0;    ///< 0 = no per-request deadline
   std::int64_t idle_timeout_ms = 60'000;  ///< 0 = never close idle conns
   std::size_t max_line_bytes = 1 << 20;   ///< shared with ServeOptions
   std::size_t write_high_water = 1 << 20; ///< slow-reader read deferral
   PollBackend poll_backend = PollBackend::kAuto;
+
+  /// Number of reactor shards.  0 = one reactor run inline on the run()
+  /// caller's thread (the pre-sharding single-loop behavior); N >= 1 runs
+  /// N reactors on their own threads.
+  int reactors = 0;
+
+  /// How accepted connections reach the reactors.  kAuto prefers
+  /// SO_REUSEPORT when there are 2+ reactors and falls back to handoff;
+  /// kReusePort requires it (the constructor throws when the bind fails);
+  /// kHandoff forces the single-listener round-robin path.
+  enum class AcceptMode { kAuto, kReusePort, kHandoff };
+  AcceptMode accept_mode = AcceptMode::kAuto;
 };
 
 class NetServer {
@@ -91,140 +113,42 @@ class NetServer {
   const HostPort& bound() const { return bound_; }
   std::uint16_t port() const { return bound_.port; }
 
-  /// Event loop; returns once a requested drain completes.  Call from
-  /// exactly one thread.
+  /// Serve until a requested drain completes on every reactor.  With
+  /// `reactors = 0` the single reactor runs on this thread; otherwise this
+  /// thread starts the reactor threads and joins them (the drain barrier).
+  /// Call from exactly one thread.
   void run();
 
   /// Begin graceful drain (second call hard-stops).  Thread-safe and
   /// async-signal-safe.
   void request_drain();
 
-  /// Monotonic since-construction counters, readable from any thread.
-  struct Stats {
-    std::int64_t accepted = 0;
-    std::int64_t closed = 0;
-    std::int64_t responses = 0;       ///< response lines fully written
-    std::int64_t requests = 0;        ///< request lines decoded (incl. shed)
-    std::int64_t shed = 0;            ///< overload responses
-    std::int64_t parse_errors = 0;
-    std::int64_t oversized_lines = 0;
-    std::int64_t deadline_expired = 0;
-    std::int64_t idle_closed = 0;
-  };
+  /// Monotonic since-construction counters summed across reactors,
+  /// readable from any thread.
+  using Stats = NetStats;
   Stats stats() const;
 
+  int reactor_count() const { return static_cast<int>(reactors_.size()); }
+  /// One reactor's own counters (tests assert accept distribution here).
+  Stats reactor_stats(int index) const;
+  /// "reuseport" or "handoff" — which accept path the constructor settled
+  /// on (kAuto resolves at bind time).
+  const char* accept_mode_used() const { return reuseport_ ? "reuseport" : "handoff"; }
+
  private:
-  /// One response slot; slots leave the deque only in order.
-  struct Pending {
-    std::uint64_t seq = 0;
-    std::string request_id;  ///< for the deadline error response
-    bool done = false;
-    std::string json;
-    TimerWheel::TimerId deadline_timer = 0;
-  };
-
-  struct Conn {
-    int fd = -1;
-    std::uint64_t id = 0;
-    std::string peer;  ///< "host:port", the ParseError source label
-    LineDecoder decoder;
-    std::deque<Pending> pending;
-    std::string outbuf;
-    std::size_t outbuf_off = 0;
-    int lineno = 0;
-    bool read_eof = false;
-    std::int64_t last_activity_ms = 0;
-    TimerWheel::TimerId idle_timer = 0;
-
-    Conn(std::size_t max_line_bytes) : decoder(max_line_bytes) {}
-    std::size_t outbuf_bytes() const { return outbuf.size() - outbuf_off; }
-  };
-
-  /// Pool-side half of the wakeup path.  Shared with the plan_async
-  /// completion lambdas so a worker finishing after the server died posts
-  /// into a closed queue instead of freed memory.
-  struct CompletionQueue {
-    std::mutex mu;
-    std::vector<std::pair<std::uint64_t, std::string>> items;
-    int wakeup_w = -1;  ///< owned write end of the wakeup pipe; -1 = closed
-
-    void post(std::uint64_t seq, std::string&& json);
-    void shutdown();
-  };
-
-  std::int64_t now_ms() const;
-
-  void on_accept();
-  void on_readable(Conn& conn);
-  void on_writable(Conn& conn);
-  void handle_line(Conn& conn, LineDecoder::DecodedLine&& line);
-  void push_done_response(Conn& conn, std::string&& json);
-  void flush_ready(Conn& conn);
-  /// Writes what the socket accepts; returns false when the connection
-  /// died (and was closed) mid-write.
-  bool try_write(Conn& conn);
-  void update_interest(Conn& conn);
-  void update_listener_interest();
-  void maybe_close(Conn& conn);
-  void close_conn(Conn& conn, const char* reason);
-  void process_completions();
-  void on_deadline(std::uint64_t seq);
-  void on_idle(std::uint64_t conn_id);
-  void pause_reads();
-  void resume_reads();
-  void begin_drain();
-  void hard_stop();
-
-  Conn* conn_by_fd(int fd);
-  Conn* find_conn(std::uint64_t conn_id);
-
   PlanService& service_;
   NetServerOptions options_;
   HostPort bound_;
+  bool inline_run_ = false;  ///< reactors == 0: run reactor 0 on run()'s thread
+  bool reuseport_ = false;
 
-  Poller poller_;
-  TimerWheel wheel_;
-  std::chrono::steady_clock::time_point epoch_;
-
-  int listener_fd_ = -1;
-  bool listener_paused_ = false;
-  int wakeup_r_ = -1;
-  int drain_r_ = -1;
-  int drain_w_ = -1;
-  std::shared_ptr<CompletionQueue> completions_;
-
-  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
-  std::unordered_map<std::uint64_t, Conn*> conns_by_id_;
-  std::unordered_map<std::uint64_t, std::uint64_t> seq_to_conn_;
-  std::uint64_t next_conn_id_ = 1;
-  std::uint64_t next_seq_ = 1;
-
-  int inflight_ = 0;         ///< submitted to the pool, completion not seen
-  bool reads_paused_ = false;
-  bool draining_ = false;
-  bool done_ = false;
+  std::atomic<int> total_conns_{0};
   std::atomic<int> drain_requests_{0};
-  int drain_requests_seen_ = 0;
 
-  // Hot-path obs counters cached once (MetricsRegistry hands out stable
-  // references).
-  Counter& bytes_in_counter_;
-  Counter& bytes_out_counter_;
-  Counter& responses_counter_;
-
-  // Stats: loop-thread writers, any-thread readers.
-  struct AtomicStats {
-    std::atomic<std::int64_t> accepted{0};
-    std::atomic<std::int64_t> closed{0};
-    std::atomic<std::int64_t> responses{0};
-    std::atomic<std::int64_t> requests{0};
-    std::atomic<std::int64_t> shed{0};
-    std::atomic<std::int64_t> parse_errors{0};
-    std::atomic<std::int64_t> oversized_lines{0};
-    std::atomic<std::int64_t> deadline_expired{0};
-    std::atomic<std::int64_t> idle_closed{0};
-  };
-  AtomicStats stats_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Reactor drain-pipe write ends, fixed after construction so the signal
+  /// handler path never touches reactors_ state.
+  std::vector<int> drain_fds_;
 };
 
 }  // namespace fusecu

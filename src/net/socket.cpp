@@ -7,12 +7,14 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "common/fault.hpp"
 
@@ -85,7 +87,8 @@ HostPort name_of(const sockaddr_storage& addr) {
 
 }  // namespace
 
-int listen_tcp(const std::string& host, std::uint16_t port, std::string& error) {
+int listen_tcp(const std::string& host, std::uint16_t port, std::string& error,
+               bool reuseport) {
   Resolved r;
   if (!resolve(host, port, /*passive=*/true, r, error)) return -1;
   const int fd = ::socket(r.family, SOCK_STREAM, 0);
@@ -95,6 +98,19 @@ int listen_tcp(const std::string& host, std::uint16_t port, std::string& error) 
   }
   const int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      error = errno_message("setsockopt(SO_REUSEPORT)");
+      close_fd(fd);
+      return -1;
+    }
+#else
+    error = "SO_REUSEPORT is not available on this platform";
+    close_fd(fd);
+    return -1;
+#endif
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&r.addr), r.len) != 0) {
     error = errno_message("bind");
     close_fd(fd);
@@ -189,6 +205,49 @@ ssize_t sys_send(int fd, const void* buf, std::size_t len) {
   }
   if (injected.cap != 0) len = std::min<std::size_t>(len, injected.cap);
   const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n > 0) fault::note_write_bytes(static_cast<std::size_t>(n));
+  return n;
+}
+
+namespace {
+
+/// Scatter-gather write via sendmsg so MSG_NOSIGNAL applies: a client dead
+/// mid-batch must surface as EPIPE on this connection, not SIGPIPE for the
+/// process (plain writev has no per-call signal suppression).
+ssize_t gather_send(int fd, const struct iovec* iov, int iovcnt) {
+  struct msghdr msg = {};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+ssize_t sys_writev(int fd, const struct iovec* iov, int iovcnt) {
+  if (!fault::armed()) return gather_send(fd, iov, iovcnt);
+  std::size_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+  const fault::IoFault injected = fault::on_write(total);
+  if (injected.error != 0) {
+    errno = injected.error;
+    return -1;
+  }
+  // A short-write cap trims the gather list: keep whole iovecs while they
+  // fit, shorten the first one that crosses the cap, drop the rest.  Fault
+  // mode is test-only, so the scratch vector's allocation is fine here.
+  std::vector<struct iovec> capped;
+  if (injected.cap != 0 && injected.cap < total) {
+    std::size_t left = injected.cap;
+    for (int i = 0; i < iovcnt && left > 0; ++i) {
+      struct iovec v = iov[i];
+      v.iov_len = std::min<std::size_t>(v.iov_len, left);
+      left -= v.iov_len;
+      capped.push_back(v);
+    }
+    iov = capped.data();
+    iovcnt = static_cast<int>(capped.size());
+  }
+  const ssize_t n = gather_send(fd, iov, iovcnt);
   if (n > 0) fault::note_write_bytes(static_cast<std::size_t>(n));
   return n;
 }

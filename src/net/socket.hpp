@@ -1,6 +1,7 @@
 #pragma once
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <cstddef>
 #include <cstdint>
@@ -27,8 +28,14 @@ std::optional<HostPort> parse_host_port(const std::string& text);
 
 /// Create a listening TCP socket on \p host:\p port (port 0 picks a free
 /// one), SO_REUSEADDR set, non-blocking, backlog 128.  Returns the fd, or
-/// -1 with \p error filled.
-int listen_tcp(const std::string& host, std::uint16_t port, std::string& error);
+/// -1 with \p error filled.  With \p reuseport set, SO_REUSEPORT is also
+/// required to stick (failure to set it is an error, not best-effort):
+/// multi-reactor servers bind one listener per reactor on the same port so
+/// the kernel distributes accepts across them, and a silent fallback to a
+/// single plain listener would instead make every later bind fail with
+/// EADDRINUSE.
+int listen_tcp(const std::string& host, std::uint16_t port, std::string& error,
+               bool reuseport = false);
 
 /// Blocking connect to \p host:\p port.  Returns the fd, or -1 with
 /// \p error filled.
@@ -60,6 +67,12 @@ void close_fd(int fd);
 /// always land on the code under test.
 ssize_t sys_recv(int fd, void* buf, std::size_t len);
 ssize_t sys_send(int fd, const void* buf, std::size_t len);
+/// writev(2) gathering \p iovcnt buffers.  Injected write faults apply to
+/// the *total* gathered length: a short-write cap trims the iovec list (a
+/// partially covered buffer is shortened, later ones dropped), so the same
+/// byte-offset fault schedules that drive sys_send resets also land
+/// mid-batch on the coalesced write path.
+ssize_t sys_writev(int fd, const struct iovec* iov, int iovcnt);
 /// accept(2) with nullptr addr; returns the fd or -1 with errno set.
 int sys_accept(int listener_fd);
 

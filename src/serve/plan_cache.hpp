@@ -123,6 +123,47 @@ class ShardedLruCache {
     }
   }
 
+  /// Run \p fn on the cached value under the shard lock, *without* counting
+  /// a hit/miss or refreshing recency.  Returns false on miss.  This is the
+  /// read half of the serialized-response fast path: the logical cache hit
+  /// was already counted by the plan lookup, and a second stats-bearing
+  /// get() here would double-count it.  \p fn must be quick (it runs under
+  /// the shard mutex) and must only read.
+  template <typename Fn>
+  bool peek(const std::string& key, Fn&& fn) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    fn(static_cast<const Value&>(it->second->value));
+    return true;
+  }
+
+  /// Mutate an existing entry in place, growing its recorded cost by
+  /// \p add_cost_bytes; a no-op on an absent key (returns false).  Unlike
+  /// upsert this never creates an entry — attaching derived data (a
+  /// serialized response body) to a key that was evicted in the meantime
+  /// must not resurrect it as an empty shell.  Recency and hit/miss stats
+  /// are left untouched for the same reason as peek().
+  template <typename Fn>
+  bool update(const std::string& key, Fn&& mutate, std::size_t add_cost_bytes) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    mutate(it->second->value);
+    it->second->cost += add_cost_bytes;
+    shard.bytes += add_cost_bytes;
+    while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.cost;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      evictions_.add();
+    }
+    return true;
+  }
+
   /// Aggregate statistics across all shards (counters are process totals for
   /// this cache instance's metric prefix).
   Stats stats() const {

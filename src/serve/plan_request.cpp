@@ -1,5 +1,6 @@
 #include "serve/plan_request.hpp"
 
+#include <cctype>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -114,6 +115,138 @@ PlanRequest parse_plan_request(const std::string& line, const std::string& sourc
     throw ParseError(source, lineno, e.column(), e.expected());
   }
   return plan_request_from_json(*doc);
+}
+
+namespace {
+
+/// Scan one JSON string starting at text[pos] == '"'; advances \p pos past
+/// the closing quote.  When \p out is non-null it receives the unescaped
+/// payload (cleared first), byte-for-byte what parse_string() in
+/// common/json_parse.cpp would produce.  Returns false on malformed input.
+bool scan_json_string(const std::string& text, std::size_t& pos, std::string* out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  ++pos;
+  if (out != nullptr) out->clear();
+  while (true) {
+    if (pos >= text.size()) return false;
+    const char c = text[pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (out != nullptr) out->push_back(c);
+      continue;
+    }
+    if (pos >= text.size()) return false;
+    const char esc = text[pos++];
+    char decoded = 0;
+    switch (esc) {
+      case '"': decoded = '"'; break;
+      case '\\': decoded = '\\'; break;
+      case '/': decoded = '/'; break;
+      case 'b': decoded = '\b'; break;
+      case 'f': decoded = '\f'; break;
+      case 'n': decoded = '\n'; break;
+      case 'r': decoded = '\r'; break;
+      case 't': decoded = '\t'; break;
+      case 'u': {
+        if (pos + 4 > text.size()) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text[pos++];
+          if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+          code = code * 16 +
+                 static_cast<unsigned>(h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+        }
+        if (out != nullptr) {
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+        }
+        continue;
+      }
+      default: return false;
+    }
+    if (out != nullptr) out->push_back(decoded);
+  }
+}
+
+void skip_json_ws(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                               text[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+/// Skip one JSON value (string, nested container, or scalar token) without
+/// materializing it.  Returns false on malformed input.
+bool skip_json_value(const std::string& text, std::size_t& pos) {
+  skip_json_ws(text, pos);
+  if (pos >= text.size()) return false;
+  const char c = text[pos];
+  if (c == '"') return scan_json_string(text, pos, nullptr);
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (d == '"') {
+        if (!scan_json_string(text, pos, nullptr)) return false;
+        continue;
+      }
+      ++pos;
+      if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        if (--depth == 0) return true;
+      }
+    }
+    return false;
+  }
+  // Number / true / false / null: consume up to the next separator.
+  const std::size_t start = pos;
+  while (pos < text.size() && text[pos] != ',' && text[pos] != '}' && text[pos] != ']' &&
+         text[pos] != ' ' && text[pos] != '\t' && text[pos] != '\n' && text[pos] != '\r') {
+    ++pos;
+  }
+  return pos > start;
+}
+
+}  // namespace
+
+bool extract_request_id(const std::string& line, std::string& key_scratch,
+                        std::string& id_out) {
+  id_out.clear();
+  std::size_t pos = 0;
+  skip_json_ws(line, pos);
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  skip_json_ws(line, pos);
+  if (pos < line.size() && line[pos] == '}') return false;  // empty object
+  while (true) {
+    skip_json_ws(line, pos);
+    if (!scan_json_string(line, pos, &key_scratch)) return false;
+    skip_json_ws(line, pos);
+    if (pos >= line.size() || line[pos] != ':') return false;
+    ++pos;
+    if (key_scratch == "id") {
+      skip_json_ws(line, pos);
+      return scan_json_string(line, pos, &id_out);
+    }
+    if (!skip_json_value(line, pos)) return false;
+    skip_json_ws(line, pos);
+    if (pos >= line.size()) return false;
+    if (line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    return false;  // '}' — object ended without an "id" member
+  }
 }
 
 namespace {

@@ -69,6 +69,18 @@ PlanRequest parse_plan_request(const std::string& line, const std::string& sourc
 /// Same, from an already parsed JSON object.
 PlanRequest plan_request_from_json(const JsonValue& doc);
 
+/// Allocation-light scan for the top-level "id" string field of a request
+/// line, used by the net/ reactors to label deadline-expiry responses
+/// without running the full JSON parser on the event-loop thread (parsing
+/// happens pool-side).  Unescapes exactly like the real parser (common
+/// escapes plus \uXXXX as UTF-8), writing into \p id_out and using
+/// \p key_scratch for member keys — both are caller-owned so steady-state
+/// calls reuse their capacity and never allocate.  Returns false (leaving
+/// \p id_out cleared) when the line is malformed, has no "id", or its id
+/// is not a string; the pool-side parse still produces the authoritative
+/// error response in those cases.
+bool extract_request_id(const std::string& line, std::string& key_scratch, std::string& id_out);
+
 /// A planning answer, ready to serialize.
 struct PlanResponse {
   std::string id;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/fault.hpp"
+#include "common/json_writer.hpp"
 #include "fusion/fusion_principles.hpp"
 #include "obs/log.hpp"
 #include "obs/span.hpp"
@@ -373,7 +374,70 @@ std::string PlanService::plan_enqueued_json(const PlanRequest& request, std::int
   open_request_root(root, request, enqueue_us);
   PlanResponse response = plan(request);
   ScopedSpan serialize("serialize");
-  return response.to_json();
+  return serialize_response(request, response);
+}
+
+std::string PlanService::plan_line_json(const std::string& line, const std::string& source,
+                                        int lineno, std::int64_t enqueue_us, bool* parse_error) {
+  maybe_inject_pool_stall();
+  if (parse_error != nullptr) *parse_error = false;
+  PlanRequest request;
+  try {
+    request = parse_plan_request(line, source, lineno);
+  } catch (const std::exception& e) {
+    if (parse_error != nullptr) *parse_error = true;
+    request_errors_.add();
+    log_warn("serve", "malformed request line", {{"source", source}, {"error", e.what()}});
+    return error_response("", e.what()).to_json();
+  }
+  std::optional<ScopedSpan> root;
+  open_request_root(root, request, enqueue_us);
+  PlanResponse response = plan(request);
+  ScopedSpan serialize("serialize");
+  return serialize_response(request, response);
+}
+
+std::string PlanService::serialize_response(const PlanRequest& request,
+                                            const PlanResponse& response) {
+  // Only warm hits have a cacheable body: the response payload is exactly
+  // the cached plan's rendering, invariant across request ids (batch
+  // folding and transpose canonicalization land on the same entry and the
+  // same bytes).  Everything else — cold misses, errors, uncached service —
+  // takes the full serializer.
+  if (!response.ok || !response.cached || !options_.install_interceptors) {
+    return response.to_json();
+  }
+  // The id is the only request-specific part of the line and always leads:
+  // to_json emits {"id":"<escaped>",...}.  The suffix cached alongside the
+  // plan is every byte after that prefix.
+  const std::string prefix = "{\"id\":\"" + JsonWriter::escape(response.id) + "\"";
+  std::string suffix;
+  if (response.kind == PlanRequest::Kind::kMatmul) {
+    const std::optional<CanonicalIntraKey> key =
+        try_canonical_intra_key(request.to_op(), request.buffer_elems);
+    if (!key) return response.to_json();
+    const std::size_t slot = key->swapped ? 1 : 0;
+    intra_cache_.peek(key->text, [&](const IntraEntry& e) { suffix = e.json_suffix[slot]; });
+    if (!suffix.empty()) return prefix + suffix;
+    std::string full = response.to_json();
+    if (full.compare(0, prefix.size(), prefix) == 0) {
+      intra_cache_.update(
+          key->text,
+          [&](IntraEntry& e) { e.json_suffix[slot].assign(full, prefix.size(), std::string::npos); },
+          full.size() - prefix.size());
+    }
+    return full;
+  }
+  const std::string key = canonical_fused_key(request.to_pair(), request.buffer_elems);
+  fused_cache_.peek(key, [&](const FusedEntry& e) { suffix = e.json_suffix; });
+  if (!suffix.empty()) return prefix + suffix;
+  std::string full = response.to_json();
+  if (full.compare(0, prefix.size(), prefix) == 0) {
+    fused_cache_.update(
+        key, [&](FusedEntry& e) { e.json_suffix.assign(full, prefix.size(), std::string::npos); },
+        full.size() - prefix.size());
+  }
+  return full;
 }
 
 void PlanService::plan_async(PlanRequest request, std::function<void(std::string&&)> done) {

@@ -92,6 +92,17 @@ class PlanService {
   /// the loop thread through its wakeup pipe.
   void plan_async(PlanRequest request, std::function<void(std::string&&)> done);
 
+  /// The whole pool-side body of one TCP request, from raw line to
+  /// serialized response: inject a scheduled pool stall, parse, open the
+  /// request span root anchored at \p enqueue_us, plan, serialize.  A parse
+  /// failure returns the same ok=false line serve_stream would emit (and
+  /// sets *\p parse_error so the reactor can bump its connection-level
+  /// stats); planning failures come back as ok=false responses as usual.
+  /// Runs on a pool worker — the net/ reactors post the raw line here so
+  /// their own threads never parse or serialize.
+  std::string plan_line_json(const std::string& line, const std::string& source, int lineno,
+                             std::int64_t enqueue_us, bool* parse_error);
+
   /// Typed API used by the examples/benchmarks: single-flighted, cached
   /// intra-op planning.  Byte-identical to optimize_intra(op, bs).
   IntraPlanned plan_intra(const TensorOp& op, BufferSize bs);
@@ -120,11 +131,18 @@ class PlanService {
  private:
   /// Cached value for one transpose class: slot[0] holds the m <= l
   /// orientation's plan, slot[1] the swapped one (see canonical.hpp).
+  /// json_suffix[i] caches slot i's serialized response body — every byte
+  /// after the `{"id":"..."` prefix of the cached=true rendering — filled
+  /// lazily on the first warm hit, so later hits splice the request id in
+  /// front of it instead of re-serializing the plan (see
+  /// serialize_response).
   struct IntraEntry {
     std::array<std::optional<IntraOptResult>, 2> slots;
+    std::array<std::string, 2> json_suffix;
   };
   struct FusedEntry {
     std::optional<FusedOptResult> result;
+    std::string json_suffix;  ///< same contract as IntraEntry::json_suffix
   };
   struct ArchEntry {
     ArchIntraOpt result;
@@ -157,6 +175,10 @@ class PlanService {
   /// plan() under a pool-side request root, serialized to the JSONL
   /// response line inside a "serialize" child span.
   std::string plan_enqueued_json(const PlanRequest& request, std::int64_t enqueue_us);
+  /// Serialize \p response, splicing the serialized suffix cached alongside
+  /// the plan when this is a warm hit (byte-identical to to_json(), just
+  /// without re-walking the plan); stores the suffix on the first warm hit.
+  std::string serialize_response(const PlanRequest& request, const PlanResponse& response);
 
   ServeOptions options_;
   ShardedLruCache<IntraEntry> intra_cache_;

@@ -38,6 +38,7 @@ void StatsReporter::run() {
 }
 
 void StatsReporter::emit(bool only_if_active) {
+  std::lock_guard<std::mutex> emit_lock(emit_mu_);
   MetricsRegistry& reg = MetricsRegistry::global();
   const std::int64_t now_requests = reg.counter("serve/requests").value();
   const std::int64_t now_errors = reg.counter("serve/request_errors").value();

@@ -26,6 +26,15 @@
 /// period as one last stats line whenever that window saw any requests or
 /// errors, so short runs (or the burst between the last tick and exit) are
 /// reported instead of silently dropped.  An idle tail emits nothing.
+///
+/// Concurrency.  The *producers* may be many — every reactor shard and
+/// every pool worker bumps the global counters (atomics), and one stats
+/// line aggregates them all.  The *writer* is single: only the ticker
+/// thread and the destructor (strictly after joining the ticker) call
+/// emit().  That single-writer rule is what keeps the prev_* delta state
+/// and the output stream race-free; it is enforced with emit_mu_ rather
+/// than assumed, so a future caller that breaks the rule serializes
+/// instead of corrupting the deltas or interleaving lines.
 
 namespace fusecu {
 
@@ -51,6 +60,9 @@ class StatsReporter {
   double interval_s_;
   std::ostream& os_;
 
+  /// Serializes emit() (see the single-writer rule above); guards the
+  /// prev_* deltas, period_start_ and the output stream.
+  std::mutex emit_mu_;
   std::int64_t prev_requests_ = 0;
   std::int64_t prev_errors_ = 0;
   CacheStats prev_cache_;

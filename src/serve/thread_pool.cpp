@@ -23,15 +23,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> job;
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+    std::function<void()> boxed;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
+      Job& job = queue_.front();
+      fn = job.fn;
+      arg = job.arg;
+      if (fn == nullptr) boxed = std::move(job.boxed);
       queue_.pop_front();
     }
-    job();
+    if (fn != nullptr) {
+      fn(arg);
+    } else {
+      boxed();
+    }
   }
 }
 

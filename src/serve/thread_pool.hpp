@@ -1,7 +1,6 @@
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -11,13 +10,25 @@
 #include <utility>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
+
 /// \file thread_pool.hpp
 /// Fixed-size worker pool used by the plan service.
 ///
-/// Deliberately minimal: a locked deque feeding N long-lived workers, with
-/// futures for result plumbing.  Planning jobs are CPU-bound and coarse
-/// (microseconds to milliseconds each), so queue contention is negligible
-/// and work stealing would be over-engineering.
+/// Deliberately minimal: a locked FIFO feeding N long-lived workers.
+/// Planning jobs are CPU-bound and coarse (microseconds to milliseconds
+/// each), so queue contention is negligible and work stealing would be
+/// over-engineering.
+///
+/// Two submission paths share the queue:
+///
+///   * submit(fn) — std::function + future plumbing for batch/stream
+///     callers that want the return value;
+///   * post(fn, arg) — a bare function pointer + context pointer for the
+///     net/ reactors, whose hot path must not allocate.  The queue is a
+///     capacity-preserving ring (common/ring_buffer.hpp), so after warm-up
+///     a post() costs one mutex acquisition and a condition-variable
+///     signal, zero heap traffic.
 
 namespace fusecu {
 
@@ -41,18 +52,43 @@ class ThreadPool {
     std::future<Result> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task]() { (*task)(); });
+      Job& job = queue_.push_slot();
+      job.fn = nullptr;
+      job.arg = nullptr;
+      job.boxed = [task]() { (*task)(); };
     }
     cv_.notify_one();
     return future;
   }
 
+  /// Enqueue \p fn(\p arg) without touching the allocator (ring slot reuse;
+  /// the stale boxed closure in the slot is released, never created).  The
+  /// caller owns \p arg's lifetime until the job runs — the net/ reactors
+  /// pass arena-pooled request objects.
+  void post(void (*fn)(void*), void* arg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Job& job = queue_.push_slot();
+      job.fn = fn;
+      job.arg = arg;
+      job.boxed = nullptr;  // drops a stale closure's heap state, if any
+    }
+    cv_.notify_one();
+  }
+
  private:
+  /// One queued job: either a bare (fn, arg) pair or a boxed closure.
+  struct Job {
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+    std::function<void()> boxed;
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  RingBuffer<Job> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -35,6 +35,20 @@ TEST(Chaos, HealthyServerSurvivesSeededFaultTrials) {
   EXPECT_TRUE(result.ok());
 }
 
+TEST(Chaos, MultiReactorServerHoldsTheSameInvariants) {
+  // The invariants are reactor-count-independent, so the same seeded trials
+  // double as the multi-reactor drain/order/byte-identity suite: order per
+  // connection, no lost responses, graceful drain — now across two sharded
+  // event loops with the fault injector armed.
+  ChaosOptions opts = small_options();
+  opts.reactors = 2;
+  std::ostringstream progress;
+  const ChaosResult result = run_chaos(opts, &progress);
+  EXPECT_EQ(result.trials_run, 3);
+  EXPECT_EQ(result.failed_trials, 0) << progress.str();
+  EXPECT_TRUE(result.ok());
+}
+
 TEST(Chaos, ReportIsByteIdenticalAcrossRuns) {
   // The acceptance bar for --chaos-trials: same seed, same flags, same
   // bytes — even though thread scheduling differs between the two runs.
@@ -71,6 +85,7 @@ TEST(Chaos, ReproArtifactRoundTripsThroughJson) {
   ChaosFailure failure;
   failure.trial = 7;
   failure.seed = 0xfeedfacecafebeefull;
+  failure.reactors = 2;
   failure.plan = fault::FaultPlan::generate(failure.seed, 8);
   failure.shrunk.plan = failure.plan;
   failure.shrunk.plan.events.resize(1);
@@ -81,6 +96,7 @@ TEST(Chaos, ReproArtifactRoundTripsThroughJson) {
   const ChaosFailure parsed = chaos_repro_from_json(json);
   EXPECT_EQ(parsed.trial, failure.trial);
   EXPECT_EQ(parsed.seed, failure.seed);
+  EXPECT_EQ(parsed.reactors, 2) << "replay must rebuild the server at the recorded shard count";
   ASSERT_EQ(parsed.plan.events.size(), failure.plan.events.size());
   for (std::size_t i = 0; i < parsed.plan.events.size(); ++i) {
     EXPECT_EQ(parsed.plan.events[i].kind, failure.plan.events[i].kind);

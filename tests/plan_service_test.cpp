@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
@@ -205,6 +206,96 @@ TEST(PlanService, BadRequestsBecomeErrorResponsesWithTheirId) {
   const std::string json = response.to_json();
   EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(json.find("\"id\":\"oops\""), std::string::npos);
+}
+
+// --- Cached response serialization (the json_suffix fast path) ------------
+//
+// Warm hits are serialized by splicing the request id into a suffix cached
+// alongside the plan instead of re-rendering the whole response.  The
+// contract is strict byte identity with the full serializer: the first warm
+// hit (which renders fully and stores the suffix) and every later spliced
+// hit must produce the same bytes for the same id, and a spliced hit with a
+// *different* id must match what a fresh service's full serializer emits
+// for that id — including ids that need JSON escaping.
+
+std::string line_json(PlanService& service, const std::string& line, int lineno) {
+  bool parse_error = false;
+  std::string out = service.plan_line_json(line, "suffix_test.jsonl", lineno, 0, &parse_error);
+  EXPECT_FALSE(parse_error) << line;
+  return out;
+}
+
+std::string matmul_line(const std::string& raw_id, int m, int k, int l) {
+  return "{\"id\":\"" + raw_id + "\",\"op\":\"matmul\",\"m\":" + std::to_string(m) +
+         ",\"k\":" + std::to_string(k) + ",\"l\":" + std::to_string(l) + ",\"buffer\":\"512KB\"}";
+}
+
+TEST(PlanService, WarmHitSpliceIsByteIdenticalToFullSerializer) {
+  const std::string line = matmul_line("steady", 384, 256, 320);
+  PlanService a(ServeOptions{.threads = 1});
+  const std::string miss = line_json(a, line, 1);
+  const std::string hit_full = line_json(a, line, 2);     // renders fully, stores the suffix
+  const std::string hit_spliced = line_json(a, line, 3);  // spliced from the cached suffix
+  EXPECT_NE(miss.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(hit_full.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(hit_full, hit_spliced);
+  // The only byte-level difference between miss and hit is the cached flag.
+  std::string expected = miss;
+  const std::size_t at = expected.find("\"cached\":false");
+  ASSERT_NE(at, std::string::npos);
+  expected.replace(at, std::strlen("\"cached\":false"), "\"cached\":true");
+  EXPECT_EQ(hit_spliced, expected);
+}
+
+TEST(PlanService, SplicedHitWithEscapedIdMatchesFreshFullSerialization) {
+  // id = q"uo\te — the splice must use the *escaped* id, exactly as the
+  // full serializer does.
+  const std::string tricky = "q\\\"uo\\\\te";
+  const std::string warm_line = matmul_line("warm", 384, 256, 320);
+  const std::string tricky_line = matmul_line(tricky, 384, 256, 320);
+
+  PlanService a(ServeOptions{.threads = 1});
+  (void)line_json(a, warm_line, 1);    // cold miss
+  (void)line_json(a, warm_line, 2);    // warm hit: stores the suffix
+  const std::string spliced = line_json(a, tricky_line, 3);  // spliced, tricky id
+
+  PlanService b(ServeOptions{.threads = 1});
+  (void)line_json(b, warm_line, 1);                            // cold miss
+  const std::string full = line_json(b, tricky_line, 2);       // first warm hit: full render
+  EXPECT_EQ(spliced, full);
+  EXPECT_NE(spliced.find("\"id\":\"q\\\"uo\\\\te\""), std::string::npos) << spliced;
+}
+
+TEST(PlanService, TransposedHitsSpliceFromTheirOwnOrientationSlot) {
+  // (m,k,l) and (l,k,m) land on the same canonical cache entry, which holds
+  // one suffix slot per orientation; warm hits of either orientation must
+  // splice their own slot's bytes, never the sibling's.
+  const std::string fwd = matmul_line("f", 384, 256, 320);
+  const std::string swapped = matmul_line("f", 320, 256, 384);
+  PlanService a(ServeOptions{.threads = 1});
+  (void)line_json(a, fwd, 1);                             // plans the forward orientation
+  (void)line_json(a, swapped, 2);                         // plans the swapped orientation
+  const std::string fwd_full = line_json(a, fwd, 3);      // warm hit: stores its suffix slot
+  const std::string swp_full = line_json(a, swapped, 4);  // warm hit: stores the other slot
+  EXPECT_NE(fwd_full.find("\"cached\":true"), std::string::npos) << fwd_full;
+  EXPECT_NE(swp_full.find("\"cached\":true"), std::string::npos) << swp_full;
+  const std::string fwd_spliced = line_json(a, fwd, 5);
+  const std::string swp_spliced = line_json(a, swapped, 6);
+  EXPECT_EQ(fwd_full, fwd_spliced);
+  EXPECT_EQ(swp_full, swp_spliced);
+  EXPECT_NE(fwd_spliced, swp_spliced) << "orientations must not share suffix bytes";
+}
+
+TEST(PlanService, FusedPairHitsSpliceByteIdentically) {
+  const std::string line =
+      "{\"id\":\"fp\",\"op\":\"fused_pair\",\"m\":512,\"k\":64,\"l\":512,\"n\":64,"
+      "\"buffer\":\"512KB\"}";
+  PlanService a(ServeOptions{.threads = 1});
+  (void)line_json(a, line, 1);
+  const std::string hit_full = line_json(a, line, 2);
+  const std::string hit_spliced = line_json(a, line, 3);
+  EXPECT_NE(hit_full.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(hit_full, hit_spliced);
 }
 
 }  // namespace

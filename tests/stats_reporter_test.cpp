@@ -6,7 +6,9 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/plan_service.hpp"
 
 /// StatsReporter: the periodic "stats:" line emitted by the serving
@@ -90,6 +92,37 @@ TEST(StatsReporter, PeriodicTicksEmitWhileServing) {
   }
   EXPECT_GE(count_lines(os.str()), 1) << os.str();
   EXPECT_NE(os.str().find("stats:"), std::string::npos);
+}
+
+TEST(StatsReporter, MultiProducerTrafficAggregatesIntoWellFormedLines) {
+  // The reactor refactor made the producer side many-threaded: every shard
+  // and every pool worker bumps the global atomics concurrently.  The
+  // writer stays single (ticker thread, then the destructor strictly after
+  // the join — enforced with emit_mu_), so under concurrent producers every
+  // emitted line must still be whole, and the cumulative requests= field on
+  // the final flush must account for every producer exactly once.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::int64_t before = reg.counter("serve/requests").value();
+  PlanService service(ServeOptions{.threads = 4});
+  std::ostringstream os;
+  {
+    StatsReporter reporter(service, /*interval_s=*/0.02, os);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&service] { EXPECT_EQ(serve_requests(service, 25), 25); });
+    }
+    for (std::thread& p : producers) p.join();
+  }
+  const std::string out = os.str();
+  ASSERT_GE(count_lines(out), 1) << out;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("stats: qps=", 0), 0u) << "torn or interleaved line: \"" << line << "\"";
+  }
+  // The final flush covers everything the 4 producers served.
+  const std::string expected = "requests=" + std::to_string(before + 100);
+  EXPECT_NE(out.rfind(expected), std::string::npos) << out;
 }
 
 }  // namespace
