@@ -5,6 +5,7 @@
 ///                [--listen HOST:PORT] [--reactors N] [--accept MODE]
 ///                [--max-conns N] [--queue-depth N]
 ///                [--request-timeout-ms MS] [--idle-timeout-ms MS]
+///                [--watchdog-ms MS] [--target-delay-ms MS]
 ///                [--max-line-bytes BYTES] [--port-file FILE]
 ///                [--fault-plan FILE]
 ///                [--stats] [--stats-interval SEC] [--stats-out FILE]
@@ -39,6 +40,18 @@
 /// second signal hard-stops).  Port 0 picks a free port; the bound address
 /// is printed to stderr and written to --port-file when given.
 ///
+/// --watchdog-ms MS (0 = off) arms supervision: a watchdog thread samples
+/// per-reactor and per-pool-worker heartbeats and reports a source whose
+/// heartbeat misses the budget (`net/watchdog/stalls`, structured log,
+/// flight-recorder dump), and any request unanswered 2x the budget after
+/// admission is cancelled with an in-order ok=false "timed_out" response.
+/// --target-delay-ms MS (0 = off) replaces the fixed-depth-only shed with
+/// CoDel-style adaptive admission: when the standing (window-minimum)
+/// pool-queue delay exceeds the target for an interval the server enters
+/// brownout — cold request shapes are shed with a retry_after_ms hint while
+/// plan-cache-warm shapes keep being served — and recovers with hysteresis
+/// once the standing delay halves.
+///
 ///   $ fusecu_serve --listen 127.0.0.1:7411 --threads 8 --queue-depth 256 &
 ///   $ printf '%s\n' '{"id":"q","op":"matmul",...}' | nc 127.0.0.1 7411
 ///
@@ -46,7 +59,8 @@
 /// fusecu_fault_plan/1 JSON document — see src/common/fault.hpp; a chaos
 /// repro's "plan"/"shrunk_plan" member is one) before serving:
 /// short reads/writes, EINTR, connection resets, deferred accepts, spurious
-/// wakeups, clock skew and pool stalls fire at their scheduled sites.
+/// wakeups, clock skew, pool stalls, worker hangs and reactor stalls fire
+/// at their scheduled sites.
 /// Debug/ops tooling only — never enable in production.
 ///
 /// --stats prints cache hit/miss/eviction totals to stderr on exit.
@@ -106,6 +120,7 @@ int main(int argc, char** argv) {
                    {"--input", "--threads", "--cache-mb", "--shards", "--stats-interval",
                     "--stats-out", "--listen", "--reactors", "--accept", "--max-conns",
                     "--queue-depth", "--request-timeout-ms", "--idle-timeout-ms",
+                    "--watchdog-ms", "--target-delay-ms",
                     "--max-line-bytes", "--port-file", "--fault-plan"});
     args.parse(argc, argv);
 
@@ -168,6 +183,8 @@ int main(int argc, char** argv) {
       net.queue_depth = static_cast<int>(args.option_int("--queue-depth", 128));
       net.request_timeout_ms = args.option_int("--request-timeout-ms", 0);
       net.idle_timeout_ms = args.option_int("--idle-timeout-ms", 60'000);
+      net.watchdog_ms = args.option_int("--watchdog-ms", 0);
+      net.target_delay_ms = args.option_int("--target-delay-ms", 0);
       net.max_line_bytes = options.max_line_bytes;
       const int hw = static_cast<int>(std::thread::hardware_concurrency());
       net.reactors = static_cast<int>(args.option_int("--reactors", std::max(1, hw)));
@@ -206,7 +223,8 @@ int main(int argc, char** argv) {
       std::cerr << "drained: " << net_stats.responses << " responses over "
                 << net_stats.accepted << " connections; shed " << net_stats.shed
                 << ", parse errors " << net_stats.parse_errors << ", deadline expired "
-                << net_stats.deadline_expired << "\n";
+                << net_stats.deadline_expired << ", watchdog cancelled "
+                << net_stats.timed_out << "\n";
     } else if (auto path = args.option("--input")) {
       std::ifstream in(*path);
       if (!in) {

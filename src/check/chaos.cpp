@@ -34,11 +34,12 @@ struct ConnScript {
   std::vector<std::string> ids;
 };
 
-/// One trial's workload: pool size, admission depth and per-connection
-/// scripts — a pure function of the trial seed.
+/// One trial's workload: pool size, admission depth, adaptive-admission
+/// target and per-connection scripts — a pure function of the trial seed.
 struct TrialScript {
   int threads = 2;
   int queue_depth = 64;
+  std::int64_t target_delay_ms = 0;  ///< CoDel target; 0 = fixed-depth only
   std::vector<ConnScript> conns;
 };
 
@@ -52,6 +53,11 @@ TrialScript script_for(std::uint64_t seed) {
   // the steady state.
   static constexpr int kDepths[] = {2, 4, 8, 64};
   script.queue_depth = kDepths[rng.pick(4)];
+  // Half the trials run with fixed-depth shedding only, the rest arm
+  // CoDel-style adaptive admission with a tight target so injected pool
+  // stalls and hangs can push the standing delay into brownout.
+  static constexpr std::int64_t kTargets[] = {0, 0, 5, 20};
+  script.target_delay_ms = kTargets[rng.pick(4)];
   const int conns = static_cast<int>(rng.uniform(2, 4));
   // Global request index: every request gets a distinct min dimension, so no
   // two requests share a transpose class or cache key.  Every response is
@@ -216,6 +222,11 @@ ChaosTrialReport run_chaos_trial(std::uint64_t trial_seed, const fault::FaultPla
     net_opts.queue_depth = script.queue_depth;
     net_opts.reactors = opts.reactors;
     net_opts.request_timeout_ms = 0;
+    // Supervision and adaptive admission are part of the surface under
+    // chaos: the watchdog cancels requests hung past 2x the budget, the
+    // admission controller may brown out under injected stalls.
+    net_opts.watchdog_ms = opts.server_watchdog_ms;
+    net_opts.target_delay_ms = script.target_delay_ms;
     // Far above the watchdog plus any accumulated injected skew (<= 3 s per
     // event), so clock jumps can never idle-close a live connection.
     net_opts.idle_timeout_ms = 600'000;
@@ -247,7 +258,7 @@ ChaosTrialReport run_chaos_trial(std::uint64_t trial_seed, const fault::FaultPla
     stats = server.stats();
   }
 
-  report.checks_run = 5;
+  report.checks_run = 6;
 
   // 1. Graceful drain: the loop returned inside the watchdog and closed
   // every connection it accepted.
@@ -338,10 +349,68 @@ ChaosTrialReport run_chaos_trial(std::uint64_t trial_seed, const fault::FaultPla
                                         "\" differs from the serve_stream reference: got " + line +
                                         ", want " + it->second});
         }
-      } else if (line.find("overloaded") == std::string::npos) {
+      } else if (line.find("overloaded") == std::string::npos &&
+                 line.find("timed_out") == std::string::npos) {
         report.violations.push_back(
-            {"net/unexpected_error", tag + " non-ok response is not an overload shed: " + line});
+            {"net/unexpected_error",
+             tag + " non-ok response is neither an overload shed nor a watchdog cancellation: " +
+                 line});
       }
+    }
+  }
+
+  // 6. Watchdog & admission accounting.  (a) When nothing cut a connection
+  // short, every shed and every watchdog cancellation the server counted
+  // must have reached a client as exactly one in-order response — together
+  // with checks 2/3 this proves brownout never sheds an already-admitted
+  // request (a revoked admission would surface as an extra or missing
+  // line and skew the counters).  (b) The watchdog fires deterministically
+  // per plan: if a worker hang fired, nothing in the plan can kill the hung
+  // request's connection or stall its reactor, and every hang in the plan
+  // outlasts the 2x hang-guard deadline, then at least one request must
+  // have been cancelled.
+  std::int64_t client_shed = 0;
+  std::int64_t client_timed_out = 0;
+  for (const ClientResult& got : results) {
+    for (const std::string& line : got.lines) {
+      if (is_ok_response(line)) continue;
+      if (line.find("overloaded") != std::string::npos) ++client_shed;
+      if (line.find("timed_out") != std::string::npos) ++client_timed_out;
+    }
+  }
+  if (!drain_stuck && cut_conns == 0 && plan.reset_events() == 0) {
+    if (client_shed != stats.shed) {
+      report.violations.push_back(
+          {"net/shed_accounting", "clients read " + std::to_string(client_shed) +
+                                      " overload sheds but the server counted " +
+                                      std::to_string(stats.shed)});
+    }
+    if (client_timed_out != stats.timed_out) {
+      report.violations.push_back(
+          {"net/cancel_accounting", "clients read " + std::to_string(client_timed_out) +
+                                        " watchdog cancellations but the server counted " +
+                                        std::to_string(stats.timed_out)});
+    }
+  }
+  if (opts.server_watchdog_ms > 0 && plan.reset_events() == 0) {
+    bool has_hang = false;
+    bool all_hangs_cross_guard = true;
+    bool has_loop_stall = false;
+    const std::uint64_t guard_us =
+        static_cast<std::uint64_t>(2 * opts.server_watchdog_ms) * 1000;
+    for (const fault::FaultEvent& e : plan.events) {
+      if (e.kind == fault::Kind::kWorkerHang) {
+        has_hang = true;
+        if (e.arg < guard_us) all_hangs_cross_guard = false;
+      }
+      if (e.kind == fault::Kind::kReactorStall) has_loop_stall = true;
+    }
+    if (has_hang && all_hangs_cross_guard && !has_loop_stall &&
+        fault::fired_count(fault::Kind::kWorkerHang) > 0 && stats.timed_out == 0) {
+      report.violations.push_back(
+          {"net/watchdog_missed",
+           "a worker hang of >= " + std::to_string(guard_us) +
+               " us fired on an uncut connection but no request was cancelled by the watchdog"});
     }
   }
   return report;

@@ -22,10 +22,18 @@
 ///     number of cut connections is bounded by the plan's reset events;
 ///   * byte identity: every ok=true response equals, byte for byte, what a
 ///     fresh PlanService::serve_stream produces for the same request line;
-///   * overload shape: every non-ok response on a healthy run is the
-///     structured "overloaded" shed response carrying the request id;
+///   * overload shape: every non-ok response on a healthy run is either the
+///     structured "overloaded" shed response or a watchdog "timed_out"
+///     cancellation, both carrying the request id;
 ///   * graceful drain: request_drain() completes within a watchdog and
-///     every accepted connection is closed.
+///     every accepted connection is closed;
+///   * watchdog & admission accounting (PR 10): when no connection was cut,
+///     the sheds and cancellations each client read match the server's shed
+///     and timed_out counters exactly (so an already-admitted request is
+///     never shed retroactively), and a plan whose only destabilizing fault
+///     is a worker hang long enough to cross the 2x hang-guard deadline
+///     *must* produce at least one watchdog cancellation when such a hang
+///     fired — the watchdog firing is deterministic per plan.
 ///
 /// Determinism. The per-trial seed, fault plan and client scripts are pure
 /// functions of (base seed, trial index) via the same splitmix64 derivation
@@ -58,6 +66,12 @@ struct ChaosOptions {
   fault::TestBug bug = fault::TestBug::kNone;
   /// Per-trial watchdog for client reads and the drain join.
   std::int64_t watchdog_ms = 20'000;
+  /// Server-side supervision budget (NetServerOptions::watchdog_ms) armed
+  /// in every trial: heartbeat stalls are reported and a request unanswered
+  /// past 2x this budget is cancelled in order.  Generated worker hangs
+  /// (100-300 ms) always cross the 80 ms hang-guard deadline, so the
+  /// watchdog-fires invariant is decidable from the plan.  0 = unsupervised.
+  std::int64_t server_watchdog_ms = 40;
   /// Reactor shards for the trial server (NetServerOptions::reactors):
   /// 0 = the legacy single inline loop, N = N reactor threads.  The
   /// invariants are reactor-count-independent, so the same trials double as

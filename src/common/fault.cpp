@@ -18,12 +18,13 @@ namespace {
 const char* const kKindNames[kNumKinds] = {
     "short_read",  "short_write",   "read_eintr",    "write_eintr",
     "read_reset",  "write_reset",   "accept_defer",  "accept_emfile",
-    "spurious_wake", "clock_skew",  "pool_stall",
+    "spurious_wake", "clock_skew",  "pool_stall",    "worker_hang",
+    "reactor_stall",
 };
 
 /// Site classes with independent invocation counters.
-enum class Site { kRead, kWrite, kAccept, kPoll, kClock, kPool };
-inline constexpr int kNumSites = 6;
+enum class Site { kRead, kWrite, kAccept, kPoll, kClock, kPool, kLoop };
+inline constexpr int kNumSites = 7;
 
 Site site_of(Kind kind) {
   switch (kind) {
@@ -43,7 +44,10 @@ Site site_of(Kind kind) {
     case Kind::kClockSkew:
       return Site::kClock;
     case Kind::kPoolStall:
+    case Kind::kWorkerHang:
       return Site::kPool;
+    case Kind::kReactorStall:
+      return Site::kLoop;
   }
   return Site::kRead;
 }
@@ -211,6 +215,16 @@ FaultPlan FaultPlan::generate(std::uint64_t seed, int max_events) {
         e.at = static_cast<std::uint64_t>(rng.uniform(0, 47));
         e.arg = static_cast<std::uint64_t>(rng.uniform(100, 20'000));  // us
         break;
+      case Kind::kWorkerHang:
+        // Watchdog-scale: long enough that any reasonable --watchdog-ms
+        // budget (tens of ms) classifies the task as hung.
+        e.at = static_cast<std::uint64_t>(rng.uniform(0, 47));
+        e.arg = static_cast<std::uint64_t>(rng.uniform(100'000, 300'000));  // us
+        break;
+      case Kind::kReactorStall:
+        e.at = static_cast<std::uint64_t>(rng.uniform(0, 199));
+        e.arg = static_cast<std::uint64_t>(rng.uniform(20, 120)) * 1000;  // us
+        break;
     }
     plan.events.push_back(e);
   }
@@ -343,9 +357,28 @@ std::uint64_t on_pool_task() {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   const std::uint64_t index = s.calls[static_cast<int>(Site::kPool)]++;
+  // Both pool-site kinds share the invocation counter; a stall and a hang
+  // due at the same index sum (the task sleeps once for the total).
+  std::uint64_t total = 0;
   if (auto i = due_event(s, Kind::kPoolStall, index, 0)) {
     mark_fired(s, *i);
-    return std::min<std::uint64_t>(s.events[*i].arg, 50'000);  // hard 50ms cap
+    total += std::min<std::uint64_t>(s.events[*i].arg, 50'000);  // hard 50ms cap
+  }
+  if (auto i = due_event(s, Kind::kWorkerHang, index, 0)) {
+    mark_fired(s, *i);
+    total += std::min<std::uint64_t>(s.events[*i].arg, 500'000);  // hard 500ms cap
+  }
+  return total;
+}
+
+std::uint64_t on_loop_turn() {
+  if (!armed()) return 0;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::uint64_t index = s.calls[static_cast<int>(Site::kLoop)]++;
+  if (auto i = due_event(s, Kind::kReactorStall, index, 0)) {
+    mark_fired(s, *i);
+    return std::min<std::uint64_t>(s.events[*i].arg, 300'000);  // hard 300ms cap
   }
   return 0;
 }

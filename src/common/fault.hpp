@@ -58,8 +58,10 @@ enum class Kind {
   kSpuriousWake, ///< one poller wait returns no events without blocking
   kClockSkew,    ///< the loop clock jumps forward `arg` ms (permanently)
   kPoolStall,    ///< one pool task sleeps `arg` microseconds before planning
+  kWorkerHang,   ///< one pool task hangs `arg` microseconds (watchdog-scale)
+  kReactorStall, ///< one reactor loop turn stalls `arg` microseconds
 };
-inline constexpr int kNumKinds = 11;
+inline constexpr int kNumKinds = 13;
 
 const char* to_string(Kind kind);
 std::optional<Kind> kind_from_string(const std::string& name);
@@ -90,7 +92,8 @@ struct FaultPlan {
   static FaultPlan from_json_value(const JsonValue& doc);
 
   /// Pure function of (seed, max_events): a splitmix64-seeded schedule with
-  /// bounded, trial-friendly magnitudes (stalls <= 20 ms, skew <= 3 s).
+  /// bounded, trial-friendly magnitudes (stalls <= 20 ms, skew <= 3 s,
+  /// worker hangs <= 300 ms, reactor stalls <= 120 ms).
   static FaultPlan generate(std::uint64_t seed, int max_events = 12);
 };
 
@@ -132,7 +135,8 @@ void note_write_bytes(std::size_t n);  ///< cumulative; drives kWriteReset
 int on_accept();                       ///< errno to inject, or 0
 bool on_poll();                        ///< true: report a spurious wakeup
 std::int64_t clock_skew_ms();          ///< accumulated skew to add to now_ms
-std::uint64_t on_pool_task();          ///< stall in microseconds, or 0
+std::uint64_t on_pool_task();          ///< stall/hang in microseconds, or 0
+std::uint64_t on_loop_turn();          ///< reactor-loop stall in microseconds, or 0
 
 /// How many events of \p kind fired since the last arm().
 std::int64_t fired_count(Kind kind);

@@ -7,10 +7,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <stdexcept>
+#include <thread>
 
 #include "common/fault.hpp"
 #include "obs/log.hpp"
 #include "obs/span.hpp"
+#include "serve/admission.hpp"
 #include "serve/plan_request.hpp"
 
 namespace fusecu {
@@ -101,6 +103,12 @@ void ReactorShared::shutdown() {
 
 void NetRequest::run_on_pool(void* arg) {
   NetRequest* req = static_cast<NetRequest*>(arg);
+  if (req->admission != nullptr && req->enqueue_us > 0) {
+    // Queue delay = admission (reactor) to dequeue (here, before the plan
+    // work or any injected stall) — the CoDel standing-delay signal.
+    const std::int64_t dequeue_us = span_clock_us();
+    req->admission->record(dequeue_us - req->enqueue_us, dequeue_us);
+  }
   bool parse_error = false;
   std::string json =
       req->service->plan_line_json(req->line, req->peer, req->lineno, req->enqueue_us,
@@ -130,6 +138,7 @@ Reactor::Reactor(PlanService& service, const ReactorConfig& config)
       oversized_counter_(MetricsRegistry::global().counter("net/oversized_lines")),
       deadline_counter_(MetricsRegistry::global().counter("net/deadline_expired")),
       idle_closed_counter_(MetricsRegistry::global().counter("net/idle_closed")),
+      watchdog_cancelled_counter_(MetricsRegistry::global().counter("net/watchdog/cancelled")),
       read_calls_(MetricsRegistry::global().counter(reactor_metric(config.index, "read_calls"))),
       write_calls_(MetricsRegistry::global().counter(reactor_metric(config.index, "write_calls"))),
       writev_calls_(
@@ -194,10 +203,19 @@ std::int64_t Reactor::now_ms() const {
 }
 
 void Reactor::run() {
+  loop_live_.store(true, std::memory_order_release);
   while (!done_) {
+    loop_epoch_.fetch_add(1, std::memory_order_relaxed);
+    if (fault::armed()) {
+      // Injected reactor stall: the whole loop turn freezes, heartbeat
+      // included — exactly what the Supervisor is meant to notice.
+      const std::uint64_t stall_us = fault::on_loop_turn();
+      if (stall_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+    }
     const std::int64_t now = now_ms();
     std::int64_t timeout = wheel_.advance(now);
     fire_due_deadlines(now);
+    fire_due_hang_guards(now);
     if (!deadlines_.empty()) {
       // The deadline ring is FIFO (all deadlines share request_timeout_ms),
       // so the front entry bounds the poll timeout.
@@ -205,8 +223,18 @@ void Reactor::run() {
       const std::int64_t clamped = until < 1 ? 1 : until;
       timeout = timeout < 0 ? clamped : std::min(timeout, clamped);
     }
+    if (!hang_guard_.empty()) {
+      // Same FIFO argument: every guard is armed 2x watchdog_ms out.
+      const std::int64_t until = hang_guard_.front().deadline_ms - now;
+      const std::int64_t clamped = until < 1 ? 1 : until;
+      timeout = timeout < 0 ? clamped : std::min(timeout, clamped);
+    }
+    // Under a watchdog the idle cap shrinks so the loop heartbeat always
+    // beats well inside the missed-beat budget.
+    const std::int64_t idle_cap =
+        config_.watchdog_ms > 0 ? std::max<std::int64_t>(1, config_.watchdog_ms / 2) : 1000;
     poller_.wait(events_, static_cast<int>(std::min<std::int64_t>(
-                              timeout < 0 ? 1000 : timeout, 1000)));
+                              timeout < 0 ? idle_cap : timeout, idle_cap)));
     epoll_waits_.add();
     for (const PollEvent& ev : events_) {
       if (ev.fd == wakeup_r_) {
@@ -243,6 +271,7 @@ void Reactor::run() {
     if (draining_ && conns_.empty() && inflight_ == 0) done_ = true;
   }
   conns_gauge_.set(static_cast<double>(config_.total_conns->load(std::memory_order_relaxed)));
+  loop_live_.store(false, std::memory_order_release);
 }
 
 Reactor::Conn* Reactor::conn_by_fd(int fd) {
@@ -390,7 +419,28 @@ void Reactor::handle_line(Conn& conn, LineDecoder::DecodedLine& line) {
   }
   if (line.text.find_first_not_of(" \t\r") == std::string::npos) return;
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  AdmissionController* admission =
+      config_.admission != nullptr && config_.admission->enabled() ? config_.admission : nullptr;
+  const std::uint64_t line_hash = admission != nullptr ? request_shape_hash(line.text) : 0;
+  // Two shed triggers, checked in order: the hard depth bound (the pool
+  // queue stays bounded no matter what), then brownout — adaptive
+  // admission says the standing queue delay is past target, so cold shapes
+  // (no successful completion seen → a planner miss) are shed while warm
+  // ones (suffix-splice cache hits, nearly free) keep flowing.  A request
+  // already admitted is never shed retroactively by either trigger.
+  bool shed = false;
+  std::string message;
   if (inflight_ >= config_.queue_depth) {
+    shed = true;
+    message = "overloaded: admission queue full (queue-depth " +
+              std::to_string(config_.queue_depth) + ")";
+  } else if (admission != nullptr && admission->overloaded() &&
+             warm_keys_.find(line_hash) == warm_keys_.end()) {
+    shed = true;
+    message = "overloaded: brownout, cold request shed (target-delay-ms " +
+              std::to_string(admission->target_delay_ms()) + ")";
+  }
+  if (shed) {
     // Past the high-water mark reads are already deferred; lines that were
     // decoded before the pause took effect are shed, keeping the pool
     // queue bounded.  The response still occupies its ordered slot.  The
@@ -400,36 +450,48 @@ void Reactor::handle_line(Conn& conn, LineDecoder::DecodedLine& line) {
     shed_counter_.add();
     std::string id;
     extract_request_id(line.text, key_scratch_, id);
-    push_done_response(
-        conn, error_response(id, "overloaded: admission queue full (queue-depth " +
-                                     std::to_string(config_.queue_depth) + ")")
-                  .to_json());
+    std::string json = admission != nullptr
+                           ? overload_response_json(id, message, admission->retry_after_ms())
+                           : error_response(id, message).to_json();
+    push_done_response(conn, std::move(json));
     return;
   }
   const std::uint64_t seq = next_seq_++;
   Pending& slot = conn.pending.push_slot();
   slot.seq = seq;
+  slot.line_hash = line_hash;
   slot.done = false;
   slot.written_bytes = 0;
   // slot.json keeps its recycled capacity; overwritten when the completion
   // lands.  slot.request_id is only meaningful (and only assigned) when
-  // deadlines are armed.
-  if (config_.request_timeout_ms > 0) {
+  // deadlines or the hang guard are armed.
+  if (config_.request_timeout_ms > 0 || config_.watchdog_ms > 0) {
     if (!extract_request_id(line.text, key_scratch_, slot.request_id)) {
       slot.request_id.clear();
     }
+  }
+  if (config_.request_timeout_ms > 0) {
     Deadline& deadline = deadlines_.push_slot();
     deadline.conn_id = conn.id;
     deadline.seq = seq;
     deadline.deadline_ms = now_ms() + config_.request_timeout_ms;
   }
+  if (config_.watchdog_ms > 0) {
+    // Hard per-request deadline at 2x the watchdog budget: the Supervisor
+    // flags a stall at 1x, the hang guard cancels at 2x.
+    Deadline& guard = hang_guard_.push_slot();
+    guard.conn_id = conn.id;
+    guard.seq = seq;
+    guard.deadline_ms = now_ms() + 2 * config_.watchdog_ms;
+  }
   ++inflight_;
   NetRequest* req = shared_->acquire(shared_);
   req->service = &service_;
+  req->admission = admission;
   req->conn_id = conn.id;
   req->seq = seq;
   req->lineno = conn.lineno;
-  req->enqueue_us = span_recording_enabled() ? span_clock_us() : 0;
+  req->enqueue_us = span_clock_us();
   req->line.swap(line.text);  // line_scratch_ inherits the old capacity
   req->peer = conn.peer;
   service_.pool().post(&NetRequest::run_on_pool, req);
@@ -441,6 +503,7 @@ void Reactor::push_done_response(Conn& conn, std::string&& json) {
   Pending& slot = conn.pending.push_slot();
   slot.seq = next_seq_++;
   slot.request_id.clear();
+  slot.line_hash = 0;
   slot.done = true;
   slot.written_bytes = 0;
   slot.json = std::move(json);
@@ -596,6 +659,13 @@ void Reactor::process_inbox() {
       if (item.parse_error) {
         stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
         parse_errors_counter_.add();
+      } else if (slot.line_hash != 0) {
+        // A shape that completed successfully is warm from now on: the plan
+        // cache holds its entry, so brownout keeps admitting it.  Bounded
+        // by wholesale clearing — losing warmth only sheds a few extra
+        // colds until shapes re-complete.
+        if (warm_keys_.size() >= 65536) warm_keys_.clear();
+        warm_keys_.insert(slot.line_hash);
       }
       slot.done = true;
       slot.written_bytes = 0;
@@ -638,6 +708,48 @@ void Reactor::on_deadline(std::uint64_t conn_id, std::uint64_t seq) {
     return;
   }
   // Slot already popped: the pool answered and the response was written.
+}
+
+void Reactor::fire_due_hang_guards(std::int64_t now) {
+  while (!hang_guard_.empty() && hang_guard_.front().deadline_ms <= now) {
+    const Deadline due = hang_guard_.front();
+    hang_guard_.pop_front();
+    on_hang_guard(due.conn_id, due.seq);
+  }
+}
+
+void Reactor::on_hang_guard(std::uint64_t conn_id, std::uint64_t seq) {
+  Conn* conn = find_conn(conn_id);
+  if (conn == nullptr) return;
+  const std::size_t depth = conn->pending.size();
+  for (std::size_t i = 0; i < depth; ++i) {
+    Pending& slot = conn->pending[i];
+    if (slot.seq != seq) continue;
+    if (slot.done) return;  // pool answered (or a deadline did) — stale guard
+    // Cancel: the ordered slot is answered right now on the loop thread, so
+    // a worker hung inside this request can never leak the slot or stall
+    // the connection's response order.  inflight_ stays up — the worker's
+    // eventual completion decrements it and is dropped at slot.done above.
+    slot.done = true;
+    slot.written_bytes = 0;
+    slot.json = error_response(slot.request_id,
+                               "timed_out: cancelled by watchdog after " +
+                                   std::to_string(2 * config_.watchdog_ms) +
+                                   "ms (watchdog-ms " + std::to_string(config_.watchdog_ms) + ")")
+                    .to_json();
+    slot.json.push_back('\n');
+    conn->queued_bytes += slot.json.size();
+    stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+    watchdog_cancelled_counter_.add();
+    log_warn("net", "watchdog: request cancelled past hard deadline",
+             {{"reactor", std::to_string(config_.index)},
+              {"peer", conn->peer},
+              {"id", slot.request_id},
+              {"budget_ms", std::to_string(config_.watchdog_ms)}});
+    flush_ready(*conn);
+    return;
+  }
+  // Slot already popped: the response left the server before the guard fired.
 }
 
 void Reactor::on_idle(std::uint64_t conn_id) {
@@ -714,6 +826,7 @@ NetStats Reactor::stats_snapshot() const {
   s.oversized_lines = stats_.oversized_lines.load(std::memory_order_relaxed);
   s.deadline_expired = stats_.deadline_expired.load(std::memory_order_relaxed);
   s.idle_closed = stats_.idle_closed.load(std::memory_order_relaxed);
+  s.timed_out = stats_.timed_out.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
@@ -58,6 +59,8 @@
 
 namespace fusecu {
 
+class AdmissionController;
+
 /// Monotonic serving counters: one reactor's view, or a sum across
 /// reactors (NetServer::stats()).
 struct NetStats {
@@ -70,6 +73,7 @@ struct NetStats {
   std::int64_t oversized_lines = 0;
   std::int64_t deadline_expired = 0;
   std::int64_t idle_closed = 0;
+  std::int64_t timed_out = 0;       ///< requests cancelled by the hang guard
 
   NetStats& operator+=(const NetStats& o) {
     accepted += o.accepted;
@@ -81,6 +85,7 @@ struct NetStats {
     oversized_lines += o.oversized_lines;
     deadline_expired += o.deadline_expired;
     idle_closed += o.idle_closed;
+    timed_out += o.timed_out;
     return *this;
   }
 };
@@ -97,6 +102,7 @@ struct ReactorShared;
 struct NetRequest {
   std::shared_ptr<ReactorShared> owner;
   PlanService* service = nullptr;
+  AdmissionController* admission = nullptr;  ///< queue-delay sink; may be null
   std::uint64_t conn_id = 0;
   std::uint64_t seq = 0;
   int lineno = 0;
@@ -150,12 +156,19 @@ struct ReactorConfig {
   int queue_depth = 128;     ///< per-reactor admission high-water mark
   std::int64_t request_timeout_ms = 0;
   std::int64_t idle_timeout_ms = 60'000;
+  /// Watchdog budget (--watchdog-ms); > 0 arms the per-request hang guard
+  /// (cancel at 2x the budget) and the loop heartbeat sampled by the
+  /// Supervisor.  0 = off.
+  std::int64_t watchdog_ms = 0;
   std::size_t max_line_bytes = 1 << 20;
   std::size_t write_high_water = 1 << 20;
   PollBackend poll_backend = PollBackend::kAuto;
   std::chrono::steady_clock::time_point epoch{};
   std::atomic<int>* total_conns = nullptr;
   std::atomic<int>* drain_requests = nullptr;
+  /// Adaptive admission (--target-delay-ms), owned by NetServer and shared
+  /// by all reactors; nullptr or disabled = fixed-depth shed only.
+  AdmissionController* admission = nullptr;
 };
 
 class Reactor {
@@ -184,13 +197,20 @@ class Reactor {
 
   const std::shared_ptr<ReactorShared>& shared() { return shared_; }
 
+  /// Loop heartbeat for the Supervisor: the epoch bumps once per loop turn,
+  /// and `live` is true only while run() is executing (a drained reactor is
+  /// never flagged as stalled).  Stable addresses for the reactor lifetime.
+  const std::atomic<std::uint64_t>& loop_epoch() const { return loop_epoch_; }
+  const std::atomic<bool>& loop_live() const { return loop_live_; }
+
  private:
   /// One response slot; slots leave the ring only in order, and only once
   /// fully written.  Ring reuse keeps json/request_id capacity across
   /// requests.
   struct Pending {
     std::uint64_t seq = 0;
-    std::string request_id;  ///< for the deadline error response (timeouts on)
+    std::string request_id;  ///< for deadline / hang-guard error responses
+    std::uint64_t line_hash = 0;  ///< request shape hash (admission on), else 0
     bool done = false;
     std::size_t written_bytes = 0;
     std::string json;  ///< response line including trailing '\n'
@@ -242,6 +262,8 @@ class Reactor {
   void process_inbox();
   void fire_due_deadlines(std::int64_t now);
   void on_deadline(std::uint64_t conn_id, std::uint64_t seq);
+  void fire_due_hang_guards(std::int64_t now);
+  void on_hang_guard(std::uint64_t conn_id, std::uint64_t seq);
   void on_idle(std::uint64_t conn_id);
   void pause_reads();
   void resume_reads();
@@ -278,6 +300,22 @@ class Reactor {
   int drain_requests_seen_ = 0;
 
   RingBuffer<Deadline> deadlines_;
+  /// Hang guard: one FIFO entry per admitted request when --watchdog-ms is
+  /// armed, due 2x the budget after admission.  Firing answers the ordered
+  /// slot with ok=false "timed_out" on the loop thread — the slot is never
+  /// leaked even if the pool worker hangs forever.  inflight_ is NOT
+  /// decremented here; the (late) pool completion decrements it and its
+  /// result is dropped because the slot is already done.
+  RingBuffer<Deadline> hang_guard_;
+
+  /// Request shapes seen completing successfully — the brownout warm set.
+  /// Only populated while adaptive admission is on; bounded by clearing at
+  /// 64k entries (losing warmth is safe, it only sheds a few extra colds).
+  std::unordered_set<std::uint64_t> warm_keys_;
+
+  /// Supervisor heartbeat (see loop_epoch()/loop_live()).
+  std::atomic<std::uint64_t> loop_epoch_{0};
+  std::atomic<bool> loop_live_{false};
 
   // Reused scratch: cleared, never shrunk, so steady-state turns don't
   // allocate.
@@ -302,6 +340,7 @@ class Reactor {
   Counter& oversized_counter_;
   Counter& deadline_counter_;
   Counter& idle_closed_counter_;
+  Counter& watchdog_cancelled_counter_;
   Counter& read_calls_;
   Counter& write_calls_;   ///< single-slot flushes (1-iovec gathers)
   Counter& writev_calls_;  ///< coalesced flushes (2+ iovec gathers)
@@ -322,6 +361,7 @@ class Reactor {
     std::atomic<std::int64_t> oversized_lines{0};
     std::atomic<std::int64_t> deadline_expired{0};
     std::atomic<std::int64_t> idle_closed{0};
+    std::atomic<std::int64_t> timed_out{0};
   };
   AtomicStats stats_;
 };

@@ -16,6 +16,8 @@ NetServer::NetServer(PlanService& service, NetServerOptions options)
   options_.queue_depth = std::max(1, options_.queue_depth);
   inline_run_ = options_.reactors <= 0;
   const int n = inline_run_ ? 1 : std::min(options_.reactors, 256);
+  admission_ = std::make_unique<AdmissionController>(
+      AdmissionConfig{.target_delay_ms = options_.target_delay_ms});
 
   // Bind listeners.  REUSEPORT wants one socket per reactor on the same
   // address; all of them must bind or none do (a partial set would skew
@@ -76,6 +78,8 @@ NetServer::NetServer(PlanService& service, NetServerOptions options)
       cfg.queue_depth = options_.queue_depth;
       cfg.request_timeout_ms = options_.request_timeout_ms;
       cfg.idle_timeout_ms = options_.idle_timeout_ms;
+      cfg.watchdog_ms = options_.watchdog_ms;
+      cfg.admission = admission_.get();
       cfg.max_line_bytes = options_.max_line_bytes;
       cfg.write_high_water = options_.write_high_water;
       cfg.poll_backend = options_.poll_backend;
@@ -101,6 +105,23 @@ NetServer::NetServer(PlanService& service, NetServerOptions options)
   drain_fds_.reserve(reactors_.size());
   for (auto& reactor : reactors_) drain_fds_.push_back(reactor->drain_fd());
 
+  // Supervisor sources: every reactor loop (eligible only while run() is
+  // live) and every pool worker (eligible only while busy in a task).  The
+  // heartbeat atomics live in the reactors and the pool, both of which
+  // outlive the supervisor thread (stopped in run() before reactors are
+  // destroyed).
+  std::vector<SupervisorSource> sources;
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    sources.push_back({"reactor." + std::to_string(i), &reactors_[i]->loop_epoch(),
+                       &reactors_[i]->loop_live()});
+  }
+  const auto& heartbeats = service_.pool().heartbeats();
+  for (std::size_t i = 0; i < heartbeats.size(); ++i) {
+    sources.push_back({"pool." + std::to_string(i), &heartbeats[i]->epoch,
+                       &heartbeats[i]->busy});
+  }
+  supervisor_ = std::make_unique<Supervisor>(std::move(sources), options_.watchdog_ms);
+
   log_info("net", "listening",
            {{"addr", bound_.host + ":" + std::to_string(bound_.port)},
             {"reactors", std::to_string(n)},
@@ -121,8 +142,10 @@ void NetServer::request_drain() {
 }
 
 void NetServer::run() {
+  supervisor_->start();  // no-op when watchdog_ms == 0
   if (inline_run_) {
     reactors_[0]->run();
+    supervisor_->stop();
     return;
   }
   std::vector<std::thread> threads;
@@ -133,6 +156,7 @@ void NetServer::run() {
   // Joining every reactor is the drain barrier: run() returns only once
   // all shards have flushed and closed their connections.
   for (std::thread& t : threads) t.join();
+  supervisor_->stop();
 }
 
 NetServer::Stats NetServer::stats() const {

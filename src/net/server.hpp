@@ -8,6 +8,8 @@
 
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
+#include "net/supervisor.hpp"
+#include "serve/admission.hpp"
 #include "serve/plan_service.hpp"
 
 /// \file server.hpp
@@ -52,6 +54,23 @@
 /// unwritten responses pass `write_high_water` (a slow or stalled reader)
 /// also has its reads deferred, bounding per-connection memory.
 ///
+/// Adaptive admission and brownout.  With `target_delay_ms > 0` a shared
+/// AdmissionController watches the standing (continuously above-target) queue
+/// delay of admitted requests; past the target for a full interval the
+/// server enters *brownout*: cold request shapes are shed with a
+/// `retry_after_ms` backoff hint while warm shapes (plan-cache hits) keep
+/// being served, and the state clears with hysteresis once the standing
+/// delay halves.  See serve/admission.hpp and DESIGN.md §7.
+///
+/// Supervision.  With `watchdog_ms > 0` a Supervisor thread samples
+/// per-reactor loop heartbeats and per-pool-worker task heartbeats; a
+/// source whose epoch stands still past the budget while eligible is
+/// *stalled* (`net/watchdog/stalls`, structured log, flight-recorder
+/// dump).  Each admitted request also arms a hang-guard entry: at 2x the
+/// budget an unanswered request is cancelled with an in-order ok=false
+/// "timed_out" response so a hung pool worker can never leak a
+/// connection's response slot.  See net/supervisor.hpp.
+///
 /// Ordering.  Each connection keeps a ring of response slots in request
 /// order; a response (planned, shed, parse error, or deadline-expired) is
 /// written only when every earlier slot on that connection has been
@@ -82,6 +101,8 @@ struct NetServerOptions {
   int queue_depth = 128;   ///< per-reactor admission high-water mark
   std::int64_t request_timeout_ms = 0;    ///< 0 = no per-request deadline
   std::int64_t idle_timeout_ms = 60'000;  ///< 0 = never close idle conns
+  std::int64_t watchdog_ms = 0;           ///< heartbeat budget; 0 = no supervision
+  std::int64_t target_delay_ms = 0;       ///< CoDel target; 0 = fixed-depth shed only
   std::size_t max_line_bytes = 1 << 20;   ///< shared with ServeOptions
   std::size_t write_high_water = 1 << 20; ///< slow-reader read deferral
   PollBackend poll_backend = PollBackend::kAuto;
@@ -135,6 +156,13 @@ class NetServer {
   /// on (kAuto resolves at bind time).
   const char* accept_mode_used() const { return reuseport_ ? "reuseport" : "handoff"; }
 
+  /// The shared adaptive-admission controller (never null; disabled when
+  /// target_delay_ms == 0).
+  const AdmissionController& admission() const { return *admission_; }
+  /// The watchdog (never null; inert when watchdog_ms == 0).  Tests read
+  /// stalls_detected() through this.
+  const Supervisor& supervisor() const { return *supervisor_; }
+
  private:
   PlanService& service_;
   NetServerOptions options_;
@@ -145,6 +173,8 @@ class NetServer {
   std::atomic<int> total_conns_{0};
   std::atomic<int> drain_requests_{0};
 
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<Supervisor> supervisor_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   /// Reactor drain-pipe write ends, fixed after construction so the signal
   /// handler path never touches reactors_ state.

@@ -251,6 +251,60 @@ bool extract_request_id(const std::string& line, std::string& key_scratch,
 
 namespace {
 
+/// Locate the raw byte span of the "id" member's value (quotes included).
+/// Returns false when the line is malformed or has no string id.
+bool find_id_value_span(const std::string& line, std::size_t& begin, std::size_t& end) {
+  std::size_t pos = 0;
+  skip_json_ws(line, pos);
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  skip_json_ws(line, pos);
+  if (pos < line.size() && line[pos] == '}') return false;
+  while (true) {
+    skip_json_ws(line, pos);
+    const std::size_t key_start = pos;
+    if (!scan_json_string(line, pos, nullptr)) return false;
+    // Raw compare avoids materializing the key: the literal `"id"` has no
+    // escapes worth honoring in practice.
+    const bool is_id = pos - key_start == 4 && line.compare(key_start, 4, "\"id\"") == 0;
+    skip_json_ws(line, pos);
+    if (pos >= line.size() || line[pos] != ':') return false;
+    ++pos;
+    if (is_id) {
+      skip_json_ws(line, pos);
+      begin = pos;
+      if (!scan_json_string(line, pos, nullptr)) return false;
+      end = pos;
+      return true;
+    }
+    if (!skip_json_value(line, pos)) return false;
+    skip_json_ws(line, pos);
+    if (pos >= line.size()) return false;
+    if (line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    return false;
+  }
+}
+
+}  // namespace
+
+std::uint64_t request_shape_hash(const std::string& line) {
+  std::size_t skip_begin = 0;
+  std::size_t skip_end = 0;
+  find_id_value_span(line, skip_begin, skip_end);  // on failure both stay 0
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (i >= skip_begin && i < skip_end) continue;
+    h ^= static_cast<unsigned char>(line[i]);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
 void write_intra(JsonWriter& w, const IntraOptResult& r) {
   w.field("rule", r.rule);
   w.field("nra", static_cast<int>(r.nra));
@@ -314,6 +368,21 @@ PlanResponse error_response(const std::string& id, const std::string& message) {
   r.ok = false;
   r.error = message;
   return r;
+}
+
+std::string overload_response_json(const std::string& id, const std::string& message,
+                                   std::int64_t retry_after_ms) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("id", id);
+    w.field("ok", false);
+    w.field("error", message);
+    w.field("retry_after_ms", retry_after_ms);
+    w.end_object();
+  }
+  return os.str();
 }
 
 std::string oversized_line_message(const std::string& source, int lineno,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,15 @@ PlanRequest plan_request_from_json(const JsonValue& doc);
 /// error response in those cases.
 bool extract_request_id(const std::string& line, std::string& key_scratch, std::string& id_out);
 
+/// FNV-1a hash of a request line with the "id" *value* bytes masked out, so
+/// two requests that differ only in their id — the shape the plan cache
+/// keys on — hash identically.  Used by the net/ reactors' brownout path to
+/// predict suffix-splice cache hits without parsing on the loop thread:
+/// a shape seen completing successfully before is "warm".  Falls back to
+/// hashing the whole line when the id cannot be located (the authoritative
+/// parse happens pool-side either way).  Allocation-free.
+std::uint64_t request_shape_hash(const std::string& line);
+
 /// A planning answer, ready to serialize.
 struct PlanResponse {
   std::string id;
@@ -103,6 +113,13 @@ struct PlanResponse {
 
 /// Error response preserving the request id (empty when unknown).
 PlanResponse error_response(const std::string& id, const std::string& message);
+
+/// Serialized overload-shed response carrying a client backoff hint:
+/// {"id":...,"ok":false,"error":<message>,"retry_after_ms":N}.  Used by the
+/// reactors when adaptive admission is armed; serve_loadgen honors the hint
+/// with capped exponential backoff.  No trailing newline.
+std::string overload_response_json(const std::string& id, const std::string& message,
+                                   std::int64_t retry_after_ms);
 
 /// ParseError-style message for a request line that crossed the
 /// --max-line-bytes cap, e.g. "<stdin>:7:1: expected a request line of at

@@ -12,6 +12,8 @@ StatsReporter::StatsReporter(PlanService& service, double interval_s, std::ostre
   MetricsRegistry& reg = MetricsRegistry::global();
   prev_requests_ = reg.counter("serve/requests").value();
   prev_errors_ = reg.counter("serve/request_errors").value();
+  prev_responses_ = reg.counter("net/responses").value();
+  prev_shed_ = reg.counter("net/shed").value();
   prev_cache_ = service_.stats().combined();
   period_start_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { run(); });
@@ -58,16 +60,30 @@ void StatsReporter::emit(bool only_if_active) {
       lookups > 0 ? static_cast<double>(now_cache.hits - prev_cache_.hits) /
                         static_cast<double>(lookups)
                   : 0.0;
+  // Shed rate over the period: sheds / all responses written (served +
+  // shed), from the TCP layer's counters — 0.0 on the stdin path, where
+  // nothing is ever shed.
+  const std::int64_t d_responses = reg.counter("net/responses").value() - prev_responses_;
+  const std::int64_t now_shed = reg.counter("net/shed").value();
+  const std::int64_t d_shed = now_shed - prev_shed_;
+  const double shed_rate =
+      d_responses > 0 ? static_cast<double>(d_shed) / static_cast<double>(d_responses) : 0.0;
   Histogram merged;
   merged.merge(reg.histogram("serve/latency_us/matmul"));
   merged.merge(reg.histogram("serve/latency_us/fused_pair"));
   const HistogramSnapshot lat = merged.snapshot();
-  os_ << "stats: qps=" << qps << " hit_rate=" << hit_rate << " p50_us=" << lat.p50
-      << " p95_us=" << lat.p95 << " p99_us=" << lat.p99 << " requests=" << now_requests
+  // Queue delay (enqueue → pool dequeue) is the admission controller's
+  // signal; cumulative, like the latency percentiles.
+  const HistogramSnapshot qdelay = reg.histogram("serve/queue_delay_us").snapshot();
+  os_ << "stats: qps=" << qps << " hit_rate=" << hit_rate << " shed_rate=" << shed_rate
+      << " p50_us=" << lat.p50 << " p95_us=" << lat.p95 << " p99_us=" << lat.p99
+      << " qdelay_p95_us=" << qdelay.p95 << " requests=" << now_requests
       << " errors=" << now_errors << " entries=" << now_cache.entries << "\n"
       << std::flush;
   prev_requests_ = now_requests;
   prev_errors_ = now_errors;
+  prev_responses_ += d_responses;
+  prev_shed_ = now_shed;
   prev_cache_ = now_cache;
   period_start_ = now;
 }

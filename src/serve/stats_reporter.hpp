@@ -13,14 +13,17 @@
 /// Background periodic stats line for the serving front-ends (stdin and
 /// TCP), one line per period:
 ///
-///   stats: qps=120.0 hit_rate=0.83 p50_us=42 p95_us=310 p99_us=900
-///          requests=1200 errors=0 entries=57
+///   stats: qps=120.0 hit_rate=0.83 shed_rate=0 p50_us=42 p95_us=310
+///          p99_us=900 qdelay_p95_us=12 requests=1200 errors=0 entries=57
 ///
-/// qps / hit_rate are deltas over the period (measured wall time, so a
-/// late-firing tick does not inflate qps); the latency percentiles come
-/// from merging the per-class request histograms (Histogram::merge is
-/// exact bucket-by-bucket), so they are cumulative over the process
-/// lifetime.
+/// qps / hit_rate / shed_rate are deltas over the period (measured wall
+/// time, so a late-firing tick does not inflate qps; shed_rate is
+/// sheds over all TCP responses written, 0 on the stdin path); the latency
+/// percentiles come from merging the per-class request histograms
+/// (Histogram::merge is exact bucket-by-bucket), so they are cumulative
+/// over the process lifetime, and qdelay_p95_us is the cumulative p95 of
+/// the pool queue delay the admission controller watches
+/// (serve/queue_delay_us).
 ///
 /// Shutdown flushes the tail: the destructor emits the final partial
 /// period as one last stats line whenever that window saw any requests or
@@ -65,6 +68,8 @@ class StatsReporter {
   std::mutex emit_mu_;
   std::int64_t prev_requests_ = 0;
   std::int64_t prev_errors_ = 0;
+  std::int64_t prev_responses_ = 0;  ///< net/responses at the period start
+  std::int64_t prev_shed_ = 0;       ///< net/shed at the period start
   CacheStats prev_cache_;
   std::chrono::steady_clock::time_point period_start_;
 

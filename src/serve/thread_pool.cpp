@@ -6,9 +6,12 @@ namespace fusecu {
 
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(1, threads);
+  heartbeats_.reserve(static_cast<std::size_t>(n));
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    heartbeats_.push_back(std::make_unique<Heartbeat>());
+    Heartbeat* hb = heartbeats_.back().get();
+    workers_.emplace_back([this, hb]() { worker_loop(hb); });
   }
 }
 
@@ -21,7 +24,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(Heartbeat* heartbeat) {
   while (true) {
     void (*fn)(void*) = nullptr;
     void* arg = nullptr;
@@ -36,11 +39,15 @@ void ThreadPool::worker_loop() {
       if (fn == nullptr) boxed = std::move(job.boxed);
       queue_.pop_front();
     }
+    heartbeat->epoch.fetch_add(1, std::memory_order_relaxed);
+    heartbeat->busy.store(true, std::memory_order_relaxed);
     if (fn != nullptr) {
       fn(arg);
     } else {
       boxed();
     }
+    heartbeat->busy.store(false, std::memory_order_relaxed);
+    heartbeat->epoch.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

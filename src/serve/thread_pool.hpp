@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -34,6 +36,17 @@ namespace fusecu {
 
 class ThreadPool {
  public:
+  /// Per-worker liveness signal for the net/ Supervisor: the worker bumps
+  /// `epoch` (relaxed) before and after every job and raises `busy` for the
+  /// job's duration.  A worker whose epoch stalls while busy is hung inside
+  /// a task; an idle worker (busy=false) is never flagged.  Heap-allocated
+  /// once per worker so the atomics have stable addresses the supervisor
+  /// can sample after the pool started.
+  struct Heartbeat {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<bool> busy{false};
+  };
+
   /// \p threads is clamped to >= 1.
   explicit ThreadPool(int threads);
   /// Drains nothing: pending jobs still run, then workers exit.
@@ -43,6 +56,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
+
+  /// One heartbeat per worker, index-aligned with the worker threads.
+  /// Stable for the pool's lifetime.
+  const std::vector<std::unique_ptr<Heartbeat>>& heartbeats() const { return heartbeats_; }
 
   /// Enqueue \p fn; the future carries its return value or exception.
   template <typename Fn>
@@ -84,12 +101,13 @@ class ThreadPool {
     std::function<void()> boxed;
   };
 
-  void worker_loop();
+  void worker_loop(Heartbeat* heartbeat);
 
   std::mutex mu_;
   std::condition_variable cv_;
   RingBuffer<Job> queue_;
   bool stopping_ = false;
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
   std::vector<std::thread> workers_;
 };
 

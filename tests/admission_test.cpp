@@ -1,0 +1,132 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+/// AdmissionController: the CoDel-style brownout state machine, driven with
+/// synthetic timestamps so every transition is exercised deterministically
+/// without sleeping.  The contract under test (DESIGN.md §7): enter when
+/// queue delay stays above the target for a full confirmation span (one
+/// interval; interval/4 shortly after an exit; immediately at 2x target)
+/// with no below-target dequeue in between, exit with hysteresis only once
+/// a full window's *minimum* drops below half the target — and the backoff
+/// hint / interval are pure functions of the configuration.
+
+namespace fusecu {
+namespace {
+
+constexpr std::int64_t kMs = 1000;  // us per ms
+
+AdmissionController make(std::int64_t target_ms) {
+  return AdmissionController(AdmissionConfig{.target_delay_ms = target_ms});
+}
+
+TEST(Admission, DisabledControllerIsInertAndNeverBrownsOut) {
+  AdmissionController admission = make(0);
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 100; ++i) {
+    admission.record(/*delay_us=*/10'000 * kMs, /*now_us=*/i * 100 * kMs);
+  }
+  EXPECT_FALSE(admission.overloaded()) << "target 0 must disable the state machine entirely";
+}
+
+TEST(Admission, ConfigurationDerivedConstants) {
+  EXPECT_EQ(make(10).interval_ms(), 50) << "interval floors at 50ms";
+  EXPECT_EQ(make(100).interval_ms(), 400) << "4x target past the floor";
+  EXPECT_EQ(make(10).retry_after_ms(), 20) << "hint is 2x target";
+  EXPECT_EQ(make(1).retry_after_ms(), 2);
+  EXPECT_EQ(make(900).retry_after_ms(), 1000) << "hint clamps at 1s";
+  EXPECT_EQ(make(0).retry_after_ms(), 1) << "hint floors at 1ms even when disabled";
+}
+
+TEST(Admission, EntersOnlyWhenDelayStaysAboveTargetForAFullConfirmationSpan) {
+  // target 10ms -> interval (confirmation span) 50ms; delays here stay in
+  // (target, 2x target) so the gross-violation shortcut never applies.
+  AdmissionController admission = make(10);
+  admission.record(15 * kMs, 0);  // above target: timer armed at t=0
+  EXPECT_FALSE(admission.overloaded());
+  // One fast dequeue proves the queue fully drained: the timer disarms — a
+  // burst of slow requests around it is not overload.
+  admission.record(5 * kMs, 10 * kMs);
+  admission.record(16 * kMs, 20 * kMs);  // re-armed at t=20
+  admission.record(17 * kMs, 51 * kMs);  // only 31ms continuously above
+  EXPECT_FALSE(admission.overloaded())
+      << "one fast dequeue inside the span proves the queue drained";
+
+  // Delays stay above the target for a whole interval -> standing queue.
+  admission.record(18 * kMs, 60 * kMs);
+  admission.record(19 * kMs, 80 * kMs);  // 60ms continuously above -> enter
+  EXPECT_TRUE(admission.overloaded());
+}
+
+TEST(Admission, GrossDelayEntersOnTheSecondObservation) {
+  // Admission is never revoked, so time spent deliberating becomes served
+  // tail latency: a delay at 2x the target with the timer armed confirms at
+  // once instead of waiting out the span.
+  AdmissionController admission = make(10);
+  admission.record(25 * kMs, 0);  // arms the timer; one outlier never enters
+  EXPECT_FALSE(admission.overloaded());
+  admission.record(25 * kMs, 1 * kMs);  // >= 2x target while armed -> enter
+  EXPECT_TRUE(admission.overloaded());
+}
+
+TEST(Admission, ExitsWithHysteresisAtHalfTheTarget) {
+  AdmissionController admission = make(10);
+  admission.record(50 * kMs, 0);         // timer armed
+  admission.record(50 * kMs, 51 * kMs);  // gross (>= 2x target) -> enter
+  ASSERT_TRUE(admission.overloaded());
+
+  // A window whose minimum is below the target but above target/2 keeps the
+  // brownout: no flapping at the boundary.
+  admission.record(8 * kMs, 60 * kMs);
+  admission.record(9 * kMs, 102 * kMs);  // edge: min 8ms in (5, 10] -> hold
+  EXPECT_TRUE(admission.overloaded()) << "between target/2 and target must not flap";
+
+  // Only a minimum under half the target clears it.
+  admission.record(3 * kMs, 110 * kMs);
+  admission.record(4 * kMs, 153 * kMs);  // edge: min 3ms < 5ms -> exit
+  EXPECT_FALSE(admission.overloaded());
+}
+
+TEST(Admission, BrownoutEntryBumpsTheCounterOncePerEpisode) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::int64_t before = reg.counter("serve/brownout_entries").value();
+  AdmissionController admission = make(10);
+  admission.record(50 * kMs, 0);
+  admission.record(50 * kMs, 51 * kMs);  // enter
+  ASSERT_TRUE(admission.overloaded());
+  // More slow windows while already in brownout must not re-count.
+  admission.record(50 * kMs, 110 * kMs);
+  admission.record(50 * kMs, 161 * kMs);
+  EXPECT_EQ(reg.counter("serve/brownout_entries").value(), before + 1);
+
+  // Recover, then a second episode counts again — and because the exit was
+  // recent, a mild (sub-gross) overshoot re-enters after interval/4 (12.5ms)
+  // instead of a full interval: an overload that outlives one shed wave is
+  // re-caught fast.
+  admission.record(1 * kMs, 170 * kMs);
+  admission.record(1 * kMs, 221 * kMs);  // window min 1ms < 5ms -> exit
+  ASSERT_FALSE(admission.overloaded());
+  admission.record(15 * kMs, 272 * kMs);  // above target again: timer re-armed
+  ASSERT_FALSE(admission.overloaded());
+  admission.record(15 * kMs, 287 * kMs);  // 15ms above >= interval/4 -> enter
+  ASSERT_TRUE(admission.overloaded());
+  EXPECT_EQ(reg.counter("serve/brownout_entries").value(), before + 2);
+}
+
+TEST(Admission, QueueDelayHistogramSeesEveryObservation) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const HistogramSnapshot before = reg.histogram("serve/queue_delay_us").snapshot();
+  AdmissionController admission = make(5);
+  for (int i = 0; i < 10; ++i) {
+    admission.record(2 * kMs, i * 10 * kMs);
+  }
+  const HistogramSnapshot after = reg.histogram("serve/queue_delay_us").snapshot();
+  EXPECT_EQ(after.count, before.count + 10);
+}
+
+}  // namespace
+}  // namespace fusecu

@@ -55,6 +55,16 @@ TEST(FaultPlan, GenerateIsAPureFunctionOfTheSeed) {
         case fault::Kind::kShortWrite:
           EXPECT_GE(e.arg, 1u);
           break;
+        case fault::Kind::kWorkerHang:
+          // Watchdog-scale: always crosses a 2 x 40 ms hang-guard deadline,
+          // which is what makes the chaos watchdog invariant plan-decidable.
+          EXPECT_GE(e.arg, 100'000u);
+          EXPECT_LE(e.arg, 300'000u);
+          break;
+        case fault::Kind::kReactorStall:
+          EXPECT_GE(e.arg, 20'000u);
+          EXPECT_LE(e.arg, 120'000u);
+          break;
         default:
           break;
       }
@@ -166,6 +176,35 @@ TEST(Fault, ClockSkewAccumulatesAndAcceptFaultsPickTheirErrno) {
   EXPECT_FALSE(fault::on_poll());
 
   EXPECT_EQ(fault::on_pool_task(), 50'000u) << "stalls are hard-capped at 50ms";
+}
+
+TEST(Fault, WorkerHangsAndReactorStallsFireAtTheirSitesWithHardCaps) {
+  fault::FaultPlan plan;
+  plan.events.push_back(event(fault::Kind::kWorkerHang, 0, 999'999'999));
+  plan.events.push_back(event(fault::Kind::kPoolStall, 1, 30'000));
+  plan.events.push_back(event(fault::Kind::kWorkerHang, 1, 120'000));
+  plan.events.push_back(event(fault::Kind::kReactorStall, 0, 7'000'000));
+  plan.events.push_back(event(fault::Kind::kReactorStall, 2, 25'000));
+  fault::ScopedFaultPlan armed(plan);
+
+  EXPECT_EQ(fault::on_pool_task(), 500'000u) << "hangs are hard-capped at 500ms";
+  EXPECT_EQ(fault::on_pool_task(), 150'000u)
+      << "a stall and a hang due at the same pool invocation stack (30ms + 120ms)";
+  EXPECT_EQ(fault::on_pool_task(), 0u);
+
+  EXPECT_EQ(fault::on_loop_turn(), 300'000u) << "loop stalls are hard-capped at 300ms";
+  EXPECT_EQ(fault::on_loop_turn(), 0u) << "invocation 1: nothing scheduled";
+  EXPECT_EQ(fault::on_loop_turn(), 25'000u);
+  EXPECT_EQ(fault::on_loop_turn(), 0u) << "one-shot";
+
+  EXPECT_EQ(fault::fired_count(fault::Kind::kWorkerHang), 2);
+  EXPECT_EQ(fault::fired_count(fault::Kind::kReactorStall), 2);
+
+  // The new kinds round-trip by name through the JSON schema.
+  const fault::FaultPlan parsed = fault::FaultPlan::from_json(plan.to_json());
+  ASSERT_EQ(parsed.events.size(), plan.events.size());
+  EXPECT_EQ(parsed.events[0].kind, fault::Kind::kWorkerHang);
+  EXPECT_EQ(parsed.events[3].kind, fault::Kind::kReactorStall);
 }
 
 TEST(Fault, DisarmRestoresTheFastPathAndKeepsFiredCountsUntilNextArm) {

@@ -420,6 +420,56 @@ TEST_P(NetServerAt, GracefulDrainFinishesInFlightThenCloses) {
   EXPECT_EQ(stats.closed, stats.accepted);
 }
 
+TEST_P(NetServerAt, GracefulDrainDuringShedStormAnswersDecodedPrefixInOrder) {
+  // Satellite of PR 10: a drain request landing in the middle of an active
+  // shed storm (queue_depth=1, several pipelined clients, single worker)
+  // must still answer every decoded request exactly once — shed or served,
+  // strictly in per-connection order — and close every connection, on every
+  // reactor topology.
+  NetServerOptions net = options();
+  net.queue_depth = 1;
+  TestServer ts(ServeOptions{.threads = 1}, net);
+
+  constexpr int kClients = 3;
+  constexpr int kBurst = 40;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<Client>(ts.server.port()));
+    ASSERT_TRUE(clients.back()->connected());
+    std::string burst;
+    for (int i = 0; i < kBurst; ++i) {
+      burst += make_req("b" + std::to_string(c) + "-" + std::to_string(i), 64 + i, 64, 64);
+    }
+    clients.back()->send_all(burst);
+  }
+  // One response per client proves its burst is decoded — and with depth 1
+  // the sheds behind it are already slotted — so the storm is live when the
+  // drain lands.
+  for (auto& client : clients) ASSERT_TRUE(client->read_line().has_value());
+  ts.server.request_drain();
+  ts.loop.join();
+
+  std::int64_t total = kClients;  // the first line already read per client
+  int shed_seen = 0;
+  for (int c = 0; c < kClients; ++c) {
+    Client& client = *clients[static_cast<std::size_t>(c)];
+    std::vector<std::string> lines;
+    while (auto line = client.read_line(5000)) lines.push_back(std::move(*line));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(id_of(lines[i]), "b" + std::to_string(c) + "-" + std::to_string(i + 1))
+          << "client " << c << " line " << i;
+      if (lines[i].find("overloaded") != std::string::npos) ++shed_seen;
+    }
+    EXPECT_TRUE(client.read_eof(5000)) << "client " << c;
+    total += static_cast<std::int64_t>(lines.size());
+  }
+  const NetServer::Stats stats = ts.server.stats();
+  EXPECT_GE(shed_seen, 1) << "a pipelined storm past queue_depth=1 must shed";
+  EXPECT_GE(stats.shed, shed_seen);
+  EXPECT_EQ(stats.responses, total) << "every decoded request answered exactly once";
+  EXPECT_EQ(stats.accepted, stats.closed) << "drain must close every stormed connection";
+}
+
 TEST_P(NetServerAt, DrainWithIdleConnectionReturnsPromptly) {
   TestServer ts(ServeOptions{.threads = 2}, options());
   Client idle(ts.server.port());

@@ -57,6 +57,30 @@ TEST(StatsReporter, FinalPartialPeriodIsFlushedOnShutdown) {
   EXPECT_NE(out.find("p99_us="), std::string::npos) << out;
 }
 
+TEST(StatsReporter, LineCarriesShedRateAndQueueDelay) {
+  // PR 10 line shape: shed_rate= (period delta of net/shed over
+  // net/responses) and qdelay_p95_us= (cumulative p95 of the admission
+  // controller's serve/queue_delay_us signal) ride every stats line, in a
+  // fixed field order so log scrapers can anchor on the prefix.
+  PlanService service(ServeOptions{.threads = 2});
+  std::ostringstream os;
+  {
+    StatsReporter reporter(service, 3600.0, os);
+    ASSERT_EQ(serve_requests(service, 3), 3);
+  }
+  const std::string out = os.str();
+  ASSERT_NE(out.find("stats:"), std::string::npos) << out;
+  EXPECT_NE(out.find(" shed_rate="), std::string::npos) << out;
+  EXPECT_NE(out.find(" qdelay_p95_us="), std::string::npos) << out;
+  // The stdin path never sheds: the rate must be exactly 0.
+  EXPECT_NE(out.find(" shed_rate=0 "), std::string::npos) << out;
+  // Field order is part of the line contract.
+  EXPECT_LT(out.find(" hit_rate="), out.find(" shed_rate=")) << out;
+  EXPECT_LT(out.find(" shed_rate="), out.find(" p50_us=")) << out;
+  EXPECT_LT(out.find(" p99_us="), out.find(" qdelay_p95_us=")) << out;
+  EXPECT_LT(out.find(" qdelay_p95_us="), out.find(" requests=")) << out;
+}
+
 TEST(StatsReporter, IdleShutdownEmitsNothing) {
   PlanService service(ServeOptions{.threads = 2});
   std::ostringstream os;
